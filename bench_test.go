@@ -1,0 +1,385 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigure*/BenchmarkTable* iteration produces the complete
+// table/figure, so ns/op reports how long the experiment takes to
+// regenerate; the b.N=1 outputs of cmd/lia-bench are the human-readable
+// form. Micro-benchmarks of the core primitives (AMX tile matmul, the
+// 64-policy optimizer, the overlapped scheduler, the functional
+// transformer) follow.
+package lia_test
+
+import (
+	"testing"
+
+	"github.com/lia-sim/lia"
+	"github.com/lia-sim/lia/internal/amx"
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/experiments"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/kvpage"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/trace"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// sink prevents dead-code elimination of benchmark results.
+var sink any
+
+func BenchmarkFigure1OpsPerByte(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Figure1()
+	}
+}
+
+func BenchmarkFigure3TransferBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Figure3()
+	}
+}
+
+func BenchmarkFigure4ComputeOffload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Figure4()
+	}
+}
+
+func BenchmarkFigure5Microbench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gemm, gemv := experiments.Figure5()
+		sink = [2]any{gemm, gemv}
+	}
+}
+
+func BenchmarkFigure8CXLCharacterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fa, fb := experiments.Figure8()
+		sink = [2]any{fa, fb}
+	}
+}
+
+func BenchmarkFigure9PolicyMaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pre, dec := experiments.Figure9(hw.SPRA100)
+		sink = [2]any{pre, dec}
+	}
+}
+
+func BenchmarkFigure10OnlineLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Figure10()
+	}
+}
+
+func BenchmarkFigure11OfflineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Figure11()
+	}
+}
+
+func BenchmarkFigure12Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Figure12()
+	}
+}
+
+func BenchmarkFigure13GNRvsH100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, off := experiments.Figure13()
+		sink = [2]any{on, off}
+	}
+}
+
+func BenchmarkFigure14MultiGPUCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tput, cost := experiments.Figure14()
+		sink = [2]any{tput, cost}
+	}
+}
+
+func BenchmarkFigure15PowerInfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, off := experiments.Figure15()
+		sink = [2]any{on, off}
+	}
+}
+
+func BenchmarkTable1Formulas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Table1(180, 512)
+	}
+}
+
+func BenchmarkTable3CXLOffloading(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Table3()
+	}
+}
+
+func BenchmarkTable4Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Table4()
+	}
+}
+
+func BenchmarkTable5Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Table5()
+	}
+}
+
+func BenchmarkTable6GNRScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Table6()
+	}
+}
+
+func BenchmarkGeneralizability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Generalizability()
+	}
+}
+
+func BenchmarkDiscussion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = [3]any{experiments.GraceHopper(), experiments.CheaperGPUs(), experiments.CXLCostSavings()}
+	}
+}
+
+// --- primitive micro-benchmarks -------------------------------------
+
+// BenchmarkPolicyOptimizer measures one Eq. (1) solve: evaluating all 64
+// offloading vectors for a decoder layer.
+func BenchmarkPolicyOptimizer(b *testing.B) {
+	env := core.NewEnv(hw.SPRA100, model.OPT175B)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, t := core.Optimize(env, model.Decode, 64, 512)
+		sink = [2]any{p, t}
+	}
+}
+
+// BenchmarkEngineOnline measures one full online estimate (prefill +
+// 32-token decode) through the overlapped scheduler.
+func BenchmarkEngineOnline(b *testing.B) {
+	cfg := engine.Config{
+		Framework: engine.LIA,
+		System:    hw.SPRA100,
+		Model:     model.OPT30B,
+		Workload:  trace.Workload{Batch: 1, InputLen: 512, OutputLen: 32},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := engine.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = r
+	}
+}
+
+// BenchmarkAMXMatmul measures the emulated tile pipeline on a 128³ GEMM.
+func BenchmarkAMXMatmul(b *testing.B) {
+	const n = 128
+	a := make([]float32, n*n)
+	bb := make([]float32, n*n)
+	for i := range a {
+		a[i] = float32(i%7) - 3
+		bb[i] = float32(i%5) - 2
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(3 * n * n * 4))
+	for i := 0; i < b.N; i++ {
+		c, _, err := amx.MatmulBF16(a, bb, n, n, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = c
+	}
+}
+
+// BenchmarkFunctionalDecodeStep measures one decode step of the tiny
+// functional transformer under the partial-offload policy.
+func BenchmarkFunctionalDecodeStep(b *testing.B) {
+	m, err := lia.NewFunctionalModel(lia.TinyModelConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe := lia.NewFunctionalExecutor(m, lia.PartialCPU)
+	_, cache, err := exe.Prefill([]int{1, 2, 3, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		logits, err := exe.DecodeStep(cache, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = logits
+		if cache.Len() > 100 {
+			_, cache, _ = exe.Prefill([]int{1, 2, 3, 4})
+		}
+	}
+}
+
+func BenchmarkModelingAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.ModelingAblations()
+	}
+}
+
+func BenchmarkQuantizationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.QuantizationStudy()
+	}
+}
+
+func BenchmarkMultiGPUScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.MultiGPUScaling()
+	}
+}
+
+// BenchmarkAMXMatmulINT8 measures the emulated TDPBUSD pipeline on a
+// 128³ product.
+func BenchmarkAMXMatmulINT8(b *testing.B) {
+	const n = 128
+	a := make([]uint8, n*n)
+	bb := make([]int8, n*n)
+	for i := range a {
+		a[i] = uint8(i)
+		bb[i] = int8(i % 127)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(2*n*n + n*n*4))
+	for i := 0; i < b.N; i++ {
+		c, _, err := amx.MatmulINT8(a, bb, n, n, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = c
+	}
+}
+
+// BenchmarkServing measures one serving simulation of 32 requests.
+func BenchmarkServing(b *testing.B) {
+	gen, err := lia.NewTraceGenerator(lia.TraceCode, 32, 512, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := lia.PoissonArrivals(gen, 32, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := lia.ServeConfig{
+		System: lia.SPRA100, Model: lia.OPT30B, Framework: lia.LIA,
+		MaxBatch: 8, MaxWait: 2, AssumeHostCapacity: true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := lia.Serve(cfg, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = m
+	}
+}
+
+func BenchmarkSpeculativeDecoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.SpeculativeDecoding()
+	}
+}
+
+func BenchmarkStorageTiers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.StorageTiers()
+	}
+}
+
+func BenchmarkParallelismComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.ParallelismComparison()
+	}
+}
+
+func BenchmarkMoEAdaptability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = experiments.MoEAdaptability()
+	}
+}
+
+// BenchmarkTokenizerEncode measures BPE encoding of a ~200-byte string.
+func BenchmarkTokenizerEncode(b *testing.B) {
+	tok, err := lia.TrainTokenizer(`the quick brown fox jumps over the lazy dog.
+large language models generate tokens one at a time. the key value cache
+grows with the sequence. parameters stream over the interconnect.`, 384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := "the lazy language model streams parameters over the interconnect one token at a time"
+	b.ReportAllocs()
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		sink = tok.Encode(s)
+	}
+}
+
+// BenchmarkKVPageChurn measures allocator throughput under an
+// admit/extend/release churn typical of continuous batching.
+func BenchmarkKVPageChurn(b *testing.B) {
+	mgr, err := kvpage.ForModel(200*units.GB, 16, model.OPT30B)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := i
+		if err := mgr.Admit(id, 300); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 32; j++ {
+			if err := mgr.Extend(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := mgr.Release(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContinuousServing measures the iteration-level scheduler.
+func BenchmarkContinuousServing(b *testing.B) {
+	gen, err := lia.NewTraceGenerator(lia.TraceCode, 32, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := lia.PoissonArrivals(gen, 24, 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := lia.ServeConfig{
+		System: lia.SPRA100, Model: lia.OPT30B, Framework: lia.LIA,
+		MaxBatch: 8, MaxWait: 2, AssumeHostCapacity: true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := lia.ServeContinuous(cfg, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = m
+	}
+}
+
+func BenchmarkFigure7Overlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pre, dec := experiments.Figure7()
+		sink = [2]any{pre, dec}
+	}
+}

@@ -1,0 +1,170 @@
+// Command lia-bench regenerates the paper's tables and figures. Each
+// experiment prints as an aligned ASCII table; -csv switches to CSV.
+//
+//	lia-bench               # run everything
+//	lia-bench -exp fig9     # one experiment
+//	lia-bench -list         # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/lia-sim/lia/internal/experiments"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/report"
+)
+
+// renderable is anything the report package can print.
+type renderable interface {
+	String() string
+	CSV() string
+	Markdown() string
+}
+
+// experimentsByID maps experiment IDs to generators. Each generator may
+// return several tables/figures.
+var experimentsByID = map[string]func() []renderable{
+	"fig1": func() []renderable { return []renderable{experiments.Figure1()} },
+	"fig3": func() []renderable { return []renderable{experiments.Figure3()} },
+	"fig4": func() []renderable { return []renderable{experiments.Figure4()} },
+	"fig5": func() []renderable {
+		gemm, gemv := experiments.Figure5()
+		return []renderable{gemm, gemv}
+	},
+	"fig7": func() []renderable {
+		pre, dec := experiments.Figure7()
+		return []renderable{pre, dec}
+	},
+	"fig8": func() []renderable {
+		a, b := experiments.Figure8()
+		return []renderable{a, b}
+	},
+	"fig9": func() []renderable {
+		var out []renderable
+		for _, sys := range []hw.System{hw.SPRA100, hw.SPRH100} {
+			pre, dec := experiments.Figure9(sys)
+			out = append(out, pre, dec)
+		}
+		return out
+	},
+	"fig10": func() []renderable { return figsToRenderables(experiments.Figure10()) },
+	"fig11": func() []renderable { return figsToRenderables(experiments.Figure11()) },
+	"fig12": func() []renderable { return []renderable{experiments.Figure12()} },
+	"fig13": func() []renderable {
+		a, b := experiments.Figure13()
+		return []renderable{a, b}
+	},
+	"fig14": func() []renderable {
+		a, b := experiments.Figure14()
+		return []renderable{a, b}
+	},
+	"fig15": func() []renderable {
+		a, b := experiments.Figure15()
+		return []renderable{a, b}
+	},
+	"tab1": func() []renderable { return []renderable{experiments.Table1(180, 512)} },
+	"tab3": func() []renderable { return []renderable{experiments.Table3()} },
+	"tab4": func() []renderable { return []renderable{experiments.Table4()} },
+	"tab5": func() []renderable { return []renderable{experiments.Table5()} },
+	"tab6": func() []renderable { return []renderable{experiments.Table6()} },
+	"generalize": func() []renderable {
+		return []renderable{experiments.Generalizability()}
+	},
+	"quant": func() []renderable {
+		return []renderable{experiments.QuantizationStudy()}
+	},
+	"scaling": func() []renderable {
+		return []renderable{experiments.MultiGPUScaling()}
+	},
+	"ablations": func() []renderable {
+		return []renderable{experiments.ModelingAblations()}
+	},
+	"moe": func() []renderable {
+		return []renderable{experiments.MoEAdaptability()}
+	},
+	"speculative": func() []renderable {
+		return []renderable{experiments.SpeculativeDecoding()}
+	},
+	"storage": func() []renderable {
+		return []renderable{experiments.StorageTiers()}
+	},
+	"parallelism": func() []renderable {
+		return []renderable{experiments.ParallelismComparison()}
+	},
+	"discussion": func() []renderable {
+		return []renderable{experiments.GraceHopper(), experiments.CheaperGPUs(), experiments.CXLCostSavings()}
+	},
+}
+
+func figsToRenderables(figs []*report.Figure) []renderable {
+	out := make([]renderable, len(figs))
+	for i, f := range figs {
+		out[i] = f
+	}
+	return out
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		outDir   = flag.String("out", "", "also write each experiment's CSV to <out>/<id>-<n>.csv")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	ids := make([]string, 0, len(experimentsByID))
+	for id := range experimentsByID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+
+	var selected []string
+	if *exp == "all" {
+		selected = ids
+	} else {
+		if _, ok := experimentsByID[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "lia-bench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(1)
+		}
+		selected = []string{*exp}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "lia-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range selected {
+		fmt.Printf("==== %s ====\n", id)
+		for i, r := range experimentsByID[id]() {
+			switch {
+			case *csv:
+				fmt.Println(r.CSV())
+			case *markdown:
+				fmt.Println(r.Markdown())
+			default:
+				fmt.Println(r.String())
+			}
+			if *outDir != "" {
+				path := filepath.Join(*outDir, fmt.Sprintf("%s-%d.csv", id, i))
+				if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "lia-bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

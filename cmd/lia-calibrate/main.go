@@ -1,0 +1,125 @@
+// Command lia-calibrate fits the roofline device model to a user's own
+// GEMM microbenchmark measurements, extending the built-in §4 calibration
+// to hardware the paper never measured.
+//
+// Input: CSV lines "M,K,N,TFLOPS" on stdin or from -in, e.g. the output
+// of a matmul sweep on your own Xeon or GPU. The fitted ceiling and ramp
+// are printed alongside the RMS relative error before and after.
+//
+//	lia-calibrate -template SPR-AMX < my_xeon_sweep.csv
+//	lia-calibrate -template A100 -in measurements.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/perf"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// templates names the calibratable device templates.
+var templates = map[string]func() perf.Device{
+	"SPR-AMX": func() perf.Device { return perf.CPUDevice(hw.SPR, hw.AMX) },
+	"SPR-AVX": func() perf.Device { return perf.CPUDevice(hw.SPR, hw.AVX512) },
+	"GNR-AMX": func() perf.Device { return perf.CPUDevice(hw.GNR, hw.AMX) },
+	"P100":    func() perf.Device { return perf.GPUDevice(hw.P100) },
+	"V100":    func() perf.Device { return perf.GPUDevice(hw.V100) },
+	"A100":    func() perf.Device { return perf.GPUDevice(hw.A100) },
+	"H100":    func() perf.Device { return perf.GPUDevice(hw.H100) },
+}
+
+func main() {
+	var (
+		templateName = flag.String("template", "SPR-AMX", "device template: SPR-AMX, SPR-AVX, GNR-AMX, P100, V100, A100, H100")
+		inPath       = flag.String("in", "", "CSV file of M,K,N,TFLOPS rows (default: stdin)")
+	)
+	flag.Parse()
+
+	mk, ok := templates[*templateName]
+	if !ok {
+		fatal(fmt.Errorf("unknown template %q", *templateName))
+	}
+	template := mk()
+
+	var r io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	obs, err := parseObservations(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	before := perf.FitError(template, obs)
+	fitted, err := perf.Fit(template, obs)
+	if err != nil {
+		fatal(err)
+	}
+	after := perf.FitError(fitted, obs)
+
+	fmt.Printf("template %s: ceiling %v, ramp %.1f rows (RMS rel. error %.1f%%)\n",
+		*templateName, template.Ceiling, template.RampRows, 100*before)
+	fmt.Printf("fitted       ceiling %v, ramp %.1f rows (RMS rel. error %.1f%%)\n",
+		fitted.Ceiling, fitted.RampRows, 100*after)
+	fmt.Printf("%d observations; memory system held at %v × %.2f\n",
+		len(obs), template.MemBW, template.StreamEff)
+}
+
+// parseObservations reads "M,K,N,TFLOPS" lines, ignoring blanks, comments
+// (#) and a header row.
+func parseObservations(r io.Reader) ([]perf.Observation, error) {
+	var obs []perf.Observation
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("line %d: want M,K,N,TFLOPS, got %q", line, text)
+		}
+		var nums [4]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				if line == 1 && i == 0 {
+					nums[0] = -1 // header row; skip below
+					break
+				}
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			nums[i] = v
+		}
+		if nums[0] < 0 {
+			continue
+		}
+		obs = append(obs, perf.Observation{
+			M: int(nums[0]), K: int(nums[1]), N: int(nums[2]),
+			Rate: units.FLOPSRate(nums[3]) * units.TFLOPS,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return obs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lia-calibrate:", err)
+	os.Exit(1)
+}

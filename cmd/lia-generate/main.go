@@ -1,0 +1,129 @@
+// Command lia-generate runs the functional transformer end to end: real
+// BF16/INT8 math with CPU-offloaded sublayers executing through the
+// emulated AMX tile pipeline. It is the zero-to-tokens proof that the
+// offloading dataflow works — and that the policy never changes greedy
+// output.
+//
+//	lia-generate -policy "(0,1,1,0,0,0)" -tokens 24
+//	lia-generate -arch llama -int8 -topk 10 -temperature 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/lia-sim/lia"
+	"github.com/lia-sim/lia/internal/llm"
+)
+
+func main() {
+	var (
+		arch      = flag.String("arch", "opt", "tiny architecture: opt (MHA+ReLU) or llama (GQA+SwiGLU)")
+		policyStr = flag.String("policy", "(0,1,1,0,0,0)", "offloading vector, e.g. (1,1,1,1,1,1)")
+		seed      = flag.Int64("seed", 24, "weight seed")
+		promptStr = flag.String("prompt", "12,7,88,3,41", "comma-separated prompt token IDs")
+		tokens    = flag.Int("tokens", 16, "tokens to generate")
+		int8Mode  = flag.Bool("int8", false, "quantize parameter sublayers to INT8 (TDPBUSD path)")
+		topK      = flag.Int("topk", 0, "top-K sampling (0 = greedy)")
+		temp      = flag.Float64("temperature", 1.0, "sampling temperature")
+		sampleSd  = flag.Int64("sample-seed", 1, "sampling seed")
+		savePath  = flag.String("save", "", "write the model to this checkpoint file after building it")
+		loadPath  = flag.String("load", "", "load the model from a checkpoint instead of generating weights")
+		text      = flag.String("text", "", "text prompt: trains a byte-level BPE tokenizer and decodes the output back to text")
+	)
+	flag.Parse()
+
+	cfg := lia.TinyModelConfig()
+	if strings.EqualFold(*arch, "llama") {
+		cfg = lia.TinyLlamaConfig()
+	}
+	policy, err := lia.ParsePolicy(*policyStr)
+	if err != nil {
+		fatal(err)
+	}
+	var prompt []int
+	var tokenizer *lia.Tokenizer
+	if *text != "" {
+		// Text mode: a BPE tokenizer over a small built-in corpus plus the
+		// prompt itself, and a model whose vocabulary matches it.
+		var err error
+		tokenizer, err = lia.TrainTokenizer(trainingCorpus+*text, 384)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.VocabSize = tokenizer.VocabSize()
+		prompt = tokenizer.Encode(*text)
+	} else {
+		for _, part := range strings.Split(*promptStr, ",") {
+			tok, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad prompt token %q: %w", part, err))
+			}
+			prompt = append(prompt, tok)
+		}
+	}
+
+	var m *lia.FunctionalModel
+	var err2 error
+	if *loadPath != "" {
+		m, err2 = lia.LoadModel(*loadPath)
+	} else {
+		m, err2 = lia.NewFunctionalModel(cfg, *seed)
+	}
+	if err2 != nil {
+		fatal(err2)
+	}
+	cfg = m.Cfg
+	if *savePath != "" {
+		if err := lia.SaveModel(*savePath, m); err != nil {
+			fatal(err)
+		}
+	}
+	exe := lia.NewFunctionalExecutor(m, policy)
+	if *int8Mode {
+		exe.EnableINT8()
+	}
+	var sampler llm.Sampler = llm.GreedySampler{}
+	mode := "greedy"
+	if *topK > 0 {
+		sampler, err = llm.NewTopKSampler(*topK, *temp, *sampleSd)
+		if err != nil {
+			fatal(err)
+		}
+		mode = fmt.Sprintf("top-%d @ T=%.2f", *topK, *temp)
+	}
+
+	out, err := exe.GenerateWith(prompt, *tokens, sampler)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%d layers, d=%d, %d heads / %d KV heads), policy %s, %s decoding\n",
+		cfg.Name, cfg.Layers, cfg.DModel, cfg.Heads, cfg.KVHeads, policy, mode)
+	fmt.Printf("prompt : %v\n", prompt)
+	fmt.Printf("output : %v\n", out)
+	if tokenizer != nil {
+		decoded, err := tokenizer.Decode(out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("text   : %q (random weights — structure, not sense)\n", decoded)
+	}
+	fmt.Printf("kernels: %d AMX BF16 matmuls, %d AMX INT8 matmuls, %d dense matmuls (%d tile cycles)\n",
+		exe.Stats.CPUMatmuls, exe.Stats.Int8Matmuls, exe.Stats.GPUMatmuls, exe.Stats.AMXCycles)
+}
+
+// trainingCorpus seeds the text-mode tokenizer; any prose works — merges
+// just need repeated substrings.
+const trainingCorpus = `the quick brown fox jumps over the lazy dog.
+large language models generate tokens one at a time. the key value cache
+grows with the sequence. parameters stream over the interconnect when the
+model does not fit. offloading moves computation to the processor with
+the data. `
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lia-generate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command lia-policy prints the optimal compute-offloading policy maps
+// (Figure 9) for any system/model pairing: one grid per stage over
+// (B, L_in), plus the latency of every canonical policy at a chosen
+// point.
+//
+//	lia-policy -system SPR-A100 -model OPT-175B
+//	lia-policy -system GNR-H100 -model Llama2-70B -batch 64 -lin 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lia-sim/lia"
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+)
+
+func main() {
+	var (
+		systemName = flag.String("system", "SPR-A100", "system name")
+		modelName  = flag.String("model", "OPT-175B", "model name")
+		batch      = flag.Int("batch", 0, "if >0, also print per-policy latencies at (batch, lin)")
+		lin        = flag.Int("lin", 512, "input length for the per-policy breakdown")
+	)
+	flag.Parse()
+
+	sys, err := lia.SystemByName(*systemName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := lia.ModelByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	env := core.NewEnv(sys, m)
+
+	bs := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	ls := []int{32, 64, 128, 256, 512, 1024, 2048}
+	headers := make([]string, len(ls)+1)
+	headers[0] = "B \\ L"
+	for i, l := range ls {
+		headers[i+1] = fmt.Sprint(l)
+	}
+	for _, stage := range []model.Stage{model.Prefill, model.Decode} {
+		t := report.NewTable(fmt.Sprintf("Optimal %v policy, %s on %s (C=full CPU, G=full GPU, P=partial, else vector)", stage, m.Name, sys.Name), headers...)
+		for _, b := range bs {
+			row := make([]string, len(ls)+1)
+			row[0] = fmt.Sprint(b)
+			for i, l := range ls {
+				p, _ := core.Optimize(env, stage, b, l)
+				row[i+1] = label(p)
+			}
+			t.AddRow(row...)
+		}
+		fmt.Println(t)
+	}
+
+	if *batch > 0 {
+		t := report.NewTable(
+			fmt.Sprintf("Per-policy single-layer latency at B=%d, L=%d", *batch, *lin),
+			"policy", "prefill", "decode")
+		for _, p := range []core.Policy{core.FullGPU, core.FullCPU, core.PartialCPU, core.MoEPartial} {
+			pre, _ := core.LayerLatency(env, model.Prefill, p, *batch, *lin)
+			dec, _ := core.LayerLatency(env, model.Decode, p, *batch, *lin)
+			t.AddRow(p.String(), pre.String(), dec.String())
+		}
+		fmt.Println(t)
+	}
+}
+
+func label(p core.Policy) string {
+	switch p {
+	case core.FullCPU:
+		return "C"
+	case core.FullGPU:
+		return "G"
+	case core.PartialCPU:
+		return "P"
+	default:
+		return p.String()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lia-policy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command lia-serve simulates a serving deployment: Poisson arrivals
+// drawn from the Azure-style trace distributions (§7), a batcher with a
+// size cap and waiting window, and the chosen framework as the backend.
+// It reports per-request latency percentiles and sustained throughput.
+//
+//	lia-serve -system SPR-A100 -model OPT-30B -rate 2 -requests 64 -max-batch 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/lia-sim/lia"
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/serve"
+	"github.com/lia-sim/lia/internal/trace"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+func main() {
+	var (
+		systemName = flag.String("system", "SPR-A100", "system name")
+		modelName  = flag.String("model", "OPT-30B", "model name")
+		fwName     = flag.String("framework", "LIA", "backend framework")
+		kind       = flag.String("trace", "code", "trace family: code (Lout≈32) or conversation (Lout≈256)")
+		rate       = flag.Float64("rate", 1, "arrival rate, requests/second")
+		n          = flag.Int("requests", 64, "number of requests to simulate")
+		maxBatch   = flag.Int("max-batch", 16, "batch former size cap")
+		maxWait    = flag.Float64("max-wait", 5, "batching window, seconds")
+		seed       = flag.Int64("seed", 1, "random seed")
+		continuous = flag.Bool("continuous", false, "iteration-level (continuous) batching instead of static batches")
+		kvBudgetGB = flag.Float64("kv-budget-gb", 0, "paged KV-cache pool size in GB (continuous only; 0 = unconstrained)")
+	)
+	flag.Parse()
+
+	sys, err := lia.SystemByName(*systemName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := lia.ModelByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	fw := engine.LIA
+	switch strings.ToLower(*fwName) {
+	case "lia":
+	case "ipex":
+		fw = engine.IPEX
+	case "flexgen":
+		fw = engine.FlexGen
+	default:
+		fatal(fmt.Errorf("unknown framework %q", *fwName))
+	}
+	family := trace.Code
+	if strings.HasPrefix(strings.ToLower(*kind), "conv") {
+		family = trace.Conversation
+	}
+
+	gen, err := trace.NewGenerator(family, 32, m.MaxSeqLen-family.MeanOutput(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	reqs, err := serve.PoissonArrivals(gen, *n, *rate, *seed+1)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := serve.Config{
+		System:             sys,
+		Model:              m,
+		Framework:          fw,
+		MaxBatch:           *maxBatch,
+		MaxWait:            units.Seconds(*maxWait),
+		AssumeHostCapacity: true,
+		KVBudget:           units.Bytes(*kvBudgetGB) * units.GB,
+	}
+	simulate := serve.Simulate
+	mode := "static batching"
+	if *continuous {
+		simulate = serve.SimulateContinuous
+		mode = "continuous batching"
+	}
+	metrics, err := simulate(cfg, reqs)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s serving %s on %s — %d requests at %.2f req/s (%s trace, %s)\n",
+		fw, m.Name, sys.Name, *n, *rate, family, mode)
+	fmt.Printf("  completed   : %d in %v (%d batches, mean size %.1f)\n",
+		metrics.Completed, metrics.Makespan, metrics.Batches, metrics.MeanBatchSize)
+	fmt.Printf("  throughput  : %.1f tokens/s\n", metrics.Throughput)
+	fmt.Printf("  latency     : mean %v, p50 %v, p95 %v, p99 %v\n",
+		metrics.Mean, metrics.P50, metrics.P95, metrics.P99)
+	fmt.Printf("  queueing    : mean %v\n", metrics.MeanQueueing)
+	if metrics.Preemptions > 0 {
+		fmt.Printf("  preemptions : %d (KV pool pressure)\n", metrics.Preemptions)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lia-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Cost analysis: the §7.8 question — is one big CPU plus one GPU cheaper
+// per token than eight GPUs? Compare LIA on a ~$22k GNR-A100 box against
+// 8-way tensor parallelism on a ~$200k DGX-A100 across batch sizes,
+// in per-GPU throughput and dollars per million generated tokens.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lia-sim/lia"
+	"github.com/lia-sim/lia/internal/cost"
+)
+
+func main() {
+	assume := cost.Defaults()
+	fmt.Printf("OPT-175B, Lin=32, Lout=256, 3-year amortization, $0.1/kWh\n")
+	fmt.Printf("GNR-A100 system cost: %v/h    DGX-A100: %v/h\n\n",
+		assume.HourlyCost(lia.GNRA100), assume.HourlyCost(lia.DGXA100))
+	fmt.Printf("%6s | %-14s %-12s | %-14s %-12s\n", "B", "LIA tok/s/GPU", "LIA $/Mtok", "DGX tok/s/GPU", "DGX $/Mtok")
+
+	for _, b := range []int{1, 64, 900} {
+		w := lia.Workload{Batch: b, InputLen: 32, OutputLen: 256}
+		liaRes, err := lia.Run(lia.Config{
+			Framework: lia.LIA, System: lia.GNRA100, Model: lia.OPT175B,
+			Workload: w, AssumeHostCapacity: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dgxRes, err := lia.Run(lia.Config{
+			Framework: lia.MultiGPU, System: lia.DGXA100, Model: lia.OPT175B,
+			Workload: w, AssumeHostCapacity: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		liaCol := fmt.Sprintf("%-14.2f %-12v", cost.PerGPUThroughput(lia.GNRA100, liaRes.Throughput),
+			assume.PerMillionTokens(lia.GNRA100, liaRes.Throughput))
+		dgxCol := "OOM"
+		if !dgxRes.OOM {
+			dgxCol = fmt.Sprintf("%-14.2f %-12v", cost.PerGPUThroughput(lia.DGXA100, dgxRes.Throughput),
+				assume.PerMillionTokens(lia.DGXA100, dgxRes.Throughput))
+		}
+		fmt.Printf("%6d | %s | %s\n", b, liaCol, dgxCol)
+	}
+
+	// And the CXL saving on the memory bill (§8).
+	allDDR, hybrid, saved := cost.MemorySavings(lia.OPT175B.ParamBytes(), 0.43)
+	fmt.Printf("\nmemory system for the OPT-175B parameters: %v all-DDR vs %v with 43%%→CXL (saves %v)\n",
+		allDDR, hybrid, saved)
+}

@@ -1,0 +1,41 @@
+// Policy explorer: walk the (batch, input-length) plane and watch LIA's
+// compute-offloading optimizer switch between full-CPU, partial, and
+// full-GPU policies — the structure behind the paper's Figure 9 — then
+// drill into one point and show why the winner wins.
+package main
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia"
+)
+
+func main() {
+	sys := lia.SPRA100
+	m := lia.OPT175B
+
+	fmt.Printf("Optimal policies for %s on %s\n", m.Name, sys.Name)
+	fmt.Printf("(1 = sublayer on CPU; sublayer order: QKV, QK^T, SxV, OutProj, FC1, FC2)\n\n")
+	fmt.Printf("%8s %8s | %-15s %-15s\n", "B", "L_in", "prefill", "decode")
+	for _, b := range []int{1, 8, 64, 256, 1024} {
+		for _, l := range []int{32, 256, 1024} {
+			pre, dec := lia.OptimalPolicies(sys, m, b, l)
+			fmt.Printf("%8d %8d | %-15s %-15s\n", b, l, pre, dec)
+		}
+	}
+
+	// Why: compare the canonical policies' single-decoder-layer latency
+	// at one interesting point near the prefill transition (B·L ≈ 850).
+	b, l := 2, 512
+	fmt.Printf("\nSingle-decoder-layer latency at B=%d, L=%d (near the B·L≈850 prefill transition):\n", b, l)
+	for _, p := range []lia.Policy{lia.FullCPU, lia.FullGPU, lia.PartialCPU} {
+		pre := lia.PolicyLatency(sys, m, lia.Prefill, p, b, l)
+		dec := lia.PolicyLatency(sys, m, lia.Decode, p, b, l)
+		fmt.Printf("  %s  prefill %v, decode %v\n", p, pre, dec)
+	}
+
+	// The same point on a Grace-Hopper system flips everything to the
+	// GPU: NVLink-C2C removes the transfer penalty (§8).
+	pre, dec := lia.OptimalPolicies(lia.GH200, m, b, l)
+	fmt.Printf("\nOn GH200 the 900 GB/s CPU-GPU link flips the choice: prefill %s, decode %s\n", pre, dec)
+}

@@ -1,0 +1,50 @@
+// Quickstart: estimate OPT-30B inference on an SPR-A100 box and compare
+// LIA against the IPEX (CPU-only) and FlexGen (offloading) baselines for
+// both an online (B=1) and an offline (B=64) workload — a miniature of
+// the paper's Figures 10 and 11.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lia-sim/lia"
+)
+
+func main() {
+	workloads := []struct {
+		name string
+		w    lia.Workload
+	}{
+		{"online (latency-driven)", lia.Workload{Batch: 1, InputLen: 512, OutputLen: 32}},
+		{"offline (throughput-driven)", lia.Workload{Batch: 64, InputLen: 512, OutputLen: 32}},
+	}
+	frameworks := []lia.Framework{lia.LIA, lia.IPEX, lia.FlexGen}
+
+	for _, wl := range workloads {
+		fmt.Printf("== %s: %s, OPT-30B on SPR-A100 ==\n", wl.name, wl.w)
+		var liaRes lia.Result
+		for _, fw := range frameworks {
+			res, err := lia.Run(lia.Config{
+				Framework: fw,
+				System:    lia.SPRA100,
+				Model:     lia.OPT30B,
+				Workload:  wl.w,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if fw == lia.LIA {
+				liaRes = res
+			}
+			speedup := ""
+			if fw != lia.LIA {
+				speedup = fmt.Sprintf("  (LIA is %.1fx faster)", float64(res.Latency)/float64(liaRes.Latency))
+			}
+			fmt.Printf("  %-8v latency %8v, %8.1f tokens/s, %6v/token%s\n",
+				fw, res.Latency, res.Throughput, res.EnergyPerToken, speedup)
+		}
+		fmt.Printf("  LIA chose prefill %s, decode %s, pinned %d layers\n\n",
+			liaRes.PrefillPolicy, liaRes.DecodePolicy, liaRes.PinnedLayers)
+	}
+}

@@ -1,0 +1,64 @@
+// Serving: put the engine behind a batching queue and watch the classic
+// latency/throughput trade-off emerge. Requests arrive at a fixed rate
+// from the code-completion trace (§7's Azure statistics); the batcher's
+// size cap is the knob. Small caps give low queueing latency; large caps
+// give the amortization the offline scenarios of Figure 11 exploit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lia-sim/lia"
+)
+
+func main() {
+	gen, err := lia.NewTraceGenerator(lia.TraceCode, 32, 1024, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := lia.PoissonArrivals(gen, 48, 2.0, 8) // 2 requests/s
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("OPT-30B on SPR-A100, LIA backend, 48 requests at 2 req/s")
+	fmt.Printf("%9s | %12s %10s %10s %10s %12s\n",
+		"max-batch", "tokens/s", "p50", "p95", "queueing", "mean batch")
+	for _, maxBatch := range []int{1, 4, 16, 48} {
+		m, err := lia.Serve(lia.ServeConfig{
+			System:    lia.SPRA100,
+			Model:     lia.OPT30B,
+			Framework: lia.LIA,
+			MaxBatch:  maxBatch,
+			MaxWait:   5,
+		}, reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9d | %12.1f %10v %10v %10v %12.1f\n",
+			maxBatch, m.Throughput, m.P50, m.P95, m.MeanQueueing, m.MeanBatchSize)
+	}
+	// Continuous (iteration-level) batching: requests retire as they
+	// finish instead of waiting for the batch's longest member.
+	cont, err := lia.ServeContinuous(lia.ServeConfig{
+		System:    lia.SPRA100,
+		Model:     lia.OPT30B,
+		Framework: lia.LIA,
+		MaxBatch:  16,
+		MaxWait:   5,
+	}, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%9s | %12.1f %10v %10v %10v %12.1f\n",
+		"cont.", cont.Throughput, cont.P50, cont.P95, cont.MeanQueueing, cont.MeanBatchSize)
+
+	fmt.Println("\nat this arrival rate the backend saturates with small batches, so larger")
+	fmt.Println("caps win on every metric: parameter reads amortize across the batch (the")
+	fmt.Println("offline effect of Figure 11). Under light load the trade-off reverses —")
+	fmt.Println("batching only adds queueing — which is why §7 treats online (B=1) and")
+	fmt.Println("offline (B=64/900) as distinct scenarios. Continuous batching dominates both:")
+	fmt.Println("requests join mid-flight and retire as they finish, so nothing waits for")
+	fmt.Println("the batch's longest generation")
+}

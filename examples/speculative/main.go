@@ -1,0 +1,42 @@
+// Speculative decoding: why drafting compounds with offloading. An
+// offloaded OPT-175B pays for its full parameter movement on every decode
+// pass (Figure 3's bottleneck) whether it scores one token or eight — so
+// letting a GPU-resident OPT-6.7B draft γ tokens and verifying them in
+// one batched target pass multiplies tokens per pass almost for free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lia-sim/lia"
+)
+
+func main() {
+	fmt.Println("OPT-6.7B draft → offloaded OPT-175B target, SPR-A100, B=1, L=512")
+	fmt.Printf("%4s %6s | %12s %12s %14s %9s\n",
+		"γ", "α", "draft/round", "verify/round", "tokens/round", "speedup")
+	for _, gamma := range []int{2, 4, 8} {
+		for _, alpha := range []float64{0.6, 0.9} {
+			res, err := lia.EstimateSpeculative(lia.SpeculativeConfig{
+				System:     lia.SPRA100,
+				Target:     lia.OPT175B,
+				Draft:      lia.ModelsByNameMust("OPT-6.7B"),
+				Gamma:      gamma,
+				Acceptance: alpha,
+				Batch:      1,
+				Context:    512,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%4d %6.1f | %12v %12v %14.2f %8.2fx\n",
+				gamma, alpha, res.DraftPerRound, res.VerifyPerRound,
+				res.TokensPerRound, res.Speedup)
+		}
+	}
+	fmt.Println("\nthe verify pass costs barely more than a plain decode step (same parameter")
+	fmt.Println("movement), so accepted tokens are nearly free — the offloading bottleneck")
+	fmt.Println("is exactly what speculation amortizes. At large B, decode stops being")
+	fmt.Println("movement-bound and the edge fades.")
+}

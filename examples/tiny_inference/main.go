@@ -1,0 +1,55 @@
+// Tiny inference: run the *functional* engine — a real transformer whose
+// CPU-offloaded sublayers execute through the emulated Intel AMX tile
+// pipeline (TDPBF16PS semantics, VNNI layout, bfloat16 rounding) and
+// whose GPU sublayers use dense BF16 GEMM. Greedy decoding produces the
+// same tokens under every offloading policy: the offloading decision is
+// purely a performance choice, never a correctness one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lia-sim/lia"
+)
+
+func main() {
+	m, err := lia.NewFunctionalModel(lia.TinyModelConfig(), 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prompt := []int{12, 7, 88, 3, 41}
+	const n = 16
+
+	fmt.Printf("tiny OPT-style model: %d layers, d_model=%d, %d heads\n",
+		m.Cfg.Layers, m.Cfg.DModel, m.Cfg.Heads)
+	fmt.Printf("prompt tokens: %v\n\n", prompt)
+
+	policies := []lia.Policy{
+		lia.FullGPU,
+		lia.FullCPU,
+		lia.PartialCPU,
+		{true, false, true, false, true, false}, // an arbitrary split
+	}
+	var reference []int
+	for i, p := range policies {
+		exe := lia.NewFunctionalExecutor(m, p)
+		out, err := exe.Generate(prompt, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("policy %s -> %v\n", p, out)
+		fmt.Printf("   kernels: %d AMX-tile matmuls (%d tile cycles), %d dense matmuls\n",
+			exe.Stats.CPUMatmuls, exe.Stats.AMXCycles, exe.Stats.GPUMatmuls)
+		if i == 0 {
+			reference = out
+			continue
+		}
+		for j := range out {
+			if out[j] != reference[j] {
+				log.Fatalf("policy %s diverged from the all-GPU reference!", p)
+			}
+		}
+	}
+	fmt.Println("\nall policies generated identical tokens — offloading is numerically transparent")
+}

@@ -1,0 +1,3 @@
+module github.com/lia-sim/lia
+
+go 1.22

@@ -1,0 +1,304 @@
+// Package amx is a functional emulator of Intel Advanced Matrix
+// Extensions: the eight tile registers (tmm0–tmm7), the tile
+// configuration state, and the TMUL dot-product instructions TDPBF16PS
+// (bfloat16 → float32 accumulate) and TDPBUSD (uint8 × int8 → int32
+// accumulate). It reproduces the architectural semantics — including the
+// VNNI operand layout and bfloat16 rounding — and keeps an instruction
+// cycle count so higher layers can reason about AMX throughput the same
+// way §4 of the paper does.
+//
+// The blocked matmul drivers in matmul.go are the "kernel library" the
+// functional LLM engine (package llm) routes CPU-offloaded sublayers
+// through, proving that the dataflow LIA's analytical model assumes is
+// executable end to end.
+package amx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Architectural constants of the AMX tile file.
+const (
+	// NumTiles is the number of tile registers (tmm0–tmm7).
+	NumTiles = 8
+	// MaxRows is the maximum rows per tile.
+	MaxRows = 16
+	// MaxColBytes is the maximum bytes per tile row.
+	MaxColBytes = 64
+)
+
+// Instruction cycle costs for the throughput model. TDP* occupies the
+// TMUL grid for 16 cycles on SPR; loads/stores stream a tile through the
+// load ports.
+const (
+	cyclesTileLoad  = 8
+	cyclesTileStore = 8
+	cyclesTileZero  = 1
+	cyclesTDP       = 16
+	cyclesConfig    = 18
+)
+
+// TileShape describes one tile's configured geometry.
+type TileShape struct {
+	// Rows is the configured row count (1–16); zero means the tile is
+	// unconfigured and faults on use.
+	Rows int
+	// ColBytes is the configured bytes per row (1–64).
+	ColBytes int
+}
+
+// TileConfig is the LDTILECFG state: a shape per tile register.
+type TileConfig struct {
+	// Tiles holds the geometry of tmm0–tmm7.
+	Tiles [NumTiles]TileShape
+}
+
+// Common errors returned by the emulator.
+var (
+	// ErrNotConfigured is returned when an instruction touches a tile with
+	// no configured shape — the hardware raises #UD.
+	ErrNotConfigured = errors.New("amx: tile not configured")
+	// ErrBadTile is returned for a tile index outside tmm0–tmm7.
+	ErrBadTile = errors.New("amx: tile index out of range")
+	// ErrShape is returned when instruction operands have incompatible
+	// configured shapes.
+	ErrShape = errors.New("amx: incompatible tile shapes")
+	// ErrBounds is returned when a load or store would run past the
+	// provided memory slice.
+	ErrBounds = errors.New("amx: memory access out of bounds")
+)
+
+// tile is one tile register's backing store.
+type tile struct {
+	shape TileShape
+	data  [MaxRows * MaxColBytes]byte
+}
+
+// Unit is one core's AMX state: tile configuration, tile registers, and a
+// cycle counter.
+type Unit struct {
+	tiles  [NumTiles]tile
+	cycles uint64
+	onLine bool
+}
+
+// NewUnit returns an AMX unit in the INIT state (no tiles configured).
+func NewUnit() *Unit { return &Unit{} }
+
+// Cycles reports the cycles consumed by all instructions so far.
+func (u *Unit) Cycles() uint64 { return u.cycles }
+
+// Configure executes LDTILECFG: validates and installs the tile palette,
+// zeroing all tile data.
+func (u *Unit) Configure(cfg TileConfig) error {
+	for i, sh := range cfg.Tiles {
+		if sh == (TileShape{}) {
+			continue
+		}
+		if sh.Rows < 1 || sh.Rows > MaxRows || sh.ColBytes < 1 || sh.ColBytes > MaxColBytes {
+			return fmt.Errorf("amx: tile %d shape %dx%dB invalid: %w", i, sh.Rows, sh.ColBytes, ErrShape)
+		}
+	}
+	for i := range u.tiles {
+		u.tiles[i] = tile{shape: cfg.Tiles[i]}
+	}
+	u.onLine = true
+	u.cycles += cyclesConfig
+	return nil
+}
+
+// Release executes TILERELEASE, returning the unit to the INIT state.
+func (u *Unit) Release() {
+	*u = Unit{cycles: u.cycles}
+}
+
+func (u *Unit) tileFor(idx int) (*tile, error) {
+	if idx < 0 || idx >= NumTiles {
+		return nil, fmt.Errorf("amx: tmm%d: %w", idx, ErrBadTile)
+	}
+	t := &u.tiles[idx]
+	if !u.onLine || t.shape == (TileShape{}) {
+		return nil, fmt.Errorf("amx: tmm%d: %w", idx, ErrNotConfigured)
+	}
+	return t, nil
+}
+
+// TileZero executes TILEZERO tmm{idx}.
+func (u *Unit) TileZero(idx int) error {
+	t, err := u.tileFor(idx)
+	if err != nil {
+		return err
+	}
+	for i := range t.data {
+		t.data[i] = 0
+	}
+	u.cycles += cyclesTileZero
+	return nil
+}
+
+// TileLoad executes TILELOADD tmm{idx}, [mem+stride]: it copies
+// shape.Rows rows of shape.ColBytes bytes from mem, advancing by stride
+// bytes per row.
+func (u *Unit) TileLoad(idx int, mem []byte, stride int) error {
+	t, err := u.tileFor(idx)
+	if err != nil {
+		return err
+	}
+	if stride < t.shape.ColBytes {
+		return fmt.Errorf("amx: stride %d < row bytes %d: %w", stride, t.shape.ColBytes, ErrShape)
+	}
+	need := (t.shape.Rows-1)*stride + t.shape.ColBytes
+	if need > len(mem) {
+		return fmt.Errorf("amx: load needs %d bytes, have %d: %w", need, len(mem), ErrBounds)
+	}
+	for r := 0; r < t.shape.Rows; r++ {
+		copy(t.data[r*MaxColBytes:r*MaxColBytes+t.shape.ColBytes], mem[r*stride:])
+	}
+	u.cycles += cyclesTileLoad
+	return nil
+}
+
+// TileStore executes TILESTORED [mem+stride], tmm{idx}.
+func (u *Unit) TileStore(idx int, mem []byte, stride int) error {
+	t, err := u.tileFor(idx)
+	if err != nil {
+		return err
+	}
+	if stride < t.shape.ColBytes {
+		return fmt.Errorf("amx: stride %d < row bytes %d: %w", stride, t.shape.ColBytes, ErrShape)
+	}
+	need := (t.shape.Rows-1)*stride + t.shape.ColBytes
+	if need > len(mem) {
+		return fmt.Errorf("amx: store needs %d bytes, have %d: %w", need, len(mem), ErrBounds)
+	}
+	for r := 0; r < t.shape.Rows; r++ {
+		copy(mem[r*stride:r*stride+t.shape.ColBytes], t.data[r*MaxColBytes:])
+	}
+	u.cycles += cyclesTileStore
+	return nil
+}
+
+// readBF16 reads the bfloat16 at byte offset off within a tile row.
+func (t *tile) readBF16(row, pair int) BF16 {
+	off := row*MaxColBytes + pair*2
+	return BF16(uint16(t.data[off]) | uint16(t.data[off+1])<<8)
+}
+
+// readF32 reads the float32 at element column c of a tile row.
+func (t *tile) readF32(row, col int) float32 {
+	off := row*MaxColBytes + col*4
+	bits := uint32(t.data[off]) | uint32(t.data[off+1])<<8 |
+		uint32(t.data[off+2])<<16 | uint32(t.data[off+3])<<24
+	return f32FromBits(bits)
+}
+
+func (t *tile) writeF32(row, col int, v float32) {
+	off := row*MaxColBytes + col*4
+	bits := f32Bits(v)
+	t.data[off] = byte(bits)
+	t.data[off+1] = byte(bits >> 8)
+	t.data[off+2] = byte(bits >> 16)
+	t.data[off+3] = byte(bits >> 24)
+}
+
+// readI32 reads the int32 at element column c of a tile row.
+func (t *tile) readI32(row, col int) int32 {
+	off := row*MaxColBytes + col*4
+	return int32(uint32(t.data[off]) | uint32(t.data[off+1])<<8 |
+		uint32(t.data[off+2])<<16 | uint32(t.data[off+3])<<24)
+}
+
+func (t *tile) writeI32(row, col int, v int32) {
+	t.writeF32(row, col, f32FromBits(uint32(v)))
+}
+
+// TDPBF16PS executes dst += a × b where a holds bfloat16 pairs
+// (M rows × 2K values), b holds the VNNI-packed right operand
+// (K rows × N bfloat16 pairs), and dst accumulates float32 (M rows × N).
+//
+// VNNI layout: row r of b contains, for each output column n, the pair
+// (B[2r][n], B[2r+1][n]) of the logical (2K × N) matrix.
+func (u *Unit) TDPBF16PS(dst, a, b int) error {
+	td, err := u.tileFor(dst)
+	if err != nil {
+		return err
+	}
+	ta, err := u.tileFor(a)
+	if err != nil {
+		return err
+	}
+	tb, err := u.tileFor(b)
+	if err != nil {
+		return err
+	}
+	m := td.shape.Rows
+	n := td.shape.ColBytes / 4
+	kPairs := ta.shape.ColBytes / 4 // bf16 pairs per A row
+	if ta.shape.Rows != m {
+		return fmt.Errorf("amx: A rows %d != dst rows %d: %w", ta.shape.Rows, m, ErrShape)
+	}
+	if tb.shape.Rows != kPairs || tb.shape.ColBytes/4 != n {
+		return fmt.Errorf("amx: B shape %dx%d incompatible with dst %dx%d / A pairs %d: %w",
+			tb.shape.Rows, tb.shape.ColBytes/4, m, n, kPairs, ErrShape)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := td.readF32(i, j)
+			for k := 0; k < kPairs; k++ {
+				a0 := ta.readBF16(i, 2*k).Float32()
+				a1 := ta.readBF16(i, 2*k+1).Float32()
+				b0 := tb.readBF16(k, 2*j).Float32()
+				b1 := tb.readBF16(k, 2*j+1).Float32()
+				acc += a0*b0 + a1*b1
+			}
+			td.writeF32(i, j, acc)
+		}
+	}
+	u.cycles += cyclesTDP
+	return nil
+}
+
+// TDPBUSD executes dst += a × b with a holding unsigned 8-bit quads
+// (M rows × 4K values), b holding the VNNI-packed signed 8-bit right
+// operand (K rows × N quads), and dst accumulating int32 (M rows × N).
+func (u *Unit) TDPBUSD(dst, a, b int) error {
+	td, err := u.tileFor(dst)
+	if err != nil {
+		return err
+	}
+	ta, err := u.tileFor(a)
+	if err != nil {
+		return err
+	}
+	tb, err := u.tileFor(b)
+	if err != nil {
+		return err
+	}
+	m := td.shape.Rows
+	n := td.shape.ColBytes / 4
+	kQuads := ta.shape.ColBytes / 4
+	if ta.shape.Rows != m || tb.shape.Rows != kQuads || tb.shape.ColBytes/4 != n {
+		return fmt.Errorf("amx: TDPBUSD operand shapes incompatible: %w", ErrShape)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := td.readI32(i, j)
+			for k := 0; k < kQuads; k++ {
+				for q := 0; q < 4; q++ {
+					av := int32(ta.data[i*MaxColBytes+4*k+q])       // unsigned
+					bv := int32(int8(tb.data[k*MaxColBytes+4*j+q])) // signed
+					acc += av * bv
+				}
+			}
+			td.writeI32(i, j, acc)
+		}
+	}
+	u.cycles += cyclesTDP
+	return nil
+}
+
+func f32Bits(f float32) uint32 { return math.Float32bits(f) }
+
+func f32FromBits(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,307 @@
+package amx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBF16RoundTrip(t *testing.T) {
+	cases := []float32{0, 1, -1, 0.5, 3.140625, 65504, 1e-3, -2.5e7}
+	for _, f := range cases {
+		got := BF16FromFloat32(f).Float32()
+		rel := math.Abs(float64(got-f)) / math.Max(1e-30, math.Abs(float64(f)))
+		if rel > 1.0/128 { // bf16 has 8 significand bits
+			t.Errorf("BF16 round trip of %v = %v (rel err %v)", f, got, rel)
+		}
+	}
+}
+
+func TestBF16SpecialValues(t *testing.T) {
+	inf := float32(math.Inf(1))
+	if got := BF16FromFloat32(inf).Float32(); got != inf {
+		t.Errorf("+Inf → %v", got)
+	}
+	nan := float32(math.NaN())
+	if got := BF16FromFloat32(nan).Float32(); !math.IsNaN(float64(got)) {
+		t.Errorf("NaN → %v, want NaN", got)
+	}
+	// Exact bf16 values survive unchanged.
+	if got := RoundFloat32(1.5); got != 1.5 {
+		t.Errorf("1.5 → %v", got)
+	}
+}
+
+func TestBF16RoundToNearestEven(t *testing.T) {
+	// bf16 has 7 mantissa bits, so 1 + 2^-8 is exactly halfway between
+	// bf16(1.0) and the next representable value 1 + 2^-7; ties round to
+	// even (1.0).
+	halfway := float32(1 + 1.0/256)
+	if got := RoundFloat32(halfway); got != 1.0 {
+		t.Errorf("tie %v → %v, want 1.0", halfway, got)
+	}
+	// Just above the tie rounds up.
+	above := math.Float32frombits(math.Float32bits(halfway) + 1)
+	if got := RoundFloat32(above); got != 1+1.0/128 {
+		t.Errorf("above-tie %v → %v, want %v", above, got, 1+1.0/128)
+	}
+}
+
+func TestBF16IdempotentProperty(t *testing.T) {
+	f := func(bits uint32) bool {
+		v := math.Float32frombits(bits)
+		if v != v { // NaN: just require NaN-ness is preserved
+			r := RoundFloat32(v)
+			return r != r
+		}
+		once := RoundFloat32(v)
+		twice := RoundFloat32(once)
+		return once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitFaultsWhenUnconfigured(t *testing.T) {
+	u := NewUnit()
+	if err := u.TileZero(0); !errors.Is(err, ErrNotConfigured) {
+		t.Errorf("TileZero on INIT unit: %v, want ErrNotConfigured", err)
+	}
+	if err := u.TileLoad(9, nil, 64); !errors.Is(err, ErrBadTile) {
+		t.Errorf("tmm9: %v, want ErrBadTile", err)
+	}
+}
+
+func TestConfigureRejectsBadShapes(t *testing.T) {
+	u := NewUnit()
+	cfg := TileConfig{}
+	cfg.Tiles[0] = TileShape{Rows: 17, ColBytes: 64}
+	if err := u.Configure(cfg); !errors.Is(err, ErrShape) {
+		t.Errorf("rows=17: %v, want ErrShape", err)
+	}
+	cfg.Tiles[0] = TileShape{Rows: 16, ColBytes: 65}
+	if err := u.Configure(cfg); !errors.Is(err, ErrShape) {
+		t.Errorf("colsb=65: %v, want ErrShape", err)
+	}
+}
+
+func TestTileLoadStoreRoundTrip(t *testing.T) {
+	u := NewUnit()
+	cfg := TileConfig{}
+	cfg.Tiles[0] = TileShape{Rows: 4, ColBytes: 8}
+	if err := u.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 4*16)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := u.TileLoad(0, src, 16); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 4*8)
+	if err := u.TileStore(0, dst, 8); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 8; c++ {
+			if dst[r*8+c] != src[r*16+c] {
+				t.Fatalf("row %d col %d: got %d want %d", r, c, dst[r*8+c], src[r*16+c])
+			}
+		}
+	}
+}
+
+func TestTileLoadBoundsChecked(t *testing.T) {
+	u := NewUnit()
+	cfg := TileConfig{}
+	cfg.Tiles[0] = TileShape{Rows: 16, ColBytes: 64}
+	if err := u.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	short := make([]byte, 100)
+	if err := u.TileLoad(0, short, 64); !errors.Is(err, ErrBounds) {
+		t.Errorf("short load: %v, want ErrBounds", err)
+	}
+	if err := u.TileLoad(0, make([]byte, 4096), 32); !errors.Is(err, ErrShape) {
+		t.Errorf("narrow stride: %v, want ErrShape", err)
+	}
+}
+
+func TestTDPBF16PSSingleTile(t *testing.T) {
+	// C(2×2) = A(2×4) · B(4×2) through one tile op with exact small ints.
+	a := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float32{1, 0, 0, 1, 2, 0, 0, 2}
+	u := NewUnit()
+	cfg := TileConfig{}
+	cfg.Tiles[tmmC] = TileShape{Rows: 2, ColBytes: 2 * 4}
+	cfg.Tiles[tmmA] = TileShape{Rows: 2, ColBytes: 4 * 2}
+	cfg.Tiles[tmmB] = TileShape{Rows: 2, ColBytes: 2 * 4}
+	if err := u.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.TileZero(tmmC); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.TileLoad(tmmA, PackBF16(a, 2, 4, 2, 4), 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.TileLoad(tmmB, PackBF16VNNI(b, 4, 2, 4, 2), 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.TDPBF16PS(tmmC, tmmA, tmmB); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 2*8)
+	if err := u.TileStore(tmmC, out, 8); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{7, 10, 19, 22} // [[1,2,3,4]·cols, ...]
+	for i, w := range want {
+		bits := uint32(out[i*4]) | uint32(out[i*4+1])<<8 | uint32(out[i*4+2])<<16 | uint32(out[i*4+3])<<24
+		if got := math.Float32frombits(bits); got != w {
+			t.Errorf("C[%d] = %v, want %v", i, got, w)
+		}
+	}
+	if u.Cycles() == 0 {
+		t.Error("cycle counter did not advance")
+	}
+}
+
+func TestTDPBUSD(t *testing.T) {
+	// C(1×1) = row [1,2,3,4] (u8) · col [1,1,1,1] (s8) = 10.
+	u := NewUnit()
+	cfg := TileConfig{}
+	cfg.Tiles[0] = TileShape{Rows: 1, ColBytes: 4} // C: 1×1 i32
+	cfg.Tiles[1] = TileShape{Rows: 1, ColBytes: 4} // A: 1×4 u8
+	cfg.Tiles[2] = TileShape{Rows: 1, ColBytes: 4} // B: 1 quad × 1 col
+	if err := u.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.TileZero(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.TileLoad(1, []byte{1, 2, 3, 4}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.TileLoad(2, []byte{1, 0xFF, 1, 1}, 4); err != nil { // 0xFF = -1 signed
+		t.Fatal(err)
+	}
+	if err := u.TDPBUSD(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4)
+	if err := u.TileStore(0, out, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := int32(uint32(out[0]) | uint32(out[1])<<8 | uint32(out[2])<<16 | uint32(out[3])<<24)
+	// 1·1 + 2·(-1) + 3·1 + 4·1 = 6
+	if got != 6 {
+		t.Errorf("TDPBUSD = %d, want 6", got)
+	}
+}
+
+func TestMatmulExactSmallIntegers(t *testing.T) {
+	// Integer-valued matrices below 256 are exact in bf16, so the tile
+	// pipeline must be exactly right.
+	const m, k, n = 5, 7, 3
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	for i := range a {
+		a[i] = float32(i % 9)
+	}
+	for i := range b {
+		b[i] = float32((i*3 + 1) % 7)
+	}
+	got, cycles, err := MatmulBF16(a, b, m, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReferenceMatmulBF16(a, b, m, k, n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("C[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if cycles == 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestMatmulMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dims := range [][3]int{{1, 1, 1}, {16, 32, 16}, {17, 33, 18}, {40, 64, 48}, {3, 100, 5}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+		}
+		for i := range b {
+			b[i] = rng.Float32()*2 - 1
+		}
+		got, _, err := MatmulBF16(a, b, m, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ReferenceMatmulBF16(a, b, m, k, n)
+		for i := range want {
+			diff := math.Abs(float64(got[i] - want[i]))
+			scale := math.Max(1, math.Abs(float64(want[i])))
+			if diff/scale > 1e-5 {
+				t.Fatalf("%dx%dx%d: C[%d] = %v, want %v", m, k, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatmulRejectsBadSizes(t *testing.T) {
+	if _, _, err := MatmulBF16(make([]float32, 3), make([]float32, 4), 2, 2, 2); err == nil {
+		t.Error("expected size mismatch error")
+	}
+	if _, _, err := MatmulBF16(nil, nil, 0, 2, 2); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestReleaseReturnsToInit(t *testing.T) {
+	u := NewUnit()
+	if err := u.Configure(matmulConfig); err != nil {
+		t.Fatal(err)
+	}
+	before := u.Cycles()
+	u.Release()
+	if u.Cycles() != before {
+		t.Error("Release must preserve the cycle counter")
+	}
+	if err := u.TileZero(tmmC); !errors.Is(err, ErrNotConfigured) {
+		t.Errorf("post-release TileZero: %v, want ErrNotConfigured", err)
+	}
+}
+
+// Property: matmul with an identity right operand returns the (bf16
+// rounded) left operand.
+func TestMatmulIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const m, k = 20, 24
+	a := make([]float32, m*k)
+	for i := range a {
+		a[i] = rng.Float32()*10 - 5
+	}
+	eye := make([]float32, k*k)
+	for i := 0; i < k; i++ {
+		eye[i*k+i] = 1
+	}
+	got, _, err := MatmulBF16(a, eye, m, k, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if got[i] != RoundFloat32(a[i]) {
+			t.Fatalf("identity matmul[%d] = %v, want %v", i, got[i], RoundFloat32(a[i]))
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package amx
+
+import "math"
+
+// BF16 is a bfloat16 value: the top 16 bits of an IEEE-754 float32.
+type BF16 uint16
+
+// BF16FromFloat32 converts f to bfloat16 with round-to-nearest-even, the
+// rounding AMX and modern GPUs implement.
+func BF16FromFloat32(f float32) BF16 {
+	bits := math.Float32bits(f)
+	// NaN must stay NaN: force a quiet NaN payload bit so truncation
+	// cannot turn it into an infinity.
+	if f != f {
+		return BF16(bits>>16 | 0x0040)
+	}
+	// Round to nearest even on the truncated 16 bits.
+	rounding := uint32(0x7fff) + (bits>>16)&1
+	return BF16((bits + rounding) >> 16)
+}
+
+// Float32 converts back to float32 (exact: bfloat16 values are a subset of
+// float32).
+func (b BF16) Float32() float32 {
+	return math.Float32frombits(uint32(b) << 16)
+}
+
+// RoundFloat32 applies one float32→bfloat16→float32 round trip, the
+// precision loss a BF16 store incurs.
+func RoundFloat32(f float32) float32 {
+	return BF16FromFloat32(f).Float32()
+}
+
+// RoundSlice rounds every element of xs through bfloat16 in place and
+// returns xs.
+func RoundSlice(xs []float32) []float32 {
+	for i, v := range xs {
+		xs[i] = RoundFloat32(v)
+	}
+	return xs
+}

@@ -1,0 +1,231 @@
+package amx
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Tile-blocking geometry for BF16 matmul: each TDPBF16PS consumes a
+// 16×32 bf16 A block and a 32×16 bf16 B block (VNNI-packed into 16 rows)
+// and accumulates into a 16×16 float32 C block.
+const (
+	blockM = MaxRows         // 16 output rows per tile
+	blockK = MaxColBytes / 2 // 32 bf16 values per A row
+	blockN = MaxColBytes / 4 // 16 float32 outputs per C row
+)
+
+// tmm register roles used by the driver.
+const (
+	tmmC = 0
+	tmmA = 1
+	tmmB = 2
+)
+
+// matmulConfig is the tile palette the driver installs: C is 16×64B
+// (16×16 f32), A is 16×64B (16×32 bf16), B is 16×64B (VNNI 32×16 bf16).
+var matmulConfig = TileConfig{Tiles: [NumTiles]TileShape{
+	tmmC: {Rows: blockM, ColBytes: MaxColBytes},
+	tmmA: {Rows: blockM, ColBytes: MaxColBytes},
+	tmmB: {Rows: blockK / 2, ColBytes: MaxColBytes},
+}}
+
+// PackBF16 converts a row-major float32 matrix (rows × cols) into a
+// row-major bf16 byte buffer padded to padRows × padCols values.
+func PackBF16(src []float32, rows, cols, padRows, padCols int) []byte {
+	out := make([]byte, padRows*padCols*2)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := BF16FromFloat32(src[r*cols+c])
+			off := (r*padCols + c) * 2
+			out[off] = byte(v)
+			out[off+1] = byte(v >> 8)
+		}
+	}
+	return out
+}
+
+// PackBF16VNNI converts a row-major float32 matrix (rows × cols) into the
+// VNNI tile layout AMX requires for the right-hand GEMM operand: logical
+// row pairs (2r, 2r+1) are interleaved column-wise, so packed row r holds
+// B[2r][0], B[2r+1][0], B[2r][1], B[2r+1][1], … The result is padded to
+// padRows × padCols logical values (padRows must be even).
+func PackBF16VNNI(src []float32, rows, cols, padRows, padCols int) []byte {
+	if padRows%2 != 0 {
+		panic(fmt.Sprintf("amx: VNNI padRows %d must be even", padRows))
+	}
+	out := make([]byte, padRows*padCols*2)
+	at := func(r, c int) BF16 {
+		if r >= rows || c >= cols {
+			return 0
+		}
+		return BF16FromFloat32(src[r*cols+c])
+	}
+	for pr := 0; pr < padRows/2; pr++ {
+		for c := 0; c < padCols; c++ {
+			v0 := at(2*pr, c)
+			v1 := at(2*pr+1, c)
+			off := (pr*padCols + c) * 4
+			out[off] = byte(v0)
+			out[off+1] = byte(v0 >> 8)
+			out[off+2] = byte(v1)
+			out[off+3] = byte(v1 >> 8)
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// MatmulBF16 computes C = A·B through the emulated AMX tile pipeline:
+// A is M×K, B is K×N, both row-major float32; inputs are rounded to
+// bfloat16 (as a BF16 kernel would read them) and accumulation is float32,
+// matching TDPBF16PS semantics exactly. It returns the M×N row-major
+// result and the total AMX cycles consumed.
+//
+// The driver parallelizes across row blocks with one emulated Unit per
+// worker, mirroring how a real kernel gives each core its own tile file.
+func MatmulBF16(a, b []float32, m, k, n int) ([]float32, uint64, error) {
+	if len(a) != m*k || len(b) != k*n {
+		return nil, 0, fmt.Errorf("amx: matmul operand sizes %d,%d do not match %dx%d · %dx%d", len(a), len(b), m, k, m, n)
+	}
+	if m <= 0 || k <= 0 || n <= 0 {
+		return nil, 0, fmt.Errorf("amx: matmul dimensions must be positive, got %dx%dx%d", m, k, n)
+	}
+	padM := ceilDiv(m, blockM) * blockM
+	padK := ceilDiv(k, blockK) * blockK
+	padN := ceilDiv(n, blockN) * blockN
+
+	packedA := PackBF16(a, m, k, padM, padK)
+	packedB := PackBF16VNNI(b, k, n, padK, padN)
+
+	c := make([]float32, m*n)
+	rowBlocks := padM / blockM
+	colBlocks := padN / blockN
+	kBlocks := padK / blockK
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rowBlocks {
+		workers = rowBlocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		totalCycles uint64
+		firstErr    error
+	)
+	next := make(chan int, rowBlocks)
+	for rb := 0; rb < rowBlocks; rb++ {
+		next <- rb
+	}
+	close(next)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u := NewUnit()
+			if err := u.Configure(matmulConfig); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			cTile := make([]byte, blockM*blockN*4)
+			for rb := range next {
+				if err := runRowBlock(u, rb, colBlocks, kBlocks, padK, padN, packedA, packedB, cTile, c, m, n); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			totalCycles += u.Cycles()
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return c, totalCycles, nil
+}
+
+// runRowBlock computes one 16-row stripe of the output.
+func runRowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packedB, cTile []byte, c []float32, m, n int) error {
+	aStride := padK * 2 // bytes per packed A row
+	bStride := padN * 4 // bytes per packed VNNI B row (pairs)
+	for cb := 0; cb < colBlocks; cb++ {
+		if err := u.TileZero(tmmC); err != nil {
+			return err
+		}
+		for kb := 0; kb < kBlocks; kb++ {
+			aOff := rb*blockM*aStride + kb*blockK*2
+			if err := u.TileLoad(tmmA, packedA[aOff:], aStride); err != nil {
+				return err
+			}
+			bOff := kb*(blockK/2)*bStride + cb*blockN*4
+			if err := u.TileLoad(tmmB, packedB[bOff:], bStride); err != nil {
+				return err
+			}
+			if err := u.TDPBF16PS(tmmC, tmmA, tmmB); err != nil {
+				return err
+			}
+		}
+		if err := u.TileStore(tmmC, cTile, blockN*4); err != nil {
+			return err
+		}
+		// Scatter the f32 tile into the unpadded result.
+		for r := 0; r < blockM; r++ {
+			row := rb*blockM + r
+			if row >= m {
+				break
+			}
+			for col := 0; col < blockN; col++ {
+				j := cb*blockN + col
+				if j >= n {
+					break
+				}
+				off := (r*blockN + col) * 4
+				bits := uint32(cTile[off]) | uint32(cTile[off+1])<<8 |
+					uint32(cTile[off+2])<<16 | uint32(cTile[off+3])<<24
+				c[row*n+j] = f32FromBits(bits)
+			}
+		}
+	}
+	return nil
+}
+
+// ReferenceMatmulBF16 computes the same product with plain loops but
+// identical numerics (bf16-rounded inputs, f32 accumulation in the same
+// k-order). Tests compare the tile pipeline against it bit-for-bit.
+func ReferenceMatmulBF16(a, b []float32, m, k, n int) []float32 {
+	ar := make([]float32, len(a))
+	for i, v := range a {
+		ar[i] = RoundFloat32(v)
+	}
+	br := make([]float32, len(b))
+	for i, v := range b {
+		br[i] = RoundFloat32(v)
+	}
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for kk := 0; kk < k; kk++ {
+				acc += ar[i*k+kk] * br[kk*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}

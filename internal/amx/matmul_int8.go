@@ -1,0 +1,195 @@
+package amx
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Tile-blocking geometry for INT8 matmul: each TDPBUSD consumes a
+// 16×64 u8 A block and a 64×16 s8 B block (VNNI-packed into 16 rows of
+// quads) and accumulates into a 16×16 int32 C block.
+const (
+	blockMi8 = MaxRows     // 16 output rows per tile
+	blockKi8 = MaxColBytes // 64 u8 values per A row
+	blockNi8 = MaxColBytes / 4
+)
+
+// int8MatmulConfig mirrors matmulConfig for the INT8 pipeline.
+var int8MatmulConfig = TileConfig{Tiles: [NumTiles]TileShape{
+	tmmC: {Rows: blockMi8, ColBytes: MaxColBytes},
+	tmmA: {Rows: blockMi8, ColBytes: MaxColBytes},
+	tmmB: {Rows: blockKi8 / 4, ColBytes: MaxColBytes},
+}}
+
+// PackU8 pads a row-major uint8 matrix to padRows × padCols.
+func PackU8(src []uint8, rows, cols, padRows, padCols int) []byte {
+	out := make([]byte, padRows*padCols)
+	for r := 0; r < rows; r++ {
+		copy(out[r*padCols:], src[r*cols:(r+1)*cols])
+	}
+	return out
+}
+
+// PackS8VNNI converts a row-major int8 matrix (rows × cols) into the
+// 4-way VNNI layout TDPBUSD expects: packed row r holds, for each output
+// column n, the quad (B[4r][n] … B[4r+3][n]). padRows must be a multiple
+// of 4.
+func PackS8VNNI(src []int8, rows, cols, padRows, padCols int) []byte {
+	if padRows%4 != 0 {
+		panic(fmt.Sprintf("amx: VNNI padRows %d must be a multiple of 4", padRows))
+	}
+	out := make([]byte, padRows*padCols)
+	at := func(r, c int) byte {
+		if r >= rows || c >= cols {
+			return 0
+		}
+		return byte(src[r*cols+c])
+	}
+	for pr := 0; pr < padRows/4; pr++ {
+		for c := 0; c < padCols; c++ {
+			off := (pr*padCols + c) * 4
+			for q := 0; q < 4; q++ {
+				out[off+q] = at(4*pr+q, c)
+			}
+		}
+	}
+	return out
+}
+
+// MatmulINT8 computes C = A·B through the emulated AMX INT8 pipeline:
+// A is M×K unsigned 8-bit, B is K×N signed 8-bit, C accumulates int32 —
+// exactly TDPBUSD's semantics. It returns the M×N row-major result and
+// the AMX cycles consumed.
+func MatmulINT8(a []uint8, b []int8, m, k, n int) ([]int32, uint64, error) {
+	if len(a) != m*k || len(b) != k*n {
+		return nil, 0, fmt.Errorf("amx: int8 matmul operand sizes %d,%d do not match %dx%d · %dx%d", len(a), len(b), m, k, k, n)
+	}
+	if m <= 0 || k <= 0 || n <= 0 {
+		return nil, 0, fmt.Errorf("amx: int8 matmul dimensions must be positive, got %dx%dx%d", m, k, n)
+	}
+	padM := ceilDiv(m, blockMi8) * blockMi8
+	padK := ceilDiv(k, blockKi8) * blockKi8
+	padN := ceilDiv(n, blockNi8) * blockNi8
+
+	packedA := PackU8(a, m, k, padM, padK)
+	packedB := PackS8VNNI(b, k, n, padK, padN)
+
+	c := make([]int32, m*n)
+	rowBlocks := padM / blockMi8
+	colBlocks := padN / blockNi8
+	kBlocks := padK / blockKi8
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rowBlocks {
+		workers = rowBlocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		totalCycles uint64
+		firstErr    error
+	)
+	next := make(chan int, rowBlocks)
+	for rb := 0; rb < rowBlocks; rb++ {
+		next <- rb
+	}
+	close(next)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u := NewUnit()
+			if err := u.Configure(int8MatmulConfig); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			cTile := make([]byte, blockMi8*blockNi8*4)
+			for rb := range next {
+				if err := runInt8RowBlock(u, rb, colBlocks, kBlocks, padK, padN, packedA, packedB, cTile, c, m, n); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			totalCycles += u.Cycles()
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return c, totalCycles, nil
+}
+
+// runInt8RowBlock computes one 16-row stripe of the INT8 output.
+func runInt8RowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packedB, cTile []byte, c []int32, m, n int) error {
+	aStride := padK     // bytes per packed A row (u8)
+	bStride := padN * 4 // bytes per packed VNNI B row (quads)
+	for cb := 0; cb < colBlocks; cb++ {
+		if err := u.TileZero(tmmC); err != nil {
+			return err
+		}
+		for kb := 0; kb < kBlocks; kb++ {
+			aOff := rb*blockMi8*aStride + kb*blockKi8
+			if err := u.TileLoad(tmmA, packedA[aOff:], aStride); err != nil {
+				return err
+			}
+			bOff := kb*(blockKi8/4)*bStride + cb*blockNi8*4
+			if err := u.TileLoad(tmmB, packedB[bOff:], bStride); err != nil {
+				return err
+			}
+			if err := u.TDPBUSD(tmmC, tmmA, tmmB); err != nil {
+				return err
+			}
+		}
+		if err := u.TileStore(tmmC, cTile, blockNi8*4); err != nil {
+			return err
+		}
+		for r := 0; r < blockMi8; r++ {
+			row := rb*blockMi8 + r
+			if row >= m {
+				break
+			}
+			for col := 0; col < blockNi8; col++ {
+				j := cb*blockNi8 + col
+				if j >= n {
+					break
+				}
+				off := (r*blockNi8 + col) * 4
+				c[row*n+j] = int32(uint32(cTile[off]) | uint32(cTile[off+1])<<8 |
+					uint32(cTile[off+2])<<16 | uint32(cTile[off+3])<<24)
+			}
+		}
+	}
+	return nil
+}
+
+// ReferenceMatmulINT8 is the plain-loop reference for MatmulINT8.
+func ReferenceMatmulINT8(a []uint8, b []int8, m, k, n int) []int32 {
+	c := make([]int32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for kk := 0; kk < k; kk++ {
+				acc += int32(a[i*k+kk]) * int32(b[kk*n+j])
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+func sprA100Env() Env { return NewEnv(hw.SPRA100, model.OPT175B) }
+
+func TestPolicyString(t *testing.T) {
+	if FullGPU.String() != "(0,0,0,0,0,0)" {
+		t.Errorf("FullGPU = %s", FullGPU)
+	}
+	if FullCPU.String() != "(1,1,1,1,1,1)" {
+		t.Errorf("FullCPU = %s", FullCPU)
+	}
+	if PartialCPU.String() != "(0,1,1,0,0,0)" {
+		t.Errorf("PartialCPU = %s", PartialCPU)
+	}
+	if MoEPartial.String() != "(0,1,1,0,1,1)" {
+		t.Errorf("MoEPartial = %s", MoEPartial)
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range AllPolicies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("round trip %s → %s", p, got)
+		}
+	}
+	if _, err := ParsePolicy("(1,0)"); err == nil {
+		t.Error("short vector accepted")
+	}
+	if _, err := ParsePolicy("(1,0,2,0,0,0)"); err == nil {
+		t.Error("non-binary element accepted")
+	}
+}
+
+func TestAllPoliciesDistinct(t *testing.T) {
+	all := AllPolicies()
+	if len(all) != 64 {
+		t.Fatalf("got %d policies, want 64", len(all))
+	}
+	seen := map[Policy]bool{}
+	for _, p := range all {
+		if seen[p] {
+			t.Fatalf("duplicate policy %s", p)
+		}
+		seen[p] = true
+	}
+	if all[0] != FullGPU || all[63] != FullCPU {
+		t.Error("enumeration order unexpected")
+	}
+}
+
+func TestCountCPUAndOnCPU(t *testing.T) {
+	if PartialCPU.CountCPU() != 2 {
+		t.Error("PartialCPU should place 2 sublayers on CPU")
+	}
+	if !PartialCPU.OnCPU(model.QKT) || PartialCPU.OnCPU(model.FC1) {
+		t.Error("OnCPU assignments wrong")
+	}
+}
+
+func TestEnvValidate(t *testing.T) {
+	if err := sprA100Env().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sprA100Env()
+	bad.Link.BW = 0
+	if bad.Validate() == nil {
+		t.Error("link-less env accepted")
+	}
+}
+
+// TestInsight1 reproduces §3.1: with full memory offloading (all compute
+// on GPU) at B=1, parameter transfer dominates the decode-layer latency
+// (>95%).
+func TestInsight1TransferDominatesFullGPU(t *testing.T) {
+	e := sprA100Env()
+	total, parts := LayerLatency(e, model.Decode, FullGPU, 1, 512)
+	var load units.Seconds
+	for _, br := range parts {
+		load += br.Load
+	}
+	if frac := float64(load) / float64(total); frac < 0.95 {
+		t.Errorf("transfer fraction = %.2f, want >0.95", frac)
+	}
+}
+
+// TestPartialCPUEliminatesKVTransfer verifies that offloading attention
+// scoring to the CPU removes the decode-stage KV-cache PCIe traffic
+// (§3.2's motivation).
+func TestPartialCPUEliminatesKVTransfer(t *testing.T) {
+	e := sprA100Env()
+	_, partsGPU := LayerLatency(e, model.Decode, FullGPU, 32, 1024)
+	_, partsPart := LayerLatency(e, model.Decode, PartialCPU, 32, 1024)
+	if partsGPU[model.QKT].Load <= 0 {
+		t.Fatal("full-GPU decode should stream the KV cache over PCIe")
+	}
+	// Attention on CPU: Y load vanishes; only the small activation hop
+	// remains.
+	if partsPart[model.QKT].Load >= partsGPU[model.QKT].Load/10 {
+		t.Errorf("partial policy QKT load = %v, want ≪ %v", partsPart[model.QKT].Load, partsGPU[model.QKT].Load)
+	}
+}
+
+// TestKVStoreOnlyForGPUQKV checks Eq. (9): the KV write-back appears
+// exactly when the QKV mapping runs on the GPU.
+func TestKVStoreOnlyForGPUQKV(t *testing.T) {
+	e := sprA100Env()
+	_, gpu := LayerLatency(e, model.Prefill, FullGPU, 4, 256)
+	if gpu[model.QKVMapping].Store <= 0 {
+		t.Error("GPU-executed QKV must store KV back to CPU memory")
+	}
+	_, cpu := LayerLatency(e, model.Prefill, FullCPU, 4, 256)
+	if cpu[model.QKVMapping].Store != 0 {
+		t.Error("CPU-executed QKV must not pay a KV store")
+	}
+	for _, s := range model.Sublayers() {
+		if s != model.QKVMapping && gpu[s].Store != 0 {
+			t.Errorf("%s has nonzero store", s)
+		}
+	}
+}
+
+// TestResidualTransfer checks Eq. (6): a policy that splits the
+// out-projection from the QKV mapping pays the residual hop.
+func TestResidualTransfer(t *testing.T) {
+	e := sprA100Env()
+	// Both policies place OutProj on the CPU with SV on the GPU, so the
+	// X-activation hop and the absent parameter transfer are identical;
+	// they differ only in where QKV ran, i.e. whether the residual
+	// operand must cross PCIe.
+	residualCrosses := Policy{false, false, false, true, false, false}
+	residualLocal := Policy{true, false, false, true, false, false}
+	_, far := LayerLatency(e, model.Decode, residualCrosses, 8, 256)
+	_, near := LayerLatency(e, model.Decode, residualLocal, 8, 256)
+	if far[model.OutProjection].Load <= near[model.OutProjection].Load {
+		t.Errorf("residual crossing devices must add load: %v vs %v",
+			far[model.OutProjection].Load, near[model.OutProjection].Load)
+	}
+}
+
+// TestPrefillKVMovesOnlyAcrossDevices checks Eq. (7): during prefill the
+// fresh K/V move only when sublayer 1 and the attention sublayers run on
+// different devices.
+func TestPrefillKVMovesOnlyAcrossDevices(t *testing.T) {
+	e := sprA100Env()
+	_, same := LayerLatency(e, model.Prefill, FullGPU, 8, 256)
+	if same[model.QKT].Load != 0 {
+		t.Errorf("co-located prefill attention paid %v load", same[model.QKT].Load)
+	}
+	mixed := Policy{true, false, false, false, false, false} // QKV on CPU, attention on GPU
+	_, parts := LayerLatency(e, model.Prefill, mixed, 8, 256)
+	if parts[model.QKT].Load <= 0 {
+		t.Error("cross-device prefill attention must move K over PCIe")
+	}
+}
+
+// TestFigure9PrefillTransition: small B·L prefers Full CPU, large B·L
+// prefers Full GPU, with the transition in the low-hundreds-to-low-
+// thousands band (paper: B·L ≈ 850 for OPT-175B on SPR-A100).
+func TestFigure9PrefillTransition(t *testing.T) {
+	e := sprA100Env()
+	small, _ := Optimize(e, model.Prefill, 1, 32)
+	if small != FullCPU {
+		t.Errorf("B·L=32 prefill policy = %s, want FullCPU", small)
+	}
+	large, _ := Optimize(e, model.Prefill, 8, 1024)
+	if large != FullGPU {
+		t.Errorf("B·L=8192 prefill policy = %s, want FullGPU", large)
+	}
+	// Locate the crossover along B=1.
+	crossover := 0
+	prev := true
+	for l := 32; l <= 4096; l += 32 {
+		p, _ := Optimize(e, model.Prefill, 1, l)
+		onCPU := p == FullCPU
+		if prev && !onCPU {
+			crossover = l
+			break
+		}
+		prev = onCPU
+	}
+	if crossover < 200 || crossover > 2200 {
+		t.Errorf("prefill CPU→GPU crossover at B·L=%d, want within [200, 2200] (paper: ≈850)", crossover)
+	}
+}
+
+// TestFigure9DecodeTransition: decode uses Full CPU at small B and the
+// partial policy (attention on CPU) at large B, independent of L.
+func TestFigure9DecodeTransition(t *testing.T) {
+	e := sprA100Env()
+	small, _ := Optimize(e, model.Decode, 1, 512)
+	if small != FullCPU {
+		t.Errorf("B=1 decode policy = %s, want FullCPU", small)
+	}
+	large, _ := Optimize(e, model.Decode, 1200, 512)
+	if large != PartialCPU {
+		t.Errorf("B=1200 decode policy = %s, want PartialCPU", large)
+	}
+	// The decode policy must not depend on L (§7.1).
+	for _, b := range []int{1, 64, 1200} {
+		p256, _ := Optimize(e, model.Decode, b, 256)
+		p1024, _ := Optimize(e, model.Decode, b, 1024)
+		if p256 != p1024 {
+			t.Errorf("decode policy at B=%d depends on L: %s vs %s", b, p256, p1024)
+		}
+	}
+}
+
+// TestDecodeThresholdBand locates the decode Full-CPU → Partial
+// transition and checks it falls in the paper's neighbourhood (B ≈ 858).
+func TestDecodeThresholdBand(t *testing.T) {
+	e := sprA100Env()
+	threshold := 0
+	for b := 16; b <= 4096; b += 16 {
+		p, _ := Optimize(e, model.Decode, b, 512)
+		if p != FullCPU {
+			threshold = b
+			break
+		}
+	}
+	if threshold < 200 || threshold > 2000 {
+		t.Errorf("decode transition at B=%d, want within [200, 2000] (paper: ≈858)", threshold)
+	}
+}
+
+// TestOptimizeBeatsCanonicalPolicies: the optimizer can never be worse
+// than any fixed policy.
+func TestOptimizeBeatsCanonicalPolicies(t *testing.T) {
+	e := sprA100Env()
+	for _, stage := range []model.Stage{model.Prefill, model.Decode} {
+		for _, b := range []int{1, 64, 900} {
+			for _, l := range []int{32, 512} {
+				_, bestT := Optimize(e, stage, b, l)
+				for _, p := range []Policy{FullGPU, FullCPU, PartialCPU} {
+					t1, _ := LayerLatency(e, stage, p, b, l)
+					if bestT > t1+1e-12 {
+						t.Errorf("optimizer (%v) worse than %s (%v) at %v B=%d L=%d", bestT, p, t1, stage, b, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestH100PrefersGPUMorOften reproduces §7.1 "Impact of GPU capability":
+// the H100 system picks GPU-leaning policies for a wider (B, L) range.
+func TestH100PrefersGPUMoreOften(t *testing.T) {
+	a100 := sprA100Env()
+	h100 := NewEnv(hw.SPRH100, model.OPT175B)
+	bs := []int{1, 2, 4, 8, 16, 32, 64}
+	ls := []int{32, 64, 128, 256, 512, 1024}
+	countCPU := func(e Env) int {
+		n := 0
+		for _, cell := range PolicyMap(e, bs, ls) {
+			n += cell.Prefill.CountCPU() + cell.Decode.CountCPU()
+		}
+		return n
+	}
+	if countCPU(h100) >= countCPU(a100) {
+		t.Error("H100 system should lean GPU-ward relative to A100")
+	}
+	// Yet the CPU-centric policy must still appear somewhere on H100.
+	found := false
+	for _, cell := range PolicyMap(h100, bs, ls) {
+		if cell.Prefill == FullCPU || cell.Decode == FullCPU {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("Full CPU offloading should survive on SPR-H100 for small shapes")
+	}
+}
+
+// TestMoEAdaptability reproduces §7.1: for a Mixture-of-Experts model the
+// optimizer extends CPU offloading to the expert FFN sublayers.
+func TestMoEAdaptability(t *testing.T) {
+	dense := NewEnv(hw.SPRA100, model.OPT30B)
+	moe := NewEnv(hw.SPRA100, model.MoE16x)
+	b, l := 256, 512
+	pDense, _ := Optimize(dense, model.Decode, b, l)
+	pMoE, _ := Optimize(moe, model.Decode, b, l)
+	if pDense.OnCPU(model.FC1) && pDense.OnCPU(model.FC2) && pDense != FullCPU {
+		t.Skip("dense baseline already FFN-on-CPU at this point; pick a different point")
+	}
+	if !pMoE.OnCPU(model.FC1) || !pMoE.OnCPU(model.FC2) {
+		t.Errorf("MoE decode policy = %s, want FFN sublayers on CPU", pMoE)
+	}
+}
+
+// TestAVXCPUShrinksCPUBenefit reproduces §3.2/§4: with AVX512 instead of
+// AMX, compute-offloading becomes far less attractive.
+func TestAVXCPUShrinksCPUBenefit(t *testing.T) {
+	amx := sprA100Env()
+	avx := amx.WithAVXCPU(hw.SPRA100)
+	tAMX, _ := LayerLatency(amx, model.Prefill, FullCPU, 4, 512)
+	tAVX, _ := LayerLatency(avx, model.Prefill, FullCPU, 4, 512)
+	if ratio := float64(tAVX) / float64(tAMX); ratio < 3 {
+		t.Errorf("AVX/AMX full-CPU prefill ratio = %.1f, want ≥3 (paper: ≈4.5)", ratio)
+	}
+}
+
+// TestCXLPlacementNeutralForGPUPolicies reproduces Observation-1 at the
+// equation level: placing parameters in CXL leaves the large-B decode
+// latency (GPU-parameter policy) nearly unchanged.
+func TestCXLPlacementNeutralForGPUPolicies(t *testing.T) {
+	sys := hw.SPRA100.WithCXL(2, hw.SamsungCXL128)
+	ddr := NewEnv(sys, model.OPT175B)
+	cxlEnv := NewEnvWithPlacement(sys, model.OPT175B, cxl.PolicyPlacement())
+	tDDR, _ := LayerLatency(ddr, model.Decode, PartialCPU, 900, 512)
+	tCXL, _ := LayerLatency(cxlEnv, model.Decode, PartialCPU, 900, 512)
+	if ratio := float64(tCXL) / float64(tDDR); ratio > 1.1 {
+		t.Errorf("CXL parameter placement cost ratio = %.3f, want ≤1.10", ratio)
+	}
+}
+
+// TestNaiveCXLPlacementHurts reproduces Observation-2: putting the KV
+// cache in CXL slows the CPU-offloaded attention substantially.
+func TestNaiveCXLPlacementHurts(t *testing.T) {
+	sys := hw.SPRA100.WithCXL(2, hw.SamsungCXL128)
+	policy := NewEnvWithPlacement(sys, model.OPT175B, cxl.PolicyPlacement())
+	naive := NewEnvWithPlacement(sys, model.OPT175B, cxl.NaivePlacement())
+	tPolicy, _ := LayerLatency(policy, model.Decode, PartialCPU, 900, 512)
+	tNaive, _ := LayerLatency(naive, model.Decode, PartialCPU, 900, 512)
+	if ratio := float64(tNaive) / float64(tPolicy); ratio < 1.5 {
+		t.Errorf("naive/policy placement ratio = %.2f, want ≥1.5", ratio)
+	}
+}
+
+// TestLatencyPositiveForAllPolicies is a sweep invariant: every policy
+// yields a positive finite latency and a consistent breakdown sum.
+func TestLatencyPositiveForAllPolicies(t *testing.T) {
+	e := sprA100Env()
+	for _, p := range AllPolicies() {
+		for _, stage := range []model.Stage{model.Prefill, model.Decode} {
+			total, parts := LayerLatency(e, stage, p, 16, 128)
+			if total <= 0 {
+				t.Fatalf("policy %s %v latency = %v", p, stage, total)
+			}
+			var sum units.Seconds
+			for _, br := range parts {
+				if br.Load < 0 || br.Compute <= 0 || br.Store < 0 {
+					t.Fatalf("policy %s %v has invalid breakdown %+v", p, stage, br)
+				}
+				sum += br.Total()
+			}
+			if diff := float64(total - sum); diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("breakdown does not sum to total: %v vs %v", sum, total)
+			}
+		}
+	}
+}
+
+// TestOptionsParamsResident: pinning a layer's parameters on the GPU
+// removes their PCIe transfers for GPU execution (Optimization-1).
+func TestOptionsParamsResident(t *testing.T) {
+	e := sprA100Env()
+	base, _ := LayerLatencyOpts(e, model.Decode, FullGPU, 1, 512, Options{})
+	pinned, parts := LayerLatencyOpts(e, model.Decode, FullGPU, 1, 512, Options{ParamsResident: true, KVOnGPU: true})
+	if pinned >= base/5 {
+		t.Errorf("pinned layer latency %v not ≪ streamed %v", pinned, base)
+	}
+	for _, br := range parts {
+		if br.Load != 0 || br.Store != 0 {
+			t.Errorf("pinned all-GPU layer should have zero PCIe time, got %+v", br)
+		}
+	}
+}
+
+// TestOptionsKVOnGPU: a GPU-resident cache removes decode KV traffic for
+// GPU attention but adds it for CPU-offloaded attention.
+func TestOptionsKVOnGPU(t *testing.T) {
+	e := sprA100Env()
+	_, gpuAttn := LayerLatencyOpts(e, model.Decode, FullGPU, 8, 1024, Options{KVOnGPU: true})
+	if gpuAttn[model.QKT].Load != 0 {
+		t.Error("GPU attention with GPU-resident cache should not touch PCIe")
+	}
+	_, cpuAttn := LayerLatencyOpts(e, model.Decode, PartialCPU, 8, 1024, Options{KVOnGPU: true})
+	if cpuAttn[model.QKT].Load <= 0 {
+		t.Error("CPU attention with GPU-resident cache must pull it across PCIe")
+	}
+	// And the store side: CPU-executed QKV must push fresh KV up to the GPU.
+	_, cpuQKV := LayerLatencyOpts(e, model.Decode, FullCPU, 8, 1024, Options{KVOnGPU: true})
+	if cpuQKV[model.QKVMapping].Store <= 0 {
+		t.Error("CPU QKV with GPU-resident cache must store KV over PCIe")
+	}
+}
+
+// TestLatencyMonotoneInBatch: for any fixed policy, a larger batch never
+// reduces a layer's latency.
+func TestLatencyMonotoneInBatch(t *testing.T) {
+	e := sprA100Env()
+	for _, p := range []Policy{FullGPU, FullCPU, PartialCPU} {
+		for _, stage := range []model.Stage{model.Prefill, model.Decode} {
+			prev := units.Seconds(0)
+			for _, b := range []int{1, 4, 16, 64, 256, 1024} {
+				cur, _ := LayerLatency(e, stage, p, b, 256)
+				if cur < prev {
+					t.Errorf("%s %v: latency fell from %v to %v at B=%d", p, stage, prev, cur, b)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// TestOptimalLatencyMonotoneInBatch: the optimized latency is also
+// monotone (more work can't get cheaper even with a policy switch).
+func TestOptimalLatencyMonotoneInBatch(t *testing.T) {
+	e := sprA100Env()
+	prev := units.Seconds(0)
+	for _, b := range []int{1, 8, 64, 512} {
+		_, cur := Optimize(e, model.Decode, b, 256)
+		if cur < prev {
+			t.Errorf("optimal decode latency fell at B=%d: %v → %v", b, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestTPAllReduceTime: zero for one GPU, floored for tiny messages,
+// bandwidth-scaled for big ones.
+func TestTPAllReduceTime(t *testing.T) {
+	if TPAllReduceTime(1, hw.NVLink3, units.GB) != 0 {
+		t.Error("single GPU needs no all-reduce")
+	}
+	tiny := TPAllReduceTime(8, hw.NVLink3, 1024)
+	if tiny != tpAllReduceFloor {
+		t.Errorf("tiny all-reduce = %v, want the %v floor", tiny, tpAllReduceFloor)
+	}
+	big := TPAllReduceTime(8, hw.NVLink3, 10*units.GB)
+	if big <= tiny {
+		t.Error("large all-reduce should exceed the floor")
+	}
+	// Ring volume factor: 2·(n-1)/n of the tensor per rank.
+	want := units.Seconds(2*7.0/8.0) * hw.NVLink3.Transfer(10*units.GB)
+	if diff := float64(big - want); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("ring all-reduce = %v, want %v", big, want)
+	}
+}
+
+// TestTPOptionAddsOnlyToGPUProjections: the TP all-reduce charge lands
+// exactly on GPU-assigned OutProj and FC2.
+func TestTPOptionAddsOnlyToGPUProjections(t *testing.T) {
+	e := sprA100Env()
+	opt := Options{TPGPUs: 8, TPPeer: hw.NVLink3}
+	_, base := LayerLatencyOpts(e, model.Decode, FullGPU, 8, 256, Options{})
+	_, tp := LayerLatencyOpts(e, model.Decode, FullGPU, 8, 256, opt)
+	for _, s := range model.Sublayers() {
+		grew := tp[s].Compute > base[s].Compute
+		wantGrowth := s == model.OutProjection || s == model.FC2
+		if grew != wantGrowth {
+			t.Errorf("%s: compute grew=%v, want %v", s, grew, wantGrowth)
+		}
+	}
+	// CPU-assigned projections pay nothing.
+	_, cpuTP := LayerLatencyOpts(e, model.Decode, FullCPU, 8, 256, opt)
+	_, cpuBase := LayerLatencyOpts(e, model.Decode, FullCPU, 8, 256, Options{})
+	for _, s := range model.Sublayers() {
+		if cpuTP[s].Compute != cpuBase[s].Compute {
+			t.Errorf("%s: CPU compute changed under TP options", s)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/perf"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Env bundles everything Equations (2)–(9) need: the model's Table 1
+// formulas, calibrated compute devices, and the CPU-GPU link. Memory
+// placement (§6) enters through two knobs: a possibly CXL-degraded CPU
+// device per data class, and a possibly CXL-limited source bandwidth for
+// parameter transfers.
+type Env struct {
+	// Model supplies the Table 1 operand sizes and FLOP counts.
+	Model model.Config
+	// GPU is the accelerator's calibrated device model.
+	GPU perf.Device
+	// CPUParam executes CPU-offloaded parameter-dependent sublayers
+	// (QKV, OutProj, FC1, FC2); degraded when parameters live in CXL.
+	CPUParam perf.Device
+	// CPUAttn executes CPU-offloaded attention-scoring sublayers
+	// (QKT, SV); degraded when the KV cache lives in CXL.
+	CPUAttn perf.Device
+	// Link is the CPU↔GPU interconnect.
+	Link hw.LinkSpec
+	// ParamSrcBW caps the host-side source bandwidth for parameter
+	// transfers (Observation-1: min(PCIe, interleaved CXL) when parameters
+	// are CXL-resident). Zero means uncapped (DDR).
+	ParamSrcBW units.BytesPerSecond
+}
+
+// NewEnv builds the evaluation environment for a system and model with
+// all host data in DDR.
+func NewEnv(sys hw.System, m model.Config) Env {
+	return NewEnvWithPlacement(sys, m, cxl.DDROnlyPlacement())
+}
+
+// NewEnvWithPlacement builds the environment under a §6 memory placement.
+func NewEnvWithPlacement(sys hw.System, m model.Config, pl cxl.Placement) Env {
+	cpu := perf.CPUDevice(sys.CPU, hw.AMX)
+	pool := cxl.FromSystem(sys)
+	env := Env{
+		Model:    m,
+		GPU:      perf.GPUDevice(sys.GPU),
+		CPUParam: cpu,
+		CPUAttn:  cpu,
+		Link:     sys.HostLink(),
+	}
+	if !pool.Empty() {
+		if pl.Holds(cxl.Parameters) {
+			env.CPUParam = pool.DegradeDevice(cpu)
+			env.ParamSrcBW = pool.Bandwidth()
+		}
+		if pl.Holds(cxl.KVCache) {
+			env.CPUAttn = pool.DegradeDevice(cpu)
+		}
+	}
+	return env
+}
+
+// WithAVXCPU returns a copy of the environment whose CPU devices use the
+// AVX512 vector engine instead of AMX — the pre-SPR configuration FlexGen
+// and PowerInfer assume (§3.2).
+func (e Env) WithAVXCPU(sys hw.System) Env {
+	avx := perf.CPUDevice(sys.CPU, hw.AVX512)
+	out := e
+	out.CPUParam = avx
+	out.CPUAttn = avx
+	return out
+}
+
+// cpuFor returns the CPU device executing sublayer s.
+func (e Env) cpuFor(s model.Sublayer) perf.Device {
+	if s == model.QKT || s == model.SV {
+		return e.CPUAttn
+	}
+	return e.CPUParam
+}
+
+// paramXfer returns the CPU→GPU transfer time for parameter bytes,
+// respecting a CXL source-bandwidth cap.
+func (e Env) paramXfer(b units.Bytes) units.Seconds {
+	bw := e.Link.BW
+	if e.ParamSrcBW > 0 && e.ParamSrcBW < bw {
+		bw = e.ParamSrcBW
+	}
+	return units.TransferTime(b, bw, e.Link.Setup)
+}
+
+// ddrXfer returns the CPU↔GPU transfer time for DDR-resident bytes
+// (activations, KV cache).
+func (e Env) ddrXfer(b units.Bytes) units.Seconds {
+	return e.Link.Transfer(b)
+}
+
+// Breakdown is one sublayer's latency decomposition (Eq. 2's three terms).
+type Breakdown struct {
+	// Sublayer identifies the decoder sublayer.
+	Sublayer model.Sublayer
+	// OnCPU records the assignment the breakdown was computed under.
+	OnCPU bool
+	// Load is T_load: PCIe time for X, Y, and residual operands (Eqs 3–7).
+	Load units.Seconds
+	// Compute is T_comp: local memory streaming plus FLOP time (Eq. 8).
+	Compute units.Seconds
+	// Store is T_store: the KV write-back (Eq. 9).
+	Store units.Seconds
+}
+
+// Total returns Load + Compute + Store.
+func (b Breakdown) Total() units.Seconds { return b.Load + b.Compute + b.Store }
+
+// Options modifies the residency assumptions of the latency equations.
+// The zero value is the paper's baseline: all parameters and the KV cache
+// live in CPU memory.
+type Options struct {
+	// ParamsResident marks this decoder layer's parameters as already
+	// pinned in GPU memory (Optimization-1), eliminating their PCIe
+	// transfers for GPU-executed sublayers.
+	ParamsResident bool
+	// KVOnGPU places the KV cache in GPU memory (feasible for small
+	// batches): GPU attention pays no PCIe traffic, while CPU-offloaded
+	// attention would have to pull the cache across.
+	KVOnGPU bool
+	// TPGPUs > 1 models the §8 multi-GPU extension: GPU-assigned
+	// sublayers run tensor-parallel across this many GPUs (the caller
+	// supplies an aggregated GPU device in Env), paying a ring all-reduce
+	// on the hidden states after the out-projection and FC2.
+	TPGPUs int
+	// TPPeer is the GPU↔GPU link the all-reduce rides on.
+	TPPeer hw.LinkSpec
+}
+
+// tpAllReduceFloor is the per-all-reduce latency floor (NCCL
+// small-message latency plus per-op launch/sync), shared with the
+// MultiGPU baseline's calibration.
+const tpAllReduceFloor = 600 * units.Microsecond
+
+// TPAllReduceTime returns one ring all-reduce of `bytes` across n GPUs:
+// each rank moves 2·(n−1)/n of the tensor, floored by the per-op
+// synchronization cost.
+func TPAllReduceTime(n int, peer hw.LinkSpec, bytes units.Bytes) units.Seconds {
+	if n <= 1 {
+		return 0
+	}
+	t := units.Seconds(2*float64(n-1)/float64(n)) * peer.Transfer(bytes)
+	if t < tpAllReduceFloor {
+		t = tpAllReduceFloor
+	}
+	return t
+}
+
+// LayerLatency evaluates Eq. (2): the non-overlapped latency of one
+// decoder layer under policy p for the given stage, batch size b, and
+// sequence length l (input length during prefill; current context length
+// during decode). It returns the total and the per-sublayer breakdown.
+func LayerLatency(e Env, stage model.Stage, p Policy, b, l int) (units.Seconds, [model.NumSublayers]Breakdown) {
+	return LayerLatencyOpts(e, stage, p, b, l, Options{})
+}
+
+// LayerLatencyOpts is LayerLatency under explicit residency options.
+func LayerLatencyOpts(e Env, stage model.Stage, p Policy, b, l int, opt Options) (units.Seconds, [model.NumSublayers]Breakdown) {
+	var total units.Seconds
+	var parts [model.NumSublayers]Breakdown
+	for _, s := range model.Sublayers() {
+		br := sublayerLatency(e, stage, p, s, b, l, opt)
+		parts[s] = br
+		total += br.Total()
+	}
+	return total, parts
+}
+
+// sublayerLatency evaluates one sublayer's three Eq. (2) terms.
+func sublayerLatency(e Env, stage model.Stage, p Policy, s model.Sublayer, b, l int, opt Options) Breakdown {
+	i := int(s)
+	onCPU := p[i]
+	br := Breakdown{Sublayer: s, OnCPU: onCPU}
+
+	dx := e.Model.DataX(stage, s, b, l)
+	dy := e.Model.DataY(stage, s, b, l)
+	c := e.Model.Compute(stage, s, b, l)
+
+	// --- T_load,X (Eq. 4): the input activation crosses PCIe when this
+	// sublayer runs on a different device than its producer.
+	if onCPU != p.prev(i) {
+		br.Load += e.ddrXfer(dx)
+	}
+
+	// --- T_load,Y (Eqs. 5 and 7).
+	switch s {
+	case model.QKT, model.SV:
+		if stage == model.Prefill {
+			// Eq. (7): K and V were just produced by sublayer 1; they move
+			// iff the producer and consumer devices differ.
+			if onCPU != p[model.QKVMapping] {
+				br.Load += e.ddrXfer(dy)
+			}
+		} else if onCPU == opt.KVOnGPU {
+			// Decode: the KV cache crosses PCIe when the compute device
+			// differs from the cache's home — CPU-resident cache feeding
+			// GPU attention (the FlexGen bottleneck, Figure 4), or a
+			// GPU-resident cache feeding CPU-offloaded attention.
+			br.Load += e.ddrXfer(dy)
+		}
+	default:
+		// Parameter operand: resident in CPU memory, so it crosses PCIe
+		// only for GPU execution — unless Optimization-1 already pinned
+		// this layer's parameters in GPU memory.
+		if !onCPU && !opt.ParamsResident {
+			br.Load += e.paramXfer(dy)
+		}
+	}
+
+	// --- T_load,R (Eq. 6): residual operands for the out-projection
+	// (from the attention input) and FC2 (from the FFN input).
+	switch s {
+	case model.OutProjection:
+		if onCPU != p[model.QKVMapping] {
+			br.Load += e.ddrXfer(e.Model.DataX(stage, model.QKVMapping, b, l))
+		}
+	case model.FC2:
+		if onCPU != p[model.OutProjection] {
+			br.Load += e.ddrXfer(e.Model.DataX(stage, model.OutProjection, b, l))
+		}
+	}
+
+	// --- T_comp (Eq. 8, corrected to the prose convention).
+	rows := b * l
+	if stage == model.Decode {
+		rows = b
+	}
+	if onCPU {
+		br.Compute = e.cpuFor(s).Time(c, dx+dy, rows)
+	} else {
+		br.Compute = e.GPU.Time(c, dx+dy, rows)
+		// Tensor-parallel GPU execution synchronizes the hidden states
+		// (rows × d_model) after the two row-parallel projections (§8's
+		// multi-GPU extension).
+		if opt.TPGPUs > 1 && (s == model.OutProjection || s == model.FC2) {
+			hidden := e.Model.DataX(stage, model.QKVMapping, b, l)
+			br.Compute += TPAllReduceTime(opt.TPGPUs, opt.TPPeer, hidden)
+		}
+	}
+
+	// --- T_store (Eq. 9): freshly produced KV crosses PCIe when the QKV
+	// mapping ran on a different device than the cache's home.
+	if s == model.QKVMapping && onCPU == opt.KVOnGPU {
+		kv := e.Model.KVBytesPerLayer(b, l)
+		if stage == model.Decode {
+			kv = e.Model.KVBytesPerLayer(b, 1)
+		}
+		br.Store = e.ddrXfer(kv)
+	}
+	return br
+}
+
+// Optimize solves Eq. (1): it evaluates all 64 policies and returns the
+// latency-minimizing one for the given stage, batch size, and sequence
+// length. Ties break toward fewer CPU-resident sublayers (preferring the
+// simpler all-GPU schedule), then toward the smaller binary encoding, so
+// the result is deterministic.
+func Optimize(e Env, stage model.Stage, b, l int) (Policy, units.Seconds) {
+	return OptimizeOpts(e, stage, b, l, Options{})
+}
+
+// OptimizeOpts is Optimize under explicit residency options, used when
+// Optimization-1 has already placed the KV cache or parameters on the
+// GPU.
+func OptimizeOpts(e Env, stage model.Stage, b, l int, opt Options) (Policy, units.Seconds) {
+	var best Policy
+	bestT := units.Seconds(-1)
+	for _, p := range AllPolicies() {
+		t, _ := LayerLatencyOpts(e, stage, p, b, l, opt)
+		switch {
+		case bestT < 0 || t < bestT:
+			best, bestT = p, t
+		case t == bestT && p.CountCPU() < best.CountCPU():
+			best = p
+		}
+	}
+	return best, bestT
+}
+
+// StagePolicies holds the optimizer's decision for one (B, L) point.
+type StagePolicies struct {
+	// B and L locate the point in Figure 9's plane.
+	B, L int
+	// Prefill is the prefill-stage policy.
+	Prefill Policy
+	// Decode is the decoding-stage policy (evaluated at context length L;
+	// §7.1 shows it depends only on B).
+	Decode Policy
+}
+
+// OptimalPair returns the prefill and decode policies for a workload
+// point, the pairing Figure 9 plots.
+func OptimalPair(e Env, b, l int) StagePolicies {
+	pre, _ := Optimize(e, model.Prefill, b, l)
+	dec, _ := Optimize(e, model.Decode, b, l)
+	return StagePolicies{B: b, L: l, Prefill: pre, Decode: dec}
+}
+
+// PolicyMap evaluates OptimalPair over a (B, L) grid — Figure 9.
+func PolicyMap(e Env, bs, ls []int) []StagePolicies {
+	out := make([]StagePolicies, 0, len(bs)*len(ls))
+	for _, b := range bs {
+		for _, l := range ls {
+			out = append(out, OptimalPair(e, b, l))
+		}
+	}
+	return out
+}
+
+// Validate reports an incomplete environment.
+func (e Env) Validate() error {
+	if err := e.Model.Validate(); err != nil {
+		return err
+	}
+	if e.GPU.Ceiling <= 0 && e.CPUParam.Ceiling <= 0 {
+		return fmt.Errorf("core: environment has no usable compute device")
+	}
+	if e.Link.BW <= 0 {
+		return fmt.Errorf("core: environment has no CPU-GPU link")
+	}
+	return nil
+}

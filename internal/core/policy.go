@@ -1,0 +1,116 @@
+// Package core implements the paper's primary contribution: LIA's
+// compute-offloading algorithm (§5.1). An offloading policy is a vector
+// p ∈ {0,1}⁶ assigning each of the six decoder sublayers to the CPU
+// (p_i = 1) or the GPU (p_i = 0). The package evaluates the latency
+// Equations (2)–(9) for any policy, batch size, and sequence length, and
+// exhaustively minimizes over all 64 policies to find p_opt (Eq. 1).
+//
+// Note on the paper's Eq. (5)/(8)/(9): as printed they attach the GPU
+// cost branches to p_i = 1, contradicting the prose definition
+// "computed on CPU (p_i = 1)" and the named policies of §7.1 (Full CPU
+// Offloading ↦ (1,1,1,1,1,1)). We follow the prose definition, which
+// makes the equations internally consistent: parameters stream over PCIe
+// exactly when a parameter-dependent sublayer runs on the GPU, and the
+// generated KV is stored back to CPU memory exactly when the QKV mapping
+// runs on the GPU.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/lia-sim/lia/internal/model"
+)
+
+// Policy is an offloading vector: Policy[i] == true places sublayer i on
+// the CPU (p_i = 1), false on the GPU (p_i = 0).
+type Policy [model.NumSublayers]bool
+
+// The canonical policies of §7.1.
+var (
+	// FullGPU computes every sublayer on the GPU: p = (0,0,0,0,0,0).
+	FullGPU = Policy{}
+	// FullCPU offloads every sublayer to the CPU: p = (1,1,1,1,1,1).
+	FullCPU = Policy{true, true, true, true, true, true}
+	// PartialCPU offloads only the attention-scoring sublayers:
+	// p = (0,1,1,0,0,0). This is also FlexGen's fixed compute-offloading
+	// choice.
+	PartialCPU = Policy{false, true, true, false, false, false}
+	// MoEPartial additionally offloads the expert FFN sublayers:
+	// p = (0,1,1,0,1,1), preferred for Mixture-of-Experts models whose
+	// FC parameters outweigh their active FLOPs (§7.1).
+	MoEPartial = Policy{false, true, true, false, true, true}
+)
+
+// String renders the vector the way the paper writes it, e.g.
+// "(0,1,1,0,0,0)".
+func (p Policy) String() string {
+	parts := make([]string, len(p))
+	for i, onCPU := range p {
+		if onCPU {
+			parts[i] = "1"
+		} else {
+			parts[i] = "0"
+		}
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// OnCPU reports sublayer s's assignment.
+func (p Policy) OnCPU(s model.Sublayer) bool { return p[s] }
+
+// CountCPU returns how many sublayers run on the CPU.
+func (p Policy) CountCPU() int {
+	n := 0
+	for _, c := range p {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// ParsePolicy parses the "(0,1,1,0,0,0)" notation.
+func ParsePolicy(s string) (Policy, error) {
+	trimmed := strings.Trim(strings.TrimSpace(s), "()")
+	parts := strings.Split(trimmed, ",")
+	var p Policy
+	if len(parts) != model.NumSublayers {
+		return p, fmt.Errorf("core: policy %q must have %d elements", s, model.NumSublayers)
+	}
+	for i, part := range parts {
+		switch strings.TrimSpace(part) {
+		case "0":
+			p[i] = false
+		case "1":
+			p[i] = true
+		default:
+			return p, fmt.Errorf("core: policy element %q must be 0 or 1", part)
+		}
+	}
+	return p, nil
+}
+
+// AllPolicies enumerates all 64 offloading vectors in ascending binary
+// order (element 0 is the most significant bit).
+func AllPolicies() []Policy {
+	out := make([]Policy, 0, 1<<model.NumSublayers)
+	for bits := 0; bits < 1<<model.NumSublayers; bits++ {
+		var p Policy
+		for i := 0; i < model.NumSublayers; i++ {
+			p[i] = bits&(1<<(model.NumSublayers-1-i)) != 0
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// prev returns the policy bit governing where sublayer i's input
+// activation lives: the assignment of the previous sublayer, with
+// p_0 = p_6 (the previous decoder layer's FC2) per §5.1.
+func (p Policy) prev(i int) bool {
+	if i == 0 {
+		return p[model.NumSublayers-1]
+	}
+	return p[i-1]
+}

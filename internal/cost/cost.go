@@ -1,0 +1,81 @@
+// Package cost implements the paper's cost-efficiency accounting (§7.8,
+// §8): hardware acquisition amortized over three years, electricity at
+// the cheapest U.S. rate, dollars per million generated tokens, and the
+// CXL memory-system savings.
+package cost
+
+import (
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Assumptions fixes the economic parameters (§7.8 footnote).
+type Assumptions struct {
+	// AmortizationYears spreads the acquisition cost (paper: 3 years).
+	AmortizationYears float64
+	// ElectricityPerKWh is the energy price (paper: $0.1/kWh, Louisiana).
+	ElectricityPerKWh units.USD
+}
+
+// Defaults returns the paper's assumptions.
+func Defaults() Assumptions {
+	return Assumptions{AmortizationYears: 3, ElectricityPerKWh: 0.1}
+}
+
+// HourlyCost returns the system's all-in hourly cost: amortized hardware
+// plus electricity at TDP.
+func (a Assumptions) HourlyCost(sys hw.System) units.USD {
+	hours := a.AmortizationYears * 365 * 24
+	hwPart := float64(sys.TotalCost()) / hours
+	elecPart := float64(sys.TDP()) / 1000 * float64(a.ElectricityPerKWh)
+	return units.USD(hwPart + elecPart)
+}
+
+// PerMillionTokens converts a sustained throughput (tokens/s) into
+// dollars per million generated tokens.
+func (a Assumptions) PerMillionTokens(sys hw.System, tokensPerSecond float64) units.USD {
+	if tokensPerSecond <= 0 {
+		return units.USD(0)
+	}
+	perHour := tokensPerSecond * 3600
+	return units.USD(float64(a.HourlyCost(sys)) / perHour * 1e6)
+}
+
+// PerGPUThroughput normalizes throughput by GPU count — Figure 14's
+// x-axis metric for comparing a 1-GPU LIA box against an 8-GPU DGX.
+func PerGPUThroughput(sys hw.System, tokensPerSecond float64) float64 {
+	n := sys.GPUCount
+	if n < 1 {
+		n = 1
+	}
+	return tokensPerSecond / float64(n)
+}
+
+// Memory-system pricing from §8: an all-DDR memory system costs $11.25
+// per GB; a half-DDR/half-CXL system costs $5.60 per GB overall.
+const (
+	DDRPerGB    units.USD = 11.25
+	HybridPerGB units.USD = 5.60
+)
+
+// MemorySavings returns the §8 comparison for a host that must hold
+// `capacity` bytes: the all-DDR cost, the cost when `offloadFraction` of
+// the data moves to CXL (that fraction priced at the hybrid blend's CXL
+// side), and the absolute saving. For OPT-175B the paper quotes
+// $6,300 → $3,200.
+func MemorySavings(capacity units.Bytes, offloadFraction float64) (allDDR, withCXL, saved units.USD) {
+	if offloadFraction < 0 {
+		offloadFraction = 0
+	}
+	if offloadFraction > 1 {
+		offloadFraction = 1
+	}
+	gb := float64(capacity) / float64(units.GB)
+	allDDR = units.USD(gb) * DDRPerGB
+	// The CXL-held fraction is priced at the hybrid system's implied CXL
+	// rate: hybrid = 0.5·DDR + 0.5·cxlRate → cxlRate = 2·hybrid − DDR.
+	cxlRate := 2*HybridPerGB - DDRPerGB
+	withCXL = units.USD(gb*(1-offloadFraction))*DDRPerGB + units.USD(gb*offloadFraction)*cxlRate
+	saved = allDDR - withCXL
+	return allDDR, withCXL, saved
+}

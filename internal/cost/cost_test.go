@@ -1,0 +1,78 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+func TestHourlyCost(t *testing.T) {
+	a := Defaults()
+	gnr := a.HourlyCost(hw.GNRA100)
+	// ~$22k over 3 years ≈ $0.84/h plus ~$0.1/h electricity.
+	if gnr < 0.7 || gnr > 1.3 {
+		t.Errorf("GNR-A100 hourly = %v, want ≈$0.9", gnr)
+	}
+	dgx := a.HourlyCost(hw.DGXA100)
+	if ratio := float64(dgx) / float64(gnr); ratio < 6 || ratio > 12 {
+		t.Errorf("DGX/GNR hourly ratio = %.1f, want ≈8-9", ratio)
+	}
+}
+
+func TestPerMillionTokens(t *testing.T) {
+	a := Defaults()
+	c := a.PerMillionTokens(hw.GNRA100, 100)
+	if c <= 0 {
+		t.Fatal("cost must be positive")
+	}
+	// Doubling throughput halves cost.
+	half := a.PerMillionTokens(hw.GNRA100, 200)
+	if math.Abs(float64(c)/float64(half)-2) > 1e-9 {
+		t.Error("cost not inversely proportional to throughput")
+	}
+	if a.PerMillionTokens(hw.GNRA100, 0) != 0 {
+		t.Error("zero throughput should yield zero (OOM marker)")
+	}
+}
+
+func TestPerGPUThroughput(t *testing.T) {
+	if PerGPUThroughput(hw.DGXA100, 800) != 100 {
+		t.Error("DGX per-GPU throughput wrong")
+	}
+	if PerGPUThroughput(hw.GNRA100, 100) != 100 {
+		t.Error("single-GPU throughput wrong")
+	}
+}
+
+// TestMemorySavingsHeadline reproduces §8: an OPT-175B host memory system
+// drops from ≈$6,300 to ≈$3,200 when 43% of data moves to CXL.
+func TestMemorySavingsHeadline(t *testing.T) {
+	// Size the memory system to OPT-175B's B=64-ish working footprint
+	// (§8 prices the 560 GB host memory the deployment needs).
+	capacity := model.OPT175B.ParamBytes() + 210*units.GB
+	allDDR, withCXL, saved := MemorySavings(capacity, 0.43)
+	if allDDR < 5_500 || allDDR > 7_100 {
+		t.Errorf("all-DDR cost = %v, want ≈$6,300", allDDR)
+	}
+	if withCXL < 2_600 || withCXL > 3_900 {
+		t.Errorf("hybrid cost = %v, want ≈$3,200", withCXL)
+	}
+	if saved <= 0 {
+		t.Error("offloading must save money")
+	}
+}
+
+func TestMemorySavingsClamps(t *testing.T) {
+	_, withCXL, _ := MemorySavings(100*units.GB, 2)
+	_, atOne, _ := MemorySavings(100*units.GB, 1)
+	if withCXL != atOne {
+		t.Error("fraction should clamp at 1")
+	}
+	allDDR, none, saved := MemorySavings(100*units.GB, -1)
+	if none != allDDR || saved != 0 {
+		t.Error("negative fraction should clamp at 0")
+	}
+}

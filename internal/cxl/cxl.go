@@ -1,0 +1,190 @@
+// Package cxl models a CXL Type-3 memory pool attached to the host CPU:
+// interleaved expander bandwidth, the added access latency over DDR, how
+// CXL placement affects CPU-GPU transfer bandwidth (Figure 8a /
+// Observation-1), and how it degrades AMX compute throughput
+// (Figure 8b / Observation-2). It also implements the §6 memory-offloading
+// policy: parameters go to CXL, KV cache and activations stay in DDR.
+package cxl
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/perf"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Pool is the CXL side of a host memory system.
+type Pool struct {
+	// Expanders are the installed Type-3 devices; bandwidth interleaves
+	// across them with page-granularity NUMA allocation.
+	Expanders []hw.CXLExpander
+	// DDRBW is the host's DDR bandwidth, the baseline CXL is compared to.
+	DDRBW units.BytesPerSecond
+}
+
+// FromSystem builds the pool from a system description.
+func FromSystem(s hw.System) Pool {
+	return Pool{Expanders: s.CXL, DDRBW: s.CPU.MemBW}
+}
+
+// Empty reports whether no expanders are installed.
+func (p Pool) Empty() bool { return len(p.Expanders) == 0 }
+
+// Capacity returns the total CXL capacity.
+func (p Pool) Capacity() units.Bytes {
+	var c units.Bytes
+	for _, e := range p.Expanders {
+		c += e.Capacity
+	}
+	return c
+}
+
+// Bandwidth returns the aggregate interleaved bandwidth.
+func (p Pool) Bandwidth() units.BytesPerSecond {
+	var bw units.BytesPerSecond
+	for _, e := range p.Expanders {
+		bw += e.BW
+	}
+	return bw
+}
+
+// ExtraLatency returns the added load-to-use latency over DDR (the
+// maximum across expanders, since interleaved lines hit every device).
+func (p Pool) ExtraLatency() units.Seconds {
+	var worst units.Seconds
+	for _, e := range p.Expanders {
+		if e.ExtraLatency > worst {
+			worst = e.ExtraLatency
+		}
+	}
+	return worst
+}
+
+// interleaveRampBytes is the transfer size at which page-granularity
+// interleaving reaches half its aggregate bandwidth: small transfers land
+// on few pages and see single-expander bandwidth (Figure 8a's rising
+// curve, saturating near 300 MB).
+const interleaveRampBytes = 32 * units.MiB
+
+// TransferBW returns the effective source bandwidth when the CPU streams
+// `size` bytes out of the pool toward the GPU. Figure 8a: for large
+// transfers the interleaved pool approaches DDR-class source bandwidth;
+// for small ones it degrades toward a single expander.
+func (p Pool) TransferBW(size units.Bytes) units.BytesPerSecond {
+	if p.Empty() {
+		return p.DDRBW
+	}
+	agg := float64(p.Bandwidth())
+	single := float64(p.Expanders[0].BW)
+	if size <= 0 {
+		return units.BytesPerSecond(single)
+	}
+	frac := float64(size) / (float64(size) + float64(interleaveRampBytes))
+	return units.BytesPerSecond(single + (agg-single)*frac)
+}
+
+// GPUTransferBW returns the achieved CPU→GPU bandwidth for a transfer of
+// `size` bytes sourced from the pool over the given host link —
+// Observation-1: the PCIe link is the bottleneck as long as the
+// interleaved pool outruns it.
+func (p Pool) GPUTransferBW(link hw.LinkSpec, size units.Bytes) units.BytesPerSecond {
+	src := p.TransferBW(size)
+	if src < link.BW {
+		return src
+	}
+	return link.BW
+}
+
+// DegradeDevice returns a copy of the CPU compute device with its memory
+// system replaced by the CXL pool: aggregate pool bandwidth instead of
+// DDR bandwidth, and the extra load-to-use latency folded into the
+// per-kernel launch cost. Running the perf roofline on the degraded
+// device reproduces Figure 8b: memory-bound sublayers (decode attention,
+// ops/byte ≈ 1) lose up to ~80% of their throughput, while compute-bound
+// prefill GEMMs lose little.
+func (p Pool) DegradeDevice(d perf.Device) perf.Device {
+	if p.Empty() {
+		return d
+	}
+	out := d
+	out.Name = d.Name + "@CXL"
+	out.MemBW = p.Bandwidth()
+	// Latency sensitivity: each additional 100 ns of load-to-use latency
+	// costs roughly one tile-fill worth of stall per strip; fold it into
+	// the fixed overhead.
+	out.Launch = d.Launch + 20*p.ExtraLatency()
+	return out
+}
+
+// ThroughputRatio returns CXL-placed throughput divided by DDR-placed
+// throughput for a kernel with the given FLOPs, memory traffic, and
+// output rows on CPU device d — the quantity Figure 8b plots.
+func (p Pool) ThroughputRatio(d perf.Device, flops units.FLOPs, traffic units.Bytes, rows int) float64 {
+	if p.Empty() {
+		return 1
+	}
+	ddr := d.Time(flops, traffic, rows)
+	cxl := p.DegradeDevice(d).Time(flops, traffic, rows)
+	if cxl <= 0 {
+		return 1
+	}
+	return float64(ddr) / float64(cxl)
+}
+
+// DataClass labels what a region of host memory holds; the §6 policy
+// places classes, not bytes.
+type DataClass int
+
+// Host-resident data classes.
+const (
+	// Parameters are model weights (read by the GPU over PCIe, and by the
+	// CPU for CPU-offloaded parameter sublayers).
+	Parameters DataClass = iota
+	// KVCache is the per-request attention cache (read by the CPU for
+	// offloaded attention scoring).
+	KVCache
+	// Activations are transient hidden states.
+	Activations
+)
+
+// String implements fmt.Stringer.
+func (c DataClass) String() string {
+	switch c {
+	case Parameters:
+		return "parameters"
+	case KVCache:
+		return "kv-cache"
+	case Activations:
+		return "activations"
+	default:
+		return fmt.Sprintf("DataClass(%d)", int(c))
+	}
+}
+
+// Placement says which classes live in CXL (everything else stays in DDR).
+type Placement struct {
+	// InCXL flags each class.
+	InCXL map[DataClass]bool
+}
+
+// PolicyPlacement returns the paper's §6 memory-offloading policy:
+// parameters in CXL, KV cache and activations in DDR. The policy follows
+// Observation-1 (parameter transfers to GPU are PCIe-bound, so CXL is
+// free) and Observation-2 (KV-dependent CPU sublayers are memory-bound,
+// so the cache must stay in DDR).
+func PolicyPlacement() Placement {
+	return Placement{InCXL: map[DataClass]bool{Parameters: true}}
+}
+
+// NaivePlacement puts everything in CXL — the oblivious baseline
+// Observation-2 warns about.
+func NaivePlacement() Placement {
+	return Placement{InCXL: map[DataClass]bool{Parameters: true, KVCache: true, Activations: true}}
+}
+
+// DDROnlyPlacement keeps everything in DDR.
+func DDROnlyPlacement() Placement { return Placement{InCXL: map[DataClass]bool{}} }
+
+// Holds reports whether the class is CXL-resident under this placement.
+func (pl Placement) Holds(c DataClass) bool { return pl.InCXL != nil && pl.InCXL[c] }

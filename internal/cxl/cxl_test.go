@@ -1,0 +1,136 @@
+package cxl
+
+import (
+	"testing"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/perf"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+func pool2x() Pool {
+	return FromSystem(hw.SPRA100.WithCXL(2, hw.SamsungCXL128))
+}
+
+func TestEmptyPoolIsTransparent(t *testing.T) {
+	p := FromSystem(hw.SPRA100)
+	if !p.Empty() {
+		t.Fatal("expected empty pool")
+	}
+	if p.TransferBW(units.GiB) != hw.SPR.MemBW {
+		t.Error("empty pool should report DDR bandwidth")
+	}
+	d := perf.CPUDevice(hw.SPR, hw.AMX)
+	if got := p.DegradeDevice(d); got != d {
+		t.Error("empty pool must not degrade the device")
+	}
+	if r := p.ThroughputRatio(d, units.TFLOP, units.GB, 64); r != 1 {
+		t.Errorf("empty-pool ratio = %v, want 1", r)
+	}
+}
+
+func TestPoolAggregation(t *testing.T) {
+	p := pool2x()
+	if p.Capacity() != 256*units.GiB {
+		t.Errorf("capacity = %v", p.Capacity())
+	}
+	if p.Bandwidth() != 34*units.GBps {
+		t.Errorf("bandwidth = %v", p.Bandwidth())
+	}
+	if p.ExtraLatency() != 155*units.Nanosecond {
+		t.Errorf("extra latency = %v", p.ExtraLatency())
+	}
+}
+
+// TestObservation1 reproduces Figure 8(a): for large transfers (≥300 MB),
+// two interleaved 17 GB/s expanders match the PCIe 4.0 link, so CXL-GPU
+// transfer bandwidth equals DDR-GPU transfer bandwidth.
+func TestObservation1TransferParity(t *testing.T) {
+	p := pool2x()
+	link := hw.PCIe4x16
+	big := p.GPUTransferBW(link, 300*units.MB)
+	if float64(big) < 0.95*float64(link.BW) {
+		t.Errorf("large-transfer CXL-GPU BW = %v, want ≈%v", big, link.BW)
+	}
+	// Small transfers fall toward single-expander bandwidth.
+	small := p.GPUTransferBW(link, 4*units.MiB)
+	if small >= big {
+		t.Errorf("small transfer BW %v should be below large %v", small, big)
+	}
+	if small < 17*units.GBps {
+		t.Errorf("small transfer BW %v fell below one expander", small)
+	}
+}
+
+// TestObservation2 reproduces Figure 8(b): CXL placement degrades
+// memory-bound decode attention (ops/byte ≈ 1) far more than
+// compute-bound prefill GEMMs.
+func TestObservation2ComputeDegradation(t *testing.T) {
+	p := pool2x()
+	d := perf.CPUDevice(hw.SPR, hw.AMX)
+
+	// Sublayer 2 decode: ops/byte = 1 → heavily degraded (paper: down to
+	// 18% of DDR throughput).
+	memBoundFlops := units.FLOPs(10 * units.GFLOP)
+	memBoundBytes := units.Bytes(10 * units.GB) // 1 FLOP/byte
+	r2 := p.ThroughputRatio(d, memBoundFlops, memBoundBytes, 64)
+	if r2 > 0.30 || r2 < 0.08 {
+		t.Errorf("memory-bound CXL/DDR ratio = %.2f, want ≈0.13-0.25", r2)
+	}
+
+	// Sublayer 1 prefill at large B·L: compute-bound → mild degradation
+	// (paper: 11-70% across the sweep; the compute-bound end loses least).
+	computeFlops := units.FLOPs(10 * units.TFLOP)
+	computeBytes := units.Bytes(10 * units.GB) // 1000 FLOP/byte
+	r1 := p.ThroughputRatio(d, computeFlops, computeBytes, 4096)
+	if r1 < 0.30 || r1 > 0.95 {
+		t.Errorf("compute-bound CXL/DDR ratio = %.2f, want within the paper's 0.30-0.89 band", r1)
+	}
+	if r1 <= r2 {
+		t.Error("compute-bound work must degrade less than memory-bound work")
+	}
+}
+
+func TestDegradeDeviceFields(t *testing.T) {
+	p := pool2x()
+	d := perf.CPUDevice(hw.SPR, hw.AMX)
+	g := p.DegradeDevice(d)
+	if g.MemBW != p.Bandwidth() {
+		t.Errorf("degraded MemBW = %v, want %v", g.MemBW, p.Bandwidth())
+	}
+	if g.Launch <= d.Launch {
+		t.Error("degraded device should carry extra latency")
+	}
+	if g.Ceiling != d.Ceiling {
+		t.Error("compute ceiling must not change")
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	pol := PolicyPlacement()
+	if !pol.Holds(Parameters) {
+		t.Error("policy must place parameters in CXL")
+	}
+	if pol.Holds(KVCache) || pol.Holds(Activations) {
+		t.Error("policy must keep KV cache and activations in DDR")
+	}
+	naive := NaivePlacement()
+	for _, c := range []DataClass{Parameters, KVCache, Activations} {
+		if !naive.Holds(c) {
+			t.Errorf("naive placement should hold %v", c)
+		}
+	}
+	ddr := DDROnlyPlacement()
+	if ddr.Holds(Parameters) {
+		t.Error("DDR-only placement holds nothing in CXL")
+	}
+}
+
+func TestDataClassString(t *testing.T) {
+	if Parameters.String() != "parameters" || KVCache.String() != "kv-cache" || Activations.String() != "activations" {
+		t.Error("DataClass strings wrong")
+	}
+	if DataClass(9).String() != "DataClass(9)" {
+		t.Error("unknown DataClass formatting")
+	}
+}

@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/exec"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/memplan"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/perf"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// runIPEX models Intel's CPU-only AMX stack: every sublayer on the CPU,
+// no GPU, no PCIe traffic. It is the strongest CPU baseline (§7's IPEX).
+func runIPEX(cfg Config) (Result, error) {
+	var r Result
+	w := cfg.Workload
+	plan, oom, reason := hostPlanFor(cfg)
+	if oom {
+		return Result{OOM: true, OOMReason: reason}, nil
+	}
+	r.HostPlan = plan
+	env := core.NewEnvWithPlacement(cfg.System, cfg.Model, cfg.Placement)
+	p := exec.Plan{
+		Env:         env,
+		Policy:      core.FullCPU,
+		Layers:      cfg.Model.Layers,
+		Overlap:     false,
+		MiniBatches: 1,
+	}
+	r.PrefillPolicy = core.FullCPU
+	r.DecodePolicy = core.FullCPU
+	pre, err := p.RunStage(model.Prefill, w.Batch, w.InputLen)
+	if err != nil {
+		return Result{}, err
+	}
+	dec, err := p.RunDecodeSequence(w.Batch, w.InputLen, w.OutputLen)
+	if err != nil {
+		return Result{}, err
+	}
+	r.PrefillLatency = pre.Latency
+	r.DecodeLatency = dec.Latency
+	r.Breakdown = Breakdown{CPU: pre.CPUBusy + dec.CPUBusy}
+	return r, nil
+}
+
+// runFlexGen models the latest offloading baseline (§3, §7): AVX512 CPU
+// kernels, the fixed attention-scoring offload (only when the KV cache is
+// CPU-resident), per-sublayer-column GPU pinning, and mini-batched
+// overlap in *both* stages — including the decode mini-batching that
+// costs it 1.1–1.3× against LIA at large B (§5.2).
+func runFlexGen(cfg Config) (Result, error) {
+	var r Result
+	w := cfg.Workload
+	m := cfg.Model
+	plan, oom, reason := hostPlanFor(cfg)
+	if oom {
+		return Result{OOM: true, OOMReason: reason}, nil
+	}
+	r.HostPlan = plan
+
+	gpuPlan := memplan.PlanFlexGenGPU(cfg.System.GPU, m, w.Batch, w.InputLen+w.OutputLen)
+	r.KVOnGPU = gpuPlan.KVOnGPU
+	// Column pinning reduces aggregate parameter traffic like pinning an
+	// equivalent number of whole layers.
+	pinnedEquiv := int(gpuPlan.PinnedParamFraction * float64(m.Layers))
+	r.PinnedLayers = pinnedEquiv
+
+	env := core.NewEnv(cfg.System, m).WithAVXCPU(cfg.System)
+	opt := core.Options{KVOnGPU: gpuPlan.KVOnGPU}
+
+	// FlexGen's fixed policy: everything on GPU, except attention scoring
+	// on the CPU once the KV cache has spilled to host memory.
+	policy := core.FullGPU
+	if !gpuPlan.KVOnGPU {
+		policy = core.PartialCPU
+	}
+	r.PrefillPolicy = core.FullGPU // prefill attention stays on GPU
+	r.DecodePolicy = policy
+
+	mb := 1
+	if w.Batch > 1 {
+		mb = 2
+	}
+	prefillPlan := exec.Plan{
+		Env:          env,
+		Policy:       core.FullGPU,
+		Opt:          opt,
+		Layers:       m.Layers,
+		PinnedLayers: pinnedEquiv,
+		Overlap:      true,
+		MiniBatches:  mb,
+	}
+	pre, err := prefillPlan.RunStage(model.Prefill, w.Batch, w.InputLen)
+	if err != nil {
+		return Result{}, err
+	}
+	decodePlan := prefillPlan
+	decodePlan.Policy = policy
+	decodePlan.MiniBatches = mb // FlexGen mini-batches decode too
+	dec, err := decodePlan.RunDecodeSequence(w.Batch, w.InputLen, w.OutputLen)
+	if err != nil {
+		return Result{}, err
+	}
+	r.PrefillLatency = pre.Latency
+	r.DecodeLatency = dec.Latency
+	r.Breakdown = Breakdown{
+		CPU:  pre.CPUBusy + dec.CPUBusy,
+		GPU:  pre.GPUBusy + dec.GPUBusy,
+		Comm: pre.CommBusy + dec.CommBusy,
+	}
+	return r, nil
+}
+
+// PowerInfer modeling constants: the hot-neuron fraction resident on the
+// GPU, the effective cold-neuron activity per request, and the reuse
+// window of the sparse CPU kernels.
+const (
+	powerInferHotFraction = 0.15
+	// ReLU models exhibit strong natural sparsity; gated-FFN models
+	// (SwiGLU, e.g. Llama2) do not — PowerInfer "focuses only on LLMs
+	// with high sparsity" (§7.9), so its cold side runs nearly dense
+	// there.
+	powerInferColdActivityReLU  = 0.35
+	powerInferColdActivityGated = 0.90
+	// Per-request activation masks defeat cross-batch weight reuse in the
+	// sparse cold-neuron kernels: each request touches its own cold set,
+	// so cold weight traffic grows with batch up to this reuse window.
+	powerInferReuseWindow = 8
+)
+
+// runPowerInfer models the hot/cold neuron split (§7.9): the GPU holds
+// hot FFN neurons plus attention and the KV cache; the CPU (AVX-class
+// kernels — PowerInfer targets consumer CPUs and does not use AMX)
+// computes cold neurons, with activations crossing PCIe twice per FFN.
+// It OOMs when hot parameters + KV cache exceed GPU memory (the B=900
+// failure in Figure 15).
+func runPowerInfer(cfg Config) (Result, error) {
+	var r Result
+	w := cfg.Workload
+	m := cfg.Model
+	plan, oom, reason := hostPlanFor(cfg)
+	if oom {
+		return Result{OOM: true, OOMReason: reason}, nil
+	}
+	r.HostPlan = plan
+
+	lMax := w.InputLen + w.OutputLen
+	// The GPU holds the hot FFN neurons, the KV cache, activations, and a
+	// double-buffered layer working set; attention weights and cold
+	// neurons stream from the host.
+	ffnParams := (m.DataY(model.Prefill, model.FC1, 1, 1) + m.DataY(model.Prefill, model.FC2, 1, 1)) * units.Bytes(m.Layers)
+	hotParams := units.Bytes(powerInferHotFraction * float64(ffnParams))
+	gpuNeed := hotParams + m.KVBytes(w.Batch, lMax) +
+		m.ActivationBytes(w.Batch, lMax, model.Prefill) + 2*m.LayerParamBytes()
+	if gpuNeed > cfg.System.GPU.MemCapacity {
+		return Result{OOM: true, OOMReason: fmt.Sprintf("PowerInfer GPU working set %v exceeds %v (CUDA OOM)", gpuNeed, cfg.System.GPU.MemCapacity)}, nil
+	}
+	// Attention/projection weights occupy whatever GPU memory remains;
+	// the rest streams over PCIe every layer — the "frequent data
+	// transfer" §7.9 blames for PowerInfer's losses.
+	attnParams := m.ParamBytes() - ffnParams
+	attnResidentFrac := 0.0
+	if attnParams > 0 {
+		attnResidentFrac = float64(cfg.System.GPU.MemCapacity-gpuNeed) / float64(attnParams)
+		if attnResidentFrac > 1 {
+			attnResidentFrac = 1
+		}
+	}
+
+	gpu := perf.GPUDevice(cfg.System.GPU)
+	cpu := perf.CPUDevice(cfg.System.CPU, hw.AVX512)
+	link := cfg.System.HostLink()
+
+	stageTime := func(stage model.Stage, l int) (units.Seconds, Breakdown) {
+		rows := w.Batch * l
+		if stage == model.Decode {
+			rows = w.Batch
+		}
+		var gpuT, cpuT, commT units.Seconds
+		for _, s := range model.Sublayers() {
+			c := m.Compute(stage, s, w.Batch, l)
+			dx := m.DataX(stage, s, w.Batch, l)
+			dy := m.DataY(stage, s, w.Batch, l)
+			switch s {
+			case model.FC1, model.FC2:
+				// Hot fraction on GPU at full density; cold fraction on
+				// CPU at its activity level, with cold weight traffic
+				// replicated per request up to the sparse-kernel reuse
+				// window. Activations cross PCIe both ways around the
+				// split.
+				activity := powerInferColdActivityReLU
+				if m.GatedFFN {
+					activity = powerInferColdActivityGated
+				}
+				reuse := w.Batch
+				if reuse > powerInferReuseWindow {
+					reuse = powerInferReuseWindow
+				}
+				hotC := units.FLOPs(powerInferHotFraction * float64(c))
+				coldC := units.FLOPs((1 - powerInferHotFraction) * activity * float64(c))
+				hotY := units.Bytes(powerInferHotFraction * float64(dy))
+				coldY := units.Bytes((1 - powerInferHotFraction) * activity * float64(dy) * float64(reuse))
+				gpuT += gpu.Time(hotC, dx+hotY, rows)
+				cpuT += cpu.Time(coldC, dx+coldY, rows)
+				commT += link.Transfer(dx) * 2
+			default:
+				// Attention and projections on the GPU; the non-resident
+				// share of their weights streams over PCIe each layer.
+				gpuT += gpu.Time(c, dx+dy, rows)
+				if s != model.QKT && s != model.SV {
+					commT += link.Transfer(units.Bytes((1 - attnResidentFrac) * float64(dy)))
+				}
+			}
+		}
+		// CPU and GPU halves of each FFN run concurrently; transfers
+		// serialize with the slower half.
+		compute := gpuT
+		if cpuT > compute {
+			compute = cpuT
+		}
+		return compute + commT, Breakdown{CPU: cpuT, GPU: gpuT, Comm: commT}
+	}
+
+	preT, preB := stageTime(model.Prefill, w.InputLen)
+	r.PrefillLatency = preT * units.Seconds(m.Layers)
+	r.Breakdown = Breakdown{CPU: preB.CPU * units.Seconds(m.Layers), GPU: preB.GPU * units.Seconds(m.Layers), Comm: preB.Comm * units.Seconds(m.Layers)}
+	for t := 0; t < w.OutputLen; t++ {
+		decT, decB := stageTime(model.Decode, w.InputLen+t)
+		r.DecodeLatency += decT * units.Seconds(m.Layers)
+		r.Breakdown.CPU += decB.CPU * units.Seconds(m.Layers)
+		r.Breakdown.GPU += decB.GPU * units.Seconds(m.Layers)
+		r.Breakdown.Comm += decB.Comm * units.Seconds(m.Layers)
+	}
+	r.PrefillPolicy = core.FullGPU
+	r.DecodePolicy = core.MoEPartial // closest vector: FFN partially on CPU
+	return r, nil
+}
+
+// runMultiGPU models 8-way tensor parallelism on a DGX (§7.8): all
+// parameters and KV resident across the GPUs, per-GPU FLOPs divided by
+// the GPU count, and two NVLink all-reduces per decoder layer (after the
+// attention output projection and after FC2).
+func runMultiGPU(cfg Config) (Result, error) {
+	var r Result
+	w := cfg.Workload
+	m := cfg.Model
+	n := cfg.System.GPUCount
+	if n < 1 {
+		return Result{}, fmt.Errorf("engine: MultiGPU needs GPUs")
+	}
+	lMax := w.InputLen + w.OutputLen
+	if !memplan.GPUFits(cfg.System.GPU, n, m, w.Batch, lMax) {
+		return Result{OOM: true, OOMReason: fmt.Sprintf("model + KV exceed %d × %v", n, cfg.System.GPU.MemCapacity)}, nil
+	}
+
+	gpu := perf.GPUDevice(cfg.System.GPU)
+	peer := cfg.System.GPU.PeerLink
+	if peer.BW <= 0 {
+		return Result{}, fmt.Errorf("engine: MultiGPU requires a peer link on %s", cfg.System.GPU.Name)
+	}
+
+	stageTime := func(stage model.Stage, l int) (units.Seconds, Breakdown) {
+		rows := w.Batch * l
+		if stage == model.Decode {
+			rows = w.Batch
+		}
+		var gpuT units.Seconds
+		for _, s := range model.Sublayers() {
+			c := units.FLOPs(float64(m.Compute(stage, s, w.Batch, l)) / float64(n))
+			traffic := units.Bytes(float64(m.DataX(stage, s, w.Batch, l)+m.DataY(stage, s, w.Batch, l)) / float64(n))
+			gpuT += gpu.Time(c, traffic, rows)
+		}
+		// Ring all-reduce of the hidden states after OutProj and FC2
+		// (core.TPAllReduceTime carries the calibrated per-op floor).
+		hidden := m.DataX(stage, model.QKVMapping, w.Batch, l)
+		comm := 2 * core.TPAllReduceTime(n, peer, hidden)
+		return gpuT + comm, Breakdown{GPU: gpuT, Comm: comm}
+	}
+
+	preT, preB := stageTime(model.Prefill, w.InputLen)
+	r.PrefillLatency = preT * units.Seconds(m.Layers)
+	r.Breakdown = Breakdown{GPU: preB.GPU * units.Seconds(m.Layers), Comm: preB.Comm * units.Seconds(m.Layers)}
+	for t := 0; t < w.OutputLen; t++ {
+		decT, decB := stageTime(model.Decode, w.InputLen+t)
+		r.DecodeLatency += decT * units.Seconds(m.Layers)
+		r.Breakdown.GPU += decB.GPU * units.Seconds(m.Layers)
+		r.Breakdown.Comm += decB.Comm * units.Seconds(m.Layers)
+	}
+	r.PrefillPolicy = core.FullGPU
+	r.DecodePolicy = core.FullGPU
+	r.KVOnGPU = true
+	r.PinnedLayers = m.Layers
+	return r, nil
+}
+
+// runZeRO models DeepSpeed-style pure data offloading (§9): every
+// parameter streams from host memory on every pass, all sublayers compute
+// on the GPU, the KV cache stays on the GPU while it fits and spills to
+// the host (with per-step PCIe traffic) when it does not. No compute
+// offloading, no pinning, no mini-batching — the simplest point in the
+// offloading design space, and the reason FlexGen's optimizations (and
+// LIA's) exist.
+func runZeRO(cfg Config) (Result, error) {
+	var r Result
+	w := cfg.Workload
+	m := cfg.Model
+	plan, oom, reason := hostPlanFor(cfg)
+	if oom {
+		return Result{OOM: true, OOMReason: reason}, nil
+	}
+	r.HostPlan = plan
+
+	lMax := w.InputLen + w.OutputLen
+	kvFits := m.KVBytes(w.Batch, lMax)+m.ActivationBytes(w.Batch, lMax, model.Prefill)+2*m.LayerParamBytes() <= cfg.System.GPU.MemCapacity
+	r.KVOnGPU = kvFits
+
+	env := core.NewEnv(cfg.System, m)
+	p := exec.Plan{
+		Env:         env,
+		Policy:      core.FullGPU,
+		Opt:         core.Options{KVOnGPU: kvFits},
+		Layers:      m.Layers,
+		Overlap:     true, // DeepSpeed prefetches the next layer
+		MiniBatches: 1,
+	}
+	r.PrefillPolicy = core.FullGPU
+	r.DecodePolicy = core.FullGPU
+	pre, err := p.RunStage(model.Prefill, w.Batch, w.InputLen)
+	if err != nil {
+		return Result{}, err
+	}
+	dec, err := p.RunDecodeSequence(w.Batch, w.InputLen, w.OutputLen)
+	if err != nil {
+		return Result{}, err
+	}
+	r.PrefillLatency = pre.Latency
+	r.DecodeLatency = dec.Latency
+	r.Breakdown = Breakdown{
+		CPU:  pre.CPUBusy + dec.CPUBusy,
+		GPU:  pre.GPUBusy + dec.GPUBusy,
+		Comm: pre.CommBusy + dec.CommBusy,
+	}
+	return r, nil
+}

@@ -1,0 +1,198 @@
+// Package engine runs end-to-end inference estimates: given a system, a
+// model, and a workload (B, L_in, L_out), it executes the full
+// prefill-plus-decode pipeline under one of the frameworks the paper
+// compares — LIA, IPEX (CPU-only AMX), FlexGen (AVX offloading),
+// PowerInfer (hot/cold neuron split), 8-way tensor-parallel multi-GPU,
+// and ZeRO-Inference (pure data offloading) — and reports latency,
+// throughput, the Table 5 resource breakdown, energy, and memory
+// placement.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/energy"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/memplan"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/trace"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Framework identifies an inference stack.
+type Framework int
+
+// The compared frameworks.
+const (
+	// LIA is the paper's framework: optimal compute offloading, AMX CPU
+	// kernels, Optimization-1 and Optimization-2.
+	LIA Framework = iota
+	// IPEX is Intel's CPU-only AMX stack.
+	IPEX
+	// FlexGen is the memory-offloading baseline: AVX CPU kernels, fixed
+	// attention offload, per-sublayer-column GPU pinning, mini-batched
+	// overlap in both stages.
+	FlexGen
+	// PowerInfer splits hot neurons to the GPU and cold neurons to the
+	// CPU, exchanging activations over PCIe inside every layer.
+	PowerInfer
+	// MultiGPU is 8-way tensor parallelism on a DGX (no offloading).
+	MultiGPU
+	// ZeROInference is DeepSpeed-style pure data offloading (§9 [13]):
+	// parameters stream from host memory every pass, all compute on the
+	// GPU, no attention offload and no sublayer pinning.
+	ZeROInference
+)
+
+// String implements fmt.Stringer.
+func (f Framework) String() string {
+	switch f {
+	case LIA:
+		return "LIA"
+	case IPEX:
+		return "IPEX"
+	case FlexGen:
+		return "FlexGen"
+	case PowerInfer:
+		return "PowerInfer"
+	case MultiGPU:
+		return "MultiGPU-TP8"
+	case ZeROInference:
+		return "ZeRO-Inference"
+	default:
+		return fmt.Sprintf("Framework(%d)", int(f))
+	}
+}
+
+// Ablation switches individual LIA features off (Table 4).
+type Ablation struct {
+	// NoOpt1 disables GPU-memory pinning (Optimization-1).
+	NoOpt1 bool
+	// NoOpt2 disables compute/transfer overlap (Optimization-2).
+	NoOpt2 bool
+	// ForcePolicy overrides LIA's optimizer with a fixed policy (e.g.
+	// FlexGen's) for both stages.
+	ForcePolicy *core.Policy
+}
+
+// Config is one experiment's full specification.
+type Config struct {
+	// Framework selects the stack.
+	Framework Framework
+	// System is the hardware platform.
+	System hw.System
+	// Model is the network.
+	Model model.Config
+	// Workload is the (B, L_in, L_out) shape.
+	Workload trace.Workload
+	// Placement is the host DDR/CXL split (§6); zero value = DDR only.
+	Placement cxl.Placement
+	// Ablation disables LIA features (ignored by other frameworks).
+	Ablation Ablation
+	// AssumeHostCapacity skips the host-memory OOM check — the paper's
+	// "latency model" mode (starred datapoints in Figures 10–11) for
+	// workloads beyond the testbed's 512 GB DDR.
+	AssumeHostCapacity bool
+}
+
+// Breakdown aggregates resource busy time across the whole run (Table 5).
+type Breakdown struct {
+	// CPU, GPU and Comm are accumulated service times.
+	CPU, GPU, Comm units.Seconds
+}
+
+// Result is an end-to-end estimate.
+type Result struct {
+	// Config echoes the inputs.
+	Config Config
+	// OOM marks runs that do not fit (GPU memory for PowerInfer/MultiGPU,
+	// host memory otherwise); all other fields are zero when set.
+	OOM bool
+	// OOMReason explains what overflowed.
+	OOMReason string
+	// PrefillLatency and DecodeLatency split the run by stage.
+	PrefillLatency, DecodeLatency units.Seconds
+	// Latency is the end-to-end seconds/query (§7's online metric).
+	Latency units.Seconds
+	// Throughput is generated tokens per second (§7's offline metric).
+	Throughput float64
+	// Breakdown is the Table 5 resource decomposition.
+	Breakdown Breakdown
+	// Energy and EnergyPerToken follow §7.5.
+	Energy         units.Joules
+	EnergyPerToken units.Joules
+	// PrefillPolicy and DecodePolicy record the offloading decisions.
+	PrefillPolicy, DecodePolicy core.Policy
+	// PinnedLayers and KVOnGPU record the Optimization-1 plan.
+	PinnedLayers int
+	KVOnGPU      bool
+	// HostPlan records the DDR/CXL placement accounting.
+	HostPlan memplan.HostPlan
+}
+
+// Run executes the configured estimate.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Workload.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.System.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return Result{}, err
+	}
+	var (
+		res Result
+		err error
+	)
+	switch cfg.Framework {
+	case LIA:
+		res, err = runLIA(cfg)
+	case IPEX:
+		res, err = runIPEX(cfg)
+	case FlexGen:
+		res, err = runFlexGen(cfg)
+	case PowerInfer:
+		res, err = runPowerInfer(cfg)
+	case MultiGPU:
+		res, err = runMultiGPU(cfg)
+	case ZeROInference:
+		res, err = runZeRO(cfg)
+	default:
+		return Result{}, fmt.Errorf("engine: unknown framework %v", cfg.Framework)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Config = cfg
+	finalize(&res)
+	return res, nil
+}
+
+// finalize derives latency/throughput/energy from the stage results.
+func finalize(r *Result) {
+	if r.OOM {
+		return
+	}
+	r.Latency = r.PrefillLatency + r.DecodeLatency
+	w := r.Config.Workload
+	if r.Latency > 0 {
+		r.Throughput = float64(w.TotalTokens()) / float64(r.Latency)
+	}
+	em := energy.ForSystem(r.Config.System)
+	r.Energy = em.Energy(r.Latency, r.Breakdown.CPU, r.Breakdown.GPU)
+	r.EnergyPerToken = energy.PerToken(r.Energy, w.TotalTokens())
+}
+
+// hostPlanFor computes and capacity-checks the host placement. It returns
+// an OOM result when host memory cannot hold the workload.
+func hostPlanFor(cfg Config) (memplan.HostPlan, bool, string) {
+	w := cfg.Workload
+	plan := memplan.PlanHost(cfg.System, cfg.Model, w.Batch, w.InputLen+w.OutputLen, cfg.Placement)
+	if !plan.Fits && !cfg.AssumeHostCapacity {
+		return plan, true, fmt.Sprintf("host memory: %s", plan)
+	}
+	return plan, false, ""
+}

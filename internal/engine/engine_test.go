@@ -1,0 +1,441 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustFit(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r := run(t, cfg)
+	if r.OOM {
+		t.Fatalf("%v on %s OOMed: %s", cfg.Framework, cfg.System.Name, r.OOMReason)
+	}
+	return r
+}
+
+func wl(b, lin, lout int) trace.Workload {
+	return trace.Workload{Batch: b, InputLen: lin, OutputLen: lout}
+}
+
+func TestFrameworkString(t *testing.T) {
+	names := map[Framework]string{LIA: "LIA", IPEX: "IPEX", FlexGen: "FlexGen", PowerInfer: "PowerInfer", MultiGPU: "MultiGPU-TP8"}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d → %q, want %q", int(f), f.String(), want)
+		}
+	}
+}
+
+func TestRunValidatesInputs(t *testing.T) {
+	if _, err := Run(Config{Framework: LIA, System: hw.SPRA100, Model: model.OPT30B}); err == nil {
+		t.Error("zero workload accepted")
+	}
+	if _, err := Run(Config{Framework: Framework(99), System: hw.SPRA100, Model: model.OPT30B, Workload: wl(1, 32, 32)}); err == nil {
+		t.Error("unknown framework accepted")
+	}
+}
+
+// TestFigure10OnlineLatency reproduces the online (B=1) comparison on
+// SPR-A100: LIA beats IPEX modestly and FlexGen massively, with the gap
+// over FlexGen growing from OPT-30B to OPT-175B.
+func TestFigure10OnlineLatency(t *testing.T) {
+	for _, tc := range []struct {
+		m              model.Config
+		ipexLo, ipexHi float64
+		fgLo           float64
+		assumeHostFits bool
+	}{
+		{model.OPT30B, 1.2, 3.5, 3.0, false},
+		{model.OPT175B, 1.0, 2.0, 4.0, false},
+	} {
+		w := wl(1, 512, 32)
+		base := Config{System: hw.SPRA100, Model: tc.m, Workload: w, AssumeHostCapacity: tc.assumeHostFits}
+		lia := mustFit(t, withFW(base, LIA))
+		ipex := mustFit(t, withFW(base, IPEX))
+		fg := mustFit(t, withFW(base, FlexGen))
+		ipexRatio := float64(ipex.Latency) / float64(lia.Latency)
+		fgRatio := float64(fg.Latency) / float64(lia.Latency)
+		if ipexRatio < tc.ipexLo || ipexRatio > tc.ipexHi {
+			t.Errorf("%s: IPEX/LIA = %.2f, want [%.1f, %.1f] (paper: 1.1-2.1)", tc.m.Name, ipexRatio, tc.ipexLo, tc.ipexHi)
+		}
+		if fgRatio < tc.fgLo {
+			t.Errorf("%s: FlexGen/LIA = %.2f, want ≥%.1f (paper: 4.0-12)", tc.m.Name, fgRatio, tc.fgLo)
+		}
+	}
+}
+
+func withFW(cfg Config, f Framework) Config {
+	cfg.Framework = f
+	return cfg
+}
+
+// TestFigure10GapGrowsWithModel: LIA's advantage over FlexGen widens from
+// OPT-30B to OPT-175B (§7.2).
+func TestFigure10GapGrowsWithModel(t *testing.T) {
+	ratio := func(m model.Config) float64 {
+		base := Config{System: hw.SPRA100, Model: m, Workload: wl(1, 256, 32)}
+		lia := mustFit(t, withFW(base, LIA))
+		fg := mustFit(t, withFW(base, FlexGen))
+		return float64(fg.Latency) / float64(lia.Latency)
+	}
+	if r30, r175 := ratio(model.OPT30B), ratio(model.OPT175B); r175 <= r30 {
+		t.Errorf("FlexGen/LIA gap should grow with model size: %.2f → %.2f", r30, r175)
+	}
+}
+
+// TestFigure10H100FasterThanA100: LIA on SPR-H100 beats SPR-A100 for
+// OPT-175B (paper: 1.1-1.3×).
+func TestFigure10H100FasterThanA100(t *testing.T) {
+	w := wl(1, 512, 32)
+	a := mustFit(t, Config{Framework: LIA, System: hw.SPRA100, Model: model.OPT175B, Workload: w})
+	h := mustFit(t, Config{Framework: LIA, System: hw.SPRH100, Model: model.OPT175B, Workload: w})
+	ratio := float64(a.Latency) / float64(h.Latency)
+	if ratio < 1.0 || ratio > 1.8 {
+		t.Errorf("A100/H100 LIA latency ratio = %.2f, want [1.0, 1.8] (paper: 1.1-1.3)", ratio)
+	}
+}
+
+// TestFigure11OfflineThroughput: at B=64 and B=900, LIA's throughput
+// leads both baselines on SPR-A100 for OPT-30B.
+func TestFigure11OfflineThroughput(t *testing.T) {
+	for _, b := range []int{64, 900} {
+		base := Config{System: hw.SPRA100, Model: model.OPT30B, Workload: wl(b, 256, 32), AssumeHostCapacity: true}
+		lia := mustFit(t, withFW(base, LIA))
+		ipex := mustFit(t, withFW(base, IPEX))
+		fg := mustFit(t, withFW(base, FlexGen))
+		if lia.Throughput <= ipex.Throughput {
+			t.Errorf("B=%d: LIA %.1f tok/s ≤ IPEX %.1f", b, lia.Throughput, ipex.Throughput)
+		}
+		if lia.Throughput <= fg.Throughput {
+			t.Errorf("B=%d: LIA %.1f tok/s ≤ FlexGen %.1f", b, lia.Throughput, fg.Throughput)
+		}
+	}
+}
+
+// TestThroughputGrowsWithBatch: B=900 yields far higher throughput than
+// B=64 (Figure 11's main vertical trend).
+func TestThroughputGrowsWithBatch(t *testing.T) {
+	base := Config{Framework: LIA, System: hw.SPRA100, Model: model.OPT30B, AssumeHostCapacity: true}
+	small := mustFit(t, func() Config { c := base; c.Workload = wl(64, 32, 32); return c }())
+	big := mustFit(t, func() Config { c := base; c.Workload = wl(900, 32, 32); return c }())
+	if big.Throughput <= 2*small.Throughput {
+		t.Errorf("B=900 throughput %.1f not ≫ B=64 %.1f", big.Throughput, small.Throughput)
+	}
+}
+
+// TestTable4Ablation reproduces the ablation orderings: every disabled
+// optimization hurts, Optimization-1 matters most at B=1, Optimization-2
+// at B=900, and FlexGen's policy is far worse at B=1/B=64 but ties at
+// B=900.
+func TestTable4Ablation(t *testing.T) {
+	base := Config{Framework: LIA, System: hw.SPRA100, Model: model.OPT30B, AssumeHostCapacity: true}
+	lat := func(b int, ab Ablation) float64 {
+		c := base
+		c.Workload = wl(b, 256, 32)
+		c.Ablation = ab
+		return float64(mustFit(t, c).Latency)
+	}
+	fgPolicy := core.PartialCPU
+	for _, b := range []int{1, 64, 900} {
+		full := lat(b, Ablation{})
+		noOpt1 := lat(b, Ablation{NoOpt1: true})
+		noOpt2 := lat(b, Ablation{NoOpt2: true})
+		forced := lat(b, Ablation{ForcePolicy: &fgPolicy})
+		if noOpt1 < full*0.999 || noOpt2 < full*0.999 || forced < full*0.999 {
+			t.Errorf("B=%d: ablations should not beat full LIA (full=%.2f, noOpt1=%.2f, noOpt2=%.2f, forced=%.2f)",
+				b, full, noOpt1, noOpt2, forced)
+		}
+		switch b {
+		case 1:
+			if noOpt1/full < 1.3 {
+				t.Errorf("B=1: Optimization-1 should matter strongly (ratio %.2f, paper: 2.0)", noOpt1/full)
+			}
+			if forced/full < 2 {
+				t.Errorf("B=1: FlexGen policy should be much worse (ratio %.2f, paper: 6.2)", forced/full)
+			}
+		case 900:
+			if noOpt2/full < 1.1 {
+				t.Errorf("B=900: Optimization-2 should matter (ratio %.2f, paper: 1.5)", noOpt2/full)
+			}
+			if forced/full > 1.2 {
+				t.Errorf("B=900: forced FlexGen policy should ≈ tie (ratio %.2f, paper: 1.0)", forced/full)
+			}
+		}
+	}
+}
+
+// TestTable5BreakdownShape: LIA's communication time is far below
+// FlexGen's, and IPEX has CPU time only.
+func TestTable5BreakdownShape(t *testing.T) {
+	base := Config{System: hw.SPRA100, Model: model.OPT30B, Workload: wl(64, 256, 32), AssumeHostCapacity: true}
+	lia := mustFit(t, withFW(base, LIA))
+	ipex := mustFit(t, withFW(base, IPEX))
+	fg := mustFit(t, withFW(base, FlexGen))
+	if ipex.Breakdown.GPU != 0 || ipex.Breakdown.Comm != 0 {
+		t.Error("IPEX must be CPU-only")
+	}
+	if ipex.Breakdown.CPU <= lia.Breakdown.CPU {
+		t.Error("IPEX should spend more CPU time than LIA (paper: 75.7 vs 16.9)")
+	}
+	if lia.Breakdown.Comm >= fg.Breakdown.Comm {
+		t.Errorf("LIA comm %v should undercut FlexGen's %v (paper: 3.9 vs 86)", lia.Breakdown.Comm, fg.Breakdown.Comm)
+	}
+}
+
+// TestTable3CXLNeutrality: CXL parameter offloading costs ≤ a few percent
+// of throughput at the same B while cutting DDR usage substantially.
+func TestTable3CXLNeutrality(t *testing.T) {
+	sys := hw.SPRA100.WithCXL(2, hw.SamsungCXL128)
+	w := wl(900, 32, 32)
+	ddr := mustFit(t, Config{Framework: LIA, System: sys, Model: model.OPT30B, Workload: w})
+	cxlRun := mustFit(t, Config{Framework: LIA, System: sys, Model: model.OPT30B, Workload: w, Placement: cxl.PolicyPlacement()})
+	ratio := cxlRun.Throughput / ddr.Throughput
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("CXL/DDR throughput ratio = %.3f, want within 1%%–5%% (paper: within 1%%)", ratio)
+	}
+	if cxlRun.HostPlan.DDRUsed >= ddr.HostPlan.DDRUsed {
+		t.Error("CXL placement must reduce DDR usage")
+	}
+	frac := cxlRun.HostPlan.OffloadedFraction
+	if frac < 0.30 || frac > 0.55 {
+		t.Errorf("offloaded fraction = %.2f, want ≈0.43", frac)
+	}
+}
+
+// TestPowerInferComparison reproduces Figure 15's shape on GNR-A100 with
+// Llama2-70B: LIA is faster online, and PowerInfer OOMs at B=900.
+func TestPowerInferComparison(t *testing.T) {
+	base := Config{System: hw.GNRA100, Model: model.Llama270B, Workload: wl(1, 512, 32)}
+	lia := mustFit(t, withFW(base, LIA))
+	pi := mustFit(t, withFW(base, PowerInfer))
+	ratio := float64(pi.Latency) / float64(lia.Latency)
+	if ratio < 1.2 {
+		t.Errorf("PowerInfer/LIA latency = %.2f, want ≥1.2 (paper: 1.4-9.0)", ratio)
+	}
+	big := base
+	big.Workload = wl(900, 512, 32)
+	big.AssumeHostCapacity = true
+	piBig := run(t, withFW(big, PowerInfer))
+	if !piBig.OOM || !strings.Contains(piBig.OOMReason, "OOM") {
+		t.Errorf("PowerInfer at B=900 should CUDA-OOM, got %+v", piBig.OOMReason)
+	}
+	liaBig := mustFit(t, withFW(big, LIA))
+	if liaBig.Throughput <= lia.Throughput {
+		t.Error("LIA should scale throughput with batch where PowerInfer cannot")
+	}
+}
+
+// TestFigure14MultiGPU: per-GPU throughput favors LIA at B=1; the DGX
+// wins per-GPU at B=64; and the DGX OOMs at B=900 where LIA keeps going.
+func TestFigure14MultiGPU(t *testing.T) {
+	liaCfg := Config{Framework: LIA, System: hw.GNRA100, Model: model.OPT175B, AssumeHostCapacity: true}
+	dgxCfg := Config{Framework: MultiGPU, System: hw.DGXA100, Model: model.OPT175B, AssumeHostCapacity: true}
+
+	perGPU := func(r Result, n int) float64 { return r.Throughput / float64(n) }
+
+	// A decode-dominated shape, where tensor parallelism's per-layer
+	// synchronization overhead shows (Figure 14's regime).
+	liaCfg.Workload, dgxCfg.Workload = wl(1, 32, 256), wl(1, 32, 256)
+	lia1 := mustFit(t, liaCfg)
+	dgx1 := mustFit(t, dgxCfg)
+	if perGPU(lia1, 1) <= perGPU(dgx1, 8) {
+		t.Errorf("B=1: LIA per-GPU %.2f should beat DGX %.2f (paper: 1.4-1.8x)", perGPU(lia1, 1), perGPU(dgx1, 8))
+	}
+
+	liaCfg.Workload, dgxCfg.Workload = wl(64, 32, 256), wl(64, 32, 256)
+	lia64 := mustFit(t, liaCfg)
+	dgx64 := mustFit(t, dgxCfg)
+	if perGPU(lia64, 1) >= perGPU(dgx64, 8) {
+		t.Errorf("B=64: DGX per-GPU %.2f should lead LIA %.2f (paper: LIA 30-33%% lower)", perGPU(dgx64, 8), perGPU(lia64, 1))
+	}
+
+	dgxCfg.Workload = wl(900, 512, 32)
+	dgx900 := run(t, dgxCfg)
+	if !dgx900.OOM {
+		t.Error("DGX at B=900 should OOM (Figure 14)")
+	}
+}
+
+// TestEnergyOrdering reproduces Figure 12's ordering at small B: LIA's
+// energy/token undercuts both IPEX and FlexGen.
+func TestEnergyOrdering(t *testing.T) {
+	base := Config{System: hw.SPRA100, Model: model.OPT30B, Workload: wl(1, 256, 32)}
+	lia := mustFit(t, withFW(base, LIA))
+	ipex := mustFit(t, withFW(base, IPEX))
+	fg := mustFit(t, withFW(base, FlexGen))
+	if lia.EnergyPerToken <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	if float64(ipex.EnergyPerToken)/float64(lia.EnergyPerToken) < 1.05 {
+		t.Errorf("IPEX/LIA energy = %.2f, want >1.05 (paper: 1.1-5.8)", float64(ipex.EnergyPerToken)/float64(lia.EnergyPerToken))
+	}
+	if float64(fg.EnergyPerToken)/float64(lia.EnergyPerToken) < 1.5 {
+		t.Errorf("FlexGen/LIA energy = %.2f, want >1.5 (paper: 1.6-10.3)", float64(fg.EnergyPerToken)/float64(lia.EnergyPerToken))
+	}
+}
+
+// TestGNRNarrowsIPEXGapWidensFlexGenGap reproduces §7.6: upgrading
+// SPR→GNR shrinks LIA's lead over IPEX and grows it over FlexGen.
+func TestGNRNarrowsIPEXGapWidensFlexGenGap(t *testing.T) {
+	gaps := func(sys hw.System) (float64, float64) {
+		base := Config{System: sys, Model: model.OPT30B, Workload: wl(1, 512, 32)}
+		lia := mustFit(t, withFW(base, LIA))
+		ipex := mustFit(t, withFW(base, IPEX))
+		fg := mustFit(t, withFW(base, FlexGen))
+		return float64(ipex.Latency) / float64(lia.Latency), float64(fg.Latency) / float64(lia.Latency)
+	}
+	sprIPEX, sprFG := gaps(hw.SPRA100)
+	gnrIPEX, gnrFG := gaps(hw.GNRA100)
+	if gnrIPEX >= sprIPEX {
+		t.Errorf("GNR should narrow the IPEX gap: %.2f → %.2f", sprIPEX, gnrIPEX)
+	}
+	if gnrFG <= sprFG {
+		t.Errorf("GNR should widen the FlexGen gap: %.2f → %.2f", sprFG, gnrFG)
+	}
+}
+
+// TestGH200PrefersAllGPU reproduces §8: on Grace-Hopper the optimizer
+// sends everything to the GPU — NVLink-C2C removes the transfer penalty.
+func TestGH200PrefersAllGPU(t *testing.T) {
+	r := mustFit(t, Config{Framework: LIA, System: hw.GH200, Model: model.OPT175B, Workload: wl(4, 512, 32)})
+	if r.PrefillPolicy != core.FullGPU || r.DecodePolicy != core.FullGPU {
+		t.Errorf("GH200 policies = %s / %s, want all-GPU", r.PrefillPolicy, r.DecodePolicy)
+	}
+}
+
+// TestHostOOMWithoutAssume: OPT-175B at B=900 overflows 512 GB DDR and
+// must report OOM when the latency-model escape hatch is off.
+func TestHostOOMWithoutAssume(t *testing.T) {
+	r := run(t, Config{Framework: LIA, System: hw.SPRA100, Model: model.OPT175B, Workload: wl(900, 512, 32)})
+	if !r.OOM {
+		t.Error("expected host OOM")
+	}
+	if r.Latency != 0 || r.Throughput != 0 {
+		t.Error("OOM results must carry no performance numbers")
+	}
+}
+
+// TestGeneralizability runs the §7.7 models end to end: LIA beats
+// FlexGen for Llama2/Chinchilla/Bloom on SPR-A100.
+func TestGeneralizability(t *testing.T) {
+	for _, m := range []model.Config{model.Llama270B, model.Chinchilla70B, model.Bloom176B} {
+		base := Config{System: hw.SPRA100, Model: m, Workload: wl(1, 512, 32), AssumeHostCapacity: true}
+		lia := mustFit(t, withFW(base, LIA))
+		fg := mustFit(t, withFW(base, FlexGen))
+		if float64(fg.Latency)/float64(lia.Latency) < 1.2 {
+			t.Errorf("%s: FlexGen/LIA = %.2f, want ≥1.2", m.Name, float64(fg.Latency)/float64(lia.Latency))
+		}
+	}
+}
+
+// TestEngineDeterminism: identical configs produce identical results.
+func TestEngineDeterminism(t *testing.T) {
+	cfg := Config{Framework: LIA, System: hw.SPRA100, Model: model.OPT30B, Workload: wl(8, 256, 16)}
+	a := mustFit(t, cfg)
+	b := mustFit(t, cfg)
+	if a.Latency != b.Latency || a.Throughput != b.Throughput || a.Energy != b.Energy {
+		t.Error("engine runs are not deterministic")
+	}
+}
+
+// TestLIAOnDGX: the §8 multi-GPU extension — LIA with 8-way tensor
+// parallelism pins the whole model (640 GB holds OPT-175B), goes all-GPU,
+// and at least matches the plain MultiGPU baseline.
+func TestLIAOnDGX(t *testing.T) {
+	w := wl(64, 32, 64)
+	liaTP := mustFit(t, Config{Framework: LIA, System: hw.DGXA100, Model: model.OPT175B, Workload: w, AssumeHostCapacity: true})
+	plain := mustFit(t, Config{Framework: MultiGPU, System: hw.DGXA100, Model: model.OPT175B, Workload: w, AssumeHostCapacity: true})
+	if liaTP.PinnedLayers != model.OPT175B.Layers {
+		t.Errorf("LIA-TP8 pinned %d/%d layers, want all", liaTP.PinnedLayers, model.OPT175B.Layers)
+	}
+	if liaTP.DecodePolicy != core.FullGPU {
+		t.Errorf("LIA-TP8 decode policy = %s, want all-GPU (§8)", liaTP.DecodePolicy)
+	}
+	if float64(liaTP.Latency) > 1.3*float64(plain.Latency) {
+		t.Errorf("LIA-TP8 latency %v should be within 1.3x of plain TP's %v", liaTP.Latency, plain.Latency)
+	}
+}
+
+// TestMultiGPULIAThroughputScales: adding PCIe-attached GPUs never hurts
+// and eventually helps.
+func TestMultiGPULIAThroughputScales(t *testing.T) {
+	tput := func(n int) float64 {
+		sys := hw.GNRA100
+		sys.GPUCount = n
+		r := mustFit(t, Config{Framework: LIA, System: sys, Model: model.OPT175B, Workload: wl(64, 256, 16), AssumeHostCapacity: true})
+		return r.Throughput
+	}
+	t1, t4 := tput(1), tput(4)
+	if t4 < t1 {
+		t.Errorf("4-GPU throughput %.1f below 1-GPU %.1f", t4, t1)
+	}
+}
+
+// TestInt8VariantThroughEngine: INT8 halves the host footprint and
+// improves transfer-bound latency.
+func TestInt8VariantThroughEngine(t *testing.T) {
+	w := wl(1, 256, 16)
+	bf16 := mustFit(t, Config{Framework: LIA, System: hw.SPRA100, Model: model.OPT175B, Workload: w})
+	int8 := mustFit(t, Config{Framework: LIA, System: hw.SPRA100, Model: model.OPT175B.Int8Variant(), Workload: w})
+	if int8.Latency >= bf16.Latency {
+		t.Errorf("INT8 latency %v should beat BF16 %v", int8.Latency, bf16.Latency)
+	}
+	if int8.HostPlan.DDRUsed >= bf16.HostPlan.DDRUsed {
+		t.Error("INT8 must shrink the host footprint")
+	}
+}
+
+// TestZeROInferenceOrdering: pure data offloading trails FlexGen (which
+// at least offloads attention once the KV cache spills) and LIA at large
+// batch, but matches FlexGen-class behaviour at B=1 where the KV fits.
+func TestZeROInferenceOrdering(t *testing.T) {
+	big := Config{System: hw.SPRA100, Model: model.OPT30B, Workload: wl(128, 512, 16), AssumeHostCapacity: true}
+	zero := mustFit(t, withFW(big, ZeROInference))
+	fg := mustFit(t, withFW(big, FlexGen))
+	liaRes := mustFit(t, withFW(big, LIA))
+	if zero.Throughput > fg.Throughput*1.05 {
+		t.Errorf("ZeRO %.1f tok/s should not beat FlexGen %.1f at spilled KV", zero.Throughput, fg.Throughput)
+	}
+	if zero.Throughput >= liaRes.Throughput {
+		t.Errorf("ZeRO %.1f tok/s should trail LIA %.1f", zero.Throughput, liaRes.Throughput)
+	}
+	if zero.DecodePolicy != core.FullGPU || zero.PinnedLayers != 0 {
+		t.Error("ZeRO must be all-GPU with no pinning")
+	}
+	if ZeROInference.String() != "ZeRO-Inference" {
+		t.Error("name wrong")
+	}
+}
+
+// TestCXLPlacementWithoutExpanders: asking for the §6 placement on a
+// system with no CXL installed is an immediate host OOM (capacity 0), not
+// a silent fallback.
+func TestCXLPlacementWithoutExpanders(t *testing.T) {
+	r := run(t, Config{
+		Framework: LIA, System: hw.SPRA100, Model: model.OPT30B,
+		Workload:  wl(1, 64, 8),
+		Placement: cxl.PolicyPlacement(),
+	})
+	if !r.OOM {
+		t.Error("CXL placement without expanders should OOM on CXL capacity")
+	}
+	if !strings.Contains(r.OOMReason, "host memory") {
+		t.Errorf("reason = %q", r.OOMReason)
+	}
+}

@@ -1,0 +1,283 @@
+// Package exec is LIA's execution back-end (§5.2, §5.3): it turns an
+// offloading policy plus a memory plan into a schedule of PCIe transfers
+// and CPU/GPU compute tasks, and times that schedule on the deterministic
+// scheduler in package sim. It implements both performance optimizations:
+//
+//   - Optimization-1 enters through pinned decoder layers (whole layers
+//     resident on the GPU, computed there with no parameter transfers).
+//   - Optimization-2 enters through overlap: weight transfers for the next
+//     decoder layer run concurrently with the current layer's compute
+//     (Figure 7). Prefill additionally splits the batch into mini-batches
+//     pipelined against the transfers; decode keeps the whole batch
+//     (mini-batching decode hurts, §5.2).
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/sim"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Resource names used in schedules.
+const (
+	// ResCPU is the host CPU compute stream.
+	ResCPU = "cpu"
+	// ResGPU is the GPU compute stream.
+	ResGPU = "gpu"
+	// ResPCIe is the CPU↔GPU transfer engine.
+	ResPCIe = "pcie"
+)
+
+// Plan configures one stage's execution.
+type Plan struct {
+	// Env supplies the latency equations.
+	Env core.Env
+	// Policy assigns streamed layers' sublayers to devices.
+	Policy core.Policy
+	// Opt carries the residency flags for streamed layers (KV placement).
+	Opt core.Options
+	// Layers is the decoder layer count to execute.
+	Layers int
+	// PinnedLayers is how many of those layers are GPU-resident
+	// (Optimization-1); they execute fully on the GPU with no parameter
+	// traffic.
+	PinnedLayers int
+	// Overlap enables Optimization-2 (compute/transfer overlap).
+	Overlap bool
+	// MiniBatches splits the batch for pipelined prefill (≥1). LIA uses 2
+	// during prefill and 1 during decode; FlexGen mini-batches both.
+	MiniBatches int
+	// MiniBatchPenalty inflates per-mini-batch compute time, modeling the
+	// sub-linear scaling of compute with smaller batches that makes decode
+	// mini-batching a loss (§5.2 cites 1.1–1.3×). Zero means the default.
+	MiniBatchPenalty float64
+}
+
+// DefaultMiniBatchPenalty matches the paper's observed 1.1–1.3× decode
+// penalty midpoint.
+const DefaultMiniBatchPenalty = 1.2
+
+// Validate reports plan errors.
+func (p Plan) Validate() error {
+	if err := p.Env.Validate(); err != nil {
+		return err
+	}
+	if p.Layers <= 0 {
+		return fmt.Errorf("exec: plan needs at least one layer")
+	}
+	if p.PinnedLayers < 0 || p.PinnedLayers > p.Layers {
+		return fmt.Errorf("exec: pinned layers %d outside [0, %d]", p.PinnedLayers, p.Layers)
+	}
+	if p.MiniBatches < 1 {
+		return fmt.Errorf("exec: mini-batch count %d must be ≥1", p.MiniBatches)
+	}
+	return nil
+}
+
+// layerCost aggregates one decoder layer's work into the three resources.
+type layerCost struct {
+	comm units.Seconds // PCIe loads + stores
+	cpu  units.Seconds // CPU-assigned sublayer compute
+	gpu  units.Seconds // GPU-assigned sublayer compute
+}
+
+// costFor computes a streamed or pinned layer's resource costs.
+func (p Plan) costFor(stage model.Stage, pinned bool, b, l int) layerCost {
+	policy := p.Policy
+	opt := p.Opt
+	if pinned {
+		// A pinned layer's parameter sublayers run on the GPU for free
+		// (weights resident); attention keeps the streamed policy's
+		// placement — the KV cache's home, not the weights', decides it.
+		policy = core.Policy{false, p.Policy[model.QKT], p.Policy[model.SV], false, false, false}
+		opt.ParamsResident = true
+	}
+	_, parts := core.LayerLatencyOpts(p.Env, stage, policy, b, l, opt)
+	var c layerCost
+	for _, br := range parts {
+		c.comm += br.Load + br.Store
+		if br.OnCPU {
+			c.cpu += br.Compute
+		} else {
+			c.gpu += br.Compute
+		}
+	}
+	return c
+}
+
+// StageResult reports a stage execution's timing.
+type StageResult struct {
+	// Latency is the schedule makespan.
+	Latency units.Seconds
+	// CPUBusy, GPUBusy and CommBusy are the per-resource service totals —
+	// the Table 5 breakdown.
+	CPUBusy, GPUBusy, CommBusy units.Seconds
+}
+
+// Add accumulates another result (used to sum decode steps).
+func (r *StageResult) Add(o StageResult) {
+	r.Latency += o.Latency
+	r.CPUBusy += o.CPUBusy
+	r.GPUBusy += o.GPUBusy
+	r.CommBusy += o.CommBusy
+}
+
+// RunStage executes one stage (a full prefill pass, or one decode step)
+// across all layers and returns its timing. b is the batch size; l is the
+// input length (prefill) or current context length (decode).
+func (p Plan) RunStage(stage model.Stage, b, l int) (StageResult, error) {
+	if err := p.Validate(); err != nil {
+		return StageResult{}, err
+	}
+	s, err := p.buildSchedule(stage, b, l)
+	if err != nil {
+		return StageResult{}, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return StageResult{}, fmt.Errorf("exec: %w", err)
+	}
+	return StageResult{
+		Latency:  res.Makespan,
+		CPUBusy:  res.Busy[ResCPU],
+		GPUBusy:  res.Busy[ResGPU],
+		CommBusy: res.Busy[ResPCIe],
+	}, nil
+}
+
+// buildSchedule constructs the stage's task graph.
+func (p Plan) buildSchedule(stage model.Stage, b, l int) (*sim.Schedule, error) {
+	nMB := p.MiniBatches
+	if stage == model.Decode {
+		// LIA never mini-batches decode; FlexGen-style plans may.
+		if nMB < 1 {
+			nMB = 1
+		}
+	}
+	penalty := p.MiniBatchPenalty
+	if penalty <= 0 {
+		penalty = DefaultMiniBatchPenalty
+	}
+	if nMB == 1 {
+		penalty = 1
+	}
+
+	s := sim.NewSchedule()
+	prevComputeID := ""
+	for j := 0; j < p.Layers; j++ {
+		pinned := j < p.PinnedLayers
+		c := p.costFor(stage, pinned, b, l)
+
+		xferID := fmt.Sprintf("xfer-%d", j)
+		var xferDeps []string
+		if !p.Overlap && prevComputeID != "" {
+			// Overlap disabled: the next layer's transfer waits for the
+			// previous layer's compute to finish.
+			xferDeps = []string{prevComputeID}
+		}
+		s.MustAdd(sim.Task{ID: xferID, Resource: ResPCIe, Duration: c.comm, Deps: xferDeps})
+
+		// Per-mini-batch compute. Each mini-batch's CPU part feeds its GPU
+		// part, and mini-batches serialize within a layer (they contend for
+		// the same engines); their value is letting transfers for the next
+		// layer start earlier, which Overlap already provides. The penalty
+		// models compute's sub-linear scaling with smaller batches — the
+		// reason LIA keeps decode whole-batch (§5.2).
+		perMBcpu := units.Seconds(float64(c.cpu) / float64(nMB) * penalty)
+		perMBgpu := units.Seconds(float64(c.gpu) / float64(nMB) * penalty)
+		for m := 0; m < nMB; m++ {
+			cpuID := fmt.Sprintf("cpu-%d-%d", j, m)
+			gpuID := fmt.Sprintf("gpu-%d-%d", j, m)
+			cpuDeps := []string{xferID}
+			if m > 0 {
+				cpuDeps = append(cpuDeps, fmt.Sprintf("gpu-%d-%d", j, m-1))
+			} else if j > 0 {
+				cpuDeps = append(cpuDeps, prevComputeID)
+			}
+			s.MustAdd(sim.Task{ID: cpuID, Resource: ResCPU, Duration: perMBcpu, Deps: cpuDeps})
+			s.MustAdd(sim.Task{ID: gpuID, Resource: ResGPU, Duration: perMBgpu, Deps: []string{cpuID}})
+		}
+		prevComputeID = fmt.Sprintf("gpu-%d-%d", j, nMB-1)
+	}
+	return s, nil
+}
+
+// RunDecodeSequence executes `steps` decode iterations with the context
+// growing from startLen, summing their timings — the Gen stage of one
+// batch.
+func (p Plan) RunDecodeSequence(b, startLen, steps int) (StageResult, error) {
+	var total StageResult
+	for t := 0; t < steps; t++ {
+		r, err := p.RunStage(model.Decode, b, startLen+t)
+		if err != nil {
+			return StageResult{}, err
+		}
+		total.Add(r)
+	}
+	return total, nil
+}
+
+// TraceEntry is one executed task in a stage's timeline.
+type TraceEntry struct {
+	// ID names the task (e.g. "xfer-12", "gpu-3-0").
+	ID string
+	// Resource is the serial executor the task ran on.
+	Resource string
+	// Start and Finish bound the execution interval.
+	Start, Finish units.Seconds
+}
+
+// TraceStage executes one stage like RunStage but also returns the full
+// task timeline, ordered by start time — the raw material for a Gantt
+// view of the Figure 7 overlap.
+func (p Plan) TraceStage(stage model.Stage, b, l int) (StageResult, []TraceEntry, error) {
+	if err := p.Validate(); err != nil {
+		return StageResult{}, nil, err
+	}
+	s, err := p.buildSchedule(stage, b, l)
+	if err != nil {
+		return StageResult{}, nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return StageResult{}, nil, fmt.Errorf("exec: %w", err)
+	}
+	entries := make([]TraceEntry, 0, len(res.Start))
+	for id, start := range res.Start {
+		entries = append(entries, TraceEntry{
+			ID:       id,
+			Resource: resourceOf(id),
+			Start:    start,
+			Finish:   res.Finish[id],
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Start != entries[j].Start {
+			return entries[i].Start < entries[j].Start
+		}
+		return entries[i].ID < entries[j].ID
+	})
+	return StageResult{
+		Latency:  res.Makespan,
+		CPUBusy:  res.Busy[ResCPU],
+		GPUBusy:  res.Busy[ResGPU],
+		CommBusy: res.Busy[ResPCIe],
+	}, entries, nil
+}
+
+// resourceOf recovers a task's resource from its ID prefix.
+func resourceOf(id string) string {
+	switch {
+	case strings.HasPrefix(id, "xfer-"):
+		return ResPCIe
+	case strings.HasPrefix(id, "cpu-"):
+		return ResCPU
+	default:
+		return ResGPU
+	}
+}

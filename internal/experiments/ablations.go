@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/exec"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/memplan"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// ModelingAblations quantifies the modeling decisions DESIGN.md §4 calls
+// out, so a reader can see how much each one matters:
+//
+//  1. decode-context growth — summing per-token decode latencies with the
+//     KV cache growing vs. evaluating once at the mean context length;
+//  2. the mini-batch compute penalty — the §5.2 sub-linear-scaling factor
+//     behind LIA's whole-batch decode;
+//  3. pinning granularity — LIA's whole-layer packing vs. FlexGen's
+//     sublayer columns, across models;
+//  4. overlap — Optimization-2's effect at each batch size.
+func ModelingAblations() *report.Table {
+	t := report.NewTable(
+		"Modeling ablations (OPT-30B on SPR-A100 unless noted)",
+		"decision", "setting", "metric", "value")
+	sys := hw.SPRA100
+	m := model.OPT30B
+	env := core.NewEnv(sys, m)
+
+	// 1. Decode KV growth: 256 decode steps from context 512.
+	const b, start, steps = 32, 512, 256
+	growPlan := exec.Plan{Env: env, Policy: core.FullCPU, Layers: m.Layers, Overlap: true, MiniBatches: 1}
+	grown, err := growPlan.RunDecodeSequence(b, start, steps)
+	if err != nil {
+		panic(err)
+	}
+	flat, err := growPlan.RunStage(model.Decode, b, start+steps/2)
+	if err != nil {
+		panic(err)
+	}
+	flatTotal := flat.Latency * units.Seconds(steps)
+	t.AddRow("decode context growth", "per-token sum", "decode s (B=32, 256 steps)", fmt.Sprintf("%.2f", float64(grown.Latency)))
+	t.AddRow("decode context growth", "mean-context approx", "decode s", fmt.Sprintf("%.2f (%.1f%% error)",
+		float64(flatTotal), 100*(float64(flatTotal)/float64(grown.Latency)-1)))
+
+	// 2. Mini-batch penalty sweep on FlexGen-style decode at B=900.
+	for _, pen := range []float64{1.0, 1.2, 1.4} {
+		p := exec.Plan{
+			Env: env, Policy: core.PartialCPU, Layers: m.Layers,
+			Overlap: true, MiniBatches: 2, MiniBatchPenalty: pen,
+		}
+		res, err := p.RunStage(model.Decode, 900, 256)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow("mini-batch penalty", fmt.Sprintf("%.1fx", pen), "decode step s (B=900)", fmt.Sprintf("%.3f", float64(res.Latency)))
+	}
+
+	// 3. Pinning granularity across models on the A100.
+	for _, mc := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
+		lia := memplan.PlanLIAGPU(hw.A100, mc, 1, 2016)
+		fg := memplan.PlanFlexGenGPU(hw.A100, mc, 1, 2016)
+		t.AddRow("pinning granularity", mc.Name, "pinned params LIA vs FlexGen",
+			fmt.Sprintf("%.0f%% vs %.0f%%", 100*lia.PinnedParamFraction, 100*fg.PinnedParamFraction))
+	}
+
+	// 4. Overlap effect per batch size (prefill stage).
+	for _, bb := range []int{1, 64, 900} {
+		on := exec.Plan{Env: env, Policy: core.FullGPU, Layers: m.Layers, Overlap: true, MiniBatches: 1}
+		off := on
+		off.Overlap = false
+		rOn, err := on.RunStage(model.Prefill, bb, 256)
+		if err != nil {
+			panic(err)
+		}
+		rOff, err := off.RunStage(model.Prefill, bb, 256)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow("overlap (Opt-2)", fmt.Sprintf("B=%d", bb), "prefill speedup from overlap",
+			fmt.Sprintf("%.2fx", float64(rOff.Latency)/float64(rOn.Latency)))
+	}
+	return t
+}

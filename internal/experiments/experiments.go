@@ -1,0 +1,72 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3–§8). Each exported function returns renderable
+// report.Table/report.Figure values; cmd/lia-bench prints them all, and
+// the root bench suite wraps each one in a testing.B benchmark.
+//
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records the
+// measured-vs-paper comparison for each.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+// mustRun executes an engine config, panicking on configuration errors
+// (experiment definitions are static; an error is a bug, not user input).
+func mustRun(cfg engine.Config) engine.Result {
+	r, err := engine.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return r
+}
+
+// latencyOrNaN runs a config and returns end-to-end latency in seconds,
+// NaN on OOM.
+func latencyOrNaN(cfg engine.Config) float64 {
+	r := mustRun(cfg)
+	if r.OOM {
+		return math.NaN()
+	}
+	return float64(r.Latency)
+}
+
+// throughputOrNaN runs a config and returns tokens/s, NaN on OOM.
+func throughputOrNaN(cfg engine.Config) float64 {
+	r := mustRun(cfg)
+	if r.OOM {
+		return math.NaN()
+	}
+	return r.Throughput
+}
+
+// onlineWorkload is the latency-driven scenario (§7): batch size 1.
+func onlineWorkload(lin, lout int) trace.Workload {
+	return trace.Workload{Batch: 1, InputLen: lin, OutputLen: lout}
+}
+
+// evalPoint names one (system, model) pairing of the evaluation matrix.
+type evalPoint struct {
+	sys hw.System
+	m   model.Config
+}
+
+// evaluationMatrix is §7's system/model pairing: models that do not fit
+// the GPU are run on each host.
+func evaluationMatrix() []evalPoint {
+	return []evalPoint{
+		{hw.SPRA100, model.OPT30B},
+		{hw.SPRA100, model.OPT175B},
+		{hw.SPRH100, model.OPT66B},
+		{hw.SPRH100, model.OPT175B},
+	}
+}
+
+// frameworksCompared is the main three-way comparison.
+var frameworksCompared = []engine.Framework{engine.LIA, engine.IPEX, engine.FlexGen}

@@ -1,0 +1,698 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+func TestFigure1HasAllCells(t *testing.T) {
+	tab := Figure1()
+	if len(tab.Rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(tab.Rows))
+	}
+	// Ops/byte spans the ~1 to ~50k dynamic range (§2.1).
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range tab.Rows {
+		v, err := strconv.ParseFloat(r[len(r)-1], 64)
+		if err != nil {
+			t.Fatalf("bad ops/byte cell %q", r[len(r)-1])
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > 2 || hi < 10_000 {
+		t.Errorf("ops/byte range [%.1f, %.1f] too narrow", lo, hi)
+	}
+}
+
+func TestFigure3TransferDominates(t *testing.T) {
+	tab := Figure3()
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	parsePct := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad percent %q", s)
+		}
+		return v
+	}
+	for _, r := range tab.Rows {
+		stage, b, l := r[0], r[1], r[2]
+		pct := parsePct(r[7])
+		// §3.1: decode transfer share stays above 80% everywhere; B=1
+		// short-L prefill is ≥98%.
+		if stage == "decode" && pct < 80 {
+			t.Errorf("decode B=%s L=%s transfer share %.1f%% < 80%%", b, l, pct)
+		}
+		if stage == "prefill" && b == "1" && l == "64" && pct < 95 {
+			t.Errorf("B=1 L=64 prefill transfer share %.1f%% < 95%%", pct)
+		}
+	}
+	// §3.1: prefill transfer share decreases with L at B=32.
+	var prev float64 = 101
+	for _, r := range tab.Rows {
+		if r[0] == "prefill" && r[1] == "32" {
+			pct := parsePct(r[7])
+			if pct >= prev {
+				t.Errorf("B=32 prefill share not decreasing at L=%s: %.1f ≥ %.1f", r[2], pct, prev)
+			}
+			prev = pct
+		}
+	}
+}
+
+func TestFigure4OffloadHelpsOnlyAtLongL(t *testing.T) {
+	tab := Figure4()
+	reduction := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(row[5], "+"), "%"), 64)
+		if err != nil {
+			t.Fatalf("bad reduction %q", row[5])
+		}
+		return v
+	}
+	first := reduction(tab.Rows[0])              // L=64
+	last := reduction(tab.Rows[len(tab.Rows)-1]) // L=1024
+	if first >= last {
+		t.Errorf("offload benefit should grow with L: %.1f%% → %.1f%%", first, last)
+	}
+	if last <= 0 || last > 25 {
+		t.Errorf("L=1024 reduction = %.1f%%, want small positive (paper: ≤10.2%%)", last)
+	}
+	if first > 2 {
+		t.Errorf("L=64 reduction = %.1f%%, should be ≈0 or negative (paper: negative)", first)
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	gemm, gemv := Figure5()
+	if len(gemm.Series) != 7 || len(gemv.Series) != 7 {
+		t.Fatal("expected 7 devices in both panels")
+	}
+	last := len(gemm.XTicks) - 1
+	// §4.1 ranking at large shapes: H100 > A100 > V100 > GNR > SPR > P100 > AVX.
+	if r := gemm.Ratio("SPR-AMX", "AVX512", last); r < 4 || r > 5 {
+		t.Errorf("SPR-AMX/AVX512 GEMM = %.2f, want ≈4.5", r)
+	}
+	if r := gemm.Ratio("GNR-AMX", "SPR-AMX", last); r < 1.9 || r > 2.5 {
+		t.Errorf("GNR/SPR GEMM = %.2f, want ≈2.2", r)
+	}
+	if r := gemm.Ratio("SPR-AMX", "H100", last); r < 0.035 || r > 0.07 {
+		t.Errorf("SPR/H100 GEMM = %.2f, want ≈0.05", r)
+	}
+	// §4.2: GEMV is memory-bound; SPR ≈ 15% of H100 at large shapes.
+	glast := len(gemv.XTicks) - 1
+	if r := gemv.Ratio("SPR-AMX", "H100", glast); r < 0.10 || r > 0.20 {
+		t.Errorf("SPR/H100 GEMV = %.2f, want ≈0.15", r)
+	}
+	if r := gemv.Ratio("SPR-AMX", "AVX512", glast); r < 0.9 || r > 1.1 {
+		t.Errorf("AMX/AVX GEMV = %.2f, want ≈1.0", r)
+	}
+}
+
+func TestFigure8Observations(t *testing.T) {
+	a, b := Figure8()
+	// Observation-1: at ≥300 MB, 2×CXL reaches the DDR transfer level.
+	large := len(a.XTicks) - 1
+	if r := a.Ratio("2xCXL interleaved", "DDR", large); r < 0.95 {
+		t.Errorf("large-transfer 2xCXL/DDR = %.2f, want ≈1", r)
+	}
+	if r := a.Ratio("1xCXL", "DDR", large); r > 0.75 {
+		t.Errorf("single expander should trail DDR: %.2f", r)
+	}
+	// Observation-2: decode-S2 (KV) degrades far more than prefill-S1.
+	s := b.Series[0].Values
+	prefillS1, decodeS2 := s[1], s[5]
+	if decodeS2 >= prefillS1 {
+		t.Errorf("decode-S2 ratio %.2f should be below prefill-S1 %.2f", decodeS2, prefillS1)
+	}
+	if decodeS2 > 0.35 {
+		t.Errorf("decode-S2 CXL/DDR = %.2f, want ≤0.35 (paper: down to 0.18)", decodeS2)
+	}
+}
+
+func TestFigure9Maps(t *testing.T) {
+	pre, dec := Figure9(hw.SPRA100)
+	if len(pre.Rows) == 0 || len(dec.Rows) == 0 {
+		t.Fatal("empty maps")
+	}
+	// Top-left of the prefill map (B=1, L=32) is C; bottom-right is G.
+	if pre.Rows[0][1] != "C" {
+		t.Errorf("prefill B=1 L=32 = %s, want C", pre.Rows[0][1])
+	}
+	lastRow := pre.Rows[len(pre.Rows)-1]
+	if lastRow[len(lastRow)-1] != "G" {
+		t.Errorf("prefill B=1024 L=2048 = %s, want G", lastRow[len(lastRow)-1])
+	}
+	// Decode rows are constant across L (§7.1) and use only C or P.
+	for _, r := range dec.Rows {
+		for i := 2; i < len(r); i++ {
+			if r[i] != r[1] {
+				t.Errorf("decode policy varies with L in row B=%s: %v", r[0], r)
+			}
+		}
+		if r[1] != "C" && r[1] != "P" {
+			t.Errorf("decode policy %q outside {C, P}", r[1])
+		}
+	}
+}
+
+func TestFigure10And11Sanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweep")
+	}
+	figs := Figure10()
+	if len(figs) != 8 { // 4 system/model points × 2 Lout
+		t.Fatalf("Figure10 produced %d figures, want 8", len(figs))
+	}
+	for _, f := range figs {
+		for i := range f.XTicks {
+			// LIA ≤ both baselines at every point.
+			if r := f.Ratio("IPEX", "LIA", i); !math.IsNaN(r) && r < 1 {
+				t.Errorf("%s tick %s: IPEX/LIA = %.2f < 1", f.Title, f.XTicks[i], r)
+			}
+			if r := f.Ratio("FlexGen", "LIA", i); !math.IsNaN(r) && r < 1 {
+				t.Errorf("%s tick %s: FlexGen/LIA = %.2f < 1", f.Title, f.XTicks[i], r)
+			}
+		}
+	}
+	figs11 := Figure11()
+	if len(figs11) != 8 {
+		t.Fatalf("Figure11 produced %d figures, want 8", len(figs11))
+	}
+	for _, f := range figs11 {
+		for i := range f.XTicks {
+			if r := f.Ratio("LIA", "FlexGen", i); !math.IsNaN(r) && r < 1 {
+				t.Errorf("%s tick %s: LIA/FlexGen tput = %.2f < 1", f.Title, f.XTicks[i], r)
+			}
+		}
+	}
+}
+
+func TestFigure12Normalized(t *testing.T) {
+	fig := Figure12()
+	for _, s := range fig.Series {
+		for i, v := range s.Values {
+			if !math.IsNaN(v) && v < 1 {
+				t.Errorf("%s at %s: normalized energy %.2f < 1 (LIA must win)", s.Name, fig.XTicks[i], v)
+			}
+		}
+	}
+}
+
+func TestFigure13GNRWinsOnline(t *testing.T) {
+	online, offline := Figure13()
+	// §7.6: GNR-A100 achieves 1.4-2.0× lower online latency than SPR-H100.
+	for i := range online.XTicks {
+		r := online.Ratio("SPR-H100", "GNR-A100", i)
+		if r < 1.0 || r > 2.6 {
+			t.Errorf("online SPR-H100/GNR-A100 at Lin=%s = %.2f, want [1.0, 2.6]", online.XTicks[i], r)
+		}
+	}
+	// Offline at B=900: SPR-H100 leads (GNR reaches ~70%).
+	for i, tick := range offline.XTicks {
+		if strings.HasPrefix(tick, "B=900") {
+			if r := offline.Ratio("GNR-A100", "SPR-H100", i); r > 1.1 {
+				t.Errorf("B=900 GNR/SPR-H100 tput = %.2f, want ≤1.1 (paper: ≈0.7)", r)
+			}
+		}
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	tput, dollars := Figure14()
+	if r := tput.Ratio("LIA (GNR-A100)", "DGX-A100 (TP-8)", 0); r <= 1 {
+		t.Errorf("B=1 per-GPU ratio = %.2f, want >1", r)
+	}
+	if r := tput.Ratio("LIA (GNR-A100)", "DGX-A100 (TP-8)", 1); r >= 1 {
+		t.Errorf("B=64 per-GPU ratio = %.2f, want <1", r)
+	}
+	// B=900: DGX OOM (NaN), LIA alive.
+	var dgx, lia []float64
+	for _, s := range tput.Series {
+		if strings.HasPrefix(s.Name, "DGX") {
+			dgx = s.Values
+		} else {
+			lia = s.Values
+		}
+	}
+	if !math.IsNaN(dgx[2]) {
+		t.Error("DGX at B=900 should be OOM")
+	}
+	if math.IsNaN(lia[2]) || lia[2] <= lia[1] {
+		t.Errorf("LIA B=900 per-GPU %.2f should exceed B=64 %.2f", lia[2], lia[1])
+	}
+	// Cost: LIA cheaper at B=1.
+	if r := dollars.Ratio("DGX-A100 (TP-8)", "LIA (GNR-A100)", 0); r < 1.2 {
+		t.Errorf("B=1 DGX/LIA cost = %.2f, want ≥1.2 (paper: 1.5-2.0)", r)
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	online, offline := Figure15()
+	for i := range online.XTicks {
+		if r := online.Ratio("PowerInfer", "LIA", i); math.IsNaN(r) || r < 1.15 {
+			t.Errorf("PowerInfer/LIA latency at Lin=%s = %.2f, want ≥1.15 (paper: 1.4-9.0)", online.XTicks[i], r)
+		}
+	}
+	// PowerInfer runs at B=64 but CUDA-OOMs at B=900; LIA survives both.
+	for _, s := range offline.Series {
+		if s.Name == "PowerInfer" {
+			if math.IsNaN(s.Values[0]) {
+				t.Error("PowerInfer at B=64 should fit")
+			}
+			if !math.IsNaN(s.Values[1]) {
+				t.Error("PowerInfer at B=900 should OOM")
+			}
+		}
+		if s.Name == "LIA" && (math.IsNaN(s.Values[0]) || math.IsNaN(s.Values[1])) {
+			t.Error("LIA must run at both batch sizes")
+		}
+	}
+}
+
+func TestTable1MatchesModel(t *testing.T) {
+	tab := Table1(4, 128)
+	if len(tab.Rows) != 12 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		for _, cell := range r {
+			if cell == "" {
+				t.Fatalf("empty cell in row %v", r)
+			}
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab := Table3()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		base, _ := strconv.ParseFloat(r[1], 64)
+		withCXL, _ := strconv.ParseFloat(r[2], 64)
+		bigger, _ := strconv.ParseFloat(r[5], 64)
+		// CXL at the same B is within a few percent.
+		if ratio := withCXL / base; ratio < 0.93 || ratio > 1.07 {
+			t.Errorf("Lout=%s: CXL/base = %.3f, want ≈1 (paper: within 1%%)", r[0], ratio)
+		}
+		// The enlarged batch buys real throughput at short Lout. Our
+		// simulator's decode is closer to pure-bandwidth-bound than the
+		// paper's testbed, so the gain lands near 1.2x vs. their 1.45x
+		// (see EXPERIMENTS.md).
+		if r[0] == "32" && (bigger < 1.1*withCXL || bigger > 1.8*withCXL) {
+			t.Errorf("Lout=32: larger-B throughput %.1f vs %.1f outside the [1.1x, 1.8x] band (paper: 1.45x)", bigger, withCXL)
+		}
+	}
+	// Offloaded percentage decreases down the rows (Table 3's trend).
+	prev := 101.0
+	for _, r := range tab.Rows {
+		pct, _ := strconv.ParseFloat(strings.TrimSuffix(r[3], "%"), 64)
+		if pct >= prev {
+			t.Errorf("offloaded %% not decreasing: %v", r)
+		}
+		prev = pct
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab := Table4()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	get := func(row, col int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("bad cell: %v", err)
+		}
+		return v
+	}
+	for col := 1; col <= 3; col++ {
+		full := get(0, col)
+		for row := 1; row < 4; row++ {
+			if get(row, col) < full*0.999 {
+				t.Errorf("ablation row %d col %d (%.2f) beats full LIA (%.2f)", row, col, get(row, col), full)
+			}
+		}
+	}
+	// Optimization-1 dominates at B=1; FlexGen's policy ties at B=900.
+	if get(1, 1)/get(0, 1) < 1.3 {
+		t.Errorf("B=1 no-Opt1 ratio = %.2f, want ≥1.3 (paper: 2.0)", get(1, 1)/get(0, 1))
+	}
+	if get(3, 3)/get(0, 3) > 1.2 {
+		t.Errorf("B=900 FlexGen-policy ratio = %.2f, want ≈1.0", get(3, 3)/get(0, 3))
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tab := Table5()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		liaComm, _ := strconv.ParseFloat(r[3], 64)
+		ipexCPU, _ := strconv.ParseFloat(r[4], 64)
+		liaCPU, _ := strconv.ParseFloat(r[1], 64)
+		fgComm, _ := strconv.ParseFloat(r[7], 64)
+		if liaComm >= fgComm {
+			t.Errorf("B=%s: LIA comm %.2f ≥ FlexGen comm %.2f", r[0], liaComm, fgComm)
+		}
+		if ipexCPU <= liaCPU {
+			t.Errorf("B=%s: IPEX CPU %.2f ≤ LIA CPU %.2f", r[0], ipexCPU, liaCPU)
+		}
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full GNR sweep")
+	}
+	tab := Table6()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		for _, cell := range r[2:] {
+			lo, err := strconv.ParseFloat(strings.SplitN(strings.TrimSuffix(cell, "x"), "-", 2)[0], 64)
+			if err != nil {
+				t.Fatalf("bad range cell %q: %v", cell, err)
+			}
+			if lo < 1.0 {
+				t.Errorf("%s vs %s: LIA speedup low end %.1f < 1 in %q", r[0], r[1], lo, cell)
+			}
+		}
+	}
+}
+
+func TestGeneralizabilityTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full generalizability sweep")
+	}
+	tab := Generalizability()
+	if len(tab.Rows) != 12 { // 3 models × 4 systems
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		for _, cell := range r[2:] {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+			if err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if v < 1.0 {
+				t.Errorf("%s on %s: ratio %s < 1", r[0], r[1], cell)
+			}
+		}
+	}
+}
+
+func TestDiscussionTables(t *testing.T) {
+	gh := GraceHopper()
+	for _, r := range gh.Rows {
+		adv, err := strconv.ParseFloat(strings.TrimSuffix(r[4], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv < 1.0 {
+			t.Errorf("GH200 should win %s (%s): %.1fx", r[0], r[1], adv)
+		}
+	}
+	cheaper := CheaperGPUs()
+	for _, r := range cheaper.Rows {
+		adv, _ := strconv.ParseFloat(strings.TrimSuffix(r[3], "x"), 64)
+		if adv < 1.5 {
+			t.Errorf("LIA vs 3xV100 latency advantage %.1fx, want ≥1.5 (paper: 6.3-11)", adv)
+		}
+	}
+	savings := CXLCostSavings()
+	lastRow := savings.Rows[len(savings.Rows)-1]
+	if !strings.HasPrefix(lastRow[0], "43") {
+		t.Errorf("final row should be the 43%% case: %v", lastRow)
+	}
+}
+
+func TestQuantizationStudy(t *testing.T) {
+	tab := QuantizationStudy()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		bf16Lat, _ := strconv.ParseFloat(r[3], 64)
+		int8Lat, _ := strconv.ParseFloat(r[4], 64)
+		if int8Lat >= bf16Lat {
+			t.Errorf("%s: INT8 latency %.2f should beat BF16 %.2f (halved transfers)", r[0], int8Lat, bf16Lat)
+		}
+		bf16B, _ := strconv.Atoi(r[7])
+		int8B, _ := strconv.Atoi(r[8])
+		if int8B < int(1.8*float64(bf16B)) {
+			t.Errorf("%s: INT8 max batch %d should be ≈2x BF16's %d", r[0], int8B, bf16B)
+		}
+	}
+}
+
+func TestMultiGPUScaling(t *testing.T) {
+	tab := MultiGPUScaling()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Offline throughput improves monotonically with GPU count; online
+	// latency never regresses past a small tolerance (the all-reduce
+	// floor can eat small-batch gains, §8's PCIe caveat).
+	prevTput := 0.0
+	baseLat, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	for _, r := range tab.Rows {
+		tput, _ := strconv.ParseFloat(r[3], 64)
+		if tput < prevTput*0.999 {
+			t.Errorf("offline throughput regressed at %s GPUs: %v", r[0], r)
+		}
+		prevTput = tput
+		lat, _ := strconv.ParseFloat(r[1], 64)
+		if lat > 1.1*baseLat {
+			t.Errorf("online latency regressed badly at %s GPUs: %.2f vs %.2f", r[0], lat, baseLat)
+		}
+	}
+	// Scaling is sublinear: 8 GPUs deliver well under 8x.
+	t8, _ := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[3][4], "x"), 64)
+	if t8 < 1.5 || t8 > 8 {
+		t.Errorf("8-GPU offline speedup = %.2fx, want sublinear in (1.5, 8)", t8)
+	}
+}
+
+// TestLIAMultiGPUShiftsPolicyGPUWard: §8 — with more GPUs the optimizer
+// sends more sublayers to the GPU side.
+func TestLIAMultiGPUShiftsPolicyGPUWard(t *testing.T) {
+	count := func(n int) int {
+		sys := gnrCluster(n)
+		r := mustRun(engine.Config{
+			Framework: engine.LIA, System: sys, Model: model.OPT175B,
+			Workload:           trace.Workload{Batch: 1, InputLen: 512, OutputLen: 32},
+			AssumeHostCapacity: true,
+		})
+		return r.DecodePolicy.CountCPU() + r.PrefillPolicy.CountCPU()
+	}
+	if count(8) > count(1) {
+		t.Errorf("8-GPU policies should not be more CPU-heavy than 1-GPU: %d vs %d", count(8), count(1))
+	}
+}
+
+func TestModelingAblations(t *testing.T) {
+	tab := ModelingAblations()
+	if len(tab.Rows) < 9 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	byDecision := map[string][][]string{}
+	for _, r := range tab.Rows {
+		byDecision[r[0]] = append(byDecision[r[0]], r)
+	}
+	// Mini-batch penalty rows are monotone in the penalty.
+	pens := byDecision["mini-batch penalty"]
+	prev := 0.0
+	for _, r := range pens {
+		v, _ := strconv.ParseFloat(r[3], 64)
+		if v < prev {
+			t.Errorf("penalty sweep not monotone: %v", pens)
+		}
+		prev = v
+	}
+	// LIA's pinning granularity never trails FlexGen's.
+	for _, r := range byDecision["pinning granularity"] {
+		parts := strings.SplitN(r[3], " vs ", 2)
+		liaPct, _ := strconv.ParseFloat(strings.TrimSuffix(parts[0], "%"), 64)
+		fgPct, _ := strconv.ParseFloat(strings.TrimSuffix(parts[1], "%"), 64)
+		if liaPct < fgPct {
+			t.Errorf("%s: LIA pinning %v%% < FlexGen %v%%", r[1], liaPct, fgPct)
+		}
+	}
+	// Overlap always ≥ 1x.
+	for _, r := range byDecision["overlap (Opt-2)"] {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(r[3], "x"), 64)
+		if v < 1 {
+			t.Errorf("overlap speedup %v < 1", v)
+		}
+	}
+}
+
+func TestMoEAdaptabilityTable(t *testing.T) {
+	tab := MoEAdaptability()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// At some batch size the MoE policy offloads FC1/FC2 while the dense
+	// model does not (the §7.1 divergence).
+	diverged := false
+	for _, r := range tab.Rows {
+		densePol, err := core.ParsePolicy(r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		moePol, err := core.ParsePolicy(r[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moePol.OnCPU(model.FC1) && !densePol.OnCPU(model.FC1) {
+			diverged = true
+		}
+		// MoE FFN intensity always below dense.
+		denseOB, _ := strconv.ParseFloat(r[3], 64)
+		moeOB, _ := strconv.ParseFloat(r[4], 64)
+		if moeOB >= denseOB {
+			t.Errorf("B=%s: MoE ops/byte %v not below dense %v", r[0], moeOB, denseOB)
+		}
+	}
+	if !diverged {
+		t.Error("expected the MoE policy to extend CPU offloading to the FFN at some B")
+	}
+}
+
+func TestSpeculativeDecodingFigure(t *testing.T) {
+	fig := SpeculativeDecoding()
+	if len(fig.Series) != 3 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	// Higher acceptance dominates at every depth; speedup > 1 at α≥0.8.
+	for i := range fig.XTicks {
+		lo := fig.Ratio("α=0.9", "α=0.6", i)
+		if lo <= 1 {
+			t.Errorf("tick %s: α=0.9 should beat α=0.6 (ratio %.2f)", fig.XTicks[i], lo)
+		}
+	}
+	for _, s := range fig.Series {
+		if s.Name == "α=0.8" || s.Name == "α=0.9" {
+			for i, v := range s.Values {
+				if v <= 1 {
+					t.Errorf("%s at %s: speedup %.2f ≤ 1", s.Name, fig.XTicks[i], v)
+				}
+			}
+		}
+	}
+}
+
+func TestStorageTiers(t *testing.T) {
+	tab := StorageTiers()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Full-GPU step time is monotone in tier slowness; CXL ties DDR
+	// (Observation-1) while NVMe tiers do not.
+	prev := 0.0
+	for i, r := range tab.Rows {
+		v, _ := strconv.ParseFloat(r[2], 64)
+		if v < prev*0.999 {
+			t.Errorf("row %d: step time fell: %v", i, tab.Rows)
+		}
+		prev = v
+	}
+	cxlRatio, _ := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[1][3], "x"), 64)
+	if cxlRatio > 1.05 {
+		t.Errorf("CXL tier should tie DDR (Observation-1): %.2fx", cxlRatio)
+	}
+	gen3, _ := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[3][3], "x"), 64)
+	if gen3 < 2 {
+		t.Errorf("NVMe Gen3 should throttle hard: %.2fx", gen3)
+	}
+	// The optimizer routes around slow tiers: its step never exceeds the
+	// forced full-GPU step.
+	for _, r := range tab.Rows {
+		forced, _ := strconv.ParseFloat(r[2], 64)
+		opt, _ := strconv.ParseFloat(r[5], 64)
+		if opt > forced*1.001 {
+			t.Errorf("%s: optimal %.2f worse than forced %.2f", r[0], opt, forced)
+		}
+	}
+}
+
+func TestParallelismComparison(t *testing.T) {
+	tab := ParallelismComparison()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	get := func(row, col int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Rows: B=1 TP, B=1 PP, B=64 TP, B=64 PP.
+	// TP's per-token latency beats PP's at both batch sizes.
+	if get(0, 2) >= get(1, 2) {
+		t.Errorf("B=1: TP latency %.4f should beat PP %.4f", get(0, 2), get(1, 2))
+	}
+	if get(2, 2) >= get(3, 2) {
+		t.Errorf("B=64: TP latency should beat PP")
+	}
+	// PP's steady throughput beats its own latency-implied rate by ~n.
+	ppLatRate := 1.0 / get(1, 2)
+	if get(1, 3) < 4*ppLatRate {
+		t.Errorf("PP steady throughput %.2f should be ≫ 1/latency %.2f", get(1, 3), ppLatRate)
+	}
+}
+
+func TestFigure7Overlap(t *testing.T) {
+	pre, dec := Figure7()
+	for _, v := range []*Figure7View{pre, dec} {
+		if !strings.Contains(v.String(), "#") {
+			t.Fatal("no Gantt bars rendered")
+		}
+		if len(v.table.Rows) == 0 {
+			t.Fatal("no task intervals")
+		}
+	}
+	// The defining property of Figure 7: some transfer runs while compute
+	// for an earlier layer is still in flight.
+	overlapFound := false
+	var intervals []struct {
+		res        string
+		start, end float64
+	}
+	for _, r := range pre.table.Rows {
+		s, _ := strconv.ParseFloat(r[2], 64)
+		e, _ := strconv.ParseFloat(r[3], 64)
+		intervals = append(intervals, struct {
+			res        string
+			start, end float64
+		}{r[1], s, e})
+	}
+	for _, a := range intervals {
+		if a.res != "pcie" {
+			continue
+		}
+		for _, b := range intervals {
+			if b.res == "gpu" && a.start < b.end && b.start < a.end {
+				overlapFound = true
+			}
+		}
+	}
+	if !overlapFound {
+		t.Error("no transfer/compute overlap in the Figure 7 trace")
+	}
+}

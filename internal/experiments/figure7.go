@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/exec"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+)
+
+// Figure7View is the rendered timing diagram plus its underlying task
+// table, so it can print as ASCII and export as CSV/markdown.
+type Figure7View struct {
+	gantt string
+	table *report.Table
+}
+
+// String renders the Gantt followed by the task table.
+func (v *Figure7View) String() string { return v.gantt + "\n" + v.table.String() }
+
+// CSV exports the task intervals.
+func (v *Figure7View) CSV() string { return v.table.CSV() }
+
+// Markdown exports the task intervals as a markdown table.
+func (v *Figure7View) Markdown() string { return v.table.Markdown() }
+
+// Figure7 reproduces the paper's overlap timing diagram: a decoder-layer
+// pipeline under Optimization-2 with the figure's example policies —
+// prefill p = (0,0,0,0,0,0) with two mini-batches, and decode
+// p = (0,1,1,0,0,0) whole-batch — showing the next layer's transfers
+// running under the current layer's compute.
+func Figure7() (*Figure7View, *Figure7View) {
+	env := core.NewEnv(hw.SPRA100, model.OPT175B)
+	const layers = 4 // enough to show the steady-state pipeline
+
+	render := func(stage model.Stage, policy core.Policy, mb int, b, l int, title string) *Figure7View {
+		plan := exec.Plan{
+			Env:         env,
+			Policy:      policy,
+			Layers:      layers,
+			Overlap:     true,
+			MiniBatches: mb,
+		}
+		_, entries, err := plan.TraceStage(stage, b, l)
+		if err != nil {
+			panic(err)
+		}
+		table := report.NewTable(title, "task", "resource", "start (s)", "finish (s)")
+		rows := make([]report.GanttRow, 0, len(entries))
+		for _, e := range entries {
+			if e.Finish == e.Start {
+				continue
+			}
+			rows = append(rows, report.GanttRow{
+				Label: e.ID, Lane: e.Resource,
+				Start: float64(e.Start), Finish: float64(e.Finish),
+			})
+			table.AddRow(e.ID, e.Resource,
+				fmt.Sprintf("%.4f", float64(e.Start)), fmt.Sprintf("%.4f", float64(e.Finish)))
+		}
+		return &Figure7View{gantt: report.Gantt(title, rows, 64), table: table}
+	}
+
+	prefill := render(model.Prefill, core.FullGPU, 2, 32, 512,
+		"Figure 7 (top): prefill pipeline, p=(0,0,0,0,0,0), 2 mini-batches, OPT-175B B=32 L=512, SPR-A100")
+	decode := render(model.Decode, core.PartialCPU, 1, 32, 512,
+		"Figure 7 (bottom): decode pipeline, p=(0,1,1,0,0,0), whole batch")
+	return prefill, decode
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lia-sim/lia/internal/cost"
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+// figure14Workload is the decode-dominated shape §7.8 compares on.
+func figure14Workload(b int) trace.Workload {
+	return trace.Workload{Batch: b, InputLen: 32, OutputLen: 256}
+}
+
+// Figure14 reproduces the multi-GPU cost comparison: per-GPU throughput
+// and $/Mtoken of LIA on GNR-A100 versus 8-way tensor parallelism on a
+// DGX-A100, at B ∈ {1, 64, 900}. The DGX OOMs at B=900.
+func Figure14() (*report.Figure, *report.Figure) {
+	bs := []int{1, 64, 900}
+	ticks := make([]string, len(bs))
+	for i, b := range bs {
+		ticks[i] = fmt.Sprintf("B=%d", b)
+	}
+	tput := report.NewFigure("Figure 14 (top): per-GPU throughput, OPT-175B", "batch", "tokens/s/GPU", ticks...)
+	tput.Unit = "%.2f"
+	dollars := report.NewFigure("Figure 14 (bottom): inference cost, OPT-175B", "batch", "$/Mtoken", ticks...)
+	dollars.Unit = "%.2f"
+
+	assume := cost.Defaults()
+	for _, sc := range []struct {
+		name string
+		fw   engine.Framework
+		sys  hw.System
+	}{
+		{"LIA (GNR-A100)", engine.LIA, hw.GNRA100},
+		{"DGX-A100 (TP-8)", engine.MultiGPU, hw.DGXA100},
+	} {
+		tputVals := make([]float64, len(bs))
+		costVals := make([]float64, len(bs))
+		for i, b := range bs {
+			r := mustRun(engine.Config{
+				Framework:          sc.fw,
+				System:             sc.sys,
+				Model:              model.OPT175B,
+				Workload:           figure14Workload(b),
+				AssumeHostCapacity: true,
+			})
+			if r.OOM {
+				tputVals[i] = math.NaN()
+				costVals[i] = math.NaN()
+				continue
+			}
+			tputVals[i] = cost.PerGPUThroughput(sc.sys, r.Throughput)
+			costVals[i] = float64(assume.PerMillionTokens(sc.sys, r.Throughput))
+		}
+		tput.MustAdd(sc.name, tputVals...)
+		dollars.MustAdd(sc.name, costVals...)
+	}
+	return tput, dollars
+}
+
+// Figure15 reproduces the PowerInfer comparison on GNR-A100 with
+// Llama2-70B: online latency at B=1 across input lengths, and offline
+// throughput at B ∈ {64, 900} (PowerInfer OOMs at 900).
+func Figure15() (*report.Figure, *report.Figure) {
+	lins := []int{32, 256, 1024, 2016}
+	ticks := make([]string, len(lins))
+	for i, l := range lins {
+		ticks[i] = fmt.Sprint(l)
+	}
+	online := report.NewFigure("Figure 15 (left): Llama2-70B online latency on GNR-A100", "Lin", "s/query", ticks...)
+	online.Unit = "%.2f"
+	for _, fw := range []engine.Framework{engine.LIA, engine.PowerInfer} {
+		vals := make([]float64, len(lins))
+		for i, lin := range lins {
+			vals[i] = latencyOrNaN(engine.Config{
+				Framework: fw, System: hw.GNRA100, Model: model.Llama270B,
+				Workload: onlineWorkload(lin, 32), AssumeHostCapacity: true,
+			})
+		}
+		online.MustAdd(fw.String(), vals...)
+	}
+
+	bs := []int{64, 900}
+	bticks := []string{"B=64", "B=900"}
+	offline := report.NewFigure("Figure 15 (right): Llama2-70B offline throughput on GNR-A100", "batch", "tokens/s", bticks...)
+	offline.Unit = "%.1f"
+	for _, fw := range []engine.Framework{engine.LIA, engine.PowerInfer} {
+		vals := make([]float64, len(bs))
+		for i, b := range bs {
+			vals[i] = throughputOrNaN(engine.Config{
+				Framework: fw, System: hw.GNRA100, Model: model.Llama270B,
+				Workload:           trace.Workload{Batch: b, InputLen: 512, OutputLen: 32},
+				AssumeHostCapacity: true,
+			})
+		}
+		offline.MustAdd(fw.String(), vals...)
+	}
+	return online, offline
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+// Figure10 reproduces the online (B=1) latency comparison among LIA,
+// IPEX and FlexGen, one figure per (system, model, L_out) combination.
+// Points whose host footprint exceeds the testbed's 512 GB DDR follow
+// the paper's latency-model convention (starred bars): they are still
+// evaluated, with capacity assumed.
+func Figure10() []*report.Figure {
+	var figs []*report.Figure
+	for _, pt := range evaluationMatrix() {
+		for _, lout := range trace.RepresentativeOutputs() {
+			lins := trace.RepresentativeInputs(pt.m.MaxSeqLen, lout)
+			ticks := make([]string, len(lins))
+			for i, l := range lins {
+				ticks[i] = fmt.Sprint(l)
+			}
+			fig := report.NewFigure(
+				fmt.Sprintf("Figure 10: online latency, %s on %s, Lout=%d", pt.m.Name, pt.sys.Name, lout),
+				"Lin", "s/query", ticks...)
+			fig.Unit = "%.2f"
+			for _, fw := range frameworksCompared {
+				vals := make([]float64, len(lins))
+				for i, lin := range lins {
+					vals[i] = latencyOrNaN(engine.Config{
+						Framework:          fw,
+						System:             pt.sys,
+						Model:              pt.m,
+						Workload:           onlineWorkload(lin, lout),
+						AssumeHostCapacity: true,
+					})
+				}
+				fig.MustAdd(fw.String(), vals...)
+			}
+			figs = append(figs, fig)
+		}
+	}
+	return figs
+}
+
+// Figure11 reproduces the offline throughput comparison at B=64 and
+// B=900 (tokens/s; higher is better).
+func Figure11() []*report.Figure {
+	var figs []*report.Figure
+	for _, pt := range evaluationMatrix() {
+		for _, lout := range trace.RepresentativeOutputs() {
+			lins := trace.RepresentativeInputs(pt.m.MaxSeqLen, lout)
+			var ticks []string
+			type shape struct{ b, lin int }
+			var shapes []shape
+			for _, b := range []int{64, 900} {
+				for _, lin := range lins {
+					shapes = append(shapes, shape{b, lin})
+					ticks = append(ticks, fmt.Sprintf("B=%d,Lin=%d", b, lin))
+				}
+			}
+			fig := report.NewFigure(
+				fmt.Sprintf("Figure 11: offline throughput, %s on %s, Lout=%d", pt.m.Name, pt.sys.Name, lout),
+				"shape", "tokens/s", ticks...)
+			fig.Unit = "%.1f"
+			for _, fw := range frameworksCompared {
+				vals := make([]float64, len(shapes))
+				for i, s := range shapes {
+					vals[i] = throughputOrNaN(engine.Config{
+						Framework:          fw,
+						System:             pt.sys,
+						Model:              pt.m,
+						Workload:           trace.Workload{Batch: s.b, InputLen: s.lin, OutputLen: lout},
+						AssumeHostCapacity: true, // starred bars beyond 512 GB DDR
+					})
+				}
+				fig.MustAdd(fw.String(), vals...)
+			}
+			figs = append(figs, fig)
+		}
+	}
+	return figs
+}
+
+// Figure12 reproduces the energy comparison on SPR-A100: energy per
+// generated token of IPEX and FlexGen normalized to LIA's.
+func Figure12() *report.Figure {
+	type point struct {
+		m      model.Config
+		b, lin int
+	}
+	points := []point{
+		{model.OPT30B, 1, 32}, {model.OPT30B, 1, 1024},
+		{model.OPT30B, 64, 32}, {model.OPT30B, 64, 1024},
+		{model.OPT30B, 900, 32},
+		{model.OPT175B, 1, 32}, {model.OPT175B, 64, 32}, {model.OPT175B, 900, 32},
+	}
+	ticks := make([]string, len(points))
+	for i, p := range points {
+		ticks[i] = fmt.Sprintf("%s B=%d Lin=%d", p.m.Name, p.b, p.lin)
+	}
+	fig := report.NewFigure("Figure 12: energy per token normalized to LIA (SPR-A100, Lout=32)", "workload", "x LIA", ticks...)
+	fig.Unit = "%.2f"
+
+	energies := func(fw engine.Framework) []float64 {
+		vals := make([]float64, len(points))
+		for i, p := range points {
+			r := mustRun(engine.Config{
+				Framework:          fw,
+				System:             hw.SPRA100,
+				Model:              p.m,
+				Workload:           trace.Workload{Batch: p.b, InputLen: p.lin, OutputLen: 32},
+				AssumeHostCapacity: true,
+			})
+			if r.OOM {
+				vals[i] = math.NaN()
+			} else {
+				vals[i] = float64(r.EnergyPerToken)
+			}
+		}
+		return vals
+	}
+	lia := energies(engine.LIA)
+	for _, fw := range []engine.Framework{engine.IPEX, engine.FlexGen} {
+		raw := energies(fw)
+		norm := make([]float64, len(raw))
+		for i := range raw {
+			norm[i] = raw[i] / lia[i]
+		}
+		fig.MustAdd(fw.String(), norm...)
+	}
+	return fig
+}
+
+// Figure13 reproduces the CPU-vs-GPU scaling study: LIA on GNR-A100
+// against LIA on SPR-H100 for OPT-175B, online latency and offline
+// throughput.
+func Figure13() (*report.Figure, *report.Figure) {
+	lins := []int{32, 256, 1024, 2016}
+	ticks := make([]string, len(lins))
+	for i, l := range lins {
+		ticks[i] = fmt.Sprint(l)
+	}
+	online := report.NewFigure("Figure 13 (left): OPT-175B online latency, LIA", "Lin", "s/query", ticks...)
+	online.Unit = "%.2f"
+	for _, sys := range []hw.System{hw.GNRA100, hw.SPRH100} {
+		vals := make([]float64, len(lins))
+		for i, lin := range lins {
+			vals[i] = latencyOrNaN(engine.Config{
+				Framework: engine.LIA, System: sys, Model: model.OPT175B,
+				Workload: onlineWorkload(lin, 32), AssumeHostCapacity: true,
+			})
+		}
+		online.MustAdd(sys.Name, vals...)
+	}
+
+	type shape struct{ b, lin int }
+	shapes := []shape{{64, 32}, {64, 1024}, {900, 32}, {900, 1024}}
+	sticks := make([]string, len(shapes))
+	for i, s := range shapes {
+		sticks[i] = fmt.Sprintf("B=%d,Lin=%d", s.b, s.lin)
+	}
+	offline := report.NewFigure("Figure 13 (right): OPT-175B offline throughput, LIA", "shape", "tokens/s", sticks...)
+	offline.Unit = "%.1f"
+	for _, sys := range []hw.System{hw.GNRA100, hw.SPRH100} {
+		vals := make([]float64, len(shapes))
+		for i, s := range shapes {
+			vals[i] = throughputOrNaN(engine.Config{
+				Framework: engine.LIA, System: sys, Model: model.OPT175B,
+				Workload:           trace.Workload{Batch: s.b, InputLen: s.lin, OutputLen: 32},
+				AssumeHostCapacity: true,
+			})
+		}
+		offline.MustAdd(sys.Name, vals...)
+	}
+	return online, offline
+}

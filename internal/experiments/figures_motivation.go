@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/perf"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Figure1 reproduces the ops/byte heatmap: the arithmetic intensity of
+// every sublayer in both stages for OPT-175B at L=512, B=180.
+func Figure1() *report.Table {
+	const b, l = 180, 512
+	t := report.NewTable(
+		fmt.Sprintf("Figure 1: operations/byte heatmap, %s, B=%d, L=%d", model.OPT175B.Name, b, l),
+		"stage", "sublayer", "D_X", "D_Y", "FLOPs", "ops/byte")
+	for _, cell := range model.OPT175B.OpsByteHeatmap(b, l) {
+		dx := model.OPT175B.DataX(cell.Stage, cell.Sublayer, b, l)
+		dy := model.OPT175B.DataY(cell.Stage, cell.Sublayer, b, l)
+		c := model.OPT175B.Compute(cell.Stage, cell.Sublayer, b, l)
+		t.AddRow(cell.Stage.String(), cell.Sublayer.String(),
+			dx.String(), dy.String(), c.String(), fmt.Sprintf("%.1f", cell.OpsPerByte))
+	}
+	return t
+}
+
+// Figure3 reproduces the memory-offloading bottleneck analysis (§3.1):
+// for FlexGen-style full streaming of OPT-175B on SPR-A100, the share of
+// stage latency spent on CPU-GPU transfers of parameters, KV cache, and
+// activations, across L, for B=1 and B=32.
+func Figure3() *report.Table {
+	m := model.OPT175B
+	sys := hw.SPRA100
+	gpu := perf.GPUDevice(sys.GPU)
+	link := sys.HostLink()
+	t := report.NewTable(
+		"Figure 3: FlexGen transfer breakdown, OPT-175B on SPR-A100",
+		"stage", "B", "L", "param xfer", "KV xfer", "act xfer", "compute", "xfer %", "xfer amount")
+
+	for _, b := range []int{1, 32} {
+		for _, l := range []int{64, 128, 256, 512, 1024} {
+			for _, stage := range []model.Stage{model.Prefill, model.Decode} {
+				// All parameters stream every pass.
+				paramBytes := m.LayerParamBytes() * units.Bytes(m.Layers)
+				// For B=1 the KV cache and activations stay on the GPU
+				// (§3's setup); for B=32 they spill to host memory and
+				// cross PCIe every pass.
+				var kvBytes, actBytes units.Bytes
+				if b > 1 {
+					if stage == model.Prefill {
+						kvBytes = m.KVBytes(b, l) // store fresh cache
+					} else {
+						kvBytes = m.KVBytes(b, l) + m.KVBytes(b, 1) // load + store delta
+					}
+					actBytes = 2 * m.ActivationBytes(b, l, stage) * units.Bytes(m.Layers)
+				}
+				paramT := link.Transfer(paramBytes)
+				kvT := link.Transfer(kvBytes)
+				actT := link.Transfer(actBytes)
+				var compT units.Seconds
+				rows := b * l
+				if stage == model.Decode {
+					rows = b
+				}
+				for _, s := range model.Sublayers() {
+					compT += gpu.Time(m.Compute(stage, s, b, l),
+						m.DataX(stage, s, b, l)+m.DataY(stage, s, b, l), rows) * units.Seconds(m.Layers)
+				}
+				xfer := paramT + kvT + actT
+				total := xfer + compT
+				t.AddRow(stage.String(), fmt.Sprint(b), fmt.Sprint(l),
+					paramT.String(), kvT.String(), actT.String(), compT.String(),
+					fmt.Sprintf("%.1f%%", 100*float64(xfer)/float64(total)),
+					(paramBytes + kvBytes + actBytes).String())
+			}
+		}
+	}
+	return t
+}
+
+// Figure4 reproduces the compute-offloading analysis (§3.2): at B=32,
+// the latency of AVX512 CPU attention versus transferring the KV cache
+// to the GPU, and the end-to-end decode latency reduction offloading
+// achieves — small at long L, negative at short L.
+func Figure4() *report.Table {
+	m := model.OPT175B
+	sys := hw.SPRA100
+	const b = 32
+	avx := perf.CPUDevice(sys.CPU, hw.AVX512)
+	gpu := perf.GPUDevice(sys.GPU)
+	link := sys.HostLink()
+	t := report.NewTable(
+		"Figure 4: CPU(AVX) attention vs KV transfer, OPT-175B, B=32, SPR-A100",
+		"L", "CPU attention", "KV transfer", "decode w/o offload", "decode w/ offload", "reduction %")
+
+	// FlexGen's offloaded attention runs through the PyTorch CPU path,
+	// paying a per-sublayer host dispatch cost on top of the kernel —
+	// the reason the paper measures CPU attention slower than the KV
+	// transfer it saves at short L (1 s vs 0.4 s, §3.2).
+	const hostDispatch = 1500 * units.Microsecond
+	for _, l := range []int{64, 128, 256, 512, 1024} {
+		var cpuAttn, kvXfer, gpuAttn units.Seconds
+		for _, s := range []model.Sublayer{model.QKT, model.SV} {
+			c := m.Compute(model.Decode, s, b, l)
+			traffic := m.DataX(model.Decode, s, b, l) + m.DataY(model.Decode, s, b, l)
+			cpuAttn += (avx.Time(c, traffic, b) + hostDispatch) * units.Seconds(m.Layers)
+			gpuAttn += gpu.Time(c, traffic, b) * units.Seconds(m.Layers)
+			kvXfer += link.Transfer(m.DataY(model.Decode, s, b, l)) * units.Seconds(m.Layers)
+		}
+		// The rest of the decode pass (parameter transfers + GPU compute)
+		// is common to both configurations.
+		var rest units.Seconds
+		for _, s := range []model.Sublayer{model.QKVMapping, model.OutProjection, model.FC1, model.FC2} {
+			rest += link.Transfer(m.DataY(model.Decode, s, b, l)) * units.Seconds(m.Layers)
+			rest += gpu.Time(m.Compute(model.Decode, s, b, l),
+				m.DataX(model.Decode, s, b, l)+m.DataY(model.Decode, s, b, l), b) * units.Seconds(m.Layers)
+		}
+		without := rest + kvXfer + gpuAttn
+		with := rest + cpuAttn
+		t.AddRow(fmt.Sprint(l), cpuAttn.String(), kvXfer.String(),
+			without.String(), with.String(),
+			fmt.Sprintf("%+.1f%%", 100*(1-float64(with)/float64(without))))
+	}
+	return t
+}
+
+// Figure5 reproduces the §4 microbenchmarks: GEMM throughput of the FC1
+// prefill shape and batched-GEMV throughput of the decode QKT shape
+// across AVX512, SPR-AMX, GNR-AMX, and four GPU generations.
+func Figure5() (*report.Figure, *report.Figure) {
+	const dm = 12288 // OPT-175B model dimension
+	devices := []struct {
+		name string
+		dev  perf.Device
+	}{
+		{"AVX512", perf.CPUDevice(hw.SPR, hw.AVX512)},
+		{"SPR-AMX", perf.CPUDevice(hw.SPR, hw.AMX)},
+		{"GNR-AMX", perf.CPUDevice(hw.GNR, hw.AMX)},
+		{"P100", perf.GPUDevice(hw.P100)},
+		{"V100", perf.GPUDevice(hw.V100)},
+		{"A100", perf.GPUDevice(hw.A100)},
+		{"H100", perf.GPUDevice(hw.H100)},
+	}
+
+	bls := []int{64, 256, 1024, 4096, 16384, 36864}
+	ticks := make([]string, len(bls))
+	for i, bl := range bls {
+		ticks[i] = fmt.Sprint(bl)
+	}
+	gemm := report.NewFigure("Figure 5 (left): GEMM throughput, FC1 prefill shape (BxL, d)x(d, 4d)", "BxL", "TFLOPS", ticks...)
+	gemm.Unit = "%.2f"
+	for _, d := range devices {
+		vals := make([]float64, len(bls))
+		for i, bl := range bls {
+			vals[i] = float64(d.dev.GEMMThroughput(bl, dm, 4*dm)) / 1e12
+		}
+		gemm.MustAdd(d.name, vals...)
+	}
+
+	// GEMV: (B·n_h, 1, d_h) × (B·n_h, d_h, L) with n_h=96, d_h=128.
+	shapes := []struct{ b, l int }{{1, 64}, {1, 512}, {8, 512}, {64, 512}, {64, 2048}, {256, 1024}}
+	gticks := make([]string, len(shapes))
+	for i, s := range shapes {
+		gticks[i] = fmt.Sprintf("B=%d,L=%d", s.b, s.l)
+	}
+	gemv := report.NewFigure("Figure 5 (right): batched GEMV throughput, QKT decode shape", "shape", "GFLOPS", gticks...)
+	gemv.Unit = "%.1f"
+	for _, d := range devices {
+		vals := make([]float64, len(shapes))
+		for i, s := range shapes {
+			vals[i] = float64(d.dev.BatchedGEMVThroughput(s.b*96, 128, s.l)) / 1e9
+		}
+		gemv.MustAdd(d.name, vals...)
+	}
+	return gemm, gemv
+}

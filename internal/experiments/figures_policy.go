@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/perf"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Figure8 reproduces the CXL characterization: (a) achieved CPU→GPU
+// transfer bandwidth from DDR versus one and two interleaved CXL
+// expanders across transfer sizes; (b) AMX throughput with operands in
+// CXL normalized to DDR, for the parameter sublayer (S1) and the
+// KV-cache sublayer (S2) in both stages.
+func Figure8() (*report.Figure, *report.Figure) {
+	sizes := []units.Bytes{1 * units.MB, 10 * units.MB, 50 * units.MB, 100 * units.MB, 300 * units.MB, 1000 * units.MB}
+	ticks := make([]string, len(sizes))
+	for i, s := range sizes {
+		ticks[i] = s.String()
+	}
+	link := hw.PCIe4x16
+	a := report.NewFigure("Figure 8(a): CPU->GPU transfer bandwidth by source tier", "transfer size", "GB/s", ticks...)
+	a.Unit = "%.1f"
+
+	ddr := cxl.FromSystem(hw.SPRA100)
+	one := cxl.FromSystem(hw.SPRA100.WithCXL(1, hw.SamsungCXL128))
+	two := cxl.FromSystem(hw.SPRA100.WithCXL(2, hw.SamsungCXL128))
+	for _, src := range []struct {
+		name string
+		pool cxl.Pool
+	}{{"DDR", ddr}, {"1xCXL", one}, {"2xCXL interleaved", two}} {
+		vals := make([]float64, len(sizes))
+		for i, size := range sizes {
+			vals[i] = float64(src.pool.GPUTransferBW(link, size)) / 1e9
+		}
+		a.MustAdd(src.name, vals...)
+	}
+
+	// (b): CXL/DDR throughput ratio for sublayer 1 (QKV: activations ×
+	// parameters) and sublayer 2 (QKT: activations × KV cache), sweeping
+	// L with B=64 and B with L=256 (the paper's footnote 5 setup).
+	m := model.OPT175B
+	amxDev := perf.CPUDevice(hw.SPR, hw.AMX)
+	cases := []struct {
+		label string
+		stage model.Stage
+		sub   model.Sublayer
+		b, l  int
+	}{
+		{"Prefill-S1 B=64 L=256", model.Prefill, model.QKVMapping, 64, 256},
+		{"Prefill-S1 B=64 L=2048", model.Prefill, model.QKVMapping, 64, 2048},
+		{"Decoding-S1 B=64 L=256", model.Decode, model.QKVMapping, 64, 256},
+		{"Decoding-S1 B=1024 L=256", model.Decode, model.QKVMapping, 1024, 256},
+		{"Decoding-S2 B=64 L=256", model.Decode, model.QKT, 64, 256},
+		{"Decoding-S2 B=1024 L=256", model.Decode, model.QKT, 1024, 256},
+	}
+	bticks := make([]string, len(cases))
+	for i, c := range cases {
+		bticks[i] = c.label
+	}
+	b := report.NewFigure("Figure 8(b): AMX throughput with CXL-resident operands (normalized to DDR)", "sublayer", "ratio", bticks...)
+	b.Unit = "%.2f"
+	vals := make([]float64, len(cases))
+	for i, c := range cases {
+		rows := c.b * c.l
+		if c.stage == model.Decode {
+			rows = c.b
+		}
+		vals[i] = two.ThroughputRatio(amxDev,
+			m.Compute(c.stage, c.sub, c.b, c.l),
+			m.DataX(c.stage, c.sub, c.b, c.l)+m.DataY(c.stage, c.sub, c.b, c.l),
+			rows)
+	}
+	b.MustAdd("CXL/DDR", vals...)
+	return a, b
+}
+
+// policyLabel compacts a policy vector for the Figure 9 grid.
+func policyLabel(p core.Policy) string {
+	switch p {
+	case core.FullCPU:
+		return "C" // all sublayers on CPU
+	case core.FullGPU:
+		return "G" // all sublayers on GPU
+	case core.PartialCPU:
+		return "P" // attention on CPU
+	case core.MoEPartial:
+		return "M"
+	default:
+		return p.String()
+	}
+}
+
+// Figure9 reproduces the optimal-policy maps for OPT-175B on a system:
+// one grid per stage over (B, L_in). Legend: C = full CPU offloading
+// (1,1,1,1,1,1); G = full GPU compute (0,0,0,0,0,0); P = partial CPU
+// offloading (0,1,1,0,0,0).
+func Figure9(sys hw.System) (*report.Table, *report.Table) {
+	env := core.NewEnv(sys, model.OPT175B)
+	bs := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	ls := []int{32, 64, 128, 256, 512, 1024, 2048}
+
+	headers := make([]string, len(ls)+1)
+	headers[0] = "B \\ L"
+	for i, l := range ls {
+		headers[i+1] = fmt.Sprint(l)
+	}
+	prefill := report.NewTable(fmt.Sprintf("Figure 9: optimal prefill policy, OPT-175B on %s (C=full CPU, G=full GPU, P=partial)", sys.Name), headers...)
+	decode := report.NewTable(fmt.Sprintf("Figure 9: optimal decoding policy, OPT-175B on %s", sys.Name), headers...)
+
+	for _, b := range bs {
+		preRow := make([]string, len(ls)+1)
+		decRow := make([]string, len(ls)+1)
+		preRow[0] = fmt.Sprint(b)
+		decRow[0] = fmt.Sprint(b)
+		for i, l := range ls {
+			pair := core.OptimalPair(env, b, l)
+			preRow[i+1] = policyLabel(pair.Prefill)
+			decRow[i+1] = policyLabel(pair.Decode)
+		}
+		prefill.AddRow(preRow...)
+		decode.AddRow(decRow...)
+	}
+	return prefill, decode
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+)
+
+// MoEAdaptability expands §7.1's "Adaptability to other models"
+// paragraph into a measurable table: the optimal decode policy of a
+// dense OPT-30B versus its 16-expert Mixture-of-Experts variant across
+// batch sizes. As expert parameters grow while active FLOPs stay flat,
+// the FFN sublayers' ops/byte collapses and the optimizer extends CPU
+// offloading to FC1/FC2 — the paper's example policy (0,1,1,0,1,1).
+func MoEAdaptability() *report.Table {
+	t := report.NewTable(
+		"§7.1: MoE adaptability — optimal decode policy, dense vs 16-expert (SPR-A100, L=512)",
+		"B", "dense OPT-30B", "MoE-16x", "dense FC1 ops/byte", "MoE FC1 ops/byte")
+	denseEnv := core.NewEnv(hw.SPRA100, model.OPT30B)
+	moeEnv := core.NewEnv(hw.SPRA100, model.MoE16x)
+	const l = 512
+	for _, b := range []int{1, 16, 64, 256, 1024} {
+		dense, _ := core.Optimize(denseEnv, model.Decode, b, l)
+		moe, _ := core.Optimize(moeEnv, model.Decode, b, l)
+		t.AddRow(fmt.Sprint(b), dense.String(), moe.String(),
+			fmt.Sprintf("%.1f", model.OPT30B.OpsPerByte(model.Decode, model.FC1, b, l)),
+			fmt.Sprintf("%.1f", model.MoE16x.OpsPerByte(model.Decode, model.FC1, b, l)))
+	}
+	return t
+}

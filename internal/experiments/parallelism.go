@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/perf"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// ppStageTime returns one pipeline stage's decode-step time: layers/n
+// decoder layers on one GPU with resident weights, plus the activation
+// hop to the next stage.
+func ppStageTime(gpu perf.Device, link hw.LinkSpec, m model.Config, n, b, l int) (stage, hop units.Seconds) {
+	layersPerStage := m.Layers / n
+	var perLayer units.Seconds
+	for _, s := range model.Sublayers() {
+		perLayer += gpu.Time(
+			m.Compute(model.Decode, s, b, l),
+			m.DataX(model.Decode, s, b, l)+m.DataY(model.Decode, s, b, l),
+			b)
+	}
+	hidden := m.DataX(model.Decode, model.QKVMapping, b, l)
+	return perLayer * units.Seconds(layersPerStage), link.Transfer(hidden)
+}
+
+// ParallelismComparison contrasts the two ways to spread an LLM across
+// the DGX's eight GPUs — tensor parallelism (every GPU works on every
+// layer, two all-reduces per layer) versus pipeline parallelism (each GPU
+// owns 1/8 of the layers, activations hop between stages) — for decode at
+// B ∈ {1, 64}. TP buys per-token latency; PP buys throughput once the
+// pipeline fills but cannot accelerate a single token. This grounds §8's
+// choice of tensor parallelism for the multi-GPU extension.
+func ParallelismComparison() *report.Table {
+	t := report.NewTable(
+		"TP-8 vs PP-8 decode on DGX-A100, OPT-175B (L=512)",
+		"B", "scheme", "per-token latency (s)", "steady throughput (tok/s)")
+	m := model.OPT175B
+	gpu := perf.GPUDevice(hw.A100SXM)
+	peer := hw.NVLink3
+	const n = 8
+	const l = 512
+
+	for _, b := range []int{1, 64} {
+		// Tensor parallelism: per-layer work / 8 plus two all-reduces.
+		var tpLayer units.Seconds
+		for _, s := range model.Sublayers() {
+			tpLayer += gpu.Time(
+				units.FLOPs(float64(m.Compute(model.Decode, s, b, l))/n),
+				units.Bytes(float64(m.DataX(model.Decode, s, b, l)+m.DataY(model.Decode, s, b, l))/n),
+				b)
+		}
+		hidden := m.DataX(model.Decode, model.QKVMapping, b, l)
+		tpLayer += 2 * core.TPAllReduceTime(n, peer, hidden)
+		tpToken := tpLayer * units.Seconds(m.Layers)
+		t.AddRow(fmt.Sprint(b), "TP-8",
+			fmt.Sprintf("%.4f", float64(tpToken)),
+			fmt.Sprintf("%.1f", float64(b)/float64(tpToken)))
+
+		// Pipeline parallelism: a token traverses all stages serially;
+		// steady-state throughput is one batch per stage time.
+		stage, hop := ppStageTime(gpu, peer, m, n, b, l)
+		ppToken := units.Seconds(n)*stage + units.Seconds(n-1)*hop
+		t.AddRow(fmt.Sprint(b), "PP-8",
+			fmt.Sprintf("%.4f", float64(ppToken)),
+			fmt.Sprintf("%.1f", float64(b)/float64(stage+hop)))
+	}
+	return t
+}

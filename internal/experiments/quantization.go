@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/memplan"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+// QuantizationStudy quantifies the compression alternative the paper's
+// introduction weighs against offloading (§1): INT8 parameters halve
+// every D_Y transfer, the KV cache, and the host footprint — without
+// removing the need for offloading on the largest models. One row per
+// model, comparing LIA BF16 vs LIA INT8 on SPR-A100.
+func QuantizationStudy() *report.Table {
+	t := report.NewTable(
+		"Quantization study: LIA BF16 vs INT8 deployments on SPR-A100",
+		"model", "params BF16", "params INT8", "online s/query (BF16)", "online (INT8)",
+		"offline tok/s (BF16)", "offline (INT8)", "max B (BF16)", "max B (INT8)")
+	for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
+		int8 := m.Int8Variant()
+		online := trace.Workload{Batch: 1, InputLen: 512, OutputLen: 32}
+		offline := trace.Workload{Batch: 64, InputLen: 512, OutputLen: 32}
+		lat := func(mc model.Config) float64 {
+			return latencyOrNaN(engine.Config{Framework: engine.LIA, System: hw.SPRA100, Model: mc, Workload: online, AssumeHostCapacity: true})
+		}
+		tput := func(mc model.Config) float64 {
+			return throughputOrNaN(engine.Config{Framework: engine.LIA, System: hw.SPRA100, Model: mc, Workload: offline, AssumeHostCapacity: true})
+		}
+		maxB := func(mc model.Config) int {
+			return memplan.MaxBatch(hw.SPRA100, mc, 544, 16384, cxl.DDROnlyPlacement())
+		}
+		t.AddRow(m.Name,
+			m.ParamBytes().String(), int8.ParamBytes().String(),
+			fmt.Sprintf("%.2f", lat(m)), fmt.Sprintf("%.2f", lat(int8)),
+			fmt.Sprintf("%.1f", tput(m)), fmt.Sprintf("%.1f", tput(int8)),
+			fmt.Sprint(maxB(m)), fmt.Sprint(maxB(int8)))
+	}
+	return t
+}

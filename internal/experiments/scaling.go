@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+// gnrCluster returns a GNR host with n PCIe-attached A100s (no NVLink —
+// the §8 caveat about PCIe-interconnected GPUs applies).
+func gnrCluster(n int) hw.System {
+	sys := hw.GNRA100
+	sys.Name = fmt.Sprintf("GNR-%dxA100", n)
+	sys.GPUCount = n
+	return sys
+}
+
+// MultiGPUScaling explores §8's "Scaling to multi-GPU" discussion: LIA
+// with tensor parallelism across 1–8 PCIe-attached A100s, for OPT-175B.
+// GPU count shifts the optimal policy GPU-ward (aggregate compute and
+// PCIe bandwidth grow) while all-reduce overhead erodes the scaling.
+func MultiGPUScaling() *report.Table {
+	t := report.NewTable(
+		"§8: LIA tensor-parallel scaling, OPT-175B on GNR + n×A100 (PCIe)",
+		"GPUs", "online s/query", "online speedup", "offline tok/s", "offline speedup", "decode policy")
+	online := trace.Workload{Batch: 1, InputLen: 512, OutputLen: 32}
+	offline := trace.Workload{Batch: 64, InputLen: 512, OutputLen: 32}
+	var baseLat, baseTput float64
+	for _, n := range []int{1, 2, 4, 8} {
+		sys := gnrCluster(n)
+		on := mustRun(engine.Config{Framework: engine.LIA, System: sys, Model: model.OPT175B, Workload: online, AssumeHostCapacity: true})
+		off := mustRun(engine.Config{Framework: engine.LIA, System: sys, Model: model.OPT175B, Workload: offline, AssumeHostCapacity: true})
+		if n == 1 {
+			baseLat = float64(on.Latency)
+			baseTput = off.Throughput
+		}
+		t.AddRow(fmt.Sprint(n),
+			fmt.Sprintf("%.2f", float64(on.Latency)),
+			fmt.Sprintf("%.2fx", baseLat/float64(on.Latency)),
+			fmt.Sprintf("%.1f", off.Throughput),
+			fmt.Sprintf("%.2fx", off.Throughput/baseTput),
+			on.DecodePolicy.String())
+	}
+	return t
+}

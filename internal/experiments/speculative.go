@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/spec"
+)
+
+// SpeculativeDecoding explores speculative decoding on the offloaded
+// stack: OPT-6.7B drafting for an offloaded OPT-175B target on SPR-A100
+// at B=1, across speculation depths and acceptance rates. Because every
+// target pass moves the full parameter set, batched verification
+// amortizes exactly the cost Figure 3 shows dominating — speculation and
+// offloading compound.
+func SpeculativeDecoding() *report.Figure {
+	gammas := []int{1, 2, 4, 8}
+	ticks := make([]string, len(gammas))
+	for i, g := range gammas {
+		ticks[i] = fmt.Sprintf("γ=%d", g)
+	}
+	fig := report.NewFigure(
+		"Speculative decoding speedup: OPT-6.7B draft → offloaded OPT-175B target (SPR-A100, B=1, L=512)",
+		"depth", "speedup vs plain decode", ticks...)
+	fig.Unit = "%.2f"
+	for _, alpha := range []float64{0.6, 0.8, 0.9} {
+		vals := make([]float64, len(gammas))
+		for i, g := range gammas {
+			res, err := spec.Estimate(spec.Config{
+				System: hw.SPRA100, Target: model.OPT175B, Draft: model.OPT6B7,
+				Gamma: g, Acceptance: alpha, Batch: 1, Context: 512,
+			})
+			if err != nil {
+				panic(err)
+			}
+			vals[i] = res.Speedup
+		}
+		fig.MustAdd(fmt.Sprintf("α=%.1f", alpha), vals...)
+	}
+	return fig
+}

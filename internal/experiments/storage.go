@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/exec"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Host parameter-source tiers for the storage study. DDR is effectively
+// unlimited relative to PCIe; two interleaved CXL expanders just reach
+// PCIe 4.0; NVMe tiers fall below it and become the bottleneck.
+var storageTiers = []struct {
+	name string
+	bw   units.BytesPerSecond // 0 = uncapped (DDR)
+}{
+	{"DDR (uncapped)", 0},
+	{"2x CXL (34 GB/s)", 34 * units.GBps},
+	{"NVMe Gen4 (7 GB/s)", 7 * units.GBps},
+	{"NVMe Gen3 (3.5 GB/s)", 3.5 * units.GBps},
+}
+
+// StorageTiers extends the §6 placement study downward: what happens to
+// an offloaded OPT-175B decode pass when the parameters live on ever
+// slower tiers. Observation-1 generalizes — a tier is free exactly while
+// it outruns the PCIe link — and breaks below it: NVMe-resident
+// parameters throttle every GPU-assigned pass to the device's read
+// bandwidth (the storage-offloading regime of FlexGen [43] and
+// DeepSpeed [13]).
+func StorageTiers() *report.Table {
+	t := report.NewTable(
+		"Storage-tier study: OPT-175B decode step (B=64, L=512) on SPR-A100 with parameters on each tier",
+		"tier", "param source BW", "full-GPU step (s)", "vs DDR", "optimal policy", "optimal step (s)")
+	m := model.OPT175B
+	var ddrStep float64
+	for _, tier := range storageTiers {
+		env := core.NewEnv(hw.SPRA100, m)
+		env.ParamSrcBW = tier.bw
+		if tier.bw > 0 {
+			// The tier throttles every parameter read — the CPU's too, not
+			// just the PCIe stream (a CPU-offloaded sublayer still has to
+			// pull its weights off the device).
+			degraded := env.CPUParam
+			if degraded.MemBW > tier.bw {
+				degraded.MemBW = tier.bw
+				degraded.StreamEff = 1 // the device read itself is the limit
+			}
+			env.CPUParam = degraded
+		}
+		plan := exec.Plan{
+			Env: env, Policy: core.FullGPU, Layers: m.Layers,
+			Overlap: true, MiniBatches: 1,
+		}
+		res, err := plan.RunStage(model.Decode, 64, 512)
+		if err != nil {
+			panic(err)
+		}
+		if tier.bw == 0 {
+			ddrStep = float64(res.Latency)
+		}
+		pol, _ := core.Optimize(env, model.Decode, 64, 512)
+		optPlan := plan
+		optPlan.Policy = pol
+		optRes, err := optPlan.RunStage(model.Decode, 64, 512)
+		if err != nil {
+			panic(err)
+		}
+		bwStr := "host DDR"
+		if tier.bw > 0 {
+			bwStr = tier.bw.String()
+		}
+		t.AddRow(tier.name, bwStr,
+			fmt.Sprintf("%.2f", float64(res.Latency)),
+			fmt.Sprintf("%.2fx", float64(res.Latency)/ddrStep),
+			pol.String(),
+			fmt.Sprintf("%.2f", float64(optRes.Latency)))
+	}
+	return t
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/memplan"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+// Table1 reproduces the symbolic Table 1 (operand sizes and compute
+// counts per sublayer) alongside evaluated values for OPT-175B at the
+// given shape.
+func Table1(b, l int) *report.Table {
+	m := model.OPT175B
+	t := report.NewTable(
+		fmt.Sprintf("Table 1: per-sublayer D_X / D_Y / C for BF16 (evaluated for %s, B=%d, L=%d)", m.Name, b, l),
+		"stage", "sublayer", "D_X formula", "D_Y formula", "C formula", "D_X", "D_Y", "C")
+	formulas := map[model.Stage]map[model.Sublayer][3]string{
+		model.Prefill: {
+			model.QKVMapping:    {"2BLd", "6d^2", "6BLd^2"},
+			model.QKT:           {"2BLd", "2BLd", "2BL^2d"},
+			model.SV:            {"2BLd", "2BLd", "2BL^2d"},
+			model.OutProjection: {"2BLd", "2d^2", "2BLd^2"},
+			model.FC1:           {"2BLd", "8d^2", "8BLd^2"},
+			model.FC2:           {"8BLd", "8d^2", "8BLd^2"},
+		},
+		model.Decode: {
+			model.QKVMapping:    {"2Bd", "6d^2", "6Bd^2"},
+			model.QKT:           {"2Bd", "2BLd", "2BLd"},
+			model.SV:            {"2Bd", "2BLd", "2BLd"},
+			model.OutProjection: {"2Bd", "2d^2", "2Bd^2"},
+			model.FC1:           {"2Bd", "8d^2", "8Bd^2"},
+			model.FC2:           {"8Bd", "8d^2", "8Bd^2"},
+		},
+	}
+	for _, stage := range []model.Stage{model.Prefill, model.Decode} {
+		for _, s := range model.Sublayers() {
+			f := formulas[stage][s]
+			t.AddRow(stage.String(), s.String(), f[0], f[1], f[2],
+				m.DataX(stage, s, b, l).String(),
+				m.DataY(stage, s, b, l).String(),
+				m.Compute(stage, s, b, l).String())
+		}
+	}
+	return t
+}
+
+// Table3 reproduces the CXL offloading study: OPT-30B at B=900 on
+// SPR-A100 with two expanders — throughput with and without parameter
+// offloading, the DDR percentage offloaded, and the throughput at the
+// enlarged batch the freed DDR admits.
+func Table3() *report.Table {
+	sys := hw.SPRA100.WithCXL(2, hw.SamsungCXL128)
+	m := model.OPT30B
+	const b, lin = 900, 32
+	t := report.NewTable(
+		"Table 3: OPT-30B inference throughput with and without CXL parameter offloading (B=900, Lin=32, SPR-A100)",
+		"Lout", "LIA (tok/s)", "LIA w/ CXL (tok/s)", "offloaded %", "B w/ CXL", "LIA w/ CXL, larger B (tok/s)")
+
+	for _, lout := range []int{32, 64, 128, 256} {
+		w := trace.Workload{Batch: b, InputLen: lin, OutputLen: lout}
+		base := mustRun(engine.Config{
+			Framework: engine.LIA, System: sys, Model: m, Workload: w, AssumeHostCapacity: true,
+		})
+		withCXL := mustRun(engine.Config{
+			Framework: engine.LIA, System: sys, Model: m, Workload: w,
+			Placement: cxl.PolicyPlacement(), AssumeHostCapacity: true,
+		})
+		// Enlarged batch under the same DDR footprint.
+		budget := memplan.PlanHost(sys, m, b, lin+lout, cxl.DDROnlyPlacement()).DDRUsed
+		bigB := memplan.MaxBatchWithinDDR(sys, m, lin+lout, budget, 8192, cxl.PolicyPlacement())
+		big := mustRun(engine.Config{
+			Framework: engine.LIA, System: sys, Model: m,
+			Workload:  trace.Workload{Batch: bigB, InputLen: lin, OutputLen: lout},
+			Placement: cxl.PolicyPlacement(), AssumeHostCapacity: true,
+		})
+		t.AddRow(fmt.Sprint(lout),
+			fmt.Sprintf("%.2f", base.Throughput),
+			fmt.Sprintf("%.2f", withCXL.Throughput),
+			fmt.Sprintf("%.1f%%", 100*withCXL.HostPlan.OffloadedFraction),
+			fmt.Sprint(bigB),
+			fmt.Sprintf("%.2f", big.Throughput))
+	}
+	return t
+}
+
+// Table4 reproduces the ablation study: OPT-30B inference latency for
+// Lin=256, Lout=32 on SPR-A100 with each optimization disabled and with
+// FlexGen's fixed policy forced.
+func Table4() *report.Table {
+	t := report.NewTable(
+		"Table 4: ablation, OPT-30B latency (s), Lin=256, Lout=32, SPR-A100",
+		"setting", "B=1", "B=64", "B=900")
+	fgPolicy := core.PartialCPU
+	settings := []struct {
+		name string
+		ab   engine.Ablation
+	}{
+		{"All optimizations", engine.Ablation{}},
+		{"No Optimization-1", engine.Ablation{NoOpt1: true}},
+		{"No Optimization-2", engine.Ablation{NoOpt2: true}},
+		{"w/ FlexGen's policy", engine.Ablation{ForcePolicy: &fgPolicy}},
+	}
+	for _, s := range settings {
+		row := []string{s.name}
+		for _, b := range []int{1, 64, 900} {
+			r := mustRun(engine.Config{
+				Framework: engine.LIA, System: hw.SPRA100, Model: model.OPT30B,
+				Workload:           trace.Workload{Batch: b, InputLen: 256, OutputLen: 32},
+				Ablation:           s.ab,
+				AssumeHostCapacity: true,
+			})
+			row = append(row, fmt.Sprintf("%.2f", float64(r.Latency)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table5 reproduces the runtime breakdown: CPU compute, GPU compute and
+// transfer time of LIA, IPEX, and FlexGen during OPT-30B inference
+// (Lin=256, Lout=32, SPR-A100, overlap disabled so the components are
+// additive).
+func Table5() *report.Table {
+	t := report.NewTable(
+		"Table 5: runtime breakdown (s), OPT-30B, Lin=256, Lout=32, SPR-A100, overlap off",
+		"B", "LIA CPU", "LIA GPU", "LIA Com.", "IPEX CPU", "FlexGen CPU", "FlexGen GPU", "FlexGen Com.")
+	for _, b := range []int{1, 64, 900} {
+		w := trace.Workload{Batch: b, InputLen: 256, OutputLen: 32}
+		lia := mustRun(engine.Config{
+			Framework: engine.LIA, System: hw.SPRA100, Model: model.OPT30B, Workload: w,
+			Ablation: engine.Ablation{NoOpt2: true}, AssumeHostCapacity: true,
+		})
+		ipex := mustRun(engine.Config{
+			Framework: engine.IPEX, System: hw.SPRA100, Model: model.OPT30B, Workload: w,
+			AssumeHostCapacity: true,
+		})
+		fg := mustRun(engine.Config{
+			Framework: engine.FlexGen, System: hw.SPRA100, Model: model.OPT30B, Workload: w,
+			AssumeHostCapacity: true,
+		})
+		t.AddRow(fmt.Sprint(b),
+			fmt.Sprintf("%.2f", float64(lia.Breakdown.CPU)),
+			fmt.Sprintf("%.2f", float64(lia.Breakdown.GPU)),
+			fmt.Sprintf("%.2f", float64(lia.Breakdown.Comm)),
+			fmt.Sprintf("%.2f", float64(ipex.Breakdown.CPU)),
+			fmt.Sprintf("%.2f", float64(fg.Breakdown.CPU)),
+			fmt.Sprintf("%.2f", float64(fg.Breakdown.GPU)),
+			fmt.Sprintf("%.2f", float64(fg.Breakdown.Comm)))
+	}
+	return t
+}
+
+// table6Point evaluates LIA's speedup range over a baseline framework on
+// one system/model across the standard shape grid; returns "lo-hi"
+// formatted multipliers.
+func table6Range(sys hw.System, m model.Config, base engine.Framework, online bool) string {
+	lo, hi := 0.0, 0.0
+	first := true
+	record := func(r float64) {
+		if first {
+			lo, hi = r, r
+			first = false
+			return
+		}
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	shapes := []trace.Workload{}
+	if online {
+		for _, lin := range []int{32, 512, 1024} {
+			shapes = append(shapes, trace.Workload{Batch: 1, InputLen: lin, OutputLen: 32})
+		}
+	} else {
+		for _, b := range []int{64, 900} {
+			for _, lin := range []int{32, 512} {
+				shapes = append(shapes, trace.Workload{Batch: b, InputLen: lin, OutputLen: 32})
+			}
+		}
+	}
+	for _, w := range shapes {
+		lia := mustRun(engine.Config{Framework: engine.LIA, System: sys, Model: m, Workload: w, AssumeHostCapacity: true})
+		other := mustRun(engine.Config{Framework: base, System: sys, Model: m, Workload: w, AssumeHostCapacity: true})
+		if lia.OOM || other.OOM {
+			continue
+		}
+		if online {
+			record(float64(other.Latency) / float64(lia.Latency))
+		} else {
+			record(lia.Throughput / other.Throughput)
+		}
+	}
+	return fmt.Sprintf("%.1f-%.1fx", lo, hi)
+}
+
+// Table6 reproduces the Granite Rapids scaling summary: LIA's improvement
+// over IPEX and FlexGen on GNR-A100 and GNR-H100.
+func Table6() *report.Table {
+	t := report.NewTable(
+		"Table 6: LIA improvement over IPEX and FlexGen on GNR systems",
+		"scenario", "vs", "GNR-A100 OPT-30B", "GNR-A100 OPT-175B", "GNR-H100 OPT-66B", "GNR-H100 OPT-175B")
+	for _, sc := range []struct {
+		name   string
+		online bool
+	}{{"Online", true}, {"Offline", false}} {
+		for _, base := range []engine.Framework{engine.IPEX, engine.FlexGen} {
+			t.AddRow(sc.name, base.String(),
+				table6Range(hw.GNRA100, model.OPT30B, base, sc.online),
+				table6Range(hw.GNRA100, model.OPT175B, base, sc.online),
+				table6Range(hw.GNRH100, model.OPT66B, base, sc.online),
+				table6Range(hw.GNRH100, model.OPT175B, base, sc.online))
+		}
+	}
+	return t
+}

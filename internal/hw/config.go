@@ -1,0 +1,208 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// systemJSON is the on-disk schema for a custom system description. All
+// quantities use friendly units: GB, GB/s, TFLOPS, watts, dollars,
+// microseconds. Zero-valued optional fields inherit from the named base
+// system when `base` is set.
+type systemJSON struct {
+	Name string `json:"name"`
+	Base string `json:"base,omitempty"`
+
+	CPU *struct {
+		Name        string  `json:"name,omitempty"`
+		Cores       int     `json:"cores,omitempty"`
+		ClockGHz    float64 `json:"clock_ghz,omitempty"`
+		ISA         string  `json:"isa,omitempty"` // AMX, AVX512, SVE2
+		PeakTFLOPS  float64 `json:"peak_tflops,omitempty"`
+		MemChannels int     `json:"mem_channels,omitempty"`
+		MemGBps     float64 `json:"mem_gbps,omitempty"`
+		DRAMGB      float64 `json:"dram_gb,omitempty"`
+		TDPWatts    float64 `json:"tdp_watts,omitempty"`
+		CostUSD     float64 `json:"cost_usd,omitempty"`
+	} `json:"cpu,omitempty"`
+
+	GPU *struct {
+		Name       string  `json:"name,omitempty"`
+		MemGB      float64 `json:"mem_gb,omitempty"`
+		MemGBps    float64 `json:"mem_gbps,omitempty"`
+		PeakTFLOPS float64 `json:"peak_tflops,omitempty"`
+		LinkGBps   float64 `json:"link_gbps,omitempty"`
+		PeerGBps   float64 `json:"peer_gbps,omitempty"`
+		TDPWatts   float64 `json:"tdp_watts,omitempty"`
+		CostUSD    float64 `json:"cost_usd,omitempty"`
+	} `json:"gpu,omitempty"`
+
+	GPUCount int `json:"gpu_count,omitempty"`
+
+	CXL *struct {
+		Count          int     `json:"count"`
+		CapacityGB     float64 `json:"capacity_gb,omitempty"`
+		GBps           float64 `json:"gbps,omitempty"`
+		ExtraLatencyNS float64 `json:"extra_latency_ns,omitempty"`
+	} `json:"cxl,omitempty"`
+
+	BasePowerWatts float64 `json:"base_power_watts,omitempty"`
+	ChassisCostUSD float64 `json:"chassis_cost_usd,omitempty"`
+}
+
+// baseSystems names the built-ins a config may inherit from.
+func baseSystems() map[string]System {
+	return map[string]System{
+		"SPR-A100": SPRA100, "SPR-H100": SPRH100,
+		"GNR-A100": GNRA100, "GNR-H100": GNRH100,
+		"GH200": GH200, "DGX-A100": DGXA100,
+	}
+}
+
+// ParseSystem builds a System from JSON, inheriting unset fields from the
+// optional base system (default: SPR-A100).
+func ParseSystem(data []byte) (System, error) {
+	var cfg systemJSON
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return System{}, fmt.Errorf("hw: parsing system config: %w", err)
+	}
+	base := SPRA100
+	if cfg.Base != "" {
+		b, ok := baseSystems()[cfg.Base]
+		if !ok {
+			return System{}, fmt.Errorf("hw: unknown base system %q", cfg.Base)
+		}
+		base = b
+	}
+	sys := base
+	if cfg.Name != "" {
+		sys.Name = cfg.Name
+	}
+	if cfg.CPU != nil {
+		c := cfg.CPU
+		if c.Name != "" {
+			sys.CPU.Name = c.Name
+		}
+		if c.Cores > 0 {
+			sys.CPU.Cores = c.Cores
+		}
+		if c.ClockGHz > 0 {
+			sys.CPU.ClockGHz = c.ClockGHz
+		}
+		if c.ISA != "" {
+			isa, err := parseISA(c.ISA)
+			if err != nil {
+				return System{}, err
+			}
+			sys.CPU.MatrixISA = isa
+		}
+		if c.PeakTFLOPS > 0 {
+			sys.CPU.PeakMatrix = units.FLOPSRate(c.PeakTFLOPS) * units.TFLOPS
+			sys.CPU.PeakVector = sys.CPU.PeakMatrix / 8
+		}
+		if c.MemChannels > 0 {
+			sys.CPU.MemChannels = c.MemChannels
+		}
+		if c.MemGBps > 0 {
+			sys.CPU.MemBW = units.BytesPerSecond(c.MemGBps) * units.GBps
+		}
+		if c.DRAMGB > 0 {
+			sys.CPU.DRAMCapacity = units.Bytes(c.DRAMGB) * units.GB
+		}
+		if c.TDPWatts > 0 {
+			sys.CPU.TDP = units.Watts(c.TDPWatts)
+		}
+		if c.CostUSD > 0 {
+			sys.CPU.Cost = units.USD(c.CostUSD)
+		}
+	}
+	if cfg.GPU != nil {
+		g := cfg.GPU
+		if g.Name != "" {
+			sys.GPU.Name = g.Name
+		}
+		if g.MemGB > 0 {
+			sys.GPU.MemCapacity = units.Bytes(g.MemGB) * units.GB
+		}
+		if g.MemGBps > 0 {
+			sys.GPU.MemBW = units.BytesPerSecond(g.MemGBps) * units.GBps
+		}
+		if g.PeakTFLOPS > 0 {
+			sys.GPU.PeakHalf = units.FLOPSRate(g.PeakTFLOPS) * units.TFLOPS
+		}
+		if g.LinkGBps > 0 {
+			sys.GPU.HostLink = LinkSpec{
+				Name:  fmt.Sprintf("custom %.0f GB/s", g.LinkGBps),
+				BW:    units.BytesPerSecond(g.LinkGBps) * units.GBps,
+				Setup: 10 * units.Microsecond,
+			}
+		}
+		if g.PeerGBps > 0 {
+			sys.GPU.PeerLink = LinkSpec{
+				Name:  fmt.Sprintf("custom peer %.0f GB/s", g.PeerGBps),
+				BW:    units.BytesPerSecond(g.PeerGBps) * units.GBps,
+				Setup: 3 * units.Microsecond,
+			}
+		}
+		if g.TDPWatts > 0 {
+			sys.GPU.TDP = units.Watts(g.TDPWatts)
+		}
+		if g.CostUSD > 0 {
+			sys.GPU.Cost = units.USD(g.CostUSD)
+		}
+	}
+	if cfg.GPUCount > 0 {
+		sys.GPUCount = cfg.GPUCount
+	}
+	if cfg.CXL != nil && cfg.CXL.Count > 0 {
+		exp := SamsungCXL128
+		if cfg.CXL.CapacityGB > 0 {
+			exp.Capacity = units.Bytes(cfg.CXL.CapacityGB) * units.GB
+		}
+		if cfg.CXL.GBps > 0 {
+			exp.BW = units.BytesPerSecond(cfg.CXL.GBps) * units.GBps
+		}
+		if cfg.CXL.ExtraLatencyNS > 0 {
+			exp.ExtraLatency = units.Seconds(cfg.CXL.ExtraLatencyNS) * units.Nanosecond
+		}
+		name := sys.Name
+		sys = sys.WithCXL(cfg.CXL.Count, exp)
+		sys.Name = name // keep the user's name, not the derived suffix
+	}
+	if cfg.BasePowerWatts > 0 {
+		sys.BasePower = units.Watts(cfg.BasePowerWatts)
+	}
+	if cfg.ChassisCostUSD > 0 {
+		sys.ChassisCost = units.USD(cfg.ChassisCostUSD)
+	}
+	if err := sys.Validate(); err != nil {
+		return System{}, err
+	}
+	return sys, nil
+}
+
+// LoadSystem reads a JSON system description from disk.
+func LoadSystem(path string) (System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return System{}, fmt.Errorf("hw: %w", err)
+	}
+	return ParseSystem(data)
+}
+
+// parseISA maps config strings onto ISA values.
+func parseISA(s string) (ISA, error) {
+	switch s {
+	case "AMX", "amx":
+		return AMX, nil
+	case "AVX512", "avx512":
+		return AVX512, nil
+	case "SVE2", "sve2":
+		return SVE2, nil
+	default:
+		return 0, fmt.Errorf("hw: unknown ISA %q", s)
+	}
+}

@@ -1,0 +1,98 @@
+package hw
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/units"
+)
+
+func TestParseSystemInheritsBase(t *testing.T) {
+	sys, err := ParseSystem([]byte(`{"name": "my-box", "base": "GNR-H100"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name != "my-box" {
+		t.Errorf("name = %q", sys.Name)
+	}
+	if sys.CPU.Cores != GNR.Cores || sys.GPU.Name != H100.Name {
+		t.Error("base fields not inherited")
+	}
+}
+
+func TestParseSystemOverrides(t *testing.T) {
+	cfg := `{
+	  "name": "next-gen",
+	  "base": "SPR-A100",
+	  "cpu": {"cores": 96, "peak_tflops": 200, "mem_gbps": 600, "dram_gb": 1024},
+	  "gpu": {"name": "B100", "mem_gb": 192, "peak_tflops": 900, "link_gbps": 128},
+	  "gpu_count": 2,
+	  "cxl": {"count": 4, "gbps": 25},
+	  "base_power_watts": 400
+	}`
+	sys, err := ParseSystem([]byte(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.CPU.Cores != 96 || sys.CPU.PeakMatrix != 200*units.TFLOPS {
+		t.Errorf("CPU overrides lost: %+v", sys.CPU)
+	}
+	if sys.GPU.Name != "B100" || sys.GPU.MemCapacity != 192*units.GB {
+		t.Errorf("GPU overrides lost: %+v", sys.GPU)
+	}
+	if sys.GPU.HostLink.BW != 128*units.GBps {
+		t.Errorf("link = %v", sys.GPU.HostLink)
+	}
+	if sys.GPUCount != 2 {
+		t.Errorf("gpu count = %d", sys.GPUCount)
+	}
+	if len(sys.CXL) != 4 || sys.CXL[0].BW != 25*units.GBps {
+		t.Errorf("CXL config lost: %v", sys.CXL)
+	}
+	if sys.Name != "next-gen" {
+		t.Errorf("name = %q (CXL suffix should not override)", sys.Name)
+	}
+	if sys.BasePower != 400 {
+		t.Errorf("base power = %v", sys.BasePower)
+	}
+}
+
+func TestParseSystemErrors(t *testing.T) {
+	if _, err := ParseSystem([]byte(`not json`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ParseSystem([]byte(`{"base": "TPU-pod"}`)); err == nil {
+		t.Error("unknown base accepted")
+	}
+	if _, err := ParseSystem([]byte(`{"cpu": {"isa": "NEON"}}`)); err == nil {
+		t.Error("unknown ISA accepted")
+	}
+}
+
+func TestLoadSystem(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := os.WriteFile(path, []byte(`{"name":"from-disk","base":"GNR-A100"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := LoadSystem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name != "from-disk" {
+		t.Errorf("name = %q", sys.Name)
+	}
+	if _, err := LoadSystem(filepath.Join(t.TempDir(), "missing.json")); err == nil || !strings.Contains(err.Error(), "hw:") {
+		t.Errorf("missing file error = %v", err)
+	}
+}
+
+func TestParseISA(t *testing.T) {
+	for s, want := range map[string]ISA{"AMX": AMX, "avx512": AVX512, "SVE2": SVE2} {
+		got, err := parseISA(s)
+		if err != nil || got != want {
+			t.Errorf("parseISA(%q) = %v, %v", s, got, err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package kvpage is a paged KV-cache allocator: host (or CXL) memory is
+// carved into fixed-size blocks of token slots, and each sequence's cache
+// grows block by block instead of reserving its full maximum length up
+// front. This is the memory-management substrate behind the serving
+// layer's continuous batching — the §6 capacity pressure (KV cache
+// dominating the 1.6 TB footprint) is exactly what paging relieves, by
+// bounding per-sequence waste to one partial block.
+package kvpage
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Manager allocates fixed-size KV blocks to sequences.
+type Manager struct {
+	blockTokens int
+	totalBlocks int
+	freeBlocks  []int
+	seqs        map[int]*sequence
+	bytesPerTok units.Bytes
+}
+
+// sequence tracks one request's cache.
+type sequence struct {
+	blocks []int
+	tokens int
+}
+
+// NewManager builds an allocator over a memory budget. blockTokens is the
+// page size in token slots; bytesPerToken is the model's full-stack KV
+// footprint per token (all layers, K and V).
+func NewManager(budget units.Bytes, blockTokens int, bytesPerToken units.Bytes) (*Manager, error) {
+	if blockTokens < 1 {
+		return nil, fmt.Errorf("kvpage: block size %d must be ≥1 token", blockTokens)
+	}
+	if bytesPerToken <= 0 {
+		return nil, fmt.Errorf("kvpage: bytes/token must be positive")
+	}
+	blockBytes := bytesPerToken * units.Bytes(blockTokens)
+	total := int(float64(budget) / float64(blockBytes))
+	if total < 1 {
+		return nil, fmt.Errorf("kvpage: budget %v holds no %v blocks", budget, blockBytes)
+	}
+	m := &Manager{
+		blockTokens: blockTokens,
+		totalBlocks: total,
+		seqs:        make(map[int]*sequence),
+		bytesPerTok: bytesPerToken,
+	}
+	m.freeBlocks = make([]int, total)
+	for i := range m.freeBlocks {
+		m.freeBlocks[i] = total - 1 - i // pop from the end → ascending IDs
+	}
+	return m, nil
+}
+
+// ForModel derives the per-token KV footprint from a model config.
+func ForModel(budget units.Bytes, blockTokens int, cfg model.Config) (*Manager, error) {
+	return NewManager(budget, blockTokens, cfg.KVBytes(1, 1))
+}
+
+// TotalBlocks returns the pool size.
+func (m *Manager) TotalBlocks() int { return m.totalBlocks }
+
+// FreeBlocks returns how many blocks are unallocated.
+func (m *Manager) FreeBlocks() int { return len(m.freeBlocks) }
+
+// blocksFor returns how many blocks `tokens` slots occupy.
+func (m *Manager) blocksFor(tokens int) int {
+	return (tokens + m.blockTokens - 1) / m.blockTokens
+}
+
+// CanAdmit reports whether a new sequence with the given prompt length
+// (plus one block of headroom for its first generated tokens) fits now.
+func (m *Manager) CanAdmit(promptTokens int) bool {
+	return m.blocksFor(promptTokens)+1 <= len(m.freeBlocks)
+}
+
+// Admit allocates blocks for a new sequence's prompt. Sequence IDs must
+// be unique among live sequences.
+func (m *Manager) Admit(seqID, promptTokens int) error {
+	if _, exists := m.seqs[seqID]; exists {
+		return fmt.Errorf("kvpage: sequence %d already admitted", seqID)
+	}
+	if promptTokens < 1 {
+		return fmt.Errorf("kvpage: prompt must be ≥1 token")
+	}
+	need := m.blocksFor(promptTokens)
+	if need > len(m.freeBlocks) {
+		return fmt.Errorf("kvpage: need %d blocks, %d free", need, len(m.freeBlocks))
+	}
+	s := &sequence{tokens: promptTokens}
+	s.blocks = m.pop(need)
+	m.seqs[seqID] = s
+	return nil
+}
+
+// Extend appends one generated token to a sequence, allocating a new
+// block when the current one fills.
+func (m *Manager) Extend(seqID int) error {
+	s, ok := m.seqs[seqID]
+	if !ok {
+		return fmt.Errorf("kvpage: unknown sequence %d", seqID)
+	}
+	s.tokens++
+	if m.blocksFor(s.tokens) > len(s.blocks) {
+		if len(m.freeBlocks) == 0 {
+			s.tokens-- // roll back; caller must evict or wait
+			return fmt.Errorf("kvpage: out of blocks extending sequence %d", seqID)
+		}
+		s.blocks = append(s.blocks, m.pop(1)...)
+	}
+	return nil
+}
+
+// Release frees a finished sequence's blocks.
+func (m *Manager) Release(seqID int) error {
+	s, ok := m.seqs[seqID]
+	if !ok {
+		return fmt.Errorf("kvpage: unknown sequence %d", seqID)
+	}
+	m.freeBlocks = append(m.freeBlocks, s.blocks...)
+	delete(m.seqs, seqID)
+	return nil
+}
+
+// Live returns the number of admitted sequences.
+func (m *Manager) Live() int { return len(m.seqs) }
+
+// Tokens returns a sequence's current cache length (0 if unknown).
+func (m *Manager) Tokens(seqID int) int {
+	if s, ok := m.seqs[seqID]; ok {
+		return s.tokens
+	}
+	return 0
+}
+
+// Stats summarizes pool occupancy.
+type Stats struct {
+	// TotalBlocks, UsedBlocks and FreeBlocks partition the pool.
+	TotalBlocks, UsedBlocks, FreeBlocks int
+	// UsedTokens counts live token slots actually occupied.
+	UsedTokens int
+	// InternalWaste is the fraction of allocated slots that hold no token
+	// (the partial last block of each sequence) — the quantity paging
+	// keeps below one block per sequence, versus max-length reservation's
+	// (maxLen − len)/maxLen.
+	InternalWaste float64
+	// UsedBytes is the allocated footprint.
+	UsedBytes units.Bytes
+}
+
+// Stats returns the current occupancy.
+func (m *Manager) Stats() Stats {
+	st := Stats{TotalBlocks: m.totalBlocks, FreeBlocks: len(m.freeBlocks)}
+	st.UsedBlocks = m.totalBlocks - st.FreeBlocks
+	for _, s := range m.seqs {
+		st.UsedTokens += s.tokens
+	}
+	allocSlots := st.UsedBlocks * m.blockTokens
+	if allocSlots > 0 {
+		st.InternalWaste = 1 - float64(st.UsedTokens)/float64(allocSlots)
+	}
+	st.UsedBytes = m.bytesPerTok * units.Bytes(allocSlots)
+	return st
+}
+
+// MaxConcurrentSequences answers the §6-style capacity question under
+// paging: how many sequences of the given mean total length fit the
+// budget, accounting for per-sequence partial-block waste.
+func (m *Manager) MaxConcurrentSequences(meanTotalTokens int) int {
+	if meanTotalTokens < 1 {
+		return 0
+	}
+	perSeq := m.blocksFor(meanTotalTokens)
+	return m.totalBlocks / perSeq
+}
+
+// pop removes n blocks from the free list.
+func (m *Manager) pop(n int) []int {
+	out := make([]int, n)
+	copy(out, m.freeBlocks[len(m.freeBlocks)-n:])
+	m.freeBlocks = m.freeBlocks[:len(m.freeBlocks)-n]
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package kvpage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// tiny builds a 100-block manager with 16-token blocks.
+func tiny(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(100*16*units.KiB, 16, units.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(units.MiB, 0, units.KiB); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewManager(units.MiB, 16, 0); err == nil {
+		t.Error("zero bytes/token accepted")
+	}
+	if _, err := NewManager(10, 16, units.KiB); err == nil {
+		t.Error("budget below one block accepted")
+	}
+}
+
+func TestAdmitExtendRelease(t *testing.T) {
+	m := tiny(t)
+	if m.TotalBlocks() != 100 || m.FreeBlocks() != 100 {
+		t.Fatalf("pool = %d/%d", m.FreeBlocks(), m.TotalBlocks())
+	}
+	// A 20-token prompt needs 2 blocks.
+	if err := m.Admit(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 98 || m.Tokens(1) != 20 {
+		t.Errorf("after admit: free=%d tokens=%d", m.FreeBlocks(), m.Tokens(1))
+	}
+	// Extending within the partial block allocates nothing new.
+	for i := 0; i < 12; i++ {
+		if err := m.Extend(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.FreeBlocks() != 98 {
+		t.Errorf("extend within block allocated: free=%d", m.FreeBlocks())
+	}
+	// The 33rd token crosses into a third block.
+	if err := m.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 97 {
+		t.Errorf("block boundary not allocated: free=%d", m.FreeBlocks())
+	}
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 100 || m.Live() != 0 {
+		t.Errorf("release leaked: free=%d live=%d", m.FreeBlocks(), m.Live())
+	}
+}
+
+func TestAdmitErrors(t *testing.T) {
+	m := tiny(t)
+	if err := m.Admit(1, 0); err == nil {
+		t.Error("zero prompt accepted")
+	}
+	if err := m.Admit(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admit(1, 16); err == nil {
+		t.Error("duplicate sequence accepted")
+	}
+	if err := m.Admit(2, 100*16); err == nil {
+		t.Error("over-capacity admit accepted")
+	}
+	if err := m.Extend(99); err == nil {
+		t.Error("extending unknown sequence accepted")
+	}
+	if err := m.Release(99); err == nil {
+		t.Error("releasing unknown sequence accepted")
+	}
+}
+
+func TestExtendExhaustionRollsBack(t *testing.T) {
+	m, err := NewManager(2*16*units.KiB, 16, units.KiB) // 2 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admit(1, 32); err != nil { // consumes both blocks exactly
+		t.Fatal(err)
+	}
+	if err := m.Extend(1); err == nil {
+		t.Fatal("extension past capacity accepted")
+	}
+	if m.Tokens(1) != 32 {
+		t.Errorf("failed extend must roll back: tokens=%d", m.Tokens(1))
+	}
+}
+
+func TestCanAdmitKeepsHeadroom(t *testing.T) {
+	m, _ := NewManager(4*16*units.KiB, 16, units.KiB) // 4 blocks
+	if !m.CanAdmit(30) {                              // 2 blocks + 1 headroom ≤ 4
+		t.Error("should admit")
+	}
+	if m.CanAdmit(60) { // 4 blocks + 1 headroom > 4
+		t.Error("should not admit without headroom")
+	}
+}
+
+func TestStatsAndWaste(t *testing.T) {
+	m := tiny(t)
+	if err := m.Admit(1, 17); err != nil { // 2 blocks, 17/32 slots used
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.UsedBlocks != 2 || st.UsedTokens != 17 {
+		t.Errorf("stats = %+v", st)
+	}
+	wantWaste := 1 - 17.0/32.0
+	if st.InternalWaste < wantWaste-1e-9 || st.InternalWaste > wantWaste+1e-9 {
+		t.Errorf("waste = %v, want %v", st.InternalWaste, wantWaste)
+	}
+	if st.UsedBytes != 32*units.KiB {
+		t.Errorf("used bytes = %v", st.UsedBytes)
+	}
+}
+
+// TestPagingBeatsMaxLengthReservation quantifies paging's point: a pool
+// sized for OPT-30B admits far more concurrent 300-token sequences under
+// paging than under reserve-to-max-length.
+func TestPagingBeatsMaxLengthReservation(t *testing.T) {
+	budget := 100 * units.GB
+	m, err := ForModel(budget, 16, model.OPT30B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged := m.MaxConcurrentSequences(300)
+	perTok := model.OPT30B.KVBytes(1, 1)
+	reserved := int(float64(budget) / float64(perTok*units.Bytes(model.OPT30B.MaxSeqLen)))
+	if paged < 5*reserved {
+		t.Errorf("paging admits %d vs %d reserved — want ≥5x (2048/300 ≈ 6.8x)", paged, reserved)
+	}
+}
+
+// Property: for any admit/extend/release interleaving, blocks never leak
+// and free+used == total.
+func TestNoBlockLeaksProperty(t *testing.T) {
+	f := func(ops [40]uint8) bool {
+		m, err := NewManager(50*16*units.KiB, 16, units.KiB)
+		if err != nil {
+			return false
+		}
+		next := 0
+		live := []int{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if m.CanAdmit(int(op)%40 + 1) {
+					if err := m.Admit(next, int(op)%40+1); err == nil {
+						live = append(live, next)
+						next++
+					}
+				}
+			case 1:
+				if len(live) > 0 {
+					_ = m.Extend(live[int(op)%len(live)]) // may fail when full; fine
+				}
+			case 2:
+				if len(live) > 0 {
+					idx := int(op) % len(live)
+					if err := m.Release(live[idx]); err != nil {
+						return false
+					}
+					live = append(live[:idx], live[idx+1:]...)
+				}
+			}
+			st := m.Stats()
+			if st.UsedBlocks+st.FreeBlocks != st.TotalBlocks {
+				return false
+			}
+		}
+		for _, id := range live {
+			if err := m.Release(id); err != nil {
+				return false
+			}
+		}
+		return m.FreeBlocks() == m.TotalBlocks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

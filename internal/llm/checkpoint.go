@@ -1,0 +1,176 @@
+package llm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/lia-sim/lia/internal/amx"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/tensor"
+)
+
+// Checkpoint format: a little-endian binary container holding the
+// architecture header followed by every tensor in BF16 (matching the
+// paper's BF16 deployments and halving checkpoint size versus float32).
+//
+//	magic "LIA1" | config fields | repeated tensors (f32 arrays stored
+//	as bf16 in a fixed traversal order)
+const checkpointMagic = "LIA1"
+
+// SaveCheckpoint writes the model to w in the BF16 container format.
+func SaveCheckpoint(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	cfg := m.Cfg
+	header := []int64{
+		int64(cfg.Layers), int64(cfg.DModel), int64(cfg.Heads), int64(cfg.KVHeads),
+		int64(cfg.DFF), int64(cfg.VocabSize), int64(cfg.MaxSeqLen), int64(cfg.BytesPerParam),
+		int64(cfg.Experts), boolToInt64(cfg.GatedFFN), boolToInt64(cfg.RoPE), int64(len(cfg.Name)),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(cfg.Name); err != nil {
+		return err
+	}
+	for _, ten := range modelTensors(m) {
+		if err := writeBF16Tensor(bw, ten); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads a model previously written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("llm: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("llm: bad checkpoint magic %q", magic)
+	}
+	header := make([]int64, 12)
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("llm: reading checkpoint header: %w", err)
+		}
+	}
+	nameLen := header[11]
+	if nameLen < 0 || nameLen > 1<<16 {
+		return nil, fmt.Errorf("llm: implausible name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, err
+	}
+	cfg := model.Config{
+		Name: string(nameBuf), Layers: int(header[0]), DModel: int(header[1]),
+		Heads: int(header[2]), KVHeads: int(header[3]), DFF: int(header[4]),
+		VocabSize: int(header[5]), MaxSeqLen: int(header[6]), BytesPerParam: int(header[7]),
+		Experts: int(header[8]), GatedFFN: header[9] != 0, RoPE: header[10] != 0,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("llm: checkpoint config: %w", err)
+	}
+	// Build a zero model with the right shapes, then fill its tensors.
+	m, err := NewRandom(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, ten := range modelTensors(m) {
+		if err := readBF16Tensor(br, ten); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// SaveCheckpointFile and LoadCheckpointFile are the disk conveniences.
+func SaveCheckpointFile(path string, m *Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveCheckpoint(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpointFile loads a checkpoint from disk.
+func LoadCheckpointFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}
+
+// modelTensors returns every parameter slice in the fixed traversal
+// order the format relies on. Vectors are wrapped as 1×n tensors.
+func modelTensors(m *Model) []tensor.Matrix {
+	out := []tensor.Matrix{m.Embed, m.Pos,
+		vec(m.FinalGain), vec(m.FinalBias)}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		out = append(out,
+			vec(l.LN1Gain), vec(l.LN1Bias), vec(l.LN2Gain), vec(l.LN2Bias),
+			l.WQKV, vec(l.BQKV), l.WOut, vec(l.BOut),
+			l.WFC1, vec(l.BFC1), l.WFC2, vec(l.BFC2))
+	}
+	return out
+}
+
+func vec(v []float32) tensor.Matrix { return tensor.FromSlice(1, len(v), v) }
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// writeBF16Tensor stores length then bf16 payload.
+func writeBF16Tensor(w io.Writer, t tensor.Matrix) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(t.Data))); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(t.Data))
+	for i, v := range t.Data {
+		b := amx.BF16FromFloat32(v)
+		buf[2*i] = byte(b)
+		buf[2*i+1] = byte(b >> 8)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readBF16Tensor fills t.Data in place, checking the stored length.
+func readBF16Tensor(r io.Reader, t tensor.Matrix) error {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return fmt.Errorf("llm: reading tensor length: %w", err)
+	}
+	if n != int64(len(t.Data)) {
+		return fmt.Errorf("llm: tensor length %d does not match expected %d", n, len(t.Data))
+	}
+	buf := make([]byte, 2*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("llm: reading tensor payload: %w", err)
+	}
+	for i := range t.Data {
+		t.Data[i] = amx.BF16(uint16(buf[2*i]) | uint16(buf[2*i+1])<<8).Float32()
+	}
+	return nil
+}

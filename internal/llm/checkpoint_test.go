@@ -1,0 +1,116 @@
+package llm
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/core"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m := tinyModel(t)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != m.Cfg {
+		t.Errorf("config mismatch: %+v vs %+v", loaded.Cfg, m.Cfg)
+	}
+	// Weights round-trip through BF16: the original NewRandom weights are
+	// float32, so allow bf16 rounding; generation must agree because both
+	// executors round weights to bf16 anyway.
+	ref, err := NewExecutor(m, core.FullGPU).Generate([]int{5, 6, 7}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewExecutor(loaded, core.FullGPU).Generate([]int{5, 6, 7}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("generation diverged after checkpoint round trip: %v vs %v", got, ref)
+		}
+	}
+}
+
+func TestCheckpointRoundTripGQA(t *testing.T) {
+	m := tinyLlama(t)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Cfg.GatedFFN || loaded.Cfg.KVHeads != 2 {
+		t.Errorf("GQA/gated config lost: %+v", loaded.Cfg)
+	}
+	if loaded.Layers[0].WFC1.Cols != m.Layers[0].WFC1.Cols {
+		t.Error("gated FC1 shape lost")
+	}
+}
+
+func TestCheckpointFile(t *testing.T) {
+	m := tinyModel(t)
+	path := filepath.Join(t.TempDir(), "model.lia")
+	if err := SaveCheckpointFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg.Name != m.Cfg.Name {
+		t.Error("name lost")
+	}
+	if _, err := LoadCheckpointFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadCheckpoint(strings.NewReader("XXXX-not-a-checkpoint")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := LoadCheckpoint(strings.NewReader("LIA1")); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Valid header, truncated payload.
+	m := tinyModel(t)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadCheckpoint(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestCheckpointIsBF16Sized(t *testing.T) {
+	m := tinyModel(t)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	// Rough bound: payload ≈ 2 bytes/param; must be well under the float32
+	// size.
+	var params int
+	for _, ten := range modelTensors(m) {
+		params += len(ten.Data)
+	}
+	if buf.Len() > params*3 {
+		t.Errorf("checkpoint %d bytes for %d params — not BF16-compressed?", buf.Len(), params)
+	}
+	if buf.Len() < params*2 {
+		t.Errorf("checkpoint %d bytes too small for %d params", buf.Len(), params)
+	}
+}

@@ -1,0 +1,107 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Observation is one measured GEMM throughput point: the shape (output
+// rows M, inner K, output columns N) and the achieved rate. The paper's
+// §4 microbenchmarks produce exactly this kind of data; Fit turns it
+// back into a calibrated Device.
+type Observation struct {
+	// M, K and N give the GEMM shape.
+	M, K, N int
+	// Rate is the measured throughput.
+	Rate units.FLOPSRate
+}
+
+// Fit calibrates a device's Ceiling and RampRows against measured GEMM
+// observations, holding the memory system (MemBW, StreamEff, Launch)
+// fixed at the template's values. It minimizes the sum of squared
+// relative errors over a log-spaced grid refined by coordinate descent —
+// no gradients, deterministic, adequate for the two-parameter surface.
+//
+// This is the tool a user points at their own CPU/GPU microbenchmark
+// results to extend the calibration table beyond the paper's hardware.
+func Fit(template Device, obs []Observation) (Device, error) {
+	if len(obs) < 2 {
+		return Device{}, fmt.Errorf("perf: need at least 2 observations, got %d", len(obs))
+	}
+	for _, o := range obs {
+		if o.M <= 0 || o.K <= 0 || o.N <= 0 || o.Rate <= 0 {
+			return Device{}, fmt.Errorf("perf: invalid observation %+v", o)
+		}
+	}
+
+	loss := func(ceiling, ramp float64) float64 {
+		d := template
+		d.Ceiling = units.FLOPSRate(ceiling)
+		d.RampRows = ramp
+		var sum float64
+		for _, o := range obs {
+			pred := float64(d.GEMMThroughput(o.M, o.K, o.N))
+			rel := (pred - float64(o.Rate)) / float64(o.Rate)
+			sum += rel * rel
+		}
+		return sum
+	}
+
+	// Seed the ceiling from the largest observed rate (a lower bound on
+	// the true ceiling) and search multiplicatively around it.
+	var maxRate float64
+	for _, o := range obs {
+		maxRate = math.Max(maxRate, float64(o.Rate))
+	}
+	bestC, bestR := maxRate, 16.0
+	bestLoss := loss(bestC, bestR)
+	for _, cMul := range []float64{1.0, 1.05, 1.1, 1.2, 1.4, 1.7, 2.0, 2.5} {
+		for _, r := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+			if l := loss(maxRate*cMul, r); l < bestLoss {
+				bestC, bestR, bestLoss = maxRate*cMul, r, l
+			}
+		}
+	}
+	// Coordinate descent refinement.
+	for iter := 0; iter < 60; iter++ {
+		improved := false
+		for _, step := range []float64{1.1, 1.02, 1.005} {
+			for _, c := range []float64{bestC * step, bestC / step} {
+				if l := loss(c, bestR); l < bestLoss {
+					bestC, bestLoss, improved = c, l, true
+				}
+			}
+			for _, r := range []float64{bestR * step, bestR / step} {
+				if l := loss(bestC, r); l < bestLoss {
+					bestR, bestLoss, improved = r, l, true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	out := template
+	out.Ceiling = units.FLOPSRate(bestC)
+	out.RampRows = bestR
+	return out, nil
+}
+
+// FitError reports the root-mean-square relative error of a device
+// against observations — the §7 latency model quotes 12% average error;
+// this lets a user quantify theirs.
+func FitError(d Device, obs []Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range obs {
+		pred := float64(d.GEMMThroughput(o.M, o.K, o.N))
+		rel := (pred - float64(o.Rate)) / float64(o.Rate)
+		sum += rel * rel
+	}
+	return math.Sqrt(sum / float64(len(obs)))
+}

@@ -1,0 +1,73 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// synthObs samples a ground-truth device at several shapes.
+func synthObs(d Device) []Observation {
+	var obs []Observation
+	for _, m := range []int{16, 64, 256, 1024, 4096, 16384} {
+		obs = append(obs, Observation{M: m, K: 4096, N: 16384, Rate: d.GEMMThroughput(m, 4096, 16384)})
+	}
+	return obs
+}
+
+func TestFitRecoversKnownDevice(t *testing.T) {
+	truth := CPUDevice(hw.SPR, hw.AMX)
+	truth.Ceiling = 27 * units.TFLOPS
+	truth.RampRows = 40
+	obs := synthObs(truth)
+
+	template := CPUDevice(hw.SPR, hw.AMX) // wrong ceiling/ramp, right memory
+	got, err := Fit(template, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(float64(got.Ceiling)-float64(truth.Ceiling)) / float64(truth.Ceiling); rel > 0.05 {
+		t.Errorf("ceiling = %v, want %v (rel err %.3f)", got.Ceiling, truth.Ceiling, rel)
+	}
+	if e := FitError(got, obs); e > 0.03 {
+		t.Errorf("RMS relative error %.3f after fit, want ≤0.03", e)
+	}
+}
+
+func TestFitImprovesOverTemplate(t *testing.T) {
+	// Pretend the user measured a GPU 30% below our calibration.
+	truth := GPUDevice(hw.A100)
+	truth.Ceiling = units.FLOPSRate(0.7 * float64(truth.Ceiling))
+	obs := synthObs(truth)
+	template := GPUDevice(hw.A100)
+	before := FitError(template, obs)
+	fitted, err := Fit(template, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := FitError(fitted, obs)
+	if after >= before {
+		t.Errorf("fit did not improve: %.3f → %.3f", before, after)
+	}
+	if after > 0.05 {
+		t.Errorf("post-fit error %.3f too high", after)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	d := CPUDevice(hw.SPR, hw.AMX)
+	if _, err := Fit(d, nil); err == nil {
+		t.Error("no observations accepted")
+	}
+	if _, err := Fit(d, []Observation{{M: 1, K: 1, N: 1, Rate: 1}, {M: 0, K: 1, N: 1, Rate: 1}}); err == nil {
+		t.Error("invalid observation accepted")
+	}
+}
+
+func TestFitErrorEmpty(t *testing.T) {
+	if FitError(CPUDevice(hw.SPR, hw.AMX), nil) != 0 {
+		t.Error("empty observations should give zero error")
+	}
+}

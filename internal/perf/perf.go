@@ -1,0 +1,205 @@
+// Package perf turns hardware specifications (package hw) into effective,
+// shape-dependent performance: how fast a given device actually executes a
+// GEMM or batched GEMV of a given size.
+//
+// The model is the additive roofline the paper's own latency model uses
+// (Eq. 8): a kernel's time is a fixed launch overhead, plus the time to
+// stream its operands through device memory, plus the time to execute its
+// FLOPs at the device's effective matrix throughput. The effective matrix
+// throughput ramps with the number of output rows — small matrices cannot
+// fill a tensor-core (or AMX tile) pipeline — saturating at a per-device
+// measured ceiling calibrated to the microbenchmark results in §4:
+//
+//	AVX512 (SPR)  4.4 TFLOPS    P100   8.4 TFLOPS
+//	SPR-AMX       20  TFLOPS    V100   80  TFLOPS
+//	GNR-AMX       44  TFLOPS    A100   180 TFLOPS
+//	                            H100   400 TFLOPS
+//
+// which reproduces every ratio the paper reports (SPR-AMX = 4.5× AVX512,
+// 2.4× P100, 11% of A100, 5% of H100; GNR-AMX = 2.2× SPR, 22% of A100,
+// 10% of H100). GEMV throughput is memory-bound and tracks each device's
+// sustained stream bandwidth (§4.2), with GPU kernel-launch overhead
+// explaining the CPU's relatively better standing at small shapes.
+package perf
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Device is a calibrated execution engine: a CPU socket running a specific
+// matrix ISA, or a GPU board.
+type Device struct {
+	// Name identifies the engine, e.g. "SPR-AMX" or "A100-40GB-PCIe".
+	Name string
+	// Peak is the theoretical peak matrix throughput.
+	Peak units.FLOPSRate
+	// Ceiling is the measured asymptotic throughput (≤ Peak) reached at
+	// large shapes — the §4 calibration values.
+	Ceiling units.FLOPSRate
+	// RampRows is the output-row count at which the matrix engine reaches
+	// half its ceiling — a mild tile-quantization penalty (AMX tiles hold
+	// 16 rows; tensor-core MMA fragments are similar). The dominant
+	// small-shape effect is the memory roofline in Time, not this ramp.
+	RampRows float64
+	// MemBW is the device's local memory bandwidth.
+	MemBW units.BytesPerSecond
+	// StreamEff is the fraction of MemBW sustained by streaming kernels.
+	StreamEff float64
+	// Launch is the fixed overhead per kernel invocation.
+	Launch units.Seconds
+}
+
+// gemmCeilings calibrates each engine's measured asymptotic GEMM
+// throughput to §4.1. Keys are "<spec name>|<ISA>" for CPUs and the bare
+// spec name for GPUs.
+var gemmCeilings = map[string]units.FLOPSRate{
+	"SPR (Xeon 8460H, 40c)|AMX":    20 * units.TFLOPS,
+	"SPR (Xeon 8460H, 40c)|AVX512": 4.4 * units.TFLOPS,
+	"GNR (Xeon 6, 128c)|AMX":       44 * units.TFLOPS,
+	"GNR (Xeon 6, 128c)|AVX512":    9.7 * units.TFLOPS,
+	"Grace (72c, SVE2)|SVE2":       4.8 * units.TFLOPS,
+	"P100-16GB":                    8.4 * units.TFLOPS,
+	"V100-16GB":                    80 * units.TFLOPS,
+	"A100-40GB-PCIe":               180 * units.TFLOPS,
+	"A100-80GB-SXM":                185 * units.TFLOPS,
+	"H100-80GB-PCIe":               400 * units.TFLOPS,
+	"H100-96GB-GH200":              460 * units.TFLOPS,
+}
+
+// streamEffs calibrates sustained stream-bandwidth fractions to the §4.2
+// GEMV ratios (SPR achieves 54/31/19/15% of P100/V100/A100/H100,
+// "consistent with their relative memory bandwidths").
+var streamEffs = map[string]float64{
+	"P100-16GB":       0.50,
+	"V100-16GB":       0.71,
+	"A100-40GB-PCIe":  0.67,
+	"A100-80GB-SXM":   0.67,
+	"H100-80GB-PCIe":  0.66,
+	"H100-96GB-GH200": 0.66,
+}
+
+// cpuStreamEff gives SPR's 199 GFLOPS GEMV peak on 260 GB/s DDR5.
+const cpuStreamEff = 0.765
+
+// defaultCeilingFraction is used for engines absent from the calibration
+// table: half of theoretical peak.
+const defaultCeilingFraction = 0.5
+
+// CPUDevice builds the calibrated engine for a CPU socket running the
+// given matrix ISA. Requesting AMX on a CPU that lacks it degrades to the
+// vector engine, mirroring how IPEX falls back on pre-SPR parts.
+func CPUDevice(spec hw.CPUSpec, isa hw.ISA) Device {
+	peak := spec.PeakVector
+	if isa == spec.MatrixISA {
+		peak = spec.PeakMatrix
+	} else {
+		isa = hw.AVX512
+		if spec.MatrixISA == hw.SVE2 {
+			isa = hw.SVE2
+			peak = spec.PeakMatrix
+		}
+	}
+	key := spec.Name + "|" + isa.String()
+	ceiling, ok := gemmCeilings[key]
+	if !ok {
+		ceiling = units.FLOPSRate(defaultCeilingFraction * float64(peak))
+	}
+	return Device{
+		Name:      fmt.Sprintf("%s/%s", spec.Name, isa),
+		Peak:      peak,
+		Ceiling:   ceiling,
+		RampRows:  8,
+		MemBW:     spec.MemBW,
+		StreamEff: cpuStreamEff,
+		// A CPU "kernel launch" is an OpenMP-style fork/join.
+		Launch: 2 * units.Microsecond,
+	}
+}
+
+// GPUDevice builds the calibrated engine for a GPU board.
+func GPUDevice(spec hw.GPUSpec) Device {
+	ceiling, ok := gemmCeilings[spec.Name]
+	if !ok {
+		ceiling = units.FLOPSRate(defaultCeilingFraction * float64(spec.PeakHalf))
+	}
+	se, ok := streamEffs[spec.Name]
+	if !ok {
+		se = 0.65
+	}
+	return Device{
+		Name:      spec.Name,
+		Peak:      spec.PeakHalf,
+		Ceiling:   ceiling,
+		RampRows:  32,
+		MemBW:     spec.MemBW,
+		StreamEff: se,
+		Launch:    spec.KernelLaunch,
+	}
+}
+
+// EffectiveMatrixRate returns the throughput the matrix engine sustains
+// for a kernel producing the given number of output rows.
+func (d Device) EffectiveMatrixRate(rows int) units.FLOPSRate {
+	if rows <= 0 {
+		return d.Ceiling
+	}
+	r := float64(rows)
+	return units.FLOPSRate(float64(d.Ceiling) * r / (r + d.RampRows))
+}
+
+// StreamBW returns the sustained local-memory streaming bandwidth.
+func (d Device) StreamBW() units.BytesPerSecond {
+	return units.BytesPerSecond(d.StreamEff * float64(d.MemBW))
+}
+
+// Time returns the execution time of a kernel with the given FLOP count,
+// local-memory traffic, and output-row count, following the paper's
+// Eq. (8) additive form plus launch overhead.
+func (d Device) Time(flops units.FLOPs, traffic units.Bytes, rows int) units.Seconds {
+	t := d.Launch
+	t += units.TransferTime(traffic, d.StreamBW(), 0)
+	t += units.ComputeTime(flops, d.EffectiveMatrixRate(rows))
+	return t
+}
+
+// GEMMTime returns the time to compute an (M×K)·(K×N) matrix product in
+// BF16 (2-byte elements), counting reads of both operands and the write of
+// the result.
+func (d Device) GEMMTime(m, k, n int) units.Seconds {
+	flops := units.FLOPs(2) * units.FLOPs(m) * units.FLOPs(k) * units.FLOPs(n)
+	traffic := units.Bytes(2 * (m*k + k*n + m*n))
+	return d.Time(flops, traffic, m)
+}
+
+// GEMMThroughput returns the achieved throughput of the (M×K)·(K×N) GEMM.
+func (d Device) GEMMThroughput(m, k, n int) units.FLOPSRate {
+	flops := units.FLOPs(2) * units.FLOPs(m) * units.FLOPs(k) * units.FLOPs(n)
+	t := d.GEMMTime(m, k, n)
+	if t <= 0 {
+		return d.Ceiling
+	}
+	return units.FLOPSRate(float64(flops) / float64(t))
+}
+
+// BatchedGEMVTime returns the time for `batch` independent (1×K)·(K×N)
+// vector-matrix products — the attention-scoring shape
+// (B·n_h, 1, d_h)·(B·n_h, d_h, L). All batch elements share one launch.
+func (d Device) BatchedGEMVTime(batch, k, n int) units.Seconds {
+	flops := units.FLOPs(2) * units.FLOPs(batch) * units.FLOPs(k) * units.FLOPs(n)
+	traffic := units.Bytes(2 * batch * (k + k*n + n))
+	return d.Time(flops, traffic, batch)
+}
+
+// BatchedGEMVThroughput returns the achieved throughput of the batched
+// GEMV above.
+func (d Device) BatchedGEMVThroughput(batch, k, n int) units.FLOPSRate {
+	flops := units.FLOPs(2) * units.FLOPs(batch) * units.FLOPs(k) * units.FLOPs(n)
+	t := d.BatchedGEMVTime(batch, k, n)
+	if t <= 0 {
+		return units.FLOPSRate(d.StreamEff * float64(d.MemBW))
+	}
+	return units.FLOPSRate(float64(flops) / float64(t))
+}

@@ -1,0 +1,198 @@
+// Package quant implements INT8 post-training quantization for the
+// functional engine and the quantized-deployment studies: symmetric
+// per-output-channel weight quantization, asymmetric per-tensor
+// activation quantization, and a fused Linear that runs the integer
+// product through the emulated AMX TDPBUSD pipeline and dequantizes with
+// the zero-point correction.
+//
+// The paper positions quantization as the orthogonal compression
+// alternative to offloading (§1: even 4-bit OPT-175B still needs two
+// H100s); this package lets the reproduction quantify that trade-off —
+// INT8 halves parameter bytes (and therefore every D_Y transfer and
+// memory footprint in the analytical model) at a bounded accuracy cost
+// the functional engine can measure directly.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lia-sim/lia/internal/amx"
+	"github.com/lia-sim/lia/internal/tensor"
+)
+
+// Weights is an INT8 weight matrix with per-output-channel scales.
+type Weights struct {
+	// Q holds the quantized values, row-major K×N.
+	Q []int8
+	// K and N are the logical dimensions.
+	K, N int
+	// ColScales holds one dequantization scale per output column.
+	ColScales []float32
+	// ColSums caches Σ_k Q[k][j], needed for the activation zero-point
+	// correction.
+	ColSums []int32
+}
+
+// QuantizeWeights quantizes w (K×N float32) symmetrically per output
+// column: q = round(w / s_j), s_j = max|w[:,j]| / 127.
+func QuantizeWeights(w tensor.Matrix) Weights {
+	k, n := w.Rows, w.Cols
+	out := Weights{
+		Q:         make([]int8, k*n),
+		K:         k,
+		N:         n,
+		ColScales: make([]float32, n),
+		ColSums:   make([]int32, n),
+	}
+	for j := 0; j < n; j++ {
+		var maxAbs float32
+		for i := 0; i < k; i++ {
+			v := w.At(i, j)
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1
+		}
+		out.ColScales[j] = scale
+		for i := 0; i < k; i++ {
+			q := int32(math.RoundToEven(float64(w.At(i, j) / scale)))
+			if q > 127 {
+				q = 127
+			}
+			if q < -127 {
+				q = -127
+			}
+			out.Q[i*n+j] = int8(q)
+			out.ColSums[j] += q
+		}
+	}
+	return out
+}
+
+// Dequantize reconstructs the float32 weights.
+func (w Weights) Dequantize() tensor.Matrix {
+	out := tensor.New(w.K, w.N)
+	for i := 0; i < w.K; i++ {
+		for j := 0; j < w.N; j++ {
+			out.Set(i, j, float32(w.Q[i*w.N+j])*w.ColScales[j])
+		}
+	}
+	return out
+}
+
+// Bytes returns the quantized storage footprint (values + scales).
+func (w Weights) Bytes() int { return len(w.Q) + 4*len(w.ColScales) }
+
+// Activations is an asymmetric per-tensor uint8 quantization of an
+// activation matrix: x ≈ scale · (q − zero).
+type Activations struct {
+	// Q holds the quantized values, row-major M×K.
+	Q []uint8
+	// M and K are the logical dimensions.
+	M, K int
+	// Scale and Zero define the affine mapping.
+	Scale float32
+	// Zero is the uint8 zero point.
+	Zero uint8
+}
+
+// QuantizeActivations maps x's observed range onto [0, 255].
+func QuantizeActivations(x tensor.Matrix) Activations {
+	minV, maxV := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, v := range x.Data {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if minV > 0 {
+		minV = 0
+	}
+	if maxV < 0 {
+		maxV = 0
+	}
+	scale := (maxV - minV) / 255
+	if scale == 0 {
+		scale = 1
+	}
+	zero := uint8(math.RoundToEven(float64(-minV / scale)))
+	out := Activations{
+		Q:     make([]uint8, len(x.Data)),
+		M:     x.Rows,
+		K:     x.Cols,
+		Scale: scale,
+		Zero:  zero,
+	}
+	for i, v := range x.Data {
+		q := int32(math.RoundToEven(float64(v/scale))) + int32(zero)
+		if q < 0 {
+			q = 0
+		}
+		if q > 255 {
+			q = 255
+		}
+		out.Q[i] = uint8(q)
+	}
+	return out
+}
+
+// Dequantize reconstructs the float32 activations.
+func (a Activations) Dequantize() tensor.Matrix {
+	out := tensor.New(a.M, a.K)
+	for i, q := range a.Q {
+		out.Data[i] = a.Scale * (float32(q) - float32(a.Zero))
+	}
+	return out
+}
+
+// Linear computes y = x·W using the AMX INT8 pipeline: x is quantized to
+// uint8, the integer product runs through TDPBUSD, and the result is
+// dequantized with the zero-point correction
+//
+//	y[i][j] = s_x · s_j · (Σ_k q_x[i][k]·q_w[k][j] − z_x · Σ_k q_w[k][j]).
+//
+// It returns the float32 result and the AMX cycles consumed.
+func Linear(x tensor.Matrix, w Weights) (tensor.Matrix, uint64, error) {
+	if x.Cols != w.K {
+		return tensor.Matrix{}, 0, fmt.Errorf("quant: linear shape mismatch %dx%d · %dx%d", x.Rows, x.Cols, w.K, w.N)
+	}
+	qx := QuantizeActivations(x)
+	acc, cycles, err := amx.MatmulINT8(qx.Q, w.Q, qx.M, qx.K, w.N)
+	if err != nil {
+		return tensor.Matrix{}, 0, err
+	}
+	out := tensor.New(x.Rows, w.N)
+	zx := int32(qx.Zero)
+	for i := 0; i < x.Rows; i++ {
+		for j := 0; j < w.N; j++ {
+			corrected := acc[i*w.N+j] - zx*w.ColSums[j]
+			out.Set(i, j, qx.Scale*w.ColScales[j]*float32(corrected))
+		}
+	}
+	return out, cycles, nil
+}
+
+// MaxAbsError returns the largest absolute elementwise difference between
+// two equally-shaped matrices — the quantization-error metric tests use.
+func MaxAbsError(a, b tensor.Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var worst float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i] - b.Data[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

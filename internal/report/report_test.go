@@ -1,0 +1,137 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta") // short row pads
+	s := tab.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "alpha") {
+		t.Errorf("missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+	// Columns align: header and row start at same offset.
+	if strings.Index(lines[1], "value") != strings.Index(lines[3], "1") {
+		t.Errorf("misaligned columns:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow(`x,"y`, "2")
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,""y"`) {
+		t.Errorf("CSV escaping broken: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("missing header: %q", csv)
+	}
+}
+
+func TestFigureSeriesLengthChecked(t *testing.T) {
+	f := NewFigure("f", "x", "y", "32", "64")
+	if err := f.Add("s", 1); err == nil {
+		t.Error("short series accepted")
+	}
+	if err := f.Add("s", 1, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigureTableAndOOM(t *testing.T) {
+	f := NewFigure("Throughput", "B", "tokens/s", "64", "900")
+	f.Unit = "%.1f"
+	f.MustAdd("LIA", 100, 300)
+	f.MustAdd("DGX", 250, math.NaN())
+	s := f.String()
+	if !strings.Contains(s, "OOM") {
+		t.Errorf("NaN should render as OOM:\n%s", s)
+	}
+	if !strings.Contains(s, "300.0") {
+		t.Errorf("unit formatting broken:\n%s", s)
+	}
+	if !strings.Contains(f.CSV(), "LIA,DGX") {
+		t.Errorf("CSV headers wrong:\n%s", f.CSV())
+	}
+}
+
+func TestFigureRatio(t *testing.T) {
+	f := NewFigure("f", "x", "y", "a", "b")
+	f.MustAdd("num", 10, 20)
+	f.MustAdd("den", 5, 0)
+	if got := f.Ratio("num", "den", 0); got != 2 {
+		t.Errorf("ratio = %v, want 2", got)
+	}
+	if got := f.Ratio("num", "den", 1); !math.IsNaN(got) {
+		t.Errorf("division by zero should be NaN, got %v", got)
+	}
+	if got := f.Ratio("missing", "den", 0); !math.IsNaN(got) {
+		t.Errorf("missing series should be NaN, got %v", got)
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFigure("f", "x", "y", "only").MustAdd("bad", 1, 2)
+}
+
+func TestGantt(t *testing.T) {
+	rows := []GanttRow{
+		{Label: "xfer-0", Lane: "pcie", Start: 0, Finish: 2},
+		{Label: "gpu-0", Lane: "gpu", Start: 2, Finish: 3},
+		{Label: "xfer-1", Lane: "pcie", Start: 2, Finish: 4},
+	}
+	out := Gantt("demo", rows, 40)
+	if !strings.Contains(out, "[pcie]") || !strings.Contains(out, "[gpu]") {
+		t.Errorf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("no bars:\n%s", out)
+	}
+	// The later transfer's bar starts after the first one's.
+	lines := strings.Split(out, "\n")
+	var first, second string
+	for _, l := range lines {
+		if strings.Contains(l, "xfer-0") {
+			first = l
+		}
+		if strings.Contains(l, "xfer-1") {
+			second = l
+		}
+	}
+	if strings.Index(first, "#") >= strings.Index(second, "#") {
+		t.Errorf("bars not ordered in time:\n%s", out)
+	}
+	// Degenerate inputs do not panic.
+	_ = Gantt("empty", nil, 5)
+	_ = Gantt("zero", []GanttRow{{Label: "x", Lane: "l"}}, 30)
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := NewTable("Cap", "a", "b")
+	tab.AddRow("x|y", "2")
+	md := tab.Markdown()
+	if !strings.Contains(md, "**Cap**") || !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("markdown structure wrong:\n%s", md)
+	}
+	if !strings.Contains(md, `x\|y`) {
+		t.Errorf("pipe not escaped:\n%s", md)
+	}
+	f := NewFigure("F", "x", "y", "t1")
+	f.MustAdd("s", 1)
+	if !strings.Contains(f.Markdown(), "| x | s |") {
+		t.Errorf("figure markdown wrong:\n%s", f.Markdown())
+	}
+}

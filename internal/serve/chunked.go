@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/exec"
+	"github.com/lia-sim/lia/internal/memplan"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// SimulateChunked runs Sarathi-style chunked-prefill continuous batching:
+// instead of stalling the running batch while a new request's whole
+// prompt prefills, each scheduler iteration carries the decode batch
+// *plus* up to `chunk` prompt tokens of in-flight prefills — the prompt
+// rows piggyback on the batched forward pass.
+//
+// Caveat this simulator surfaces: chunked prefill assumes resident
+// weights. In the offloaded regime every iteration moves (or CPU-reads)
+// the full parameter set, so splitting an L-token prompt into L/chunk
+// chunks multiplies that dominant cost by L/chunk — whole-prompt prefill
+// amortizes it in a single pass. Expect chunking to help only when the
+// model is (mostly) pinned; see TestChunkedPrefillCostsInOffloadedRegime.
+//
+// chunk is the per-iteration prefill token budget (across all prefilling
+// sequences).
+func SimulateChunked(cfg Config, reqs []Request, chunk int) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if chunk < 1 {
+		return Metrics{}, fmt.Errorf("serve: chunk must be ≥1 token")
+	}
+	if len(reqs) == 0 {
+		return Metrics{}, fmt.Errorf("serve: no requests")
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			return Metrics{}, fmt.Errorf("serve: requests not sorted by arrival")
+		}
+	}
+
+	env := core.NewEnvWithPlacement(cfg.System, cfg.Model, cfg.Placement)
+	gpuPlan := memplan.PlanLIAGPU(cfg.System.GPU, cfg.Model, cfg.MaxBatch, cfg.Model.MaxSeqLen)
+	opt := core.Options{KVOnGPU: gpuPlan.KVOnGPU}
+	basePlan := exec.Plan{
+		Env:          env,
+		Opt:          opt,
+		Layers:       cfg.Model.Layers,
+		PinnedLayers: gpuPlan.PinnedLayers,
+		Overlap:      true,
+		MiniBatches:  1,
+	}
+
+	// Iteration cost: a decode-shaped pass whose row count is the decode
+	// batch plus the piggybacked prompt tokens (that is what a chunked
+	// iteration's kernel shapes look like).
+	type costKey struct{ rows, lBucket int }
+	costCache := make(map[costKey]units.Seconds)
+	policyCache := make(map[int]core.Policy)
+	iterCost := func(rows, l int) (units.Seconds, error) {
+		const bucket = 64
+		key := costKey{rows, l / bucket}
+		if c, ok := costCache[key]; ok {
+			return c, nil
+		}
+		pol, ok := policyCache[rows]
+		if !ok {
+			pol, _ = core.OptimizeOpts(env, model.Decode, rows, l, opt)
+			policyCache[rows] = pol
+		}
+		p := basePlan
+		p.Policy = pol
+		res, err := p.RunStage(model.Decode, rows, l)
+		if err != nil {
+			return 0, err
+		}
+		costCache[key] = res.Latency
+		return res.Latency, nil
+	}
+
+	type seq struct {
+		req       Request
+		prefilled int // prompt tokens processed so far
+		context   int
+		remaining int
+	}
+	var (
+		m         Metrics
+		clock     units.Seconds
+		active    []*seq // prefilling and decoding sequences together
+		next      int
+		latencies []units.Seconds
+		queueing  []units.Seconds
+	)
+
+	for next < len(reqs) || len(active) > 0 {
+		// Admit arrivals up to the batch cap; no prefill stall — they
+		// start chunking on the next iteration.
+		admittedNow := 0
+		for next < len(reqs) && len(active) < cfg.MaxBatch && reqs[next].Arrival <= clock {
+			r := reqs[next]
+			active = append(active, &seq{req: r, remaining: r.OutputLen})
+			queueing = append(queueing, clock-r.Arrival)
+			next++
+			admittedNow++
+		}
+		if admittedNow > 0 {
+			m.Batches++
+			m.MeanBatchSize += float64(admittedNow)
+		}
+		if len(active) == 0 {
+			clock = reqs[next].Arrival
+			continue
+		}
+
+		// Assemble the iteration: decode rows plus a chunk of prefill rows.
+		rows := 0
+		ctxSum, ctxN := 0, 0
+		budget := chunk
+		for _, s := range active {
+			if s.prefilled < s.req.InputLen {
+				take := s.req.InputLen - s.prefilled
+				if take > budget {
+					take = budget
+				}
+				rows += take
+				budget -= take
+			} else {
+				rows++
+				ctxSum += s.context
+			}
+			ctxN++
+		}
+		meanCtx := 256
+		if ctxN > 0 {
+			total := ctxSum
+			for _, s := range active {
+				if s.prefilled < s.req.InputLen {
+					total += s.prefilled
+				}
+			}
+			meanCtx = total/ctxN + 1
+		}
+		c, err := iterCost(rows, meanCtx)
+		if err != nil {
+			return Metrics{}, err
+		}
+		clock += c
+
+		// Advance: prefills consume their chunk share; decoders emit one
+		// token each.
+		budget = chunk
+		kept := active[:0]
+		for _, s := range active {
+			if s.prefilled < s.req.InputLen {
+				take := s.req.InputLen - s.prefilled
+				if take > budget {
+					take = budget
+				}
+				s.prefilled += take
+				budget -= take
+				if s.prefilled >= s.req.InputLen {
+					s.context = s.req.InputLen
+				}
+				kept = append(kept, s)
+				continue
+			}
+			s.context++
+			s.remaining--
+			m.GeneratedTokens++
+			if s.remaining <= 0 {
+				latencies = append(latencies, clock-s.req.Arrival)
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		active = kept
+		if clock > m.Makespan {
+			m.Makespan = clock
+		}
+	}
+
+	m.Completed = len(latencies)
+	if m.Batches > 0 {
+		m.MeanBatchSize /= float64(m.Batches)
+	}
+	if m.Makespan > 0 {
+		m.Throughput = float64(m.GeneratedTokens) / float64(m.Makespan)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum, qsum float64
+	for _, l := range latencies {
+		sum += float64(l)
+	}
+	for _, q := range queueing {
+		qsum += float64(q)
+	}
+	if len(latencies) > 0 {
+		m.Mean = units.Seconds(sum / float64(len(latencies)))
+	}
+	if len(queueing) > 0 {
+		m.MeanQueueing = units.Seconds(qsum / float64(len(queueing)))
+	}
+	m.P50 = percentile(latencies, 0.50)
+	m.P95 = percentile(latencies, 0.95)
+	m.P99 = percentile(latencies, 0.99)
+	return m, nil
+}

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/exec"
+	"github.com/lia-sim/lia/internal/kvpage"
+	"github.com/lia-sim/lia/internal/memplan"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// SimulateContinuous runs an iteration-level (Orca-style continuous
+// batching) scheduler over the request stream: at every decode iteration
+// the running batch admits newly-arrived requests (after a batched
+// prefill) and retires finished ones immediately, instead of holding the
+// whole batch until its longest member completes. Same Config and
+// Metrics as Simulate, so the two disciplines compare directly.
+//
+// The per-iteration cost comes from the same execution back-end the
+// engine uses (policy re-optimized per batch size, Optimization-1
+// pinning, Optimization-2 overlap), evaluated at the running batch's
+// mean context length.
+func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if len(reqs) == 0 {
+		return Metrics{}, fmt.Errorf("serve: no requests")
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			return Metrics{}, fmt.Errorf("serve: requests not sorted by arrival")
+		}
+	}
+
+	env := core.NewEnvWithPlacement(cfg.System, cfg.Model, cfg.Placement)
+	gpuPlan := memplan.PlanLIAGPU(cfg.System.GPU, cfg.Model, cfg.MaxBatch, cfg.Model.MaxSeqLen)
+	opt := core.Options{KVOnGPU: gpuPlan.KVOnGPU}
+
+	basePlan := exec.Plan{
+		Env:          env,
+		Opt:          opt,
+		Layers:       cfg.Model.Layers,
+		PinnedLayers: gpuPlan.PinnedLayers,
+		Overlap:      true,
+		MiniBatches:  1,
+	}
+
+	// Per-iteration decode costs are cached by (batch size, context
+	// bucket) — policies and costs change slowly along both axes.
+	type costKey struct{ b, lBucket int }
+	decodeCost := make(map[costKey]units.Seconds)
+	decodePolicy := make(map[int]core.Policy)
+	stepCost := func(b, l int) (units.Seconds, error) {
+		const bucket = 64
+		key := costKey{b, l / bucket}
+		if c, ok := decodeCost[key]; ok {
+			return c, nil
+		}
+		pol, ok := decodePolicy[b]
+		if !ok {
+			pol, _ = core.OptimizeOpts(env, model.Decode, b, l, opt)
+			decodePolicy[b] = pol
+		}
+		p := basePlan
+		p.Policy = pol
+		res, err := p.RunStage(model.Decode, b, l)
+		if err != nil {
+			return 0, err
+		}
+		decodeCost[key] = res.Latency
+		return res.Latency, nil
+	}
+	prefillCost := func(b, l int) (units.Seconds, error) {
+		pol, _ := core.OptimizeOpts(env, model.Prefill, b, l, opt)
+		p := basePlan
+		p.Policy = pol
+		if b > 1 {
+			p.MiniBatches = 2
+		}
+		res, err := p.RunStage(model.Prefill, b, l)
+		if err != nil {
+			return 0, err
+		}
+		return res.Latency, nil
+	}
+
+	// Optional paged KV-cache pool (vLLM-style): admissions and per-token
+	// extensions allocate blocks; exhaustion preempts the youngest
+	// sequence back to the waiting queue for recomputation.
+	var pool *kvpage.Manager
+	if cfg.KVBudget > 0 {
+		blockTokens := cfg.KVBlockTokens
+		if blockTokens <= 0 {
+			blockTokens = 16
+		}
+		var err error
+		pool, err = kvpage.ForModel(cfg.KVBudget, blockTokens, cfg.Model)
+		if err != nil {
+			return Metrics{}, err
+		}
+	}
+
+	type active struct {
+		id        int
+		req       Request
+		context   int // tokens in the KV cache
+		remaining int // output tokens still to produce
+		started   units.Seconds
+	}
+	var (
+		m         Metrics
+		clock     units.Seconds
+		running   []active
+		requeued  []Request // preempted work, served before new arrivals
+		next      int
+		latencies []units.Seconds
+		queueing  []units.Seconds
+		nextID    int
+	)
+
+	// preemptYoungest evicts the most recently admitted sequence, freeing
+	// its blocks and requeueing its request for full recomputation.
+	preemptYoungest := func() error {
+		if len(running) <= 1 {
+			return fmt.Errorf("serve: KV budget %v cannot hold even one sequence", cfg.KVBudget)
+		}
+		last := running[len(running)-1]
+		running = running[:len(running)-1]
+		if err := pool.Release(last.id); err != nil {
+			return err
+		}
+		requeued = append(requeued, last.req)
+		m.Preemptions++
+		return nil
+	}
+
+	for next < len(reqs) || len(running) > 0 || len(requeued) > 0 {
+		// Admit requeued work first, then arrived requests, while the
+		// batch and (when bounded) the KV pool both have room. Pool blocks
+		// are reserved eagerly so one admission round cannot over-commit.
+		type admission struct {
+			id  int
+			req Request
+		}
+		var admit []admission
+		tryReserve := func(r Request) bool {
+			if pool != nil {
+				if !pool.CanAdmit(r.InputLen) {
+					return false
+				}
+				if err := pool.Admit(nextID, r.InputLen); err != nil {
+					return false
+				}
+			}
+			admit = append(admit, admission{id: nextID, req: r})
+			nextID++
+			return true
+		}
+		for len(requeued) > 0 && len(running)+len(admit) < cfg.MaxBatch && tryReserve(requeued[0]) {
+			requeued = requeued[1:]
+		}
+		for next < len(reqs) && len(running)+len(admit) < cfg.MaxBatch && reqs[next].Arrival <= clock && tryReserve(reqs[next]) {
+			next++
+		}
+		if len(admit) == 0 && len(running) == 0 {
+			if len(requeued) > 0 || next >= len(reqs) {
+				// Nothing can be admitted and nothing is running: the
+				// pool cannot hold the next piece of work at all.
+				return Metrics{}, fmt.Errorf("serve: KV budget %v cannot hold the next request", cfg.KVBudget)
+			}
+			// Idle: jump to the next arrival.
+			clock = reqs[next].Arrival
+			continue
+		}
+		if len(admit) > 0 {
+			maxIn := 1
+			for _, a := range admit {
+				if a.req.InputLen > maxIn {
+					maxIn = a.req.InputLen
+				}
+			}
+			c, err := prefillCost(len(admit), maxIn)
+			if err != nil {
+				return Metrics{}, err
+			}
+			clock += c
+			m.Batches++ // count prefill launches as batches formed
+			m.MeanBatchSize += float64(len(admit))
+			for _, a := range admit {
+				running = append(running, active{id: a.id, req: a.req, context: a.req.InputLen, remaining: a.req.OutputLen, started: clock})
+				queueing = append(queueing, clock-a.req.Arrival)
+			}
+			continue // check for more arrivals before decoding
+		}
+
+		// Grow every running sequence's cache by one token, preempting
+		// the youngest until the allocations fit.
+		if pool != nil {
+			for i := 0; i < len(running); i++ {
+				for pool.Extend(running[i].id) != nil {
+					if err := preemptYoungest(); err != nil {
+						return Metrics{}, err
+					}
+					if i >= len(running) {
+						break
+					}
+				}
+				if i >= len(running) {
+					break
+				}
+			}
+		}
+
+		// One decode iteration across the running batch.
+		var ctxSum int
+		for _, a := range running {
+			ctxSum += a.context
+		}
+		c, err := stepCost(len(running), ctxSum/len(running))
+		if err != nil {
+			return Metrics{}, err
+		}
+		clock += c
+		kept := running[:0]
+		for _, a := range running {
+			a.context++
+			a.remaining--
+			m.GeneratedTokens++
+			if a.remaining <= 0 {
+				latencies = append(latencies, clock-a.req.Arrival)
+				if pool != nil {
+					if err := pool.Release(a.id); err != nil {
+						return Metrics{}, err
+					}
+				}
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		running = kept
+		if clock > m.Makespan {
+			m.Makespan = clock
+		}
+	}
+
+	m.Completed = len(latencies)
+	if m.Batches > 0 {
+		m.MeanBatchSize /= float64(m.Batches)
+	}
+	if m.Makespan > 0 {
+		m.Throughput = float64(m.GeneratedTokens) / float64(m.Makespan)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum, qsum float64
+	for _, l := range latencies {
+		sum += float64(l)
+	}
+	for _, q := range queueing {
+		qsum += float64(q)
+	}
+	if len(latencies) > 0 {
+		m.Mean = units.Seconds(sum / float64(len(latencies)))
+	}
+	if len(queueing) > 0 {
+		m.MeanQueueing = units.Seconds(qsum / float64(len(queueing)))
+	}
+	m.P50 = percentile(latencies, 0.50)
+	m.P95 = percentile(latencies, 0.95)
+	m.P99 = percentile(latencies, 0.99)
+	return m, nil
+}

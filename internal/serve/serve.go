@@ -1,0 +1,230 @@
+// Package serve simulates a serving deployment in front of the inference
+// engine: requests arrive over time (Poisson arrivals over the §7 trace
+// distributions), a batcher groups them under a size cap and a waiting
+// window, and each formed batch runs through engine.Run. The output is
+// what an operator would measure — per-request latency percentiles
+// (including queueing), sustained throughput, and batch-size statistics —
+// connecting the paper's per-batch results to end-to-end serving
+// behaviour.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/trace"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Request is an inference request with an arrival time.
+type Request struct {
+	trace.Request
+	// Arrival is when the request enters the queue.
+	Arrival units.Seconds
+}
+
+// PoissonArrivals draws n requests from the generator with exponential
+// inter-arrival times at the given rate (requests/second).
+func PoissonArrivals(gen *trace.Generator, n int, ratePerSec float64, seed int64) ([]Request, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("serve: arrival rate must be positive, got %v", ratePerSec)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Request, n)
+	var clock units.Seconds
+	for i := range out {
+		clock += units.Seconds(rng.ExpFloat64() / ratePerSec)
+		out[i] = Request{Request: gen.Next(), Arrival: clock}
+	}
+	return out, nil
+}
+
+// Config parameterizes a serving simulation.
+type Config struct {
+	// System, Model and Framework select the backend.
+	System    hw.System
+	Model     model.Config
+	Framework engine.Framework
+	// MaxBatch caps the batch former.
+	MaxBatch int
+	// MaxWait is how long the batcher holds the first queued request
+	// while gathering more.
+	MaxWait units.Seconds
+	// Placement is the host DDR/CXL split.
+	Placement cxl.Placement
+	// AssumeHostCapacity mirrors engine.Config's latency-model mode.
+	AssumeHostCapacity bool
+	// KVBudget, when positive, bounds the paged KV-cache pool available
+	// to SimulateContinuous; admission and extension then go through the
+	// kvpage allocator, and exhaustion preempts the youngest sequence.
+	// Zero means unconstrained (Simulate ignores this field).
+	KVBudget units.Bytes
+	// KVBlockTokens is the page size in token slots (default 16).
+	KVBlockTokens int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serve: MaxBatch must be ≥1")
+	}
+	if c.MaxWait < 0 {
+		return fmt.Errorf("serve: MaxWait must be ≥0")
+	}
+	return nil
+}
+
+// Metrics summarizes a simulated run.
+type Metrics struct {
+	// Completed counts served requests.
+	Completed int
+	// Makespan is when the last batch finished.
+	Makespan units.Seconds
+	// GeneratedTokens counts all emitted tokens, including tokens that a
+	// preempted sequence regenerates after recomputation — it measures
+	// device work, not unique output.
+	GeneratedTokens int
+	// Throughput is GeneratedTokens / Makespan.
+	Throughput float64
+	// Mean, P50, P95 and P99 are per-request latencies from arrival to
+	// batch completion (queueing + padding + inference).
+	Mean, P50, P95, P99 units.Seconds
+	// MeanQueueing is the average time spent waiting before a batch
+	// started.
+	MeanQueueing units.Seconds
+	// Batches counts formed batches; MeanBatchSize is their average
+	// occupancy.
+	Batches       int
+	MeanBatchSize float64
+	// Preemptions counts sequences evicted and recomputed because the
+	// paged KV pool ran dry (continuous batching with KVBudget only).
+	Preemptions int
+}
+
+// Simulate runs the batch-serving loop over the request stream (which
+// must be sorted by arrival; PoissonArrivals output already is).
+func Simulate(cfg Config, reqs []Request) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if len(reqs) == 0 {
+		return Metrics{}, fmt.Errorf("serve: no requests")
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			return Metrics{}, fmt.Errorf("serve: requests not sorted by arrival")
+		}
+	}
+
+	var (
+		m         Metrics
+		clock     units.Seconds
+		latencies []units.Seconds
+		queueing  []units.Seconds
+		next      int
+	)
+	for next < len(reqs) {
+		head := reqs[next]
+		// The server idles until the head arrives, then holds the batch
+		// open for MaxWait (or until full).
+		if clock < head.Arrival {
+			clock = head.Arrival
+		}
+		deadline := head.Arrival + cfg.MaxWait
+		if clock > deadline {
+			deadline = clock
+		}
+		batch := []Request{head}
+		next++
+		for next < len(reqs) && len(batch) < cfg.MaxBatch && reqs[next].Arrival <= deadline {
+			batch = append(batch, reqs[next])
+			next++
+		}
+		start := deadline
+		if len(batch) == cfg.MaxBatch {
+			// A full batch launches as soon as its last member arrived.
+			start = batch[len(batch)-1].Arrival
+			if start < clock {
+				start = clock
+			}
+		}
+
+		// The batch pads to its longest prompt and generation.
+		maxIn, maxOut := 1, 1
+		for _, r := range batch {
+			if r.InputLen > maxIn {
+				maxIn = r.InputLen
+			}
+			if r.OutputLen > maxOut {
+				maxOut = r.OutputLen
+			}
+		}
+		res, err := engine.Run(engine.Config{
+			Framework:          cfg.Framework,
+			System:             cfg.System,
+			Model:              cfg.Model,
+			Workload:           trace.Workload{Batch: len(batch), InputLen: maxIn, OutputLen: maxOut},
+			Placement:          cfg.Placement,
+			AssumeHostCapacity: cfg.AssumeHostCapacity,
+		})
+		if err != nil {
+			return Metrics{}, err
+		}
+		if res.OOM {
+			return Metrics{}, fmt.Errorf("serve: batch of %d OOMed: %s", len(batch), res.OOMReason)
+		}
+		finish := start + res.Latency
+		clock = finish
+		m.Batches++
+		m.MeanBatchSize += float64(len(batch))
+		for _, r := range batch {
+			latencies = append(latencies, finish-r.Arrival)
+			queueing = append(queueing, start-r.Arrival)
+			m.GeneratedTokens += r.OutputLen
+		}
+		if finish > m.Makespan {
+			m.Makespan = finish
+		}
+	}
+
+	m.Completed = len(latencies)
+	m.MeanBatchSize /= float64(m.Batches)
+	if m.Makespan > 0 {
+		m.Throughput = float64(m.GeneratedTokens) / float64(m.Makespan)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum, qsum float64
+	for _, l := range latencies {
+		sum += float64(l)
+	}
+	for _, q := range queueing {
+		qsum += float64(q)
+	}
+	m.Mean = units.Seconds(sum / float64(len(latencies)))
+	m.MeanQueueing = units.Seconds(qsum / float64(len(queueing)))
+	m.P50 = percentile(latencies, 0.50)
+	m.P95 = percentile(latencies, 0.95)
+	m.P99 = percentile(latencies, 0.99)
+	return m, nil
+}
+
+// percentile returns the p-quantile of a sorted slice (nearest-rank).
+func percentile(sorted []units.Seconds, p float64) units.Seconds {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,226 @@
+// Package sim is a small deterministic scheduler for timing overlapped
+// execution plans: tasks with durations, dependencies, and an assigned
+// serial resource (a compute stream or a transfer link). Running a
+// schedule answers "how long does this pipeline take end to end, and how
+// busy was each resource?" — the question Optimization-2's overlapping
+// (Figure 7) poses.
+//
+// Semantics: each resource executes its tasks one at a time in submission
+// order (a FIFO stream, like a CUDA stream or a copy engine); a task
+// starts when its resource is free AND all its dependencies have
+// finished. Time is continuous (units.Seconds); execution is fully
+// deterministic.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Task is one unit of work bound to a resource.
+type Task struct {
+	// ID names the task uniquely within a schedule.
+	ID string
+	// Resource names the serial executor (e.g. "gpu", "cpu", "pcie").
+	Resource string
+	// Duration is the task's service time.
+	Duration units.Seconds
+	// Deps lists task IDs that must finish before this task starts.
+	Deps []string
+}
+
+// Schedule is an ordered collection of tasks.
+type Schedule struct {
+	tasks []Task
+	index map[string]int
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule {
+	return &Schedule{index: make(map[string]int)}
+}
+
+// Add appends a task. Duplicate IDs, empty IDs/resources, and negative
+// durations are rejected.
+func (s *Schedule) Add(t Task) error {
+	if t.ID == "" {
+		return fmt.Errorf("sim: task with empty ID")
+	}
+	if t.Resource == "" {
+		return fmt.Errorf("sim: task %s has no resource", t.ID)
+	}
+	if t.Duration < 0 || math.IsNaN(float64(t.Duration)) {
+		return fmt.Errorf("sim: task %s has invalid duration %v", t.ID, t.Duration)
+	}
+	if _, dup := s.index[t.ID]; dup {
+		return fmt.Errorf("sim: duplicate task ID %s", t.ID)
+	}
+	s.index[t.ID] = len(s.tasks)
+	s.tasks = append(s.tasks, t)
+	return nil
+}
+
+// MustAdd is Add for programmatically generated plans where an error is a
+// bug in the plan builder.
+func (s *Schedule) MustAdd(t Task) {
+	if err := s.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of tasks.
+func (s *Schedule) Len() int { return len(s.tasks) }
+
+// Result is the outcome of running a schedule.
+type Result struct {
+	// Makespan is the finish time of the last task.
+	Makespan units.Seconds
+	// Start and Finish give each task's executed interval.
+	Start, Finish map[string]units.Seconds
+	// Busy accumulates each resource's total service time.
+	Busy map[string]units.Seconds
+}
+
+// Utilization returns a resource's busy fraction of the makespan.
+func (r Result) Utilization(resource string) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Busy[resource]) / float64(r.Makespan)
+}
+
+// Run executes the schedule. It returns an error for unknown dependencies
+// or dependency cycles.
+func (s *Schedule) Run() (Result, error) {
+	n := len(s.tasks)
+	res := Result{
+		Start:  make(map[string]units.Seconds, n),
+		Finish: make(map[string]units.Seconds, n),
+		Busy:   make(map[string]units.Seconds),
+	}
+	// Validate deps up front.
+	for _, t := range s.tasks {
+		for _, d := range t.Deps {
+			if _, ok := s.index[d]; !ok {
+				return Result{}, fmt.Errorf("sim: task %s depends on unknown task %s", t.ID, d)
+			}
+		}
+	}
+
+	resourceFree := make(map[string]units.Seconds)
+	done := make([]bool, n)
+	// resourceQueue holds, per resource, the submission-ordered pending
+	// task indices; the head must run next to preserve FIFO semantics.
+	resourceQueue := make(map[string][]int)
+	resourceNames := make([]string, 0)
+	for i, t := range s.tasks {
+		if _, ok := resourceQueue[t.Resource]; !ok {
+			resourceNames = append(resourceNames, t.Resource)
+		}
+		resourceQueue[t.Resource] = append(resourceQueue[t.Resource], i)
+	}
+	sort.Strings(resourceNames)
+
+	depsFinish := func(t Task) (units.Seconds, bool) {
+		var latest units.Seconds
+		for _, d := range t.Deps {
+			di := s.index[d]
+			if !done[di] {
+				return 0, false
+			}
+			if f := res.Finish[d]; f > latest {
+				latest = f
+			}
+		}
+		return latest, true
+	}
+
+	completed := 0
+	for completed < n {
+		progressed := false
+		for _, rname := range resourceNames {
+			q := resourceQueue[rname]
+			for len(q) > 0 {
+				t := s.tasks[q[0]]
+				ready, ok := depsFinish(t)
+				if !ok {
+					break // FIFO head blocked; resource stalls
+				}
+				start := resourceFree[rname]
+				if ready > start {
+					start = ready
+				}
+				finish := start + t.Duration
+				res.Start[t.ID] = start
+				res.Finish[t.ID] = finish
+				res.Busy[rname] += t.Duration
+				resourceFree[rname] = finish
+				done[q[0]] = true
+				completed++
+				progressed = true
+				if finish > res.Makespan {
+					res.Makespan = finish
+				}
+				q = q[1:]
+			}
+			resourceQueue[rname] = q
+		}
+		if !progressed {
+			return Result{}, fmt.Errorf("sim: dependency cycle among remaining %d tasks", n-completed)
+		}
+	}
+	return res, nil
+}
+
+// CriticalPath returns the task IDs on one longest finish-time chain,
+// useful for explaining where a pipeline's time went.
+func (s *Schedule) CriticalPath(res Result) []string {
+	if len(s.tasks) == 0 {
+		return nil
+	}
+	// Find the task finishing last.
+	lastID := ""
+	var lastFinish units.Seconds = -1
+	for _, t := range s.tasks {
+		if f := res.Finish[t.ID]; f > lastFinish {
+			lastFinish = f
+			lastID = t.ID
+		}
+	}
+	var path []string
+	visited := make(map[string]bool)
+	for lastID != "" && !visited[lastID] {
+		visited[lastID] = true
+		path = append(path, lastID)
+		t := s.tasks[s.index[lastID]]
+		// Walk to the dependency (or same-resource predecessor) that gated
+		// this task's start.
+		next := ""
+		var nextFinish units.Seconds = -1
+		start := res.Start[t.ID]
+		for _, d := range t.Deps {
+			if f := res.Finish[d]; f == start && f > nextFinish {
+				next = d
+				nextFinish = f
+			}
+		}
+		if next == "" {
+			// Same-resource predecessor whose finish equals our start.
+			for _, o := range s.tasks {
+				if o.Resource == t.Resource && o.ID != t.ID && res.Finish[o.ID] == start {
+					next = o.ID
+					break
+				}
+			}
+		}
+		lastID = next
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/lia-sim/lia/internal/units"
+)
+
+func mustRun(t *testing.T, s *Schedule) Result {
+	t.Helper()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSerialTasksOnOneResource(t *testing.T) {
+	s := NewSchedule()
+	s.MustAdd(Task{ID: "a", Resource: "gpu", Duration: 1})
+	s.MustAdd(Task{ID: "b", Resource: "gpu", Duration: 2})
+	res := mustRun(t, s)
+	if res.Makespan != 3 {
+		t.Errorf("makespan = %v, want 3", res.Makespan)
+	}
+	if res.Start["b"] != 1 {
+		t.Errorf("b starts at %v, want 1", res.Start["b"])
+	}
+	if u := res.Utilization("gpu"); math.Abs(u-1) > 1e-12 {
+		t.Errorf("gpu utilization = %v, want 1", u)
+	}
+}
+
+func TestParallelResourcesOverlap(t *testing.T) {
+	s := NewSchedule()
+	s.MustAdd(Task{ID: "xfer", Resource: "pcie", Duration: 5})
+	s.MustAdd(Task{ID: "comp", Resource: "gpu", Duration: 5})
+	res := mustRun(t, s)
+	if res.Makespan != 5 {
+		t.Errorf("independent tasks should overlap fully: makespan %v", res.Makespan)
+	}
+}
+
+func TestDependencyGatesStart(t *testing.T) {
+	s := NewSchedule()
+	s.MustAdd(Task{ID: "load", Resource: "pcie", Duration: 2})
+	s.MustAdd(Task{ID: "comp", Resource: "gpu", Duration: 3, Deps: []string{"load"}})
+	res := mustRun(t, s)
+	if res.Start["comp"] != 2 || res.Makespan != 5 {
+		t.Errorf("start=%v makespan=%v, want 2 and 5", res.Start["comp"], res.Makespan)
+	}
+}
+
+// TestPipelineOverlap models the Figure 7 pattern: weight transfers for
+// layer i+1 overlap with layer i's compute.
+func TestPipelineOverlap(t *testing.T) {
+	s := NewSchedule()
+	const layers = 4
+	for i := 0; i < layers; i++ {
+		xfer := Task{ID: id("xfer", i), Resource: "pcie", Duration: 2}
+		if i > 0 {
+			// transfers proceed back to back (FIFO on pcie)
+		}
+		s.MustAdd(xfer)
+		comp := Task{ID: id("comp", i), Resource: "gpu", Duration: 2, Deps: []string{id("xfer", i)}}
+		s.MustAdd(comp)
+	}
+	res := mustRun(t, s)
+	// Perfect pipeline: first transfer (2) then 4 computes back to back
+	// (8) = 10; without overlap it would be 16.
+	if res.Makespan != 10 {
+		t.Errorf("pipelined makespan = %v, want 10", res.Makespan)
+	}
+}
+
+func id(kind string, i int) string {
+	return kind + "-" + string(rune('0'+i))
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	// b is queued behind a on the gpu; even though b has no deps it cannot
+	// start before a's dependency resolves — stream semantics.
+	s := NewSchedule()
+	s.MustAdd(Task{ID: "slow-load", Resource: "pcie", Duration: 10})
+	s.MustAdd(Task{ID: "a", Resource: "gpu", Duration: 1, Deps: []string{"slow-load"}})
+	s.MustAdd(Task{ID: "b", Resource: "gpu", Duration: 1})
+	res := mustRun(t, s)
+	if res.Start["b"] != 11 {
+		t.Errorf("b starts at %v, want 11 (behind blocked head)", res.Start["b"])
+	}
+}
+
+func TestAddRejectsBadTasks(t *testing.T) {
+	s := NewSchedule()
+	if err := s.Add(Task{Resource: "gpu", Duration: 1}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := s.Add(Task{ID: "x", Duration: 1}); err == nil {
+		t.Error("empty resource accepted")
+	}
+	if err := s.Add(Task{ID: "x", Resource: "gpu", Duration: -1}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	s.MustAdd(Task{ID: "x", Resource: "gpu", Duration: 1})
+	if err := s.Add(Task{ID: "x", Resource: "gpu", Duration: 1}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+func TestRunDetectsUnknownDep(t *testing.T) {
+	s := NewSchedule()
+	s.MustAdd(Task{ID: "a", Resource: "gpu", Duration: 1, Deps: []string{"ghost"}})
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("expected unknown-dependency error, got %v", err)
+	}
+}
+
+func TestRunDetectsCycle(t *testing.T) {
+	s := NewSchedule()
+	s.MustAdd(Task{ID: "a", Resource: "gpu", Duration: 1, Deps: []string{"b"}})
+	s.MustAdd(Task{ID: "b", Resource: "cpu", Duration: 1, Deps: []string{"a"}})
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("expected cycle error, got %v", err)
+	}
+}
+
+func TestCrossResourceDependencyChain(t *testing.T) {
+	// cpu → pcie → gpu chain with a concurrent independent cpu task.
+	s := NewSchedule()
+	s.MustAdd(Task{ID: "produce", Resource: "cpu", Duration: 3})
+	s.MustAdd(Task{ID: "ship", Resource: "pcie", Duration: 2, Deps: []string{"produce"}})
+	s.MustAdd(Task{ID: "consume", Resource: "gpu", Duration: 4, Deps: []string{"ship"}})
+	s.MustAdd(Task{ID: "other", Resource: "cpu", Duration: 1})
+	res := mustRun(t, s)
+	if res.Makespan != 9 {
+		t.Errorf("makespan = %v, want 9", res.Makespan)
+	}
+	if res.Busy["cpu"] != 4 {
+		t.Errorf("cpu busy = %v, want 4", res.Busy["cpu"])
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	s := NewSchedule()
+	s.MustAdd(Task{ID: "load", Resource: "pcie", Duration: 2})
+	s.MustAdd(Task{ID: "comp", Resource: "gpu", Duration: 3, Deps: []string{"load"}})
+	res := mustRun(t, s)
+	path := s.CriticalPath(res)
+	if len(path) != 2 || path[0] != "load" || path[1] != "comp" {
+		t.Errorf("critical path = %v, want [load comp]", path)
+	}
+}
+
+func TestZeroDurationTasks(t *testing.T) {
+	s := NewSchedule()
+	s.MustAdd(Task{ID: "a", Resource: "gpu", Duration: 0})
+	s.MustAdd(Task{ID: "b", Resource: "gpu", Duration: 0, Deps: []string{"a"}})
+	res := mustRun(t, s)
+	if res.Makespan != 0 {
+		t.Errorf("makespan = %v, want 0", res.Makespan)
+	}
+	if s.CriticalPath(res) == nil {
+		t.Error("critical path should terminate for zero-duration chains")
+	}
+}
+
+func TestUtilizationOnEmptyResult(t *testing.T) {
+	var r Result
+	if r.Utilization("gpu") != 0 {
+		t.Error("empty result utilization should be 0")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	build := func() *Schedule {
+		s := NewSchedule()
+		for i := 0; i < 20; i++ {
+			s.MustAdd(Task{ID: id("t", i), Resource: []string{"cpu", "gpu", "pcie"}[i%3], Duration: units.Seconds(i%5) + 1})
+			if i > 2 {
+				// create cross-resource deps
+				s.tasks[len(s.tasks)-1].Deps = []string{id("t", i-3)}
+			}
+		}
+		return s
+	}
+	r1 := mustRun(t, build())
+	r2 := mustRun(t, build())
+	if r1.Makespan != r2.Makespan {
+		t.Error("runs are not deterministic")
+	}
+	for k, v := range r1.Start {
+		if r2.Start[k] != v {
+			t.Errorf("task %s start differs", k)
+		}
+	}
+}
+
+// TestRandomDAGInvariants fuzzes random schedules and checks the
+// structural invariants every valid execution must satisfy: the makespan
+// is at least the busiest resource's total and at most the serial sum;
+// every task starts after its dependencies; resources never overlap two
+// tasks.
+func TestRandomDAGInvariants(t *testing.T) {
+	resources := []string{"cpu", "gpu", "pcie"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSchedule()
+		n := 5 + rng.Intn(40)
+		ids := make([]string, n)
+		for i := 0; i < n; i++ {
+			ids[i] = fmt.Sprintf("t%d", i)
+			task := Task{
+				ID:       ids[i],
+				Resource: resources[rng.Intn(len(resources))],
+				Duration: units.Seconds(rng.Float64() * 3),
+			}
+			// Random back-edges keep the graph acyclic.
+			for j := 0; j < i; j++ {
+				if rng.Float64() < 0.15 {
+					task.Deps = append(task.Deps, ids[j])
+				}
+			}
+			s.MustAdd(task)
+		}
+		res, err := s.Run()
+		if err != nil {
+			return false
+		}
+		var serial units.Seconds
+		for r, busy := range res.Busy {
+			if busy > res.Makespan+1e-12 {
+				t.Logf("resource %s busy %v > makespan %v", r, busy, res.Makespan)
+				return false
+			}
+			serial += busy
+		}
+		if res.Makespan > serial+1e-12 {
+			t.Logf("makespan %v > serial %v", res.Makespan, serial)
+			return false
+		}
+		// Dependency ordering.
+		for i := 0; i < n; i++ {
+			task := s.tasks[i]
+			for _, d := range task.Deps {
+				if res.Start[task.ID] < res.Finish[d]-1e-12 {
+					t.Logf("%s started before dep %s finished", task.ID, d)
+					return false
+				}
+			}
+		}
+		// Per-resource non-overlap: sort by start and check intervals.
+		byRes := map[string][]Task{}
+		for _, task := range s.tasks {
+			byRes[task.Resource] = append(byRes[task.Resource], task)
+		}
+		for _, tasks := range byRes {
+			sort.Slice(tasks, func(a, b int) bool { return res.Start[tasks[a].ID] < res.Start[tasks[b].ID] })
+			for i := 1; i < len(tasks); i++ {
+				if res.Start[tasks[i].ID] < res.Finish[tasks[i-1].ID]-1e-12 {
+					t.Logf("resource overlap between %s and %s", tasks[i-1].ID, tasks[i].ID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

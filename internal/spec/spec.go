@@ -1,0 +1,154 @@
+// Package spec models speculative decoding on top of the offloading
+// engine: a small draft model (GPU-resident) proposes γ tokens, and the
+// big offloaded target model verifies them in a single batched pass.
+// Speculation has an outsized payoff in LIA's regime: every target pass
+// streams (or CPU-reads) the full parameter set regardless of how many
+// tokens it scores, so verifying γ+1 positions per pass amortizes the
+// dominant per-pass cost that Figure 3 identifies — the same economics
+// that make prefill cheap per token.
+package spec
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/exec"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/memplan"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Config parameterizes a speculative-decoding estimate.
+type Config struct {
+	// System is the platform (the draft must fit its GPU).
+	System hw.System
+	// Target is the big offloaded model.
+	Target model.Config
+	// Draft is the small proposal model.
+	Draft model.Config
+	// Gamma is the speculation depth (tokens proposed per round).
+	Gamma int
+	// Acceptance is the per-token probability α that the target accepts a
+	// drafted token (draft/target agreement).
+	Acceptance float64
+	// Batch and Context give the decode operating point.
+	Batch, Context int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Target.Validate(); err != nil {
+		return err
+	}
+	if err := c.Draft.Validate(); err != nil {
+		return err
+	}
+	if c.Gamma < 1 {
+		return fmt.Errorf("spec: gamma must be ≥1")
+	}
+	if c.Acceptance < 0 || c.Acceptance > 1 {
+		return fmt.Errorf("spec: acceptance must be in [0,1]")
+	}
+	if c.Batch < 1 || c.Context < 1 {
+		return fmt.Errorf("spec: batch and context must be positive")
+	}
+	return nil
+}
+
+// ExpectedTokensPerRound returns the mean accepted tokens per
+// speculation round: 1 + α + α² + … + α^γ (the verified token plus the
+// accepted prefix), following Leviathan et al.'s acceptance model.
+func ExpectedTokensPerRound(gamma int, acceptance float64) float64 {
+	if acceptance >= 1 {
+		return float64(gamma + 1)
+	}
+	return (1 - math.Pow(acceptance, float64(gamma+1))) / (1 - acceptance)
+}
+
+// Result reports the estimate.
+type Result struct {
+	// BaselinePerToken is the target model's plain decode cost per token.
+	BaselinePerToken units.Seconds
+	// DraftPerRound and VerifyPerRound split one speculation round.
+	DraftPerRound, VerifyPerRound units.Seconds
+	// TokensPerRound is the expected accepted tokens per round.
+	TokensPerRound float64
+	// SpecPerToken is the speculative cost per accepted token.
+	SpecPerToken units.Seconds
+	// Speedup is BaselinePerToken / SpecPerToken.
+	Speedup float64
+	// TargetPolicy records the offloading decision for target passes.
+	TargetPolicy core.Policy
+}
+
+// Estimate prices speculative decoding against plain decoding at the
+// operating point. The draft runs fully on the GPU (it must fit); the
+// target runs under LIA's optimal policy with Optimization-1 pinning.
+// A verify pass scores γ+1 positions at once — modeled as a decode step
+// whose batch is B·(γ+1), which is exactly how the batched-verification
+// kernel shapes it.
+func Estimate(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Draft.ParamBytes() > cfg.System.GPU.MemCapacity {
+		return Result{}, fmt.Errorf("spec: draft %s (%v) does not fit the GPU (%v)",
+			cfg.Draft.Name, cfg.Draft.ParamBytes(), cfg.System.GPU.MemCapacity)
+	}
+
+	env := core.NewEnv(cfg.System, cfg.Target)
+	gpuPlan := memplan.PlanLIAGPU(cfg.System.GPU, cfg.Target, cfg.Batch, cfg.Context)
+	opt := core.Options{KVOnGPU: gpuPlan.KVOnGPU}
+	policy, _ := core.OptimizeOpts(env, model.Decode, cfg.Batch, cfg.Context, opt)
+
+	targetPlan := exec.Plan{
+		Env:          env,
+		Policy:       policy,
+		Opt:          opt,
+		Layers:       cfg.Target.Layers,
+		PinnedLayers: gpuPlan.PinnedLayers,
+		Overlap:      true,
+		MiniBatches:  1,
+	}
+	baseline, err := targetPlan.RunStage(model.Decode, cfg.Batch, cfg.Context)
+	if err != nil {
+		return Result{}, err
+	}
+	// Verification: the same per-pass parameter movement, with γ+1 query
+	// positions per sequence.
+	verify, err := targetPlan.RunStage(model.Decode, cfg.Batch*(cfg.Gamma+1), cfg.Context)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Draft: fully GPU-resident, γ sequential decode steps.
+	draftEnv := core.NewEnv(cfg.System, cfg.Draft)
+	draftPlan := exec.Plan{
+		Env:          draftEnv,
+		Policy:       core.FullGPU,
+		Opt:          core.Options{ParamsResident: true, KVOnGPU: true},
+		Layers:       cfg.Draft.Layers,
+		PinnedLayers: cfg.Draft.Layers,
+		Overlap:      true,
+		MiniBatches:  1,
+	}
+	draftStep, err := draftPlan.RunStage(model.Decode, cfg.Batch, cfg.Context)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		BaselinePerToken: baseline.Latency,
+		DraftPerRound:    draftStep.Latency * units.Seconds(cfg.Gamma),
+		VerifyPerRound:   verify.Latency,
+		TokensPerRound:   ExpectedTokensPerRound(cfg.Gamma, cfg.Acceptance),
+		TargetPolicy:     policy,
+	}
+	res.SpecPerToken = units.Seconds(float64(res.DraftPerRound+res.VerifyPerRound) / res.TokensPerRound)
+	if res.SpecPerToken > 0 {
+		res.Speedup = float64(res.BaselinePerToken) / float64(res.SpecPerToken)
+	}
+	return res, nil
+}

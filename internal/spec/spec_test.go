@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+)
+
+func baseCfg() Config {
+	return Config{
+		System:     hw.SPRA100,
+		Target:     model.OPT175B,
+		Draft:      model.OPT6B7,
+		Gamma:      4,
+		Acceptance: 0.8,
+		Batch:      1,
+		Context:    512,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := baseCfg()
+	c.Gamma = 0
+	if c.Validate() == nil {
+		t.Error("gamma=0 accepted")
+	}
+	c = baseCfg()
+	c.Acceptance = 1.5
+	if c.Validate() == nil {
+		t.Error("acceptance>1 accepted")
+	}
+	c = baseCfg()
+	c.Batch = 0
+	if c.Validate() == nil {
+		t.Error("batch=0 accepted")
+	}
+}
+
+func TestExpectedTokensPerRound(t *testing.T) {
+	// α=0: only the target's own token survives.
+	if got := ExpectedTokensPerRound(4, 0); got != 1 {
+		t.Errorf("α=0 → %v, want 1", got)
+	}
+	// α=1: every drafted token accepted.
+	if got := ExpectedTokensPerRound(4, 1); got != 5 {
+		t.Errorf("α=1 → %v, want 5", got)
+	}
+	// Geometric series: γ=2, α=0.5 → 1 + 0.5 + 0.25 = 1.75.
+	if got := ExpectedTokensPerRound(2, 0.5); math.Abs(got-1.75) > 1e-12 {
+		t.Errorf("got %v, want 1.75", got)
+	}
+	// Monotone in both arguments.
+	if ExpectedTokensPerRound(8, 0.8) <= ExpectedTokensPerRound(4, 0.8) {
+		t.Error("not monotone in gamma")
+	}
+	if ExpectedTokensPerRound(4, 0.9) <= ExpectedTokensPerRound(4, 0.5) {
+		t.Error("not monotone in acceptance")
+	}
+}
+
+// TestSpeculationPaysOffWhenOffloaded: with an offloaded OPT-175B target
+// whose per-pass cost is dominated by parameter movement, a decent draft
+// yields a real speedup at B=1.
+func TestSpeculationPaysOffWhenOffloaded(t *testing.T) {
+	res, err := Estimate(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 1.5 {
+		t.Errorf("speedup = %.2f, want ≥1.5 (verification amortizes parameter reads)", res.Speedup)
+	}
+	if res.TokensPerRound <= 1 || res.TokensPerRound > 5 {
+		t.Errorf("tokens/round = %v", res.TokensPerRound)
+	}
+	if res.VerifyPerRound <= 0 || res.DraftPerRound <= 0 {
+		t.Error("round components must be positive")
+	}
+}
+
+// TestZeroAcceptanceHurts: a useless draft makes speculation a pure
+// overhead (speedup < 1).
+func TestZeroAcceptanceHurts(t *testing.T) {
+	c := baseCfg()
+	c.Acceptance = 0
+	res, err := Estimate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup >= 1 {
+		t.Errorf("speedup = %.2f with α=0, want <1", res.Speedup)
+	}
+}
+
+// TestDraftMustFitGPU: an oversized draft is rejected.
+func TestDraftMustFitGPU(t *testing.T) {
+	c := baseCfg()
+	c.Draft = model.OPT66B // 123 GB > 40 GB A100
+	if _, err := Estimate(c); err == nil {
+		t.Error("oversized draft accepted")
+	}
+}
+
+// TestSpeedupShrinksAtLargeBatch: at B=900 the target pass is compute/
+// bandwidth-bound rather than parameter-movement-bound, so verification
+// amortizes less and speculation loses its edge.
+func TestSpeedupShrinksAtLargeBatch(t *testing.T) {
+	small := baseCfg()
+	big := baseCfg()
+	big.Batch = 512
+	rs, err := Estimate(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Estimate(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Speedup >= rs.Speedup {
+		t.Errorf("speedup should shrink with batch: %.2f (B=1) vs %.2f (B=512)", rs.Speedup, rb.Speedup)
+	}
+}

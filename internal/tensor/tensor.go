@@ -1,0 +1,331 @@
+// Package tensor provides the dense float32 linear algebra the functional
+// LLM engine (package llm) is built on: row-major matrices, cache-blocked
+// parallel GEMM, the attention primitives (softmax, scaling, causal
+// masking), layer normalization, and the activation functions OPT-style
+// transformers use.
+//
+// This is the "GPU kernel library" counterpart to package amx's tile
+// pipeline: sublayers a policy places on the GPU run through these
+// kernels, while CPU-offloaded sublayers run through the AMX emulator.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	// Rows and Cols give the logical shape.
+	Rows, Cols int
+	// Data holds Rows×Cols values in row-major order.
+	Data []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (length rows×cols) without copying.
+func FromSlice(rows, cols int, data []float32) Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: %d values cannot form %dx%d", len(data), rows, cols))
+	}
+	return Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at (r, c).
+func (m Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set writes the element at (r, c).
+func (m Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a slice aliasing the matrix storage.
+func (m Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Equal reports whether two matrices have identical shapes and all
+// elements within tol of each other.
+func (m Matrix) Equal(other Matrix, tol float32) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - other.Data[i]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelRows runs fn over [0, rows) split across GOMAXPROCS workers.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes a·b (a is M×K, b is K×N) with float32 accumulation,
+// parallelized over output rows.
+func MatMul(a, b Matrix) Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	k, n := a.Cols, b.Cols
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT computes a·bᵀ (a is M×K, b is N×K). Transposed weights keep the
+// inner loop sequential for both operands, the layout attention scoring
+// uses (Q·Kᵀ).
+func MatMulT(a, b Matrix) Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var acc float32
+				for kk, av := range arow {
+					acc += av * brow[kk]
+				}
+				orow[j] = acc
+			}
+		}
+	})
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b Matrix) Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: add shape mismatch %dx%d + %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// AddBias adds the row vector bias to every row of m in place and returns m.
+func AddBias(m Matrix, bias []float32) Matrix {
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("tensor: bias length %d != cols %d", len(bias), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, b := range bias {
+			row[c] += b
+		}
+	}
+	return m
+}
+
+// Scale multiplies every element by s in place and returns m.
+func Scale(m Matrix, s float32) Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row in place
+// and returns m.
+func SoftmaxRows(m Matrix) Matrix {
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		maxV := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float32
+		for i, v := range row {
+			e := float32(math.Exp(float64(v - maxV)))
+			row[i] = e
+			sum += e
+		}
+		if sum > 0 {
+			inv := 1 / sum
+			for i := range row {
+				row[i] *= inv
+			}
+		}
+	}
+	return m
+}
+
+// CausalMask sets entries above the diagonal offset to -Inf so softmax
+// zeroes them: row i may attend to columns ≤ i+offset. Used during prefill
+// where scores are (L × L); during decode the single query row attends to
+// everything, so no mask is needed.
+func CausalMask(scores Matrix, offset int) Matrix {
+	negInf := float32(math.Inf(-1))
+	for r := 0; r < scores.Rows; r++ {
+		row := scores.Row(r)
+		for c := r + offset + 1; c < scores.Cols; c++ {
+			row[c] = negInf
+		}
+	}
+	return scores
+}
+
+// LayerNorm normalizes each row to zero mean and unit variance, then
+// applies the learned gain and bias. eps guards the variance.
+func LayerNorm(m Matrix, gain, bias []float32, eps float32) Matrix {
+	if len(gain) != m.Cols || len(bias) != m.Cols {
+		panic(fmt.Sprintf("tensor: layernorm params %d,%d != cols %d", len(gain), len(bias), m.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(m.Cols)
+		var variance float32
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float32(m.Cols)
+		inv := 1 / float32(math.Sqrt(float64(variance+eps)))
+		orow := out.Row(r)
+		for c, v := range row {
+			orow[c] = (v-mean)*inv*gain[c] + bias[c]
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) in place and returns m (OPT's FFN activation).
+func ReLU(m Matrix) Matrix {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+	return m
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit in place
+// and returns m (used by GPT/Llama-style models).
+func GELU(m Matrix) Matrix {
+	const c = 0.7978845608028654 // sqrt(2/π)
+	for i, v := range m.Data {
+		x := float64(v)
+		m.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+	return m
+}
+
+// SiLU applies x·sigmoid(x) in place and returns m (the gated-FFN
+// activation Llama-family models use).
+func SiLU(m Matrix) Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = v / (1 + float32(math.Exp(float64(-v))))
+	}
+	return m
+}
+
+// MulElem multiplies a by b elementwise in place and returns a.
+func MulElem(a, b Matrix) Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: mulelem shape mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := range a.Data {
+		a.Data[i] *= b.Data[i]
+	}
+	return a
+}
+
+// Concat stacks a on top of b (matching column counts).
+func Concat(a, b Matrix) Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: concat cols %d != %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows+b.Rows, a.Cols)
+	copy(out.Data, a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// SliceCols returns columns [lo, hi) as a copy.
+func (m Matrix) SliceCols(lo, hi int) Matrix {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: column slice [%d,%d) of %d cols", lo, hi, m.Cols))
+	}
+	out := New(m.Rows, hi-lo)
+	for r := 0; r < m.Rows; r++ {
+		copy(out.Row(r), m.Row(r)[lo:hi])
+	}
+	return out
+}
+
+// ArgmaxRow returns the column index of the maximum value in row r.
+func (m Matrix) ArgmaxRow(r int) int {
+	row := m.Row(r)
+	best, bestV := 0, float32(math.Inf(-1))
+	for i, v := range row {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,195 @@
+// Package token implements a byte-level BPE tokenizer: the text
+// front-end an LLM inference stack needs ahead of the decoder layers the
+// paper models. Byte-level base vocabulary guarantees lossless round
+// trips on arbitrary UTF-8; merges are learned with the standard BPE
+// procedure (repeatedly fuse the most frequent adjacent pair).
+package token
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// byteVocab is the base vocabulary: one token per byte value.
+const byteVocab = 256
+
+// pair is an adjacent token pair considered for merging.
+type pair struct{ a, b int }
+
+// Tokenizer holds learned merges over the byte base vocabulary.
+type Tokenizer struct {
+	// merges[i] fuses into token ID byteVocab+i.
+	merges []pair
+	// rank gives each merge's priority for encoding.
+	rank map[pair]int
+}
+
+// Train learns a tokenizer from the corpus with at most vocabSize tokens
+// (≥256; the first 256 are the raw bytes). Training stops early when no
+// adjacent pair repeats.
+func Train(corpus string, vocabSize int) (*Tokenizer, error) {
+	if vocabSize < byteVocab {
+		return nil, fmt.Errorf("token: vocab size %d below the %d byte base", vocabSize, byteVocab)
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("token: empty corpus")
+	}
+	ids := bytesToIDs([]byte(corpus))
+	t := &Tokenizer{rank: make(map[pair]int)}
+	for len(t.merges) < vocabSize-byteVocab {
+		best, count := mostFrequentPair(ids)
+		if count < 2 {
+			break
+		}
+		newID := byteVocab + len(t.merges)
+		t.rank[best] = len(t.merges)
+		t.merges = append(t.merges, best)
+		ids = mergePair(ids, best, newID)
+	}
+	return t, nil
+}
+
+// VocabSize returns the number of token IDs the tokenizer can emit.
+func (t *Tokenizer) VocabSize() int { return byteVocab + len(t.merges) }
+
+// Encode converts text to token IDs by applying merges in rank order.
+func (t *Tokenizer) Encode(s string) []int {
+	ids := bytesToIDs([]byte(s))
+	for len(ids) > 1 {
+		// Find the present pair with the best (lowest) merge rank.
+		bestRank := -1
+		var best pair
+		for i := 0; i+1 < len(ids); i++ {
+			p := pair{ids[i], ids[i+1]}
+			if r, ok := t.rank[p]; ok && (bestRank < 0 || r < bestRank) {
+				bestRank = r
+				best = p
+			}
+		}
+		if bestRank < 0 {
+			break
+		}
+		ids = mergePair(ids, best, byteVocab+bestRank)
+	}
+	return ids
+}
+
+// Decode converts token IDs back to text. Unknown IDs are an error.
+func (t *Tokenizer) Decode(ids []int) (string, error) {
+	var b strings.Builder
+	for _, id := range ids {
+		if err := t.expand(id, &b); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+// expand writes a token's byte expansion.
+func (t *Tokenizer) expand(id int, b *strings.Builder) error {
+	switch {
+	case id >= 0 && id < byteVocab:
+		b.WriteByte(byte(id))
+		return nil
+	case id >= byteVocab && id < byteVocab+len(t.merges):
+		m := t.merges[id-byteVocab]
+		if err := t.expand(m.a, b); err != nil {
+			return err
+		}
+		return t.expand(m.b, b)
+	default:
+		return fmt.Errorf("token: unknown token ID %d (vocab %d)", id, t.VocabSize())
+	}
+}
+
+// Save writes the merge table as "a b" lines.
+func (t *Tokenizer) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range t.merges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", m.a, m.b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a merge table written by Save.
+func Load(r io.Reader) (*Tokenizer, error) {
+	t := &Tokenizer{rank: make(map[pair]int)}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var a, b int
+		if _, err := fmt.Sscanf(line, "%d %d", &a, &b); err != nil {
+			return nil, fmt.Errorf("token: bad merge line %q: %w", line, err)
+		}
+		limit := byteVocab + len(t.merges)
+		if a < 0 || a >= limit || b < 0 || b >= limit {
+			return nil, fmt.Errorf("token: merge %q references undefined token", line)
+		}
+		p := pair{a, b}
+		t.rank[p] = len(t.merges)
+		t.merges = append(t.merges, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// bytesToIDs maps raw bytes onto base token IDs.
+func bytesToIDs(bs []byte) []int {
+	ids := make([]int, len(bs))
+	for i, b := range bs {
+		ids[i] = int(b)
+	}
+	return ids
+}
+
+// mostFrequentPair returns the most frequent adjacent pair and its count,
+// breaking ties deterministically toward the smaller pair.
+func mostFrequentPair(ids []int) (pair, int) {
+	counts := make(map[pair]int)
+	for i := 0; i+1 < len(ids); i++ {
+		counts[pair{ids[i], ids[i+1]}]++
+	}
+	keys := make([]pair, 0, len(counts))
+	for p := range counts {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	if len(keys) == 0 {
+		return pair{}, 0
+	}
+	return keys[0], counts[keys[0]]
+}
+
+// mergePair replaces every occurrence of p with newID (left to right,
+// non-overlapping).
+func mergePair(ids []int, p pair, newID int) []int {
+	out := ids[:0:0]
+	for i := 0; i < len(ids); {
+		if i+1 < len(ids) && ids[i] == p.a && ids[i+1] == p.b {
+			out = append(out, newID)
+			i += 2
+		} else {
+			out = append(out, ids[i])
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package token
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const corpus = `the quick brown fox jumps over the lazy dog. the dog barks.
+the fox runs. inference accelerates when the cache stays warm and the
+parameters stay put. the the the fox fox fox.`
+
+func trained(t *testing.T, vocab int) *Tokenizer {
+	t.Helper()
+	tok, err := Train(corpus, vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train("abc", 100); err == nil {
+		t.Error("vocab below 256 accepted")
+	}
+	if _, err := Train("", 512); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tok := trained(t, 400)
+	for _, s := range []string{
+		"the quick brown fox",
+		"unseen words entirely!",
+		"UTF-8: héllo → 世界 ✓",
+		"",
+		"\x00\xff binary bytes \x7f",
+	} {
+		ids := tok.Encode(s)
+		back, err := tok.Decode(ids)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if back != s {
+			t.Fatalf("round trip broke: %q → %q", s, back)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	tok := trained(t, 320)
+	f := func(raw []byte) bool {
+		s := string(raw)
+		back, err := tok.Decode(tok.Encode(s))
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	tok := trained(t, 512)
+	ids := tok.Encode(corpus)
+	if len(ids) >= len(corpus) {
+		t.Errorf("no compression: %d tokens for %d bytes", len(ids), len(corpus))
+	}
+	// Common corpus words compress well.
+	the := tok.Encode("the the the")
+	if len(the) >= len("the the the") {
+		t.Errorf("'the' should merge: %d tokens", len(the))
+	}
+	if tok.VocabSize() <= 256 {
+		t.Error("no merges learned")
+	}
+	if tok.VocabSize() > 512 {
+		t.Errorf("vocab %d exceeds the cap", tok.VocabSize())
+	}
+}
+
+func TestTrainingStopsWhenNoPairsRepeat(t *testing.T) {
+	tok, err := Train("abcdefg", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.VocabSize() != 256 {
+		t.Errorf("vocab = %d, want 256 (nothing repeats)", tok.VocabSize())
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a := trained(t, 384)
+	b := trained(t, 384)
+	if a.VocabSize() != b.VocabSize() {
+		t.Fatal("vocab sizes differ")
+	}
+	s := "the lazy dog accelerates"
+	idsA, idsB := a.Encode(s), b.Encode(s)
+	if len(idsA) != len(idsB) {
+		t.Fatal("encodings differ")
+	}
+	for i := range idsA {
+		if idsA[i] != idsB[i] {
+			t.Fatal("training is not deterministic")
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tok := trained(t, 400)
+	var buf bytes.Buffer
+	if err := tok.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.VocabSize() != tok.VocabSize() {
+		t.Fatalf("vocab %d vs %d", loaded.VocabSize(), tok.VocabSize())
+	}
+	s := "the quick brown fox jumps"
+	a, b := tok.Encode(s), loaded.Encode(s)
+	if len(a) != len(b) {
+		t.Fatal("encodings differ after reload")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encoding changed after reload")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not numbers\n")); err == nil {
+		t.Error("garbage merges accepted")
+	}
+	if _, err := Load(strings.NewReader("999 1000\n")); err == nil {
+		t.Error("forward-referencing merge accepted")
+	}
+}
+
+func TestDecodeUnknownToken(t *testing.T) {
+	tok := trained(t, 300)
+	if _, err := tok.Decode([]int{tok.VocabSize() + 5}); err == nil {
+		t.Error("unknown token accepted")
+	}
+	if _, err := tok.Decode([]int{-1}); err == nil {
+		t.Error("negative token accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Package trace generates synthetic LLM inference workloads with the
+// statistics the paper takes from the Azure LLM inference traces (§7,
+// "Token sequence lengths"): input token lengths uniformly distributed
+// between 32 and the model-defined maximum, and output lengths clustered
+// around 32 tokens (code traces) or 256 tokens (conversation traces).
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind selects which trace family a workload mimics.
+type Kind int
+
+// Trace families.
+const (
+	// Code mimics the code-completion trace (average output 32 tokens).
+	Code Kind = iota
+	// Conversation mimics the chat trace (average output 256 tokens).
+	Conversation
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Code {
+		return "code"
+	}
+	return "conversation"
+}
+
+// MeanOutput returns the trace family's average output length.
+func (k Kind) MeanOutput() int {
+	if k == Code {
+		return 32
+	}
+	return 256
+}
+
+// Request is one inference request.
+type Request struct {
+	// ID numbers the request within its generator.
+	ID int
+	// InputLen is the prompt length in tokens.
+	InputLen int
+	// OutputLen is the number of tokens to generate.
+	OutputLen int
+}
+
+// Generator produces deterministic synthetic requests.
+type Generator struct {
+	rng      *rand.Rand
+	kind     Kind
+	minIn    int
+	maxIn    int
+	produced int
+}
+
+// NewGenerator returns a generator for the given trace family. Input
+// lengths are drawn uniformly from [minIn, maxIn], matching the paper's
+// observation that Azure input lengths are uniformly distributed.
+func NewGenerator(kind Kind, minIn, maxIn int, seed int64) (*Generator, error) {
+	if minIn < 1 || maxIn < minIn {
+		return nil, fmt.Errorf("trace: invalid input-length range [%d, %d]", minIn, maxIn)
+	}
+	return &Generator{
+		rng:   rand.New(rand.NewSource(seed)),
+		kind:  kind,
+		minIn: minIn,
+		maxIn: maxIn,
+	}, nil
+}
+
+// Next returns the next request. Output lengths follow a geometric
+// distribution with the family mean, truncated to at least one token —
+// a heavy-ish tail like real conversation traces.
+func (g *Generator) Next() Request {
+	g.produced++
+	in := g.minIn + g.rng.Intn(g.maxIn-g.minIn+1)
+	mean := float64(g.kind.MeanOutput())
+	out := 1
+	// Geometric with success probability 1/mean.
+	p := 1 / mean
+	for g.rng.Float64() > p && out < 8*int(mean) {
+		out++
+	}
+	return Request{ID: g.produced, InputLen: in, OutputLen: out}
+}
+
+// Batch draws n requests.
+func (g *Generator) Batch(n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Workload is a fixed-shape inference job: the (B, L_in, L_out)
+// configuration every experiment in §7 is parameterized by.
+type Workload struct {
+	// Batch is the batch size B.
+	Batch int
+	// InputLen is L_in.
+	InputLen int
+	// OutputLen is L_out.
+	OutputLen int
+}
+
+// Validate reports shape errors.
+func (w Workload) Validate() error {
+	if w.Batch < 1 || w.InputLen < 1 || w.OutputLen < 1 {
+		return fmt.Errorf("trace: workload %+v has non-positive dimensions", w)
+	}
+	return nil
+}
+
+// TotalTokens returns the number of generated tokens (B × L_out).
+func (w Workload) TotalTokens() int { return w.Batch * w.OutputLen }
+
+// String implements fmt.Stringer.
+func (w Workload) String() string {
+	return fmt.Sprintf("B=%d Lin=%d Lout=%d", w.Batch, w.InputLen, w.OutputLen)
+}
+
+// RepresentativeInputs returns the paper's L_in evaluation grid for a
+// given output length: 32 up to the model maximum (2048) minus L_out
+// (2016 when L_out=32, 1792 when L_out=256).
+func RepresentativeInputs(maxSeqLen, outputLen int) []int {
+	grid := []int{32, 256, 512, 1024}
+	lMax := maxSeqLen - outputLen
+	if lMax > grid[len(grid)-1] {
+		grid = append(grid, lMax)
+	}
+	var out []int
+	for _, l := range grid {
+		if l <= lMax {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// RepresentativeOutputs returns the paper's two L_out settings.
+func RepresentativeOutputs() []int { return []int{32, 256} }
+
+// AverageRequest summarizes a request slice as a Workload with the mean
+// input and output lengths (batch = len(reqs)).
+func AverageRequest(reqs []Request) (Workload, error) {
+	if len(reqs) == 0 {
+		return Workload{}, fmt.Errorf("trace: empty request slice")
+	}
+	var in, out int
+	for _, r := range reqs {
+		in += r.InputLen
+		out += r.OutputLen
+	}
+	return Workload{
+		Batch:     len(reqs),
+		InputLen:  in / len(reqs),
+		OutputLen: out / len(reqs),
+	}, nil
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := NewGenerator(Code, 32, 2048, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(Code, 32, 2048, 7)
+	for i := 0; i < 50; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorRejectsBadRange(t *testing.T) {
+	if _, err := NewGenerator(Code, 0, 10, 1); err == nil {
+		t.Error("minIn=0 accepted")
+	}
+	if _, err := NewGenerator(Code, 100, 50, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestInputLengthsUniformInRange(t *testing.T) {
+	g, _ := NewGenerator(Conversation, 32, 2048, 1)
+	reqs := g.Batch(4000)
+	var sum int
+	for _, r := range reqs {
+		if r.InputLen < 32 || r.InputLen > 2048 {
+			t.Fatalf("input length %d out of range", r.InputLen)
+		}
+		sum += r.InputLen
+	}
+	mean := float64(sum) / float64(len(reqs))
+	// Uniform [32, 2048] has mean 1040; allow sampling noise.
+	if mean < 980 || mean > 1100 {
+		t.Errorf("mean input length = %v, want ≈1040", mean)
+	}
+}
+
+func TestOutputLengthsMatchTraceFamily(t *testing.T) {
+	for _, k := range []Kind{Code, Conversation} {
+		g, _ := NewGenerator(k, 32, 2048, 5)
+		reqs := g.Batch(4000)
+		var sum int
+		for _, r := range reqs {
+			if r.OutputLen < 1 {
+				t.Fatalf("non-positive output length")
+			}
+			sum += r.OutputLen
+		}
+		mean := float64(sum) / float64(len(reqs))
+		want := float64(k.MeanOutput())
+		if mean < 0.85*want || mean > 1.15*want {
+			t.Errorf("%s mean output = %v, want ≈%v", k, mean, want)
+		}
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := (Workload{Batch: 1, InputLen: 32, OutputLen: 32}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Workload{Batch: 0, InputLen: 32, OutputLen: 32}).Validate(); err == nil {
+		t.Error("zero batch accepted")
+	}
+	w := Workload{Batch: 64, InputLen: 256, OutputLen: 32}
+	if w.TotalTokens() != 64*32 {
+		t.Error("TotalTokens wrong")
+	}
+	if w.String() != "B=64 Lin=256 Lout=32" {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+func TestRepresentativeInputs(t *testing.T) {
+	// §7: L_max is 2016 for L_out=32 and 1792 for L_out=256.
+	got := RepresentativeInputs(2048, 32)
+	if got[len(got)-1] != 2016 {
+		t.Errorf("L_out=32 grid ends at %d, want 2016", got[len(got)-1])
+	}
+	got = RepresentativeInputs(2048, 256)
+	if got[len(got)-1] != 1792 {
+		t.Errorf("L_out=256 grid ends at %d, want 1792", got[len(got)-1])
+	}
+	if got[0] != 32 {
+		t.Errorf("grid starts at %d, want 32", got[0])
+	}
+	// A tiny model cuts the grid down.
+	got = RepresentativeInputs(300, 32)
+	for _, l := range got {
+		if l > 268 {
+			t.Errorf("grid value %d exceeds max", l)
+		}
+	}
+}
+
+func TestAverageRequest(t *testing.T) {
+	reqs := []Request{{InputLen: 100, OutputLen: 10}, {InputLen: 300, OutputLen: 30}}
+	w, err := AverageRequest(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Batch != 2 || w.InputLen != 200 || w.OutputLen != 20 {
+		t.Errorf("AverageRequest = %+v", w)
+	}
+	if _, err := AverageRequest(nil); err == nil {
+		t.Error("empty slice accepted")
+	}
+}

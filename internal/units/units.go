@@ -1,0 +1,216 @@
+// Package units defines the physical quantities the LIA models trade in:
+// data sizes, compute counts, bandwidths, throughputs, durations, power,
+// and money. Keeping them as distinct types catches unit mix-ups (bytes
+// divided by FLOPS, etc.) at compile time and gives every model a single
+// place for human-readable formatting.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bytes is a data size in bytes. Negative values are invalid everywhere
+// they are consumed; constructors in higher layers guard against them.
+type Bytes float64
+
+// Data size constants.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+	TiB Bytes = 1 << 40
+
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+	TB Bytes = 1e12
+)
+
+// String renders the size with a binary suffix, e.g. "3.62 GiB".
+func (b Bytes) String() string {
+	abs := math.Abs(float64(b))
+	switch {
+	case abs >= float64(TiB):
+		return fmt.Sprintf("%.2f TiB", float64(b)/float64(TiB))
+	case abs >= float64(GiB):
+		return fmt.Sprintf("%.2f GiB", float64(b)/float64(GiB))
+	case abs >= float64(MiB):
+		return fmt.Sprintf("%.2f MiB", float64(b)/float64(MiB))
+	case abs >= float64(KiB):
+		return fmt.Sprintf("%.2f KiB", float64(b)/float64(KiB))
+	default:
+		return fmt.Sprintf("%.0f B", float64(b))
+	}
+}
+
+// FLOPs is a count of floating-point operations (multiply and add counted
+// separately, matching the 2·M·N·K convention for GEMM).
+type FLOPs float64
+
+// Compute count constants.
+const (
+	KFLOP FLOPs = 1e3
+	MFLOP FLOPs = 1e6
+	GFLOP FLOPs = 1e9
+	TFLOP FLOPs = 1e12
+	PFLOP FLOPs = 1e15
+)
+
+// String renders the count with an SI suffix, e.g. "8.52 TFLOP".
+func (f FLOPs) String() string {
+	abs := math.Abs(float64(f))
+	switch {
+	case abs >= float64(PFLOP):
+		return fmt.Sprintf("%.2f PFLOP", float64(f)/float64(PFLOP))
+	case abs >= float64(TFLOP):
+		return fmt.Sprintf("%.2f TFLOP", float64(f)/float64(TFLOP))
+	case abs >= float64(GFLOP):
+		return fmt.Sprintf("%.2f GFLOP", float64(f)/float64(GFLOP))
+	case abs >= float64(MFLOP):
+		return fmt.Sprintf("%.2f MFLOP", float64(f)/float64(MFLOP))
+	default:
+		return fmt.Sprintf("%.0f FLOP", float64(f))
+	}
+}
+
+// BytesPerSecond is a bandwidth.
+type BytesPerSecond float64
+
+// Bandwidth constants.
+const (
+	MBps BytesPerSecond = 1e6
+	GBps BytesPerSecond = 1e9
+	TBps BytesPerSecond = 1e12
+)
+
+// String renders the bandwidth, e.g. "64.0 GB/s".
+func (bw BytesPerSecond) String() string {
+	abs := math.Abs(float64(bw))
+	switch {
+	case abs >= float64(TBps):
+		return fmt.Sprintf("%.2f TB/s", float64(bw)/float64(TBps))
+	case abs >= float64(GBps):
+		return fmt.Sprintf("%.1f GB/s", float64(bw)/float64(GBps))
+	default:
+		return fmt.Sprintf("%.1f MB/s", float64(bw)/float64(MBps))
+	}
+}
+
+// FLOPSRate is a compute throughput in FLOP per second.
+type FLOPSRate float64
+
+// Throughput constants.
+const (
+	GFLOPS FLOPSRate = 1e9
+	TFLOPS FLOPSRate = 1e12
+	PFLOPS FLOPSRate = 1e15
+)
+
+// String renders the throughput, e.g. "20.1 TFLOPS".
+func (r FLOPSRate) String() string {
+	abs := math.Abs(float64(r))
+	switch {
+	case abs >= float64(PFLOPS):
+		return fmt.Sprintf("%.2f PFLOPS", float64(r)/float64(PFLOPS))
+	case abs >= float64(TFLOPS):
+		return fmt.Sprintf("%.1f TFLOPS", float64(r)/float64(TFLOPS))
+	default:
+		return fmt.Sprintf("%.1f GFLOPS", float64(r)/float64(GFLOPS))
+	}
+}
+
+// Seconds is a duration. The models use float seconds rather than
+// time.Duration because analytic latencies routinely fall below a
+// nanosecond per element and scale to thousands of seconds per batch.
+type Seconds float64
+
+// Duration constants.
+const (
+	Nanosecond  Seconds = 1e-9
+	Microsecond Seconds = 1e-6
+	Millisecond Seconds = 1e-3
+	Second      Seconds = 1
+)
+
+// String renders the duration with an adaptive unit, e.g. "5.05 s".
+func (s Seconds) String() string {
+	abs := math.Abs(float64(s))
+	switch {
+	case abs >= 1:
+		return fmt.Sprintf("%.2f s", float64(s))
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.2f ms", float64(s)*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.2f µs", float64(s)*1e6)
+	default:
+		return fmt.Sprintf("%.1f ns", float64(s)*1e9)
+	}
+}
+
+// Watts is electrical power.
+type Watts float64
+
+// String renders power, e.g. "700 W".
+func (w Watts) String() string { return fmt.Sprintf("%.0f W", float64(w)) }
+
+// Joules is energy.
+type Joules float64
+
+// String renders energy with an adaptive unit.
+func (j Joules) String() string {
+	abs := math.Abs(float64(j))
+	switch {
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2f MJ", float64(j)/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.2f kJ", float64(j)/1e3)
+	case abs >= 1:
+		return fmt.Sprintf("%.2f J", float64(j))
+	default:
+		return fmt.Sprintf("%.2f mJ", float64(j)*1e3)
+	}
+}
+
+// USD is money in United States dollars.
+type USD float64
+
+// String renders money, e.g. "$150000.00".
+func (u USD) String() string { return fmt.Sprintf("$%.2f", float64(u)) }
+
+// TransferTime returns how long moving b bytes over a link of bandwidth bw
+// takes, plus a fixed per-transfer setup latency. A zero or negative
+// bandwidth yields +Inf: the transfer can never complete.
+func TransferTime(b Bytes, bw BytesPerSecond, setup Seconds) Seconds {
+	if b <= 0 {
+		return setup
+	}
+	if bw <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(b)/float64(bw)) + setup
+}
+
+// ComputeTime returns how long executing c FLOPs at throughput r takes.
+// A zero or negative throughput yields +Inf.
+func ComputeTime(c FLOPs, r FLOPSRate) Seconds {
+	if c <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(c) / float64(r))
+}
+
+// OpsPerByte is arithmetic intensity: FLOPs per byte moved. Returns +Inf
+// when no bytes move and zero when no work is done.
+func OpsPerByte(c FLOPs, b Bytes) float64 {
+	if b <= 0 {
+		if c <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(c) / float64(b)
+}

@@ -1,0 +1,159 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{3 * MiB, "3.00 MiB"},
+		{40 * GiB, "40.00 GiB"},
+		{1.5 * TiB, "1.50 TiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFLOPsString(t *testing.T) {
+	if got := (8 * TFLOP).String(); got != "8.00 TFLOP" {
+		t.Errorf("got %q", got)
+	}
+	if got := (1.5 * PFLOP).String(); got != "1.50 PFLOP" {
+		t.Errorf("got %q", got)
+	}
+	if got := FLOPs(12).String(); got != "12 FLOP" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBandwidthAndRateStrings(t *testing.T) {
+	if got := (64 * GBps).String(); got != "64.0 GB/s" {
+		t.Errorf("got %q", got)
+	}
+	if got := (20 * TFLOPS).String(); got != "20.0 TFLOPS" {
+		t.Errorf("got %q", got)
+	}
+	if got := (199 * GFLOPS).String(); got != "199.0 GFLOPS" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{5.05, "5.05 s"},
+		{12 * Millisecond, "12.00 ms"},
+		{3 * Microsecond, "3.00 µs"},
+		{150 * Nanosecond, "150.0 ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Seconds(%v) = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPowerEnergyMoneyStrings(t *testing.T) {
+	if got := Watts(700).String(); got != "700 W" {
+		t.Errorf("got %q", got)
+	}
+	if got := Joules(2500).String(); got != "2.50 kJ" {
+		t.Errorf("got %q", got)
+	}
+	if got := USD(150000).String(); got != "$150000.00" {
+		t.Errorf("got %q", got)
+	}
+	if !strings.HasPrefix(Joules(0.002).String(), "2.00 m") {
+		t.Errorf("millijoule formatting broken: %q", Joules(0.002).String())
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 64 GB over 64 GB/s with no setup is exactly 1 s.
+	got := TransferTime(64*GB, 64*GBps, 0)
+	if math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("TransferTime = %v, want 1 s", got)
+	}
+	// Setup latency is additive.
+	got = TransferTime(64*GB, 64*GBps, 10*Microsecond)
+	if math.Abs(float64(got)-1.00001) > 1e-9 {
+		t.Errorf("TransferTime with setup = %v", got)
+	}
+	// Zero bytes costs only the setup.
+	if got := TransferTime(0, 64*GBps, 5*Microsecond); got != 5*Microsecond {
+		t.Errorf("zero-byte transfer = %v", got)
+	}
+	// Dead link never completes.
+	if got := TransferTime(1, 0, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("zero-bandwidth transfer = %v, want +Inf", got)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	got := ComputeTime(20*TFLOP, 20*TFLOPS)
+	if math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("ComputeTime = %v, want 1 s", got)
+	}
+	if got := ComputeTime(0, 20*TFLOPS); got != 0 {
+		t.Errorf("zero-FLOP compute = %v, want 0", got)
+	}
+	if got := ComputeTime(1, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("zero-throughput compute = %v, want +Inf", got)
+	}
+}
+
+func TestOpsPerByte(t *testing.T) {
+	if got := OpsPerByte(100, 50); got != 2 {
+		t.Errorf("OpsPerByte = %v, want 2", got)
+	}
+	if got := OpsPerByte(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("OpsPerByte with 0 bytes = %v, want +Inf", got)
+	}
+	if got := OpsPerByte(0, 0); got != 0 {
+		t.Errorf("OpsPerByte(0,0) = %v, want 0", got)
+	}
+}
+
+// Property: transfer time is monotonically non-decreasing in data size and
+// non-increasing in bandwidth.
+func TestTransferTimeMonotonic(t *testing.T) {
+	f := func(rawB, rawExtra, rawBW uint32) bool {
+		b := Bytes(rawB)
+		extra := Bytes(rawExtra)
+		bw := BytesPerSecond(rawBW%1000 + 1)
+		t1 := TransferTime(b, bw, 0)
+		t2 := TransferTime(b+extra, bw, 0)
+		t3 := TransferTime(b, bw*2, 0)
+		return t2 >= t1 && t3 <= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compute time scales linearly with work.
+func TestComputeTimeLinear(t *testing.T) {
+	f := func(rawC uint32, rawR uint32) bool {
+		c := FLOPs(rawC)
+		r := FLOPSRate(rawR%10000 + 1)
+		t1 := ComputeTime(c, r)
+		t2 := ComputeTime(2*c, r)
+		return math.Abs(float64(t2)-2*float64(t1)) <= 1e-9*math.Max(1, float64(t2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

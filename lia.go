@@ -1,0 +1,151 @@
+// Package lia is a Go reproduction of "LIA: A Single-GPU LLM Inference
+// Acceleration with Cooperative AMX-Enabled CPU-GPU Computation and CXL
+// Offloading" (ISCA 2025).
+//
+// The library estimates end-to-end LLM inference performance on
+// CPU-GPU systems with AMX-class matrix engines and optional CXL memory
+// expanders, and implements the paper's contribution — the compute-
+// offloading optimizer over the six decoder sublayers (Equations 1–9) —
+// together with every baseline it is compared against (IPEX, FlexGen,
+// PowerInfer, 8-way tensor-parallel multi-GPU).
+//
+// Three layers of fidelity are provided:
+//
+//   - Analytical: calibrated roofline models of SPR/GNR AMX, AVX-512, and
+//     P100–H100 GPUs reproduce the §4 microbenchmarks; Run estimates
+//     latency, throughput, energy, and memory placement for any workload.
+//   - Scheduled: an event-driven execution back-end times Optimization-1
+//     (GPU-memory pinning) and Optimization-2 (compute/transfer overlap)
+//     schedules exactly.
+//   - Functional: a real transformer (package-internal AMX tile emulator
+//     for CPU-offloaded sublayers, dense kernels for GPU ones) proves the
+//     routed dataflow executes and is numerically policy-invariant.
+//
+// Quickstart:
+//
+//	res, err := lia.Run(lia.Config{
+//	    Framework: lia.LIA,
+//	    System:    lia.SPRA100,
+//	    Model:     lia.OPT30B,
+//	    Workload:  lia.Workload{Batch: 1, InputLen: 512, OutputLen: 32},
+//	})
+//	fmt.Println(res.Latency, res.Throughput, res.DecodePolicy)
+package lia
+
+import (
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/spec"
+	"github.com/lia-sim/lia/internal/trace"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Core configuration and result types.
+type (
+	// Config specifies one inference estimate: framework, system, model,
+	// workload, optional CXL placement and ablation switches.
+	Config = engine.Config
+	// Result is an end-to-end estimate (latency, throughput, energy,
+	// breakdown, memory plan, chosen policies).
+	Result = engine.Result
+	// Framework selects the inference stack being modeled.
+	Framework = engine.Framework
+	// Ablation disables individual LIA optimizations (Table 4).
+	Ablation = engine.Ablation
+	// Workload is the (B, L_in, L_out) shape.
+	Workload = trace.Workload
+	// System describes a hardware platform (CPU, GPU, link, CXL).
+	System = hw.System
+	// ModelConfig describes a transformer architecture.
+	ModelConfig = model.Config
+	// Policy is the offloading vector p ∈ {0,1}⁶ (true = CPU).
+	Policy = core.Policy
+	// Stage distinguishes prefill from decode.
+	Stage = model.Stage
+	// Placement assigns host data classes to DDR or CXL.
+	Placement = cxl.Placement
+	// Seconds is the time unit used throughout.
+	Seconds = units.Seconds
+)
+
+// Frameworks the paper compares.
+const (
+	// LIA is the paper's framework.
+	LIA = engine.LIA
+	// IPEX is the CPU-only AMX baseline.
+	IPEX = engine.IPEX
+	// FlexGen is the offloading baseline (AVX CPU kernels).
+	FlexGen = engine.FlexGen
+	// PowerInfer is the hot/cold neuron-split baseline.
+	PowerInfer = engine.PowerInfer
+	// MultiGPU is 8-way tensor parallelism on a DGX.
+	MultiGPU = engine.MultiGPU
+	// ZeROInference is DeepSpeed-style pure data offloading.
+	ZeROInference = engine.ZeROInference
+)
+
+// Stages.
+const (
+	// Prefill is the prompt-processing (Sum) stage.
+	Prefill = model.Prefill
+	// Decode is the token-generation (Gen) stage.
+	Decode = model.Decode
+)
+
+// Canonical offloading policies (§7.1).
+var (
+	// FullGPU computes everything on the GPU: (0,0,0,0,0,0).
+	FullGPU = core.FullGPU
+	// FullCPU offloads everything to the CPU: (1,1,1,1,1,1).
+	FullCPU = core.FullCPU
+	// PartialCPU offloads attention scoring only: (0,1,1,0,0,0).
+	PartialCPU = core.PartialCPU
+)
+
+// Run estimates one configuration end to end.
+func Run(cfg Config) (Result, error) { return engine.Run(cfg) }
+
+// OptimalPolicies solves Eq. (1) for both stages at a workload point —
+// the decision Figure 9 maps over (B, L).
+func OptimalPolicies(sys System, m ModelConfig, b, l int) (prefill, decode Policy) {
+	env := core.NewEnv(sys, m)
+	pair := core.OptimalPair(env, b, l)
+	return pair.Prefill, pair.Decode
+}
+
+// PolicyLatency evaluates the Eq. (2) single-decoder-layer latency of a
+// given policy (non-overlapped), useful for exploring the policy space.
+func PolicyLatency(sys System, m ModelConfig, stage Stage, p Policy, b, l int) Seconds {
+	env := core.NewEnv(sys, m)
+	t, _ := core.LayerLatency(env, stage, p, b, l)
+	return t
+}
+
+// ParsePolicy parses the paper's "(0,1,1,0,0,0)" notation.
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
+// CXLPolicyPlacement returns the §6 memory-offloading policy: parameters
+// in CXL, KV cache and activations in DDR.
+func CXLPolicyPlacement() Placement { return cxl.PolicyPlacement() }
+
+// NaiveCXLPlacement puts every host data class in CXL — the oblivious
+// baseline Observation-2 warns against.
+func NaiveCXLPlacement() Placement { return cxl.NaivePlacement() }
+
+// SpeculativeConfig parameterizes a speculative-decoding estimate: a
+// GPU-resident draft model proposing tokens for an offloaded target.
+type SpeculativeConfig = spec.Config
+
+// SpeculativeResult reports the per-round breakdown and the speedup over
+// plain decoding.
+type SpeculativeResult = spec.Result
+
+// EstimateSpeculative prices speculative decoding at an operating point.
+// Batched verification amortizes the parameter movement that dominates
+// offloaded decoding, so speculation and offloading compound.
+func EstimateSpeculative(cfg SpeculativeConfig) (SpeculativeResult, error) {
+	return spec.Estimate(cfg)
+}

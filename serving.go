@@ -1,0 +1,57 @@
+package lia
+
+import (
+	"github.com/lia-sim/lia/internal/serve"
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+// Serving-layer types: batch a request stream in front of the engine.
+type (
+	// ServeConfig parameterizes a serving simulation (system, model,
+	// framework, batch cap, batching window).
+	ServeConfig = serve.Config
+	// ServeMetrics reports latency percentiles, throughput, and batch
+	// statistics.
+	ServeMetrics = serve.Metrics
+	// ServeRequest is a trace request with an arrival time.
+	ServeRequest = serve.Request
+	// TraceGenerator produces synthetic requests with the §7 Azure-trace
+	// statistics.
+	TraceGenerator = trace.Generator
+	// TraceKind selects the code or conversation trace family.
+	TraceKind = trace.Kind
+)
+
+// Trace families (§7: output lengths average 32 and 256 tokens).
+const (
+	// TraceCode mimics the code-completion trace.
+	TraceCode = trace.Code
+	// TraceConversation mimics the chat trace.
+	TraceConversation = trace.Conversation
+)
+
+// NewTraceGenerator returns a deterministic request generator with input
+// lengths uniform on [minIn, maxIn].
+func NewTraceGenerator(kind TraceKind, minIn, maxIn int, seed int64) (*TraceGenerator, error) {
+	return trace.NewGenerator(kind, minIn, maxIn, seed)
+}
+
+// PoissonArrivals attaches exponential inter-arrival times at the given
+// rate (requests/second) to n generated requests.
+func PoissonArrivals(gen *TraceGenerator, n int, ratePerSec float64, seed int64) ([]ServeRequest, error) {
+	return serve.PoissonArrivals(gen, n, ratePerSec, seed)
+}
+
+// Serve simulates batch-serving the request stream and returns the
+// operator-facing metrics.
+func Serve(cfg ServeConfig, reqs []ServeRequest) (ServeMetrics, error) {
+	return serve.Simulate(cfg, reqs)
+}
+
+// ServeContinuous simulates iteration-level (continuous) batching:
+// requests join the running batch after a batched prefill and retire the
+// moment their generation completes, instead of waiting for the whole
+// batch.
+func ServeContinuous(cfg ServeConfig, reqs []ServeRequest) (ServeMetrics, error) {
+	return serve.SimulateContinuous(cfg, reqs)
+}
