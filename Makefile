@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check is the CI gate: vet, build everything, then the full test suite
+# under the race detector (the runner pool and shared caches are
+# concurrent by default, so -race is not optional here).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,12 +1,18 @@
 // Command lia-bench regenerates the paper's tables and figures. Each
 // experiment prints as an aligned ASCII table; -csv switches to CSV.
+// Experiments and their cells run on the internal/runner worker pool:
+// parallel by default, with results printed in deterministic ID order
+// (byte-identical to a sequential run). -j bounds the workers; -j 1
+// restores fully sequential execution.
 //
 //	lia-bench               # run everything
 //	lia-bench -exp fig9     # one experiment
+//	lia-bench -j 1          # sequential
 //	lia-bench -list         # list experiment IDs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,9 +20,11 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/lia-sim/lia/internal/engine"
 	"github.com/lia-sim/lia/internal/experiments"
 	"github.com/lia-sim/lia/internal/hw"
 	"github.com/lia-sim/lia/internal/report"
+	"github.com/lia-sim/lia/internal/runner"
 )
 
 // renderable is anything the report package can print.
@@ -109,6 +117,52 @@ func figsToRenderables(figs []*report.Figure) []renderable {
 	return out
 }
 
+// renderMode selects the output format.
+type renderMode int
+
+const (
+	modeTable renderMode = iota
+	modeCSV
+	modeMarkdown
+)
+
+// experimentOutput is one experiment's fully rendered result: the text
+// blocks to print in order, and the raw CSVs for -out.
+type experimentOutput struct {
+	id     string
+	blocks []string
+	csvs   []string
+}
+
+// renderExperiments evaluates the selected experiments on the runner
+// worker pool — whole experiments fan out, and each experiment's cells
+// fan out again inside internal/experiments — and returns the rendered
+// outputs in input order, so printing is byte-identical to a sequential
+// run regardless of worker count.
+func renderExperiments(selected []string, mode renderMode) ([]experimentOutput, error) {
+	return runner.Map(context.Background(), selected, func(_ context.Context, id string) (experimentOutput, error) {
+		gen, ok := experimentsByID[id]
+		if !ok {
+			return experimentOutput{}, fmt.Errorf("unknown experiment %q", id)
+		}
+		out := experimentOutput{id: id}
+		for _, r := range gen() {
+			var block string
+			switch mode {
+			case modeCSV:
+				block = r.CSV()
+			case modeMarkdown:
+				block = r.Markdown()
+			default:
+				block = r.String()
+			}
+			out.blocks = append(out.blocks, block)
+			out.csvs = append(out.csvs, r.CSV())
+		}
+		return out, nil
+	})
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
@@ -116,8 +170,11 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 		outDir   = flag.String("out", "", "also write each experiment's CSV to <out>/<id>-<n>.csv")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		workers  = flag.Int("j", 0, "worker count for experiments and cells (0 = GOMAXPROCS, 1 = sequential)")
+		stats    = flag.Bool("stats", false, "print engine-cache statistics to stderr after the run")
 	)
 	flag.Parse()
+	runner.SetWorkers(*workers)
 
 	ids := make([]string, 0, len(experimentsByID))
 	for id := range experimentsByID {
@@ -147,24 +204,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, id := range selected {
-		fmt.Printf("==== %s ====\n", id)
-		for i, r := range experimentsByID[id]() {
-			switch {
-			case *csv:
-				fmt.Println(r.CSV())
-			case *markdown:
-				fmt.Println(r.Markdown())
-			default:
-				fmt.Println(r.String())
-			}
+
+	mode := modeTable
+	switch {
+	case *csv:
+		mode = modeCSV
+	case *markdown:
+		mode = modeMarkdown
+	}
+	outputs, err := renderExperiments(selected, mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lia-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, out := range outputs {
+		fmt.Printf("==== %s ====\n", out.id)
+		for i, block := range out.blocks {
+			fmt.Println(block)
 			if *outDir != "" {
-				path := filepath.Join(*outDir, fmt.Sprintf("%s-%d.csv", id, i))
-				if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+				path := filepath.Join(*outDir, fmt.Sprintf("%s-%d.csv", out.id, i))
+				if err := os.WriteFile(path, []byte(out.csvs[i]), 0o644); err != nil {
 					fmt.Fprintf(os.Stderr, "lia-bench: %v\n", err)
 					os.Exit(1)
 				}
 			}
 		}
+	}
+	if *stats {
+		calls, distinct := engine.RunCacheStats()
+		fmt.Fprintf(os.Stderr, "lia-bench: %d engine cells requested, %d computed (%d deduplicated), %d workers\n",
+			calls, distinct, calls-distinct, runner.Workers())
 	}
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/runner"
+)
+
+// render joins an experiment run's output exactly as main prints it.
+func render(t *testing.T, ids []string, mode renderMode) string {
+	t.Helper()
+	outputs, err := renderExperiments(ids, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, out := range outputs {
+		b.WriteString("==== " + out.id + " ====\n")
+		for _, block := range out.blocks {
+			b.WriteString(block + "\n")
+		}
+	}
+	return b.String()
+}
+
+// TestTab5ByteIdenticalAcrossRuns: the ISSUE's determinism gate —
+// `lia-bench -exp tab5` must produce byte-identical output across two
+// runs with the parallel runner active.
+func TestTab5ByteIdenticalAcrossRuns(t *testing.T) {
+	runner.SetWorkers(8)
+	defer runner.SetWorkers(0)
+	a := render(t, []string{"tab5"}, modeTable)
+	b := render(t, []string{"tab5"}, modeTable)
+	if a != b {
+		t.Fatalf("tab5 output diverged across runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "Table 5") {
+		t.Fatalf("unexpected tab5 output:\n%s", a)
+	}
+}
+
+// TestParallelMatchesSequential: a multi-experiment selection renders
+// byte-identically under -j 1 and -j 8.
+func TestParallelMatchesSequential(t *testing.T) {
+	ids := []string{"tab3", "tab4", "tab5", "quant", "scaling"}
+	runner.SetWorkers(1)
+	seq := render(t, ids, modeTable)
+	runner.SetWorkers(8)
+	defer runner.SetWorkers(0)
+	par := render(t, ids, modeTable)
+	if seq != par {
+		t.Fatal("parallel output differs from sequential output")
+	}
+}
+
+// TestUnknownExperimentErrors: renderExperiments surfaces bad IDs.
+func TestUnknownExperimentErrors(t *testing.T) {
+	if _, err := renderExperiments([]string{"nope"}, modeTable); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

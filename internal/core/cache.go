@@ -1,0 +1,42 @@
+package core
+
+import (
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/runner"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// optKey identifies one optimizer invocation. Env, Options and the shape
+// are all flat comparable structs (no slices, maps or pointers), so the
+// full input vector is the key — two calls share a cache slot only when
+// every calibrated constant matches.
+type optKey struct {
+	env   Env
+	stage model.Stage
+	b, l  int
+	opt   Options
+}
+
+type optVal struct {
+	policy  Policy
+	latency units.Seconds
+}
+
+// optCache memoizes OptimizeOpts across the process. The optimizer
+// enumerates all 64 policies per call, and serving simulators re-ask for
+// the same (batch, context) points thousands of times.
+var optCache runner.Cache[optKey, optVal]
+
+// OptimizeOptsCached is OptimizeOpts behind a process-wide single-flight
+// cache: concurrent identical calls compute once. OptimizeOpts is a pure
+// function of its arguments, so memoization is exact.
+func OptimizeOptsCached(e Env, stage model.Stage, b, l int, opt Options) (Policy, units.Seconds) {
+	v, _ := optCache.Do(optKey{env: e, stage: stage, b: b, l: l, opt: opt}, func() (optVal, error) {
+		p, t := OptimizeOpts(e, stage, b, l, opt)
+		return optVal{policy: p, latency: t}, nil
+	})
+	return v.policy, v.latency
+}
+
+// ResetOptimizeCache drops every memoized optimizer decision.
+func ResetOptimizeCache() { optCache.Reset() }

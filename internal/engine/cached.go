@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/runner"
+)
+
+// runCache memoizes engine.Run results across the process: experiment
+// suites re-evaluate many identical (framework, system, workload) cells,
+// and Run is a pure function of its Config, so identical cells share one
+// computation (single-flight under concurrency).
+var runCache runner.Cache[string, Result]
+
+// runCalls counts RunCached invocations (hits + misses), for the
+// lia-bench -stats dedup report.
+var runCalls atomic.Int64
+
+// RunCached is Run behind the shared memoization cache. Concurrent
+// callers with an identical Config block on a single computation and
+// share its Result. Errors are cached too — a malformed Config fails the
+// same way every time.
+func RunCached(cfg Config) (Result, error) {
+	runCalls.Add(1)
+	return runCache.Do(cfg.cacheKey(), func() (Result, error) {
+		return Run(cfg)
+	})
+}
+
+// ResetRunCache drops every memoized result (tests and long-lived
+// servers that mutate hw.System values in place between runs).
+func ResetRunCache() { runCache.Reset() }
+
+// RunCacheStats reports total RunCached calls and the distinct configs
+// actually evaluated; the difference is work the memoization saved.
+func RunCacheStats() (calls, distinct int) {
+	return int(runCalls.Load()), runCache.Len()
+}
+
+// cacheKey serializes every Run input into a deterministic string. Config
+// is not directly usable as a map key: System carries a CXL expander
+// slice, Placement a map, and Ablation a *core.Policy whose address (not
+// value) would otherwise leak into the key. %v formatting is value-deep
+// for slices and structs, and fmt prints maps in sorted key order, so the
+// only field needing care is the policy pointer, which is dereferenced.
+func (c Config) cacheKey() string {
+	var forced string
+	if c.Ablation.ForcePolicy != nil {
+		forced = c.Ablation.ForcePolicy.String()
+	}
+	return fmt.Sprintf("fw=%d|sys=%v|model=%v|w=%v|pl=%s|ab=%t,%t,%q|ahc=%t",
+		c.Framework, c.System, c.Model, c.Workload,
+		placementKey(c.Placement),
+		c.Ablation.NoOpt1, c.Ablation.NoOpt2, forced,
+		c.AssumeHostCapacity)
+}
+
+// placementKey canonicalizes the CXL placement map (only classes held in
+// CXL matter; map iteration order must not reach the key).
+func placementKey(pl cxl.Placement) string {
+	var held []string
+	for class, in := range pl.InCXL {
+		if in {
+			held = append(held, fmt.Sprint(class))
+		}
+	}
+	sort.Strings(held)
+	return strings.Join(held, ",")
+}

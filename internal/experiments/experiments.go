@@ -8,42 +8,96 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"github.com/lia-sim/lia/internal/engine"
 	"github.com/lia-sim/lia/internal/hw"
 	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/runner"
 	"github.com/lia-sim/lia/internal/trace"
 )
 
-// mustRun executes an engine config, panicking on configuration errors
-// (experiment definitions are static; an error is a bug, not user input).
+// mustRun executes an engine config through the shared memoization
+// cache, panicking on configuration errors (experiment definitions are
+// static; an error is a bug, not user input).
 func mustRun(cfg engine.Config) engine.Result {
-	r, err := engine.Run(cfg)
+	r, err := engine.RunCached(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	return r
 }
 
-// latencyOrNaN runs a config and returns end-to-end latency in seconds,
-// NaN on OOM.
-func latencyOrNaN(cfg engine.Config) float64 {
-	r := mustRun(cfg)
+// runCells evaluates every config on the parallel runner, preserving
+// input order; identical cells dedupe through the engine cache.
+func runCells(cfgs []engine.Config) []engine.Result {
+	res, err := runner.Map(context.Background(), cfgs, func(_ context.Context, c engine.Config) (engine.Result, error) {
+		return engine.RunCached(c)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// mustMap fans fn over items on the parallel runner, preserving input
+// order — the per-row/per-series parallelism the table generators use.
+// fn must be pure (it may call mustRun; the engine cache is safe).
+func mustMap[T, R any](items []T, fn func(T) R) []R {
+	out, err := runner.Map(context.Background(), items, func(_ context.Context, it T) (R, error) {
+		return fn(it), nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return out
+}
+
+// asLatency converts a result to end-to-end seconds, NaN on OOM.
+func asLatency(r engine.Result) float64 {
 	if r.OOM {
 		return math.NaN()
 	}
 	return float64(r.Latency)
 }
 
-// throughputOrNaN runs a config and returns tokens/s, NaN on OOM.
-func throughputOrNaN(cfg engine.Config) float64 {
-	r := mustRun(cfg)
+// asThroughput converts a result to tokens/s, NaN on OOM.
+func asThroughput(r engine.Result) float64 {
 	if r.OOM {
 		return math.NaN()
 	}
 	return r.Throughput
+}
+
+// latencyOrNaN runs a config and returns end-to-end latency in seconds,
+// NaN on OOM.
+func latencyOrNaN(cfg engine.Config) float64 { return asLatency(mustRun(cfg)) }
+
+// throughputOrNaN runs a config and returns tokens/s, NaN on OOM.
+func throughputOrNaN(cfg engine.Config) float64 { return asThroughput(mustRun(cfg)) }
+
+// latenciesOrNaN evaluates a config slice in parallel and returns each
+// cell's latency (NaN on OOM) in input order.
+func latenciesOrNaN(cfgs []engine.Config) []float64 {
+	res := runCells(cfgs)
+	out := make([]float64, len(res))
+	for i, r := range res {
+		out[i] = asLatency(r)
+	}
+	return out
+}
+
+// throughputsOrNaN evaluates a config slice in parallel and returns each
+// cell's throughput (NaN on OOM) in input order.
+func throughputsOrNaN(cfgs []engine.Config) []float64 {
+	res := runCells(cfgs)
+	out := make([]float64, len(res))
+	for i, r := range res {
+		out[i] = asThroughput(r)
+	}
+	return out
 }
 
 // onlineWorkload is the latency-driven scenario (§7): batch size 1.

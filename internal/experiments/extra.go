@@ -20,23 +20,30 @@ func Generalizability() *report.Table {
 		"§7.7: model generalizability — LIA speedup ranges (online latency / offline throughput)",
 		"model", "system", "vs IPEX (lat)", "vs FlexGen (lat)", "vs IPEX (tput)", "vs FlexGen (tput)")
 	systems := []hw.System{hw.SPRA100, hw.SPRH100, hw.GNRA100, hw.GNRH100}
+	var pts []evalPoint
 	for _, m := range []model.Config{model.Llama270B, model.Chinchilla70B, model.Bloom176B} {
 		for _, sys := range systems {
-			online := trace.Workload{Batch: 1, InputLen: 512, OutputLen: 32}
-			offline := trace.Workload{Batch: 64, InputLen: 512, OutputLen: 32}
-			ratios := func(w trace.Workload, base engine.Framework) (float64, float64) {
-				lia := mustRun(engine.Config{Framework: engine.LIA, System: sys, Model: m, Workload: w, AssumeHostCapacity: true})
-				other := mustRun(engine.Config{Framework: base, System: sys, Model: m, Workload: w, AssumeHostCapacity: true})
-				return float64(other.Latency) / float64(lia.Latency), lia.Throughput / other.Throughput
-			}
-			ipexLat, _ := ratios(online, engine.IPEX)
-			fgLat, _ := ratios(online, engine.FlexGen)
-			_, ipexTput := ratios(offline, engine.IPEX)
-			_, fgTput := ratios(offline, engine.FlexGen)
-			t.AddRow(m.Name, sys.Name,
-				fmt.Sprintf("%.1fx", ipexLat), fmt.Sprintf("%.1fx", fgLat),
-				fmt.Sprintf("%.1fx", ipexTput), fmt.Sprintf("%.1fx", fgTput))
+			pts = append(pts, evalPoint{sys: sys, m: m})
 		}
+	}
+	rows := mustMap(pts, func(pt evalPoint) []string {
+		online := trace.Workload{Batch: 1, InputLen: 512, OutputLen: 32}
+		offline := trace.Workload{Batch: 64, InputLen: 512, OutputLen: 32}
+		ratios := func(w trace.Workload, base engine.Framework) (float64, float64) {
+			lia := mustRun(engine.Config{Framework: engine.LIA, System: pt.sys, Model: pt.m, Workload: w, AssumeHostCapacity: true})
+			other := mustRun(engine.Config{Framework: base, System: pt.sys, Model: pt.m, Workload: w, AssumeHostCapacity: true})
+			return float64(other.Latency) / float64(lia.Latency), lia.Throughput / other.Throughput
+		}
+		ipexLat, _ := ratios(online, engine.IPEX)
+		fgLat, _ := ratios(online, engine.FlexGen)
+		_, ipexTput := ratios(offline, engine.IPEX)
+		_, fgTput := ratios(offline, engine.FlexGen)
+		return []string{pt.m.Name, pt.sys.Name,
+			fmt.Sprintf("%.1fx", ipexLat), fmt.Sprintf("%.1fx", fgLat),
+			fmt.Sprintf("%.1fx", ipexTput), fmt.Sprintf("%.1fx", fgTput)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -48,25 +55,26 @@ func GraceHopper() *report.Table {
 	t := report.NewTable(
 		"§8: Grace-Hopper what-if — LIA on GH200 vs GNR-H100, OPT-175B",
 		"metric", "workload", "GNR-H100", "GH200", "GH200 advantage")
-	for _, w := range []trace.Workload{
+	workloads := []trace.Workload{
 		{Batch: 1, InputLen: 512, OutputLen: 32},
 		{Batch: 1, InputLen: 2016, OutputLen: 32},
-	} {
-		gnr := mustRun(engine.Config{Framework: engine.LIA, System: hw.GNRH100, Model: model.OPT175B, Workload: w, AssumeHostCapacity: true})
-		gh := mustRun(engine.Config{Framework: engine.LIA, System: hw.GH200, Model: model.OPT175B, Workload: w, AssumeHostCapacity: true})
-		t.AddRow("latency (s)", w.String(),
-			fmt.Sprintf("%.2f", float64(gnr.Latency)), fmt.Sprintf("%.2f", float64(gh.Latency)),
-			fmt.Sprintf("%.1fx", float64(gnr.Latency)/float64(gh.Latency)))
-	}
-	for _, w := range []trace.Workload{
 		{Batch: 64, InputLen: 512, OutputLen: 32},
 		{Batch: 900, InputLen: 512, OutputLen: 32},
-	} {
+	}
+	rows := mustMap(workloads, func(w trace.Workload) []string {
 		gnr := mustRun(engine.Config{Framework: engine.LIA, System: hw.GNRH100, Model: model.OPT175B, Workload: w, AssumeHostCapacity: true})
 		gh := mustRun(engine.Config{Framework: engine.LIA, System: hw.GH200, Model: model.OPT175B, Workload: w, AssumeHostCapacity: true})
-		t.AddRow("throughput (tok/s)", w.String(),
+		if w.Batch == 1 {
+			return []string{"latency (s)", w.String(),
+				fmt.Sprintf("%.2f", float64(gnr.Latency)), fmt.Sprintf("%.2f", float64(gh.Latency)),
+				fmt.Sprintf("%.1fx", float64(gnr.Latency)/float64(gh.Latency))}
+		}
+		return []string{"throughput (tok/s)", w.String(),
 			fmt.Sprintf("%.1f", gnr.Throughput), fmt.Sprintf("%.1f", gh.Throughput),
-			fmt.Sprintf("%.1fx", gh.Throughput/gnr.Throughput))
+			fmt.Sprintf("%.1fx", gh.Throughput/gnr.Throughput)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -94,10 +102,10 @@ func CheaperGPUs() *report.Table {
 		"§8: LIA (GNR-A100) vs data offloading on cost-equivalent 3xV100, OPT-175B",
 		"workload", "LIA latency (s)", "3xV100 latency (s)", "LIA advantage", "LIA tput", "3xV100 tput", "tput advantage")
 	cluster := v100Cluster()
-	for _, w := range []trace.Workload{
+	rows := mustMap([]trace.Workload{
 		{Batch: 1, InputLen: 512, OutputLen: 32},
 		{Batch: 64, InputLen: 512, OutputLen: 32},
-	} {
+	}, func(w trace.Workload) []string {
 		lia := mustRun(engine.Config{Framework: engine.LIA, System: hw.GNRA100, Model: model.OPT175B, Workload: w, AssumeHostCapacity: true})
 		// Data offloading across 3 V100s: model as FlexGen with tripled
 		// effective PCIe bandwidth (three x16 slots stream concurrently)
@@ -105,13 +113,16 @@ func CheaperGPUs() *report.Table {
 		alt := cluster
 		alt.GPU.HostLink.BW *= units.BytesPerSecond(alt.GPUCount)
 		v := mustRun(engine.Config{Framework: engine.FlexGen, System: alt, Model: model.OPT175B, Workload: w, AssumeHostCapacity: true})
-		t.AddRow(w.String(),
+		return []string{w.String(),
 			fmt.Sprintf("%.2f", float64(lia.Latency)),
 			fmt.Sprintf("%.2f", float64(v.Latency)),
 			fmt.Sprintf("%.1fx", float64(v.Latency)/float64(lia.Latency)),
 			fmt.Sprintf("%.1f", lia.Throughput),
 			fmt.Sprintf("%.1f", v.Throughput),
-			fmt.Sprintf("%.1fx", lia.Throughput/v.Throughput))
+			fmt.Sprintf("%.1fx", lia.Throughput/v.Throughput)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -40,16 +40,19 @@ func Figure14() (*report.Figure, *report.Figure) {
 		{"LIA (GNR-A100)", engine.LIA, hw.GNRA100},
 		{"DGX-A100 (TP-8)", engine.MultiGPU, hw.DGXA100},
 	} {
-		tputVals := make([]float64, len(bs))
-		costVals := make([]float64, len(bs))
+		cfgs := make([]engine.Config, len(bs))
 		for i, b := range bs {
-			r := mustRun(engine.Config{
+			cfgs[i] = engine.Config{
 				Framework:          sc.fw,
 				System:             sc.sys,
 				Model:              model.OPT175B,
 				Workload:           figure14Workload(b),
 				AssumeHostCapacity: true,
-			})
+			}
+		}
+		tputVals := make([]float64, len(bs))
+		costVals := make([]float64, len(bs))
+		for i, r := range runCells(cfgs) {
 			if r.OOM {
 				tputVals[i] = math.NaN()
 				costVals[i] = math.NaN()
@@ -76,14 +79,14 @@ func Figure15() (*report.Figure, *report.Figure) {
 	online := report.NewFigure("Figure 15 (left): Llama2-70B online latency on GNR-A100", "Lin", "s/query", ticks...)
 	online.Unit = "%.2f"
 	for _, fw := range []engine.Framework{engine.LIA, engine.PowerInfer} {
-		vals := make([]float64, len(lins))
+		cfgs := make([]engine.Config, len(lins))
 		for i, lin := range lins {
-			vals[i] = latencyOrNaN(engine.Config{
+			cfgs[i] = engine.Config{
 				Framework: fw, System: hw.GNRA100, Model: model.Llama270B,
 				Workload: onlineWorkload(lin, 32), AssumeHostCapacity: true,
-			})
+			}
 		}
-		online.MustAdd(fw.String(), vals...)
+		online.MustAdd(fw.String(), latenciesOrNaN(cfgs)...)
 	}
 
 	bs := []int{64, 900}
@@ -91,15 +94,15 @@ func Figure15() (*report.Figure, *report.Figure) {
 	offline := report.NewFigure("Figure 15 (right): Llama2-70B offline throughput on GNR-A100", "batch", "tokens/s", bticks...)
 	offline.Unit = "%.1f"
 	for _, fw := range []engine.Framework{engine.LIA, engine.PowerInfer} {
-		vals := make([]float64, len(bs))
+		cfgs := make([]engine.Config, len(bs))
 		for i, b := range bs {
-			vals[i] = throughputOrNaN(engine.Config{
+			cfgs[i] = engine.Config{
 				Framework: fw, System: hw.GNRA100, Model: model.Llama270B,
 				Workload:           trace.Workload{Batch: b, InputLen: 512, OutputLen: 32},
 				AssumeHostCapacity: true,
-			})
+			}
 		}
-		offline.MustAdd(fw.String(), vals...)
+		offline.MustAdd(fw.String(), throughputsOrNaN(cfgs)...)
 	}
 	return online, offline
 }

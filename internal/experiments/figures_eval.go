@@ -29,10 +29,10 @@ func Figure10() []*report.Figure {
 				fmt.Sprintf("Figure 10: online latency, %s on %s, Lout=%d", pt.m.Name, pt.sys.Name, lout),
 				"Lin", "s/query", ticks...)
 			fig.Unit = "%.2f"
+			cfgs := make([]engine.Config, 0, len(frameworksCompared)*len(lins))
 			for _, fw := range frameworksCompared {
-				vals := make([]float64, len(lins))
-				for i, lin := range lins {
-					vals[i] = latencyOrNaN(engine.Config{
+				for _, lin := range lins {
+					cfgs = append(cfgs, engine.Config{
 						Framework:          fw,
 						System:             pt.sys,
 						Model:              pt.m,
@@ -40,7 +40,10 @@ func Figure10() []*report.Figure {
 						AssumeHostCapacity: true,
 					})
 				}
-				fig.MustAdd(fw.String(), vals...)
+			}
+			vals := latenciesOrNaN(cfgs)
+			for fi, fw := range frameworksCompared {
+				fig.MustAdd(fw.String(), vals[fi*len(lins):(fi+1)*len(lins)]...)
 			}
 			figs = append(figs, fig)
 		}
@@ -68,10 +71,10 @@ func Figure11() []*report.Figure {
 				fmt.Sprintf("Figure 11: offline throughput, %s on %s, Lout=%d", pt.m.Name, pt.sys.Name, lout),
 				"shape", "tokens/s", ticks...)
 			fig.Unit = "%.1f"
+			cfgs := make([]engine.Config, 0, len(frameworksCompared)*len(shapes))
 			for _, fw := range frameworksCompared {
-				vals := make([]float64, len(shapes))
-				for i, s := range shapes {
-					vals[i] = throughputOrNaN(engine.Config{
+				for _, s := range shapes {
+					cfgs = append(cfgs, engine.Config{
 						Framework:          fw,
 						System:             pt.sys,
 						Model:              pt.m,
@@ -79,7 +82,10 @@ func Figure11() []*report.Figure {
 						AssumeHostCapacity: true, // starred bars beyond 512 GB DDR
 					})
 				}
-				fig.MustAdd(fw.String(), vals...)
+			}
+			vals := throughputsOrNaN(cfgs)
+			for fi, fw := range frameworksCompared {
+				fig.MustAdd(fw.String(), vals[fi*len(shapes):(fi+1)*len(shapes)]...)
 			}
 			figs = append(figs, fig)
 		}
@@ -108,15 +114,18 @@ func Figure12() *report.Figure {
 	fig.Unit = "%.2f"
 
 	energies := func(fw engine.Framework) []float64 {
-		vals := make([]float64, len(points))
+		cfgs := make([]engine.Config, len(points))
 		for i, p := range points {
-			r := mustRun(engine.Config{
+			cfgs[i] = engine.Config{
 				Framework:          fw,
 				System:             hw.SPRA100,
 				Model:              p.m,
 				Workload:           trace.Workload{Batch: p.b, InputLen: p.lin, OutputLen: 32},
 				AssumeHostCapacity: true,
-			})
+			}
+		}
+		vals := make([]float64, len(points))
+		for i, r := range runCells(cfgs) {
 			if r.OOM {
 				vals[i] = math.NaN()
 			} else {
@@ -149,14 +158,14 @@ func Figure13() (*report.Figure, *report.Figure) {
 	online := report.NewFigure("Figure 13 (left): OPT-175B online latency, LIA", "Lin", "s/query", ticks...)
 	online.Unit = "%.2f"
 	for _, sys := range []hw.System{hw.GNRA100, hw.SPRH100} {
-		vals := make([]float64, len(lins))
+		cfgs := make([]engine.Config, len(lins))
 		for i, lin := range lins {
-			vals[i] = latencyOrNaN(engine.Config{
+			cfgs[i] = engine.Config{
 				Framework: engine.LIA, System: sys, Model: model.OPT175B,
 				Workload: onlineWorkload(lin, 32), AssumeHostCapacity: true,
-			})
+			}
 		}
-		online.MustAdd(sys.Name, vals...)
+		online.MustAdd(sys.Name, latenciesOrNaN(cfgs)...)
 	}
 
 	type shape struct{ b, lin int }
@@ -168,15 +177,15 @@ func Figure13() (*report.Figure, *report.Figure) {
 	offline := report.NewFigure("Figure 13 (right): OPT-175B offline throughput, LIA", "shape", "tokens/s", sticks...)
 	offline.Unit = "%.1f"
 	for _, sys := range []hw.System{hw.GNRA100, hw.SPRH100} {
-		vals := make([]float64, len(shapes))
+		cfgs := make([]engine.Config, len(shapes))
 		for i, s := range shapes {
-			vals[i] = throughputOrNaN(engine.Config{
+			cfgs[i] = engine.Config{
 				Framework: engine.LIA, System: sys, Model: model.OPT175B,
 				Workload:           trace.Workload{Batch: s.b, InputLen: s.lin, OutputLen: 32},
 				AssumeHostCapacity: true,
-			})
+			}
 		}
-		offline.MustAdd(sys.Name, vals...)
+		offline.MustAdd(sys.Name, throughputsOrNaN(cfgs)...)
 	}
 	return online, offline
 }

@@ -22,7 +22,7 @@ func QuantizationStudy() *report.Table {
 		"Quantization study: LIA BF16 vs INT8 deployments on SPR-A100",
 		"model", "params BF16", "params INT8", "online s/query (BF16)", "online (INT8)",
 		"offline tok/s (BF16)", "offline (INT8)", "max B (BF16)", "max B (INT8)")
-	for _, m := range []model.Config{model.OPT30B, model.OPT66B, model.OPT175B} {
+	rows := mustMap([]model.Config{model.OPT30B, model.OPT66B, model.OPT175B}, func(m model.Config) []string {
 		int8 := m.Int8Variant()
 		online := trace.Workload{Batch: 1, InputLen: 512, OutputLen: 32}
 		offline := trace.Workload{Batch: 64, InputLen: 512, OutputLen: 32}
@@ -35,11 +35,14 @@ func QuantizationStudy() *report.Table {
 		maxB := func(mc model.Config) int {
 			return memplan.MaxBatch(hw.SPRA100, mc, 544, 16384, cxl.DDROnlyPlacement())
 		}
-		t.AddRow(m.Name,
+		return []string{m.Name,
 			m.ParamBytes().String(), int8.ParamBytes().String(),
 			fmt.Sprintf("%.2f", lat(m)), fmt.Sprintf("%.2f", lat(int8)),
 			fmt.Sprintf("%.1f", tput(m)), fmt.Sprintf("%.1f", tput(int8)),
-			fmt.Sprint(maxB(m)), fmt.Sprint(maxB(int8)))
+			fmt.Sprint(maxB(m)), fmt.Sprint(maxB(int8))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }

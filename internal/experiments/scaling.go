@@ -29,15 +29,21 @@ func MultiGPUScaling() *report.Table {
 		"GPUs", "online s/query", "online speedup", "offline tok/s", "offline speedup", "decode policy")
 	online := trace.Workload{Batch: 1, InputLen: 512, OutputLen: 32}
 	offline := trace.Workload{Batch: 64, InputLen: 512, OutputLen: 32}
-	var baseLat, baseTput float64
-	for _, n := range []int{1, 2, 4, 8} {
+	// Rows normalize against the n=1 baseline, so evaluate every cluster
+	// size in parallel first and assemble the table afterwards.
+	ns := []int{1, 2, 4, 8}
+	type pair struct{ on, off engine.Result }
+	pairs := mustMap(ns, func(n int) pair {
 		sys := gnrCluster(n)
-		on := mustRun(engine.Config{Framework: engine.LIA, System: sys, Model: model.OPT175B, Workload: online, AssumeHostCapacity: true})
-		off := mustRun(engine.Config{Framework: engine.LIA, System: sys, Model: model.OPT175B, Workload: offline, AssumeHostCapacity: true})
-		if n == 1 {
-			baseLat = float64(on.Latency)
-			baseTput = off.Throughput
+		return pair{
+			on:  mustRun(engine.Config{Framework: engine.LIA, System: sys, Model: model.OPT175B, Workload: online, AssumeHostCapacity: true}),
+			off: mustRun(engine.Config{Framework: engine.LIA, System: sys, Model: model.OPT175B, Workload: offline, AssumeHostCapacity: true}),
 		}
+	})
+	baseLat := float64(pairs[0].on.Latency)
+	baseTput := pairs[0].off.Throughput
+	for i, n := range ns {
+		on, off := pairs[i].on, pairs[i].off
 		t.AddRow(fmt.Sprint(n),
 			fmt.Sprintf("%.2f", float64(on.Latency)),
 			fmt.Sprintf("%.2fx", baseLat/float64(on.Latency)),

@@ -63,7 +63,7 @@ func Table3() *report.Table {
 		"Table 3: OPT-30B inference throughput with and without CXL parameter offloading (B=900, Lin=32, SPR-A100)",
 		"Lout", "LIA (tok/s)", "LIA w/ CXL (tok/s)", "offloaded %", "B w/ CXL", "LIA w/ CXL, larger B (tok/s)")
 
-	for _, lout := range []int{32, 64, 128, 256} {
+	rows := mustMap([]int{32, 64, 128, 256}, func(lout int) []string {
 		w := trace.Workload{Batch: b, InputLen: lin, OutputLen: lout}
 		base := mustRun(engine.Config{
 			Framework: engine.LIA, System: sys, Model: m, Workload: w, AssumeHostCapacity: true,
@@ -80,12 +80,15 @@ func Table3() *report.Table {
 			Workload:  trace.Workload{Batch: bigB, InputLen: lin, OutputLen: lout},
 			Placement: cxl.PolicyPlacement(), AssumeHostCapacity: true,
 		})
-		t.AddRow(fmt.Sprint(lout),
+		return []string{fmt.Sprint(lout),
 			fmt.Sprintf("%.2f", base.Throughput),
 			fmt.Sprintf("%.2f", withCXL.Throughput),
 			fmt.Sprintf("%.1f%%", 100*withCXL.HostPlan.OffloadedFraction),
 			fmt.Sprint(bigB),
-			fmt.Sprintf("%.2f", big.Throughput))
+			fmt.Sprintf("%.2f", big.Throughput)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -107,16 +110,23 @@ func Table4() *report.Table {
 		{"No Optimization-2", engine.Ablation{NoOpt2: true}},
 		{"w/ FlexGen's policy", engine.Ablation{ForcePolicy: &fgPolicy}},
 	}
+	bs := []int{1, 64, 900}
+	cfgs := make([]engine.Config, 0, len(settings)*len(bs))
 	for _, s := range settings {
-		row := []string{s.name}
-		for _, b := range []int{1, 64, 900} {
-			r := mustRun(engine.Config{
+		for _, b := range bs {
+			cfgs = append(cfgs, engine.Config{
 				Framework: engine.LIA, System: hw.SPRA100, Model: model.OPT30B,
 				Workload:           trace.Workload{Batch: b, InputLen: 256, OutputLen: 32},
 				Ablation:           s.ab,
 				AssumeHostCapacity: true,
 			})
-			row = append(row, fmt.Sprintf("%.2f", float64(r.Latency)))
+		}
+	}
+	results := runCells(cfgs)
+	for si, s := range settings {
+		row := []string{s.name}
+		for bi := range bs {
+			row = append(row, fmt.Sprintf("%.2f", float64(results[si*len(bs)+bi].Latency)))
 		}
 		t.AddRow(row...)
 	}
@@ -131,7 +141,7 @@ func Table5() *report.Table {
 	t := report.NewTable(
 		"Table 5: runtime breakdown (s), OPT-30B, Lin=256, Lout=32, SPR-A100, overlap off",
 		"B", "LIA CPU", "LIA GPU", "LIA Com.", "IPEX CPU", "FlexGen CPU", "FlexGen GPU", "FlexGen Com.")
-	for _, b := range []int{1, 64, 900} {
+	rows := mustMap([]int{1, 64, 900}, func(b int) []string {
 		w := trace.Workload{Batch: b, InputLen: 256, OutputLen: 32}
 		lia := mustRun(engine.Config{
 			Framework: engine.LIA, System: hw.SPRA100, Model: model.OPT30B, Workload: w,
@@ -145,14 +155,17 @@ func Table5() *report.Table {
 			Framework: engine.FlexGen, System: hw.SPRA100, Model: model.OPT30B, Workload: w,
 			AssumeHostCapacity: true,
 		})
-		t.AddRow(fmt.Sprint(b),
+		return []string{fmt.Sprint(b),
 			fmt.Sprintf("%.2f", float64(lia.Breakdown.CPU)),
 			fmt.Sprintf("%.2f", float64(lia.Breakdown.GPU)),
 			fmt.Sprintf("%.2f", float64(lia.Breakdown.Comm)),
 			fmt.Sprintf("%.2f", float64(ipex.Breakdown.CPU)),
 			fmt.Sprintf("%.2f", float64(fg.Breakdown.CPU)),
 			fmt.Sprintf("%.2f", float64(fg.Breakdown.GPU)),
-			fmt.Sprintf("%.2f", float64(fg.Breakdown.Comm)))
+			fmt.Sprintf("%.2f", float64(fg.Breakdown.Comm))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -188,9 +201,15 @@ func table6Range(sys hw.System, m model.Config, base engine.Framework, online bo
 			}
 		}
 	}
+	cfgs := make([]engine.Config, 0, 2*len(shapes))
 	for _, w := range shapes {
-		lia := mustRun(engine.Config{Framework: engine.LIA, System: sys, Model: m, Workload: w, AssumeHostCapacity: true})
-		other := mustRun(engine.Config{Framework: base, System: sys, Model: m, Workload: w, AssumeHostCapacity: true})
+		cfgs = append(cfgs,
+			engine.Config{Framework: engine.LIA, System: sys, Model: m, Workload: w, AssumeHostCapacity: true},
+			engine.Config{Framework: base, System: sys, Model: m, Workload: w, AssumeHostCapacity: true})
+	}
+	results := runCells(cfgs)
+	for i := 0; i < len(results); i += 2 {
+		lia, other := results[i], results[i+1]
 		if lia.OOM || other.OOM {
 			continue
 		}
@@ -214,11 +233,15 @@ func Table6() *report.Table {
 		online bool
 	}{{"Online", true}, {"Offline", false}} {
 		for _, base := range []engine.Framework{engine.IPEX, engine.FlexGen} {
-			t.AddRow(sc.name, base.String(),
-				table6Range(hw.GNRA100, model.OPT30B, base, sc.online),
-				table6Range(hw.GNRA100, model.OPT175B, base, sc.online),
-				table6Range(hw.GNRH100, model.OPT66B, base, sc.online),
-				table6Range(hw.GNRH100, model.OPT175B, base, sc.online))
+			cols := mustMap([]evalPoint{
+				{hw.GNRA100, model.OPT30B},
+				{hw.GNRA100, model.OPT175B},
+				{hw.GNRH100, model.OPT66B},
+				{hw.GNRH100, model.OPT175B},
+			}, func(pt evalPoint) string {
+				return table6Range(pt.sys, pt.m, base, sc.online)
+			})
+			t.AddRow(append([]string{sc.name, base.String()}, cols...)...)
 		}
 	}
 	return t

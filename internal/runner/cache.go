@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache is a concurrency-safe memoization cache with single-flight
+// semantics: the first Do call for a key computes the value while
+// concurrent callers with the same key block until that computation
+// finishes and then share its result (value or error) — an expensive
+// cell is computed exactly once no matter how many workers request it.
+//
+// The zero value is ready to use. Keys must be comparable and must
+// capture every input the computation depends on; see DESIGN.md for the
+// keying of the engine and optimizer caches built on top of this.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the cached value for key, computing it with fn on the
+// first call. Errors are cached alongside values: a failed computation
+// is not retried (experiment configs are static — an error is a bug,
+// not a transient).
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*cacheEntry[V])
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	// Compute outside the lock so unrelated keys proceed concurrently.
+	// A panicking fn must still close done, or waiters deadlock.
+	finished := false
+	defer func() {
+		if !finished {
+			e.err = fmt.Errorf("runner: cache computation panicked")
+			close(e.done)
+		}
+	}()
+	e.val, e.err = fn()
+	finished = true
+	close(e.done)
+	return e.val, e.err
+}
+
+// Len returns the number of cached keys (in-flight entries included).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every cached entry. In-flight computations still complete
+// and serve their current waiters, but later Do calls recompute.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = nil
+}

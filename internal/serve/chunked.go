@@ -7,7 +7,6 @@ import (
 	"github.com/lia-sim/lia/internal/core"
 	"github.com/lia-sim/lia/internal/exec"
 	"github.com/lia-sim/lia/internal/memplan"
-	"github.com/lia-sim/lia/internal/model"
 	"github.com/lia-sim/lia/internal/units"
 )
 
@@ -56,29 +55,10 @@ func SimulateChunked(cfg Config, reqs []Request, chunk int) (Metrics, error) {
 
 	// Iteration cost: a decode-shaped pass whose row count is the decode
 	// batch plus the piggybacked prompt tokens (that is what a chunked
-	// iteration's kernel shapes look like).
-	type costKey struct{ rows, lBucket int }
-	costCache := make(map[costKey]units.Seconds)
-	policyCache := make(map[int]core.Policy)
+	// iteration's kernel shapes look like). Costs come from the shared
+	// step cache (stepcost.go), keyed by (plan, rows, context bucket).
 	iterCost := func(rows, l int) (units.Seconds, error) {
-		const bucket = 64
-		key := costKey{rows, l / bucket}
-		if c, ok := costCache[key]; ok {
-			return c, nil
-		}
-		pol, ok := policyCache[rows]
-		if !ok {
-			pol, _ = core.OptimizeOpts(env, model.Decode, rows, l, opt)
-			policyCache[rows] = pol
-		}
-		p := basePlan
-		p.Policy = pol
-		res, err := p.RunStage(model.Decode, rows, l)
-		if err != nil {
-			return 0, err
-		}
-		costCache[key] = res.Latency
-		return res.Latency, nil
+		return decodeStepCost(basePlan, rows, l)
 	}
 
 	type seq struct {
@@ -99,17 +79,11 @@ func SimulateChunked(cfg Config, reqs []Request, chunk int) (Metrics, error) {
 	for next < len(reqs) || len(active) > 0 {
 		// Admit arrivals up to the batch cap; no prefill stall — they
 		// start chunking on the next iteration.
-		admittedNow := 0
 		for next < len(reqs) && len(active) < cfg.MaxBatch && reqs[next].Arrival <= clock {
 			r := reqs[next]
 			active = append(active, &seq{req: r, remaining: r.OutputLen})
 			queueing = append(queueing, clock-r.Arrival)
 			next++
-			admittedNow++
-		}
-		if admittedNow > 0 {
-			m.Batches++
-			m.MeanBatchSize += float64(admittedNow)
 		}
 		if len(active) == 0 {
 			clock = reqs[next].Arrival
@@ -134,21 +108,22 @@ func SimulateChunked(cfg Config, reqs []Request, chunk int) (Metrics, error) {
 			}
 			ctxN++
 		}
-		meanCtx := 256
-		if ctxN > 0 {
-			total := ctxSum
-			for _, s := range active {
-				if s.prefilled < s.req.InputLen {
-					total += s.prefilled
-				}
+		// len(active) > 0 here, so ctxN > 0 — no fallback default needed
+		// (an earlier version carried a dead `meanCtx = 256` arm).
+		total := ctxSum
+		for _, s := range active {
+			if s.prefilled < s.req.InputLen {
+				total += s.prefilled
 			}
-			meanCtx = total/ctxN + 1
 		}
+		meanCtx := total/ctxN + 1
 		c, err := iterCost(rows, meanCtx)
 		if err != nil {
 			return Metrics{}, err
 		}
 		clock += c
+		m.Batches++ // each scheduler iteration is one executed batch
+		m.MeanBatchSize += float64(len(active))
 
 		// Advance: prefills consume their chunk share; decoders emit one
 		// token each.

@@ -12,6 +12,46 @@ import (
 	"github.com/lia-sim/lia/internal/units"
 )
 
+// sequence is one admitted request's in-flight state in the continuous
+// scheduler. Sequences append to the running batch in admission order,
+// so the slice's last element is always the youngest.
+type sequence struct {
+	id        int
+	req       Request
+	context   int // tokens in the KV cache
+	remaining int // output tokens still to produce
+	started   units.Seconds
+}
+
+// extendRunning grows every running sequence's KV cache by one token
+// slot ahead of a decode iteration. When the pool cannot supply a block,
+// the youngest sequence is preempted — its blocks released and its
+// request returned in evicted for full recomputation — and the
+// allocation retries, repeating until the extension fits. If the victim
+// is the very sequence being extended (it was both the youngest and the
+// one that failed), extension stops there: everything before it already
+// holds its new block. Errors when even a one-sequence batch cannot
+// extend, since preempting the only member would make no progress.
+func extendRunning(pool *kvpage.Manager, running []sequence, budget units.Bytes) (kept []sequence, evicted []Request, err error) {
+	for i := 0; i < len(running); i++ {
+		for pool.Extend(running[i].id) != nil {
+			if len(running) <= 1 {
+				return nil, nil, fmt.Errorf("serve: KV budget %v cannot hold even one sequence", budget)
+			}
+			last := running[len(running)-1]
+			running = running[:len(running)-1]
+			if err := pool.Release(last.id); err != nil {
+				return nil, nil, err
+			}
+			evicted = append(evicted, last.req)
+			if i >= len(running) {
+				return running, evicted, nil
+			}
+		}
+	}
+	return running, evicted, nil
+}
+
 // SimulateContinuous runs an iteration-level (Orca-style continuous
 // batching) scheduler over the request stream: at every decode iteration
 // the running batch admits newly-arrived requests (after a batched
@@ -49,43 +89,22 @@ func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
 		MiniBatches:  1,
 	}
 
-	// Per-iteration decode costs are cached by (batch size, context
-	// bucket) — policies and costs change slowly along both axes.
-	type costKey struct{ b, lBucket int }
-	decodeCost := make(map[costKey]units.Seconds)
-	decodePolicy := make(map[int]core.Policy)
+	// Per-iteration costs come from the process-wide step cache
+	// (stepcost.go): decode policies and costs are shared by context
+	// bucket, prefill costs by exact shape. Both are pure functions of
+	// the plan and shape, so runs of the same configuration — including
+	// concurrent ones on the runner pool — share the work.
 	stepCost := func(b, l int) (units.Seconds, error) {
-		const bucket = 64
-		key := costKey{b, l / bucket}
-		if c, ok := decodeCost[key]; ok {
-			return c, nil
-		}
-		pol, ok := decodePolicy[b]
-		if !ok {
-			pol, _ = core.OptimizeOpts(env, model.Decode, b, l, opt)
-			decodePolicy[b] = pol
-		}
-		p := basePlan
-		p.Policy = pol
-		res, err := p.RunStage(model.Decode, b, l)
-		if err != nil {
-			return 0, err
-		}
-		decodeCost[key] = res.Latency
-		return res.Latency, nil
+		return decodeStepCost(basePlan, b, l)
 	}
 	prefillCost := func(b, l int) (units.Seconds, error) {
-		pol, _ := core.OptimizeOpts(env, model.Prefill, b, l, opt)
+		pol, _ := core.OptimizeOptsCached(env, model.Prefill, b, l, opt)
 		p := basePlan
 		p.Policy = pol
 		if b > 1 {
 			p.MiniBatches = 2
 		}
-		res, err := p.RunStage(model.Prefill, b, l)
-		if err != nil {
-			return 0, err
-		}
-		return res.Latency, nil
+		return stageCost(p, model.Prefill, b, l)
 	}
 
 	// Optional paged KV-cache pool (vLLM-style): admissions and per-token
@@ -104,39 +123,16 @@ func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
 		}
 	}
 
-	type active struct {
-		id        int
-		req       Request
-		context   int // tokens in the KV cache
-		remaining int // output tokens still to produce
-		started   units.Seconds
-	}
 	var (
 		m         Metrics
 		clock     units.Seconds
-		running   []active
+		running   []sequence
 		requeued  []Request // preempted work, served before new arrivals
 		next      int
 		latencies []units.Seconds
 		queueing  []units.Seconds
 		nextID    int
 	)
-
-	// preemptYoungest evicts the most recently admitted sequence, freeing
-	// its blocks and requeueing its request for full recomputation.
-	preemptYoungest := func() error {
-		if len(running) <= 1 {
-			return fmt.Errorf("serve: KV budget %v cannot hold even one sequence", cfg.KVBudget)
-		}
-		last := running[len(running)-1]
-		running = running[:len(running)-1]
-		if err := pool.Release(last.id); err != nil {
-			return err
-		}
-		requeued = append(requeued, last.req)
-		m.Preemptions++
-		return nil
-	}
 
 	for next < len(reqs) || len(running) > 0 || len(requeued) > 0 {
 		// Admit requeued work first, then arrived requests, while the
@@ -188,31 +184,23 @@ func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
 				return Metrics{}, err
 			}
 			clock += c
-			m.Batches++ // count prefill launches as batches formed
+			m.Batches++ // each prefill launch is one executed batch
 			m.MeanBatchSize += float64(len(admit))
 			for _, a := range admit {
-				running = append(running, active{id: a.id, req: a.req, context: a.req.InputLen, remaining: a.req.OutputLen, started: clock})
+				running = append(running, sequence{id: a.id, req: a.req, context: a.req.InputLen, remaining: a.req.OutputLen, started: clock})
 				queueing = append(queueing, clock-a.req.Arrival)
 			}
 			continue // check for more arrivals before decoding
 		}
 
-		// Grow every running sequence's cache by one token, preempting
-		// the youngest until the allocations fit.
 		if pool != nil {
-			for i := 0; i < len(running); i++ {
-				for pool.Extend(running[i].id) != nil {
-					if err := preemptYoungest(); err != nil {
-						return Metrics{}, err
-					}
-					if i >= len(running) {
-						break
-					}
-				}
-				if i >= len(running) {
-					break
-				}
+			kept, evicted, err := extendRunning(pool, running, cfg.KVBudget)
+			if err != nil {
+				return Metrics{}, err
 			}
+			running = kept
+			requeued = append(requeued, evicted...)
+			m.Preemptions += len(evicted)
 		}
 
 		// One decode iteration across the running batch.
@@ -225,6 +213,8 @@ func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
 			return Metrics{}, err
 		}
 		clock += c
+		m.Batches++ // each decode iteration is one executed batch
+		m.MeanBatchSize += float64(len(running))
 		kept := running[:0]
 		for _, a := range running {
 			a.context++
@@ -245,6 +235,13 @@ func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
 		if clock > m.Makespan {
 			m.Makespan = clock
 		}
+	}
+
+	// Pool-accounting invariant: every admitted sequence completed and
+	// released its blocks, so the pool must be back to fully free.
+	if pool != nil && (pool.Live() != 0 || pool.FreeBlocks() != pool.TotalBlocks()) {
+		return Metrics{}, fmt.Errorf("serve: internal error: %d sequences / %d blocks leaked from the KV pool",
+			pool.Live(), pool.TotalBlocks()-pool.FreeBlocks())
 	}
 
 	m.Completed = len(latencies)

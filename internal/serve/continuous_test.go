@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/lia-sim/lia/internal/kvpage"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// testPool builds a pool of exactly `blocks` blocks of 4 token slots each
+// (1 byte per token keeps the budget arithmetic trivial).
+func testPool(t *testing.T, blocks int) *kvpage.Manager {
+	t.Helper()
+	pool, err := kvpage.NewManager(units.Bytes(blocks*4), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.TotalBlocks() != blocks {
+		t.Fatalf("pool sized %d blocks, want %d", pool.TotalBlocks(), blocks)
+	}
+	return pool
+}
+
+// admitSeq admits a sequence into the pool and returns its running-batch
+// entry.
+func admitSeq(t *testing.T, pool *kvpage.Manager, id, tokens int) sequence {
+	t.Helper()
+	if err := pool.Admit(id, tokens); err != nil {
+		t.Fatal(err)
+	}
+	return sequence{id: id, req: Request{}, context: tokens}
+}
+
+// checkPoolInvariant asserts the allocator's books balance: blocks held
+// by the kept sequences plus the free list must partition the pool.
+func checkPoolInvariant(t *testing.T, pool *kvpage.Manager, kept []sequence) {
+	t.Helper()
+	if pool.Live() != len(kept) {
+		t.Errorf("pool holds %d live sequences, batch has %d", pool.Live(), len(kept))
+	}
+	used := 0
+	for _, s := range kept {
+		// blocksFor(tokens) with 4-token blocks.
+		used += (pool.Tokens(s.id) + 3) / 4
+	}
+	if got := pool.TotalBlocks() - pool.FreeBlocks(); got != used {
+		t.Errorf("%d blocks allocated, kept sequences account for %d — blocks leaked", got, used)
+	}
+}
+
+// TestExtendRunningSelfPreemption: the regression the extraction guards.
+// When the youngest sequence is itself the one that cannot extend, the
+// preemption loop must evict it and stop — the old inline loop's
+// `i >= len(running)` guards kept it from walking past the shrunken
+// batch or re-extending the evicted victim.
+func TestExtendRunningSelfPreemption(t *testing.T) {
+	pool := testPool(t, 3)
+	running := []sequence{
+		admitSeq(t, pool, 0, 3), // 1 block; extending to 4 tokens needs no new block
+		admitSeq(t, pool, 1, 3), // 1 block, likewise
+		admitSeq(t, pool, 2, 4), // 1 full block; extending demands a new one
+	}
+	if pool.FreeBlocks() != 0 {
+		t.Fatalf("setup: want a full pool, %d blocks free", pool.FreeBlocks())
+	}
+	kept, evicted, err := extendRunning(pool, running, units.Bytes(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence 2 was both the youngest and the one out of room: it must
+	// be the (only) eviction, and 0 and 1 must survive extended.
+	if len(kept) != 2 || kept[0].id != 0 || kept[1].id != 1 {
+		t.Fatalf("kept %+v, want sequences 0 and 1", kept)
+	}
+	if len(evicted) != 1 {
+		t.Fatalf("evicted %d sequences, want 1 (the youngest)", len(evicted))
+	}
+	if pool.Tokens(0) != 4 || pool.Tokens(1) != 4 {
+		t.Errorf("survivors hold %d and %d tokens, want 4 and 4", pool.Tokens(0), pool.Tokens(1))
+	}
+	checkPoolInvariant(t, pool, kept)
+}
+
+// TestExtendRunningPreemptsYoungestForOldest: when an older sequence
+// needs a block, the youngest is the victim and the older retries until
+// its extension fits.
+func TestExtendRunningPreemptsYoungestForOldest(t *testing.T) {
+	pool := testPool(t, 4)
+	running := []sequence{
+		admitSeq(t, pool, 0, 4), // full block: extension allocates
+		admitSeq(t, pool, 1, 4), // full block: extension allocates
+		admitSeq(t, pool, 2, 8), // 2 blocks — the eviction candidate
+	}
+	if pool.FreeBlocks() != 0 {
+		t.Fatalf("setup: want a full pool, %d blocks free", pool.FreeBlocks())
+	}
+	kept, evicted, err := extendRunning(pool, running, units.Bytes(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 || kept[0].id != 0 || kept[1].id != 1 {
+		t.Fatalf("kept %+v, want sequences 0 and 1", kept)
+	}
+	if len(evicted) != 1 {
+		t.Fatalf("evicted %d, want 1", len(evicted))
+	}
+	if pool.Tokens(0) != 5 || pool.Tokens(1) != 5 {
+		t.Errorf("survivors hold %d and %d tokens, want 5 and 5", pool.Tokens(0), pool.Tokens(1))
+	}
+	checkPoolInvariant(t, pool, kept)
+}
+
+// TestExtendRunningSoleSequenceErrors: preempting the only member of the
+// batch would make no progress, so a one-sequence batch that cannot
+// extend is a hard error.
+func TestExtendRunningSoleSequenceErrors(t *testing.T) {
+	pool := testPool(t, 1)
+	running := []sequence{admitSeq(t, pool, 0, 4)}
+	if _, _, err := extendRunning(pool, running, units.Bytes(4)); err == nil {
+		t.Fatal("expected an error extending a sole sequence in a full pool")
+	}
+}
+
+// TestExtendRunningNoPressure: with free blocks available nothing is
+// evicted and every sequence grows by one token.
+func TestExtendRunningNoPressure(t *testing.T) {
+	pool := testPool(t, 8)
+	running := []sequence{
+		admitSeq(t, pool, 0, 4),
+		admitSeq(t, pool, 1, 2),
+	}
+	kept, evicted, err := extendRunning(pool, running, units.Bytes(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 || len(evicted) != 0 {
+		t.Fatalf("kept %d evicted %d, want 2 and 0", len(kept), len(evicted))
+	}
+	if pool.Tokens(0) != 5 || pool.Tokens(1) != 3 {
+		t.Errorf("tokens %d and %d, want 5 and 3", pool.Tokens(0), pool.Tokens(1))
+	}
+	checkPoolInvariant(t, pool, kept)
+}

@@ -98,8 +98,16 @@ type Metrics struct {
 	// MeanQueueing is the average time spent waiting before a batch
 	// started.
 	MeanQueueing units.Seconds
-	// Batches counts formed batches; MeanBatchSize is their average
-	// occupancy.
+	// Batches counts executed batches and MeanBatchSize is their mean
+	// sequence occupancy, with one shared definition across all three
+	// simulators: Simulate counts each formed batch once; the
+	// iteration-level simulators count every executed scheduler step —
+	// each prefill launch and each decode iteration in
+	// SimulateContinuous, and each chunked iteration in SimulateChunked —
+	// weighted by the sequences it carried. Under that definition a
+	// long-running decode batch contributes its occupancy every
+	// iteration, so MeanBatchSize reflects sustained device-side batch
+	// utilization rather than admission burst sizes.
 	Batches       int
 	MeanBatchSize float64
 	// Preemptions counts sequences evicted and recomputed because the

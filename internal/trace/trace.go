@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -72,18 +73,22 @@ func NewGenerator(kind Kind, minIn, maxIn int, seed int64) (*Generator, error) {
 }
 
 // Next returns the next request. Output lengths follow a geometric
-// distribution with the family mean, truncated to at least one token —
-// a heavy-ish tail like real conversation traces.
+// distribution on {1, 2, ...} with the family mean (success probability
+// p = 1/mean) — a heavy-ish tail like real conversation traces.
+//
+// The draw is closed-form inverse-CDF sampling, X = 1 + ⌊ln(1−U)/ln(1−p)⌋
+// with U ∈ [0, 1), so 1−U ∈ (0, 1] keeps the logarithm finite and U=0
+// lands on the minimum of one token. E[X] = 1/p = mean exactly. The
+// previous per-trial Bernoulli loop cost O(mean) RNG draws per request
+// and silently truncated the tail at 8×mean, biasing the sample mean
+// low; this form is O(1) and untruncated, and consumes exactly one
+// uniform variate so per-seed request streams stay deterministic.
 func (g *Generator) Next() Request {
 	g.produced++
 	in := g.minIn + g.rng.Intn(g.maxIn-g.minIn+1)
-	mean := float64(g.kind.MeanOutput())
-	out := 1
-	// Geometric with success probability 1/mean.
-	p := 1 / mean
-	for g.rng.Float64() > p && out < 8*int(mean) {
-		out++
-	}
+	p := 1 / float64(g.kind.MeanOutput())
+	u := g.rng.Float64()
+	out := 1 + int(math.Log(1-u)/math.Log(1-p))
 	return Request{ID: g.produced, InputLen: in, OutputLen: out}
 }
 

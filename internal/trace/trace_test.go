@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"testing"
 )
 
@@ -57,8 +58,58 @@ func TestOutputLengthsMatchTraceFamily(t *testing.T) {
 		}
 		mean := float64(sum) / float64(len(reqs))
 		want := float64(k.MeanOutput())
-		if mean < 0.85*want || mean > 1.15*want {
+		// Closed-form sampling has E[X] = mean exactly; the geometric's
+		// std ≈ mean, so over 4000 samples the sample mean sits within
+		// ±6% (≈4 standard errors) — much tighter than the ±15% the old
+		// truncated Bernoulli loop needed.
+		if mean < 0.94*want || mean > 1.06*want {
 			t.Errorf("%s mean output = %v, want ≈%v", k, mean, want)
+		}
+	}
+}
+
+// TestOutputLengthsGeometricMoments checks the inverse-CDF sampler
+// against the geometric family's first two moments: mean 1/p and
+// standard deviation √(1−p)/p, over a large sample so the tolerances
+// stay several standard errors wide.
+func TestOutputLengthsGeometricMoments(t *testing.T) {
+	for _, k := range []Kind{Code, Conversation} {
+		g, _ := NewGenerator(k, 32, 2048, 11)
+		const n = 20000
+		reqs := g.Batch(n)
+		var sum float64
+		for _, r := range reqs {
+			sum += float64(r.OutputLen)
+		}
+		mean := sum / n
+		var ss float64
+		for _, r := range reqs {
+			d := float64(r.OutputLen) - mean
+			ss += d * d
+		}
+		std := math.Sqrt(ss / n)
+
+		m := float64(k.MeanOutput())
+		p := 1 / m
+		wantStd := math.Sqrt(1-p) / p
+		if mean < 0.97*m || mean > 1.03*m {
+			t.Errorf("%s sample mean %.2f, want %.2f ±3%%", k, mean, m)
+		}
+		if std < 0.90*wantStd || std > 1.10*wantStd {
+			t.Errorf("%s sample std %.2f, want %.2f ±10%%", k, std, wantStd)
+		}
+		// The untruncated tail must actually be exercised: with 20000
+		// draws, P(max ≤ 4×mean) = (1−e⁻⁴)^20000 ≈ e⁻³⁶⁶ — the old
+		// 8×mean cutoff made long generations impossible, this sampler
+		// must not.
+		var maxOut int
+		for _, r := range reqs {
+			if r.OutputLen > maxOut {
+				maxOut = r.OutputLen
+			}
+		}
+		if maxOut <= 4*k.MeanOutput() {
+			t.Errorf("%s max output %d never exceeded 4×mean — tail looks truncated", k, maxOut)
 		}
 	}
 }
