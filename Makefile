@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-functional
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the runner pool and shared caches are
@@ -20,4 +20,11 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ .
+
+# bench-functional runs the allocation-sensitive micro-benchmarks the
+# BENCH_functional.json baseline records (decode step, packed vs legacy
+# AMX matmul, parallel batch generation).
+bench-functional:
+	$(GO) test -bench='BenchmarkFunctionalDecodeStep|BenchmarkAMXMatmul|BenchmarkFunctionalGenerateBatch' \
+		-benchmem -benchtime=2s -run=^$$ .

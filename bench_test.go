@@ -201,6 +201,79 @@ func BenchmarkAMXMatmul(b *testing.B) {
 	}
 }
 
+// BenchmarkAMXMatmulPacked measures the same 128³ GEMM with the
+// right-hand operand prepacked once — the steady-state weight path the
+// functional executor runs.
+func BenchmarkAMXMatmulPacked(b *testing.B) {
+	const n = 128
+	a := make([]float32, n*n)
+	bb := make([]float32, n*n)
+	for i := range a {
+		a[i] = float32(i%7) - 3
+		bb[i] = float32(i%5) - 2
+	}
+	pre, err := amx.PrepackBF16(bb, n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(3 * n * n * 4))
+	for i := 0; i < b.N; i++ {
+		c, _, err := amx.MatmulBF16Packed(a, n, pre)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = c
+	}
+}
+
+// BenchmarkAMXMatmulINT8Packed is the TDPBUSD mirror of
+// BenchmarkAMXMatmulPacked.
+func BenchmarkAMXMatmulINT8Packed(b *testing.B) {
+	const n = 128
+	a := make([]uint8, n*n)
+	bb := make([]int8, n*n)
+	for i := range a {
+		a[i] = uint8(i)
+		bb[i] = int8(i % 127)
+	}
+	pre, err := amx.PrepackINT8(bb, n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(2*n*n + n*n*4))
+	for i := 0; i < b.N; i++ {
+		c, _, err := amx.MatmulINT8Packed(a, n, pre)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = c
+	}
+}
+
+// BenchmarkFunctionalGenerateBatch measures an 8-sequence batch decoded
+// in parallel on the runner pool with shared packed-weight caches.
+func BenchmarkFunctionalGenerateBatch(b *testing.B) {
+	m, err := lia.NewFunctionalModel(lia.TinyModelConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe := lia.NewFunctionalExecutor(m, lia.PartialCPU)
+	prompts := make([][]int, 8)
+	for i := range prompts {
+		prompts[i] = []int{1 + i, 2 + i, 3 + i}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := exe.GenerateBatch(prompts, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = out
+	}
+}
+
 // BenchmarkFunctionalDecodeStep measures one decode step of the tiny
 // functional transformer under the partial-offload policy.
 func BenchmarkFunctionalDecodeStep(b *testing.B) {

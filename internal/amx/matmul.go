@@ -2,8 +2,6 @@ package amx
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // Tile-blocking geometry for BF16 matmul: each TDPBF16PS consumes a
@@ -34,15 +32,24 @@ var matmulConfig = TileConfig{Tiles: [NumTiles]TileShape{
 // row-major bf16 byte buffer padded to padRows × padCols values.
 func PackBF16(src []float32, rows, cols, padRows, padCols int) []byte {
 	out := make([]byte, padRows*padCols*2)
+	packBF16Into(out, src, rows, cols, padRows, padCols)
+	return out
+}
+
+// packBF16Into writes the padded bf16 image of src into dst, overwriting
+// every byte (dst may carry stale data from a previous use).
+func packBF16Into(dst []byte, src []float32, rows, cols, padRows, padCols int) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			v := BF16FromFloat32(src[r*cols+c])
 			off := (r*padCols + c) * 2
-			out[off] = byte(v)
-			out[off+1] = byte(v >> 8)
+			dst[off] = byte(v)
+			dst[off+1] = byte(v >> 8)
 		}
 	}
-	return out
 }
 
 // PackBF16VNNI converts a row-major float32 matrix (rows × cols) into the
@@ -55,6 +62,13 @@ func PackBF16VNNI(src []float32, rows, cols, padRows, padCols int) []byte {
 		panic(fmt.Sprintf("amx: VNNI padRows %d must be even", padRows))
 	}
 	out := make([]byte, padRows*padCols*2)
+	packBF16VNNIInto(out, src, rows, cols, padRows, padCols)
+	return out
+}
+
+// packBF16VNNIInto writes the VNNI image of src into dst, overwriting
+// every byte.
+func packBF16VNNIInto(dst []byte, src []float32, rows, cols, padRows, padCols int) {
 	at := func(r, c int) BF16 {
 		if r >= rows || c >= cols {
 			return 0
@@ -66,16 +80,42 @@ func PackBF16VNNI(src []float32, rows, cols, padRows, padCols int) []byte {
 			v0 := at(2*pr, c)
 			v1 := at(2*pr+1, c)
 			off := (pr*padCols + c) * 4
-			out[off] = byte(v0)
-			out[off+1] = byte(v0 >> 8)
-			out[off+2] = byte(v1)
-			out[off+3] = byte(v1 >> 8)
+			dst[off] = byte(v0)
+			dst[off+1] = byte(v0 >> 8)
+			dst[off+2] = byte(v1)
+			dst[off+3] = byte(v1 >> 8)
 		}
 	}
-	return out
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Prepacked is a right-hand BF16 GEMM operand converted once into the
+// VNNI tile layout. Building it is the per-weight cost LIA's §5 kernels
+// amortize: every MatmulBF16Packed call afterwards streams activations
+// through the same immutable image, so the steady state never re-packs.
+// Packing is layout-only — the stored values are the same bf16 roundings
+// MatmulBF16 produces per call, so results are bit-identical.
+type Prepacked struct {
+	// K and N are the logical dimensions of the packed matrix.
+	K, N       int
+	padK, padN int
+	vnni       []byte
+}
+
+// PrepackBF16 packs a row-major float32 matrix (k × n) for reuse as the
+// right-hand operand of MatmulBF16Packed.
+func PrepackBF16(b []float32, k, n int) (*Prepacked, error) {
+	if len(b) != k*n {
+		return nil, fmt.Errorf("amx: prepack operand size %d does not match %dx%d", len(b), k, n)
+	}
+	if k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("amx: prepack dimensions must be positive, got %dx%d", k, n)
+	}
+	padK := ceilDiv(k, blockK) * blockK
+	padN := ceilDiv(n, blockN) * blockN
+	return &Prepacked{K: k, N: n, padK: padK, padN: padN, vnni: PackBF16VNNI(b, k, n, padK, padN)}, nil
+}
 
 // MatmulBF16 computes C = A·B through the emulated AMX tile pipeline:
 // A is M×K, B is K×N, both row-major float32; inputs are rounded to
@@ -83,8 +123,8 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // matching TDPBF16PS semantics exactly. It returns the M×N row-major
 // result and the total AMX cycles consumed.
 //
-// The driver parallelizes across row blocks with one emulated Unit per
-// worker, mirroring how a real kernel gives each core its own tile file.
+// B is packed into VNNI layout on every call; when B is a static weight,
+// prepack it once with PrepackBF16 and use MatmulBF16Packed instead.
 func MatmulBF16(a, b []float32, m, k, n int) ([]float32, uint64, error) {
 	if len(a) != m*k || len(b) != k*n {
 		return nil, 0, fmt.Errorf("amx: matmul operand sizes %d,%d do not match %dx%d · %dx%d", len(a), len(b), m, k, m, n)
@@ -92,72 +132,68 @@ func MatmulBF16(a, b []float32, m, k, n int) ([]float32, uint64, error) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return nil, 0, fmt.Errorf("amx: matmul dimensions must be positive, got %dx%dx%d", m, k, n)
 	}
-	padM := ceilDiv(m, blockM) * blockM
 	padK := ceilDiv(k, blockK) * blockK
 	padN := ceilDiv(n, blockN) * blockN
+	bScratch := getScratch(padK * padN * 2)
+	defer putScratch(bScratch)
+	packBF16VNNIInto(*bScratch, b, k, n, padK, padN)
+	w := Prepacked{K: k, N: n, padK: padK, padN: padN, vnni: *bScratch}
+	return matmulBF16Driver(a, m, &w)
+}
 
-	packedA := PackBF16(a, m, k, padM, padK)
-	packedB := PackBF16VNNI(b, k, n, padK, padN)
+// MatmulBF16Packed computes C = A·W for a prepacked right-hand operand,
+// skipping the per-call VNNI conversion. A is M×K row-major float32; the
+// result and cycle accounting match MatmulBF16(a, w, m, k, n) bit for bit.
+func MatmulBF16Packed(a []float32, m int, w *Prepacked) ([]float32, uint64, error) {
+	if w == nil {
+		return nil, 0, fmt.Errorf("amx: nil prepacked operand")
+	}
+	if len(a) != m*w.K {
+		return nil, 0, fmt.Errorf("amx: matmul operand size %d does not match %dx%d", len(a), m, w.K)
+	}
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("amx: matmul rows must be positive, got %d", m)
+	}
+	return matmulBF16Driver(a, m, w)
+}
 
-	c := make([]float32, m*n)
+// matmulBF16Driver packs A into pooled scratch and dispatches row blocks
+// onto the persistent worker pool (single-block products run inline on
+// the caller).
+func matmulBF16Driver(a []float32, m int, w *Prepacked) ([]float32, uint64, error) {
+	padM := ceilDiv(m, blockM) * blockM
+	aScratch := getScratch(padM * w.padK * 2)
+	defer putScratch(aScratch)
+	packedA := *aScratch
+	packBF16Into(packedA, a, m, w.K, padM, w.padK)
+
+	c := make([]float32, m*w.N)
 	rowBlocks := padM / blockM
-	colBlocks := padN / blockN
-	kBlocks := padK / blockK
+	colBlocks := w.padN / blockN
+	kBlocks := w.padK / blockK
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rowBlocks {
-		workers = rowBlocks
-	}
-	if workers < 1 {
-		workers = 1
+	if rowBlocks == 1 {
+		// Decode-shaped fast path, closure-free.
+		caller := callerUnits.Get().(*pooledUnit)
+		defer callerUnits.Put(caller)
+		start := caller.u.Cycles()
+		err := caller.ensure(matmulConfig)
+		if err == nil {
+			err = runRowBlock(caller.u, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, caller.cTile[:blockM*blockN*4], c, m, w.N)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return c, caller.u.Cycles() - start, nil
 	}
 
-	var (
-		wg          sync.WaitGroup
-		mu          sync.Mutex
-		totalCycles uint64
-		firstErr    error
-	)
-	next := make(chan int, rowBlocks)
-	for rb := 0; rb < rowBlocks; rb++ {
-		next <- rb
+	cycles, err := runTiled(matmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
+		return runRowBlock(pu.u, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, pu.cTile[:blockM*blockN*4], c, m, w.N)
+	})
+	if err != nil {
+		return nil, 0, err
 	}
-	close(next)
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			u := NewUnit()
-			if err := u.Configure(matmulConfig); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			cTile := make([]byte, blockM*blockN*4)
-			for rb := range next {
-				if err := runRowBlock(u, rb, colBlocks, kBlocks, padK, padN, packedA, packedB, cTile, c, m, n); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-			mu.Lock()
-			totalCycles += u.Cycles()
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, 0, firstErr
-	}
-	return c, totalCycles, nil
+	return c, cycles, nil
 }
 
 // runRowBlock computes one 16-row stripe of the output.

@@ -2,8 +2,6 @@ package amx
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // Tile-blocking geometry for INT8 matmul: each TDPBUSD consumes a
@@ -25,10 +23,19 @@ var int8MatmulConfig = TileConfig{Tiles: [NumTiles]TileShape{
 // PackU8 pads a row-major uint8 matrix to padRows × padCols.
 func PackU8(src []uint8, rows, cols, padRows, padCols int) []byte {
 	out := make([]byte, padRows*padCols)
-	for r := 0; r < rows; r++ {
-		copy(out[r*padCols:], src[r*cols:(r+1)*cols])
-	}
+	packU8Into(out, src, rows, cols, padRows, padCols)
 	return out
+}
+
+// packU8Into writes the padded image of src into dst, overwriting every
+// byte (dst may carry stale data from a previous use).
+func packU8Into(dst []byte, src []uint8, rows, cols, padRows, padCols int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < rows; r++ {
+		copy(dst[r*padCols:], src[r*cols:(r+1)*cols])
+	}
 }
 
 // PackS8VNNI converts a row-major int8 matrix (rows × cols) into the
@@ -40,6 +47,13 @@ func PackS8VNNI(src []int8, rows, cols, padRows, padCols int) []byte {
 		panic(fmt.Sprintf("amx: VNNI padRows %d must be a multiple of 4", padRows))
 	}
 	out := make([]byte, padRows*padCols)
+	packS8VNNIInto(out, src, rows, cols, padRows, padCols)
+	return out
+}
+
+// packS8VNNIInto writes the VNNI image of src into dst, overwriting every
+// byte.
+func packS8VNNIInto(dst []byte, src []int8, rows, cols, padRows, padCols int) {
 	at := func(r, c int) byte {
 		if r >= rows || c >= cols {
 			return 0
@@ -50,17 +64,42 @@ func PackS8VNNI(src []int8, rows, cols, padRows, padCols int) []byte {
 		for c := 0; c < padCols; c++ {
 			off := (pr*padCols + c) * 4
 			for q := 0; q < 4; q++ {
-				out[off+q] = at(4*pr+q, c)
+				dst[off+q] = at(4*pr+q, c)
 			}
 		}
 	}
-	return out
+}
+
+// PrepackedINT8 is a right-hand signed 8-bit GEMM operand converted once
+// into TDPBUSD's 4-way VNNI layout — the INT8 counterpart of Prepacked.
+type PrepackedINT8 struct {
+	// K and N are the logical dimensions of the packed matrix.
+	K, N       int
+	padK, padN int
+	vnni       []byte
+}
+
+// PrepackINT8 packs a row-major int8 matrix (k × n) for reuse as the
+// right-hand operand of MatmulINT8Packed.
+func PrepackINT8(b []int8, k, n int) (*PrepackedINT8, error) {
+	if len(b) != k*n {
+		return nil, fmt.Errorf("amx: int8 prepack operand size %d does not match %dx%d", len(b), k, n)
+	}
+	if k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("amx: int8 prepack dimensions must be positive, got %dx%d", k, n)
+	}
+	padK := ceilDiv(k, blockKi8) * blockKi8
+	padN := ceilDiv(n, blockNi8) * blockNi8
+	return &PrepackedINT8{K: k, N: n, padK: padK, padN: padN, vnni: PackS8VNNI(b, k, n, padK, padN)}, nil
 }
 
 // MatmulINT8 computes C = A·B through the emulated AMX INT8 pipeline:
 // A is M×K unsigned 8-bit, B is K×N signed 8-bit, C accumulates int32 —
 // exactly TDPBUSD's semantics. It returns the M×N row-major result and
 // the AMX cycles consumed.
+//
+// B is packed into VNNI layout on every call; when B is a static weight,
+// prepack it once with PrepackINT8 and use MatmulINT8Packed instead.
 func MatmulINT8(a []uint8, b []int8, m, k, n int) ([]int32, uint64, error) {
 	if len(a) != m*k || len(b) != k*n {
 		return nil, 0, fmt.Errorf("amx: int8 matmul operand sizes %d,%d do not match %dx%d · %dx%d", len(a), len(b), m, k, k, n)
@@ -68,72 +107,68 @@ func MatmulINT8(a []uint8, b []int8, m, k, n int) ([]int32, uint64, error) {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return nil, 0, fmt.Errorf("amx: int8 matmul dimensions must be positive, got %dx%dx%d", m, k, n)
 	}
-	padM := ceilDiv(m, blockMi8) * blockMi8
 	padK := ceilDiv(k, blockKi8) * blockKi8
 	padN := ceilDiv(n, blockNi8) * blockNi8
+	bScratch := getScratch(padK * padN)
+	defer putScratch(bScratch)
+	packS8VNNIInto(*bScratch, b, k, n, padK, padN)
+	w := PrepackedINT8{K: k, N: n, padK: padK, padN: padN, vnni: *bScratch}
+	return matmulINT8Driver(a, m, &w)
+}
 
-	packedA := PackU8(a, m, k, padM, padK)
-	packedB := PackS8VNNI(b, k, n, padK, padN)
+// MatmulINT8Packed computes C = A·W for a prepacked right-hand operand,
+// skipping the per-call VNNI conversion; results match MatmulINT8 exactly
+// (integer arithmetic, layout-only packing).
+func MatmulINT8Packed(a []uint8, m int, w *PrepackedINT8) ([]int32, uint64, error) {
+	if w == nil {
+		return nil, 0, fmt.Errorf("amx: nil prepacked operand")
+	}
+	if len(a) != m*w.K {
+		return nil, 0, fmt.Errorf("amx: int8 matmul operand size %d does not match %dx%d", len(a), m, w.K)
+	}
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("amx: int8 matmul rows must be positive, got %d", m)
+	}
+	return matmulINT8Driver(a, m, w)
+}
 
-	c := make([]int32, m*n)
+// matmulINT8Driver packs A into pooled scratch and dispatches row blocks
+// onto the persistent worker pool (single-block products run inline on
+// the caller).
+func matmulINT8Driver(a []uint8, m int, w *PrepackedINT8) ([]int32, uint64, error) {
+	padM := ceilDiv(m, blockMi8) * blockMi8
+	aScratch := getScratch(padM * w.padK)
+	defer putScratch(aScratch)
+	packedA := *aScratch
+	packU8Into(packedA, a, m, w.K, padM, w.padK)
+
+	c := make([]int32, m*w.N)
 	rowBlocks := padM / blockMi8
-	colBlocks := padN / blockNi8
-	kBlocks := padK / blockKi8
+	colBlocks := w.padN / blockNi8
+	kBlocks := w.padK / blockKi8
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rowBlocks {
-		workers = rowBlocks
-	}
-	if workers < 1 {
-		workers = 1
+	if rowBlocks == 1 {
+		// Decode-shaped fast path, closure-free.
+		caller := callerUnits.Get().(*pooledUnit)
+		defer callerUnits.Put(caller)
+		start := caller.u.Cycles()
+		err := caller.ensure(int8MatmulConfig)
+		if err == nil {
+			err = runInt8RowBlock(caller.u, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, caller.cTile[:blockMi8*blockNi8*4], c, m, w.N)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return c, caller.u.Cycles() - start, nil
 	}
 
-	var (
-		wg          sync.WaitGroup
-		mu          sync.Mutex
-		totalCycles uint64
-		firstErr    error
-	)
-	next := make(chan int, rowBlocks)
-	for rb := 0; rb < rowBlocks; rb++ {
-		next <- rb
+	cycles, err := runTiled(int8MatmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
+		return runInt8RowBlock(pu.u, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, pu.cTile[:blockMi8*blockNi8*4], c, m, w.N)
+	})
+	if err != nil {
+		return nil, 0, err
 	}
-	close(next)
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			u := NewUnit()
-			if err := u.Configure(int8MatmulConfig); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			cTile := make([]byte, blockMi8*blockNi8*4)
-			for rb := range next {
-				if err := runInt8RowBlock(u, rb, colBlocks, kBlocks, padK, padN, packedA, packedB, cTile, c, m, n); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-			mu.Lock()
-			totalCycles += u.Cycles()
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, 0, firstErr
-	}
-	return c, totalCycles, nil
+	return c, cycles, nil
 }
 
 // runInt8RowBlock computes one 16-row stripe of the INT8 output.

@@ -1,0 +1,157 @@
+package amx
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the execution layer shared by the blocked matmul drivers:
+// a persistent pool of tile workers (each owning an emulated Unit, i.e. a
+// core's tile file) that row-block jobs are dispatched onto, plus pooled
+// operand scratch. Spawning goroutines and allocating pack buffers per
+// matmul call is exactly the per-iteration overhead a real AMX kernel
+// amortizes away, so the steady state here does neither.
+
+// pooledUnit is one worker's persistent emulator state: a Unit, the
+// last-installed tile palette (so reconfiguration only happens when the
+// pipeline switches between BF16 and INT8 geometry), and a C-tile staging
+// buffer.
+type pooledUnit struct {
+	u     *Unit
+	cfg   TileConfig
+	cTile [MaxRows * MaxColBytes]byte
+}
+
+// ensure installs cfg unless it is already the active palette.
+func (w *pooledUnit) ensure(cfg TileConfig) error {
+	if w.cfg == cfg {
+		return nil
+	}
+	if err := w.u.Configure(cfg); err != nil {
+		return err
+	}
+	w.cfg = cfg
+	return nil
+}
+
+// tileTask is one matmul's row-block work queue. Workers — and the
+// submitting goroutine, which always participates — claim block indices
+// from next until total is exhausted. Per-block results land in disjoint
+// output rows, so claim order cannot affect the product; cycle counts are
+// summed and therefore partition-independent too.
+type tileTask struct {
+	cfg   TileConfig
+	run   func(w *pooledUnit, rb int) error
+	next  atomic.Int64
+	total int
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	err    error
+	cycles uint64
+}
+
+// work claims and runs row blocks until the task is drained or fails.
+func (t *tileTask) work(w *pooledUnit) {
+	defer t.wg.Done()
+	start := w.u.Cycles()
+	err := w.ensure(t.cfg)
+	for err == nil {
+		rb := int(t.next.Add(1)) - 1
+		if rb >= t.total {
+			break
+		}
+		err = t.run(w, rb)
+	}
+	delta := w.u.Cycles() - start
+	t.mu.Lock()
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+	t.cycles += delta
+	t.mu.Unlock()
+}
+
+var (
+	poolOnce    sync.Once
+	poolJobs    chan *tileTask
+	poolWorkers int
+)
+
+// startPool launches the persistent workers. GOMAXPROCS-1 of them suffice
+// because the submitting goroutine always works its own task.
+func startPool() {
+	poolWorkers = runtime.GOMAXPROCS(0) - 1
+	if poolWorkers < 0 {
+		poolWorkers = 0
+	}
+	poolJobs = make(chan *tileTask, poolWorkers)
+	for i := 0; i < poolWorkers; i++ {
+		go func() {
+			w := &pooledUnit{u: NewUnit()}
+			for t := range poolJobs {
+				t.work(w)
+			}
+		}()
+	}
+}
+
+// callerUnits recycles tile state for submitting goroutines (and for the
+// single-block fast path, which never touches the pool).
+var callerUnits = sync.Pool{New: func() any { return &pooledUnit{u: NewUnit()} }}
+
+// runTiled executes row blocks [0, total) under cfg across the persistent
+// pool plus the calling goroutine, returning the emulated cycles consumed.
+func runTiled(cfg TileConfig, total int, run func(w *pooledUnit, rb int) error) (uint64, error) {
+	caller := callerUnits.Get().(*pooledUnit)
+	defer callerUnits.Put(caller)
+	if total <= 1 {
+		// Decode-shaped fast path: one row block, no task, no handoff.
+		start := caller.u.Cycles()
+		err := caller.ensure(cfg)
+		if err == nil && total == 1 {
+			err = run(caller, 0)
+		}
+		return caller.u.Cycles() - start, err
+	}
+	poolOnce.Do(startPool)
+	t := &tileTask{cfg: cfg, run: run, total: total}
+	t.wg.Add(1) // the caller's own share
+	helpers := poolWorkers
+	if helpers > total-1 {
+		helpers = total - 1
+	}
+enqueue:
+	for i := 0; i < helpers; i++ {
+		t.wg.Add(1)
+		select {
+		case poolJobs <- t:
+		default:
+			// Pool saturated by concurrent matmuls; the enqueued workers
+			// and the caller absorb the remaining blocks.
+			t.wg.Done()
+			break enqueue
+		}
+	}
+	t.work(caller)
+	t.wg.Wait()
+	return t.cycles, t.err
+}
+
+// packScratch recycles operand pack buffers across matmul calls.
+var packScratch = sync.Pool{New: func() any { return new([]byte) }}
+
+// getScratch returns a length-n byte buffer (contents unspecified; the
+// pack routines overwrite every byte including padding).
+func getScratch(n int) *[]byte {
+	bp := packScratch.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putScratch returns a buffer obtained from getScratch.
+func putScratch(bp *[]byte) { packScratch.Put(bp) }

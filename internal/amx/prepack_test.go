@@ -1,0 +1,138 @@
+package amx
+
+import (
+	"reflect"
+	"testing"
+)
+
+// matrices returns deterministic float32 test operands.
+func matrices(m, k, n int, seed float32) (a, b []float32) {
+	a = make([]float32, m*k)
+	b = make([]float32, k*n)
+	for i := range a {
+		a[i] = float32(i%11) - 5 + seed
+	}
+	for i := range b {
+		b[i] = float32(i%7) - 3 - seed
+	}
+	return a, b
+}
+
+// TestPackedMatchesLegacyBF16 requires MatmulBF16Packed over a prepacked
+// operand to reproduce MatmulBF16 bit for bit, including awkward
+// non-multiple-of-tile shapes and the m=1 decode shape.
+func TestPackedMatchesLegacyBF16(t *testing.T) {
+	for _, s := range []struct{ m, k, n int }{
+		{1, 64, 64},   // decode GEMV, single row block
+		{16, 32, 16},  // exactly one tile
+		{33, 48, 20},  // ragged everything
+		{5, 129, 3},   // k padding dominates
+		{64, 64, 128}, // multiple row blocks → worker pool
+	} {
+		a, b := matrices(s.m, s.k, s.n, 0.25)
+		want, _, err := MatmulBF16(a, b, s.m, s.k, s.n)
+		if err != nil {
+			t.Fatalf("%dx%dx%d legacy: %v", s.m, s.k, s.n, err)
+		}
+		pre, err := PrepackBF16(b, s.k, s.n)
+		if err != nil {
+			t.Fatalf("%dx%dx%d prepack: %v", s.m, s.k, s.n, err)
+		}
+		for rep := 0; rep < 3; rep++ { // reuse must not drift
+			got, _, err := MatmulBF16Packed(a, s.m, pre)
+			if err != nil {
+				t.Fatalf("%dx%dx%d packed: %v", s.m, s.k, s.n, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%dx%dx%d rep %d: packed result diverges from legacy", s.m, s.k, s.n, rep)
+			}
+		}
+		ref := ReferenceMatmulBF16(a, b, s.m, s.k, s.n)
+		if !reflect.DeepEqual(want, ref) {
+			t.Fatalf("%dx%dx%d: tile pipeline diverges from reference", s.m, s.k, s.n)
+		}
+	}
+}
+
+// TestPackedMatchesLegacyINT8 is the TDPBUSD mirror of the BF16 test.
+func TestPackedMatchesLegacyINT8(t *testing.T) {
+	for _, s := range []struct{ m, k, n int }{
+		{1, 64, 16}, {16, 64, 16}, {33, 100, 20}, {64, 128, 64},
+	} {
+		a := make([]uint8, s.m*s.k)
+		b := make([]int8, s.k*s.n)
+		for i := range a {
+			a[i] = uint8(i * 13)
+		}
+		for i := range b {
+			b[i] = int8(i%251 - 125)
+		}
+		want, _, err := MatmulINT8(a, b, s.m, s.k, s.n)
+		if err != nil {
+			t.Fatalf("%dx%dx%d legacy: %v", s.m, s.k, s.n, err)
+		}
+		pre, err := PrepackINT8(b, s.k, s.n)
+		if err != nil {
+			t.Fatalf("%dx%dx%d prepack: %v", s.m, s.k, s.n, err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			got, _, err := MatmulINT8Packed(a, s.m, pre)
+			if err != nil {
+				t.Fatalf("%dx%dx%d packed: %v", s.m, s.k, s.n, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%dx%dx%d rep %d: packed result diverges from legacy", s.m, s.k, s.n, rep)
+			}
+		}
+		if ref := ReferenceMatmulINT8(a, b, s.m, s.k, s.n); !reflect.DeepEqual(want, ref) {
+			t.Fatalf("%dx%dx%d: tile pipeline diverges from reference", s.m, s.k, s.n)
+		}
+	}
+}
+
+// TestScratchReuseNoStaleData interleaves differently-shaped products so
+// pooled pack buffers are handed shrinking operands; stale bytes from the
+// larger predecessor must never leak into the smaller product.
+func TestScratchReuseNoStaleData(t *testing.T) {
+	big, bigB := matrices(48, 96, 48, 1)
+	small, smallB := matrices(3, 10, 5, 2)
+	wantSmall := ReferenceMatmulBF16(small, smallB, 3, 10, 5)
+	for rep := 0; rep < 4; rep++ {
+		if _, _, err := MatmulBF16(big, bigB, 48, 96, 48); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := MatmulBF16(small, smallB, 3, 10, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantSmall, got) {
+			t.Fatalf("rep %d: small product corrupted by pooled scratch reuse", rep)
+		}
+	}
+}
+
+// TestPrepackValidation covers the error paths.
+func TestPrepackValidation(t *testing.T) {
+	if _, err := PrepackBF16(make([]float32, 5), 2, 3); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := PrepackBF16(nil, 0, 3); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if _, _, err := MatmulBF16Packed(make([]float32, 4), 2, nil); err == nil {
+		t.Error("nil prepacked operand accepted")
+	}
+	pre, err := PrepackBF16(make([]float32, 6), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MatmulBF16Packed(make([]float32, 3), 1, pre); err == nil {
+		t.Error("mismatched activation width accepted")
+	}
+	if _, err := PrepackINT8(make([]int8, 5), 2, 3); err == nil {
+		t.Error("int8 size mismatch accepted")
+	}
+	if _, _, err := MatmulINT8Packed(nil, 1, nil); err == nil {
+		t.Error("nil int8 prepacked operand accepted")
+	}
+}

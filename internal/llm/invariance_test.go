@@ -1,0 +1,132 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/core"
+)
+
+// goldenPath holds the tokens the seed implementation generated for every
+// policy × precision × architecture. The optimized engine must reproduce
+// them bit-for-bit: packing is layout-only, cached rounding preserves the
+// rounding order, and the in-place KV cache holds the same values, so any
+// divergence is a real numerics bug, not noise.
+const goldenPath = "testdata/golden_tokens.json"
+
+// goldenCase identifies one generation in the golden file.
+func goldenKey(cfg string, p core.Policy, int8 bool) string {
+	mode := "bf16"
+	if int8 {
+		mode = "int8"
+	}
+	return fmt.Sprintf("%s/%s/%s", cfg, p, mode)
+}
+
+func goldenRuns(t *testing.T) map[string]func() ([]int, error) {
+	t.Helper()
+	runs := map[string]func() ([]int, error){}
+	optM, err := NewRandom(TinyConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llamaM, err := NewRandom(TinyLlamaConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type arch struct {
+		name   string
+		m      *Model
+		prompt []int
+	}
+	for _, a := range []arch{
+		{"tiny-opt", optM, []int{5, 17, 42, 9, 63}},
+		{"tiny-llama", llamaM, []int{9, 33, 71}},
+	} {
+		for _, p := range core.AllPolicies() {
+			for _, int8Mode := range []bool{false, true} {
+				a, p, int8Mode := a, p, int8Mode
+				runs[goldenKey(a.name, p, int8Mode)] = func() ([]int, error) {
+					e := NewExecutor(a.m, p)
+					if int8Mode {
+						e.EnableINT8()
+					}
+					return e.Generate(a.prompt, 12)
+				}
+			}
+		}
+	}
+	return runs
+}
+
+// TestGoldenPolicyInvariance regenerates every (policy, precision,
+// architecture) combination and compares against the tokens recorded from
+// the pre-optimization seed implementation. Regenerate with
+// LLM_UPDATE_GOLDEN=1 only when numerics are intentionally changed.
+func TestGoldenPolicyInvariance(t *testing.T) {
+	runs := goldenRuns(t)
+	if os.Getenv("LLM_UPDATE_GOLDEN") == "1" {
+		golden := map[string][]int{}
+		for key, run := range runs {
+			toks, err := run()
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			golden[key] = toks
+		}
+		buf, err := json.MarshalIndent(golden, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden generations", len(golden))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with LLM_UPDATE_GOLDEN=1): %v", err)
+	}
+	var golden map[string][]int
+	if err := json.Unmarshal(buf, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) != len(runs) {
+		t.Fatalf("golden file has %d cases, want %d", len(golden), len(runs))
+	}
+	if testing.Short() {
+		// Under -short, spot-check the canonical policies only.
+		keep := map[string][]int{}
+		for _, a := range []string{"tiny-opt", "tiny-llama"} {
+			for _, p := range []core.Policy{core.FullGPU, core.FullCPU, core.PartialCPU, core.MoEPartial} {
+				for _, int8Mode := range []bool{false, true} {
+					k := goldenKey(a, p, int8Mode)
+					keep[k] = golden[k]
+				}
+			}
+		}
+		golden = keep
+	}
+	for key, want := range golden {
+		run, ok := runs[key]
+		if !ok {
+			t.Fatalf("golden case %s has no generator", key)
+		}
+		got, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: tokens diverged from seed implementation:\n got %v\nwant %v", key, got, want)
+		}
+	}
+}

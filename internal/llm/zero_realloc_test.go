@@ -1,0 +1,184 @@
+package llm
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/runner"
+	"github.com/lia-sim/lia/internal/tensor"
+)
+
+// decodeAllocBudget bounds allocations per DecodeStep. The seed
+// implementation spent 235 allocs/op (re-packing weights, cloning
+// operands, re-growing the KV cache); the cached executor measures ≤68
+// on every canonical policy, so 75 leaves slack without ever letting a
+// per-step pack or clone regression (tens of allocations each) slip by.
+const decodeAllocBudget = 75
+
+// TestDecodeStepAllocBudget pins the steady-state decode loop's
+// allocation count under each canonical policy.
+func TestDecodeStepAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	m, err := NewRandom(TinyConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		policy core.Policy
+	}{
+		{"FullGPU", core.FullGPU},
+		{"FullCPU", core.FullCPU},
+		{"PartialCPU", core.PartialCPU},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewExecutor(m, tc.policy)
+			_, cache, err := e.Prefill([]int{5, 17, 42, 9, 63})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the scratch buffers and weight caches before counting.
+			if _, err := e.DecodeStep(cache, 7); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if _, err := e.DecodeStep(cache, 7); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > decodeAllocBudget {
+				t.Errorf("DecodeStep allocated %.0f/op under %s, budget %d", allocs, tc.name, decodeAllocBudget)
+			}
+		})
+	}
+}
+
+// TestWeightPacksBounded proves each static weight is packed or rounded
+// at most once per executor: the pack count settles after the first
+// forward pass and never moves again, no matter how many tokens are
+// generated or how many sequences fork the executor.
+func TestWeightPacksBounded(t *testing.T) {
+	m, err := NewRandom(TinyConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		policy core.Policy
+		want   int64 // 4 parameter sublayers per layer, one conversion each
+	}{
+		{"FullGPU", core.FullGPU, int64(4 * m.Cfg.Layers)},
+		{"FullCPU", core.FullCPU, int64(4 * m.Cfg.Layers)},
+		{"PartialCPU", core.PartialCPU, int64(4 * m.Cfg.Layers)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewExecutor(m, tc.policy)
+			if got := e.WeightPacks(); got != 0 {
+				t.Fatalf("fresh executor reports %d packs", got)
+			}
+			if _, err := e.Generate([]int{5, 17, 42}, 8); err != nil {
+				t.Fatal(err)
+			}
+			after := e.WeightPacks()
+			if after != tc.want {
+				t.Fatalf("%s packed %d weights, want %d", tc.name, after, tc.want)
+			}
+			// More tokens, more sequences: the count must not move.
+			if _, err := e.GenerateBatch([][]int{{1, 2}, {3, 4}, {5, 6}}, 6); err != nil {
+				t.Fatal(err)
+			}
+			if got := e.WeightPacks(); got != after {
+				t.Errorf("pack count moved %d -> %d across further generation", after, got)
+			}
+		})
+	}
+}
+
+// TestRoPECachedMatchesReference pins the table-based rotation to the
+// table-free reference bit for bit, across positions and both tiny
+// configs' head widths.
+func TestRoPECachedMatchesReference(t *testing.T) {
+	m, err := NewRandom(TinyLlamaConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(m, core.FullGPU)
+	dh := m.Cfg.HeadDim()
+	for _, startPos := range []int{0, 1, 17, m.Cfg.MaxSeqLen - 3} {
+		ref := tensor.New(3, m.Cfg.DModel)
+		for i := range ref.Data {
+			ref.Data[i] = float32(i%13) - 6.5
+		}
+		got := ref.Clone()
+		applyRoPE(ref, dh, startPos)
+		e.applyRoPECached(got, dh, startPos)
+		if !reflect.DeepEqual(ref.Data, got.Data) {
+			t.Fatalf("cached RoPE diverges from reference at startPos %d", startPos)
+		}
+	}
+}
+
+// TestGenerateBatchParallelDeterminism requires batch generation to be
+// bit-identical sequential vs parallel, and each batch lane identical to
+// a solo Generate of the same prompt.
+func TestGenerateBatchParallelDeterminism(t *testing.T) {
+	prompts := [][]int{{5, 17, 42}, {9, 33, 71, 2}, {1}, {60, 61, 62, 63, 64}, {7, 7, 7}}
+	const n = 10
+	for _, mc := range []struct {
+		name string
+		cfg  func() (m *Model, err error)
+	}{
+		{"tiny-opt", func() (*Model, error) { return NewRandom(TinyConfig(), 42) }},
+		{"tiny-llama", func() (*Model, error) { return NewRandom(TinyLlamaConfig(), 42) }},
+	} {
+		t.Run(mc.name, func(t *testing.T) {
+			m, err := mc.cfg()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer runner.SetWorkers(0)
+
+			runner.SetWorkers(1)
+			seqExe := NewExecutor(m, core.PartialCPU)
+			sequential, err := seqExe.GenerateBatch(prompts, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			runner.SetWorkers(8)
+			parExe := NewExecutor(m, core.PartialCPU)
+			parallel, err := parExe.GenerateBatch(prompts, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sequential, parallel) {
+				t.Fatalf("parallel batch diverges from sequential:\n seq %v\n par %v", sequential, parallel)
+			}
+			// Dispatch counters are schedule-independent; AMXCycles is not
+			// (tile-palette Configure cycles amortize per pooled worker
+			// unit, and how many units a run touches depends on
+			// scheduling), so it is only required to be live.
+			if seqExe.Stats.CPUMatmuls != parExe.Stats.CPUMatmuls ||
+				seqExe.Stats.GPUMatmuls != parExe.Stats.GPUMatmuls ||
+				seqExe.Stats.Int8Matmuls != parExe.Stats.Int8Matmuls {
+				t.Errorf("dispatch counters diverge: sequential %+v parallel %+v", seqExe.Stats, parExe.Stats)
+			}
+			if seqExe.Stats.AMXCycles == 0 || parExe.Stats.AMXCycles == 0 {
+				t.Error("AMX cycle accounting went dead")
+			}
+
+			for i, p := range prompts {
+				solo, err := NewExecutor(m, core.PartialCPU).Generate(p, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(solo, parallel[i]) {
+					t.Errorf("batch lane %d diverges from solo Generate: %v vs %v", i, parallel[i], solo)
+				}
+			}
+		})
+	}
+}

@@ -32,6 +32,11 @@ type Weights struct {
 	// ColSums caches Σ_k Q[k][j], needed for the activation zero-point
 	// correction.
 	ColSums []int32
+	// pre is the VNNI tile image of Q, built once at quantization time so
+	// Linear never re-packs the static operand (packing is layout-only,
+	// so results are unchanged). Nil for hand-built Weights, which fall
+	// back to the per-call packing path.
+	pre *amx.PrepackedINT8
 }
 
 // QuantizeWeights quantizes w (K×N float32) symmetrically per output
@@ -73,6 +78,11 @@ func QuantizeWeights(w tensor.Matrix) Weights {
 			out.ColSums[j] += q
 		}
 	}
+	pre, err := amx.PrepackINT8(out.Q, k, n)
+	if err != nil {
+		panic(fmt.Sprintf("quant: prepack: %v", err))
+	}
+	out.pre = pre
 	return out
 }
 
@@ -166,7 +176,16 @@ func Linear(x tensor.Matrix, w Weights) (tensor.Matrix, uint64, error) {
 		return tensor.Matrix{}, 0, fmt.Errorf("quant: linear shape mismatch %dx%d · %dx%d", x.Rows, x.Cols, w.K, w.N)
 	}
 	qx := QuantizeActivations(x)
-	acc, cycles, err := amx.MatmulINT8(qx.Q, w.Q, qx.M, qx.K, w.N)
+	var (
+		acc    []int32
+		cycles uint64
+		err    error
+	)
+	if w.pre != nil {
+		acc, cycles, err = amx.MatmulINT8Packed(qx.Q, qx.M, w.pre)
+	} else {
+		acc, cycles, err = amx.MatmulINT8(qx.Q, w.Q, qx.M, qx.K, w.N)
+	}
 	if err != nil {
 		return tensor.Matrix{}, 0, err
 	}

@@ -1,0 +1,65 @@
+package tensor
+
+import "testing"
+
+func TestNewWithCapGrowsInPlace(t *testing.T) {
+	m := NewWithCap(0, 4, 8)
+	if m.Rows != 0 || m.Cols != 4 || cap(m.Data) != 32 {
+		t.Fatalf("unexpected shape/cap: %dx%d cap %d", m.Rows, m.Cols, cap(m.Data))
+	}
+	base := &m.Data[:1][0]
+	for r := 0; r < 8; r++ {
+		row := New(1, 4)
+		for c := range row.Data {
+			row.Data[c] = float32(r*4 + c)
+		}
+		m = m.AppendRows(row)
+		if &m.Data[0] != base {
+			t.Fatalf("append reallocated backing array at row %d", r)
+		}
+	}
+	if m.Rows != 8 {
+		t.Fatalf("rows = %d, want 8", m.Rows)
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 4; c++ {
+			if m.At(r, c) != float32(r*4+c) {
+				t.Fatalf("element (%d,%d) = %v", r, c, m.At(r, c))
+			}
+		}
+	}
+}
+
+func TestAppendRowsMatchesConcat(t *testing.T) {
+	a := New(3, 5)
+	b := New(2, 5)
+	for i := range a.Data {
+		a.Data[i] = float32(i)
+	}
+	for i := range b.Data {
+		b.Data[i] = float32(100 + i)
+	}
+	want := Concat(a, b)
+	got := a.Clone().AppendRows(b)
+	if !got.Equal(want, 0) {
+		t.Fatal("AppendRows result differs from Concat")
+	}
+}
+
+func TestNewWithCapValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capRows < rows accepted")
+		}
+	}()
+	NewWithCap(4, 2, 3)
+}
+
+func TestAppendRowsShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("column mismatch accepted")
+		}
+	}()
+	New(1, 3).AppendRows(New(1, 4))
+}

@@ -32,6 +32,28 @@ func New(rows, cols int) Matrix {
 	return Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
 
+// NewWithCap returns a zeroed rows×cols matrix whose backing array can
+// hold capRows rows, so AppendRows grows it in place up to that capacity
+// — the KV-cache preallocation hook.
+func NewWithCap(rows, cols, capRows int) Matrix {
+	if rows < 0 || cols < 0 || capRows < rows {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d (cap %d)", rows, cols, capRows))
+	}
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols, capRows*cols)}
+}
+
+// AppendRows returns m extended by src's rows. When m's backing array has
+// capacity the existing rows are not copied (amortized O(src) instead of
+// the O(m+src) a Concat pays every call).
+func (m Matrix) AppendRows(src Matrix) Matrix {
+	if m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: append cols %d != %d", src.Cols, m.Cols))
+	}
+	m.Data = append(m.Data, src.Data...)
+	m.Rows += src.Rows
+	return m
+}
+
 // FromSlice wraps data (length rows×cols) without copying.
 func FromSlice(rows, cols int, data []float32) Matrix {
 	if len(data) != rows*cols {
