@@ -24,7 +24,7 @@ bench:
 
 # bench-functional runs the allocation-sensitive micro-benchmarks the
 # BENCH_functional.json baseline records (decode step, packed vs legacy
-# AMX matmul, parallel batch generation).
+# AMX matmul, single tile ops byte vs decoded, parallel batch generation).
 bench-functional:
-	$(GO) test -bench='BenchmarkFunctionalDecodeStep|BenchmarkAMXMatmul|BenchmarkFunctionalGenerateBatch' \
+	$(GO) test -bench='BenchmarkFunctionalDecodeStep|BenchmarkAMXMatmul|BenchmarkFunctionalGenerateBatch|BenchmarkTDP' \
 		-benchmem -benchtime=2s -run=^$$ .

@@ -11,6 +11,17 @@
 // functional LLM engine (package llm) routes CPU-offloaded sublayers
 // through, proving that the dataflow LIA's analytical model assumes is
 // executable end to end.
+//
+// The emulator is two-tier. The byte-accurate instructions (TDPBF16PS,
+// TDPBUSD, TileLoad/TileStore) reassemble every operand from the tile
+// file's bytes and are the semantic reference. The decoded fast path
+// (TDPBF16PSDecoded, TDPBUSDDecoded, the *Check tile ops) applies the
+// discipline real AMX kernel libraries apply on hardware — hoist format
+// conversion out of the MAC loop — to the emulator itself: operands are
+// decoded once (at prepack time for weights, once per call for
+// activations) and the inner loops run over flat slices. Faults, cycle
+// accounting, accumulation order and therefore results are identical;
+// a fuzz + exhaustive-shape suite pins the two tiers bit-for-bit.
 package amx
 
 import (
@@ -138,20 +149,32 @@ func (u *Unit) TileZero(idx int) error {
 	return nil
 }
 
+// loadCheck validates a TILELOADD's configuration, stride and memory
+// bounds against a memory region of memBytes bytes; loadOp selects the
+// "load"/"store" wording so the error text matches the faulting
+// instruction exactly.
+func (u *Unit) loadCheck(idx, memBytes, stride int, op string) (*tile, error) {
+	t, err := u.tileFor(idx)
+	if err != nil {
+		return nil, err
+	}
+	if stride < t.shape.ColBytes {
+		return nil, fmt.Errorf("amx: stride %d < row bytes %d: %w", stride, t.shape.ColBytes, ErrShape)
+	}
+	need := (t.shape.Rows-1)*stride + t.shape.ColBytes
+	if need > memBytes {
+		return nil, fmt.Errorf("amx: %s needs %d bytes, have %d: %w", op, need, memBytes, ErrBounds)
+	}
+	return t, nil
+}
+
 // TileLoad executes TILELOADD tmm{idx}, [mem+stride]: it copies
 // shape.Rows rows of shape.ColBytes bytes from mem, advancing by stride
 // bytes per row.
 func (u *Unit) TileLoad(idx int, mem []byte, stride int) error {
-	t, err := u.tileFor(idx)
+	t, err := u.loadCheck(idx, len(mem), stride, "load")
 	if err != nil {
 		return err
-	}
-	if stride < t.shape.ColBytes {
-		return fmt.Errorf("amx: stride %d < row bytes %d: %w", stride, t.shape.ColBytes, ErrShape)
-	}
-	need := (t.shape.Rows-1)*stride + t.shape.ColBytes
-	if need > len(mem) {
-		return fmt.Errorf("amx: load needs %d bytes, have %d: %w", need, len(mem), ErrBounds)
 	}
 	for r := 0; r < t.shape.Rows; r++ {
 		copy(t.data[r*MaxColBytes:r*MaxColBytes+t.shape.ColBytes], mem[r*stride:])
@@ -160,18 +183,24 @@ func (u *Unit) TileLoad(idx int, mem []byte, stride int) error {
 	return nil
 }
 
-// TileStore executes TILESTORED [mem+stride], tmm{idx}.
-func (u *Unit) TileStore(idx int, mem []byte, stride int) error {
-	t, err := u.tileFor(idx)
-	if err != nil {
+// TileLoadCheck performs TILELOADD's fault checking and cycle accounting
+// without moving any bytes: the decoded fast path keeps its operands in
+// flat pre-decoded slices, but a load that would fault on hardware must
+// fault identically — and cost the same cycles — there too. memBytes is
+// the byte length of the region the byte-path load would read.
+func (u *Unit) TileLoadCheck(idx, memBytes, stride int) error {
+	if _, err := u.loadCheck(idx, memBytes, stride, "load"); err != nil {
 		return err
 	}
-	if stride < t.shape.ColBytes {
-		return fmt.Errorf("amx: stride %d < row bytes %d: %w", stride, t.shape.ColBytes, ErrShape)
-	}
-	need := (t.shape.Rows-1)*stride + t.shape.ColBytes
-	if need > len(mem) {
-		return fmt.Errorf("amx: store needs %d bytes, have %d: %w", need, len(mem), ErrBounds)
+	u.cycles += cyclesTileLoad
+	return nil
+}
+
+// TileStore executes TILESTORED [mem+stride], tmm{idx}.
+func (u *Unit) TileStore(idx int, mem []byte, stride int) error {
+	t, err := u.loadCheck(idx, len(mem), stride, "store")
+	if err != nil {
+		return err
 	}
 	for r := 0; r < t.shape.Rows; r++ {
 		copy(mem[r*stride:r*stride+t.shape.ColBytes], t.data[r*MaxColBytes:])
@@ -180,10 +209,31 @@ func (u *Unit) TileStore(idx int, mem []byte, stride int) error {
 	return nil
 }
 
+// TileStoreCheck is TileStore's fault-and-cycles-only counterpart, the
+// store analog of TileLoadCheck.
+func (u *Unit) TileStoreCheck(idx, memBytes, stride int) error {
+	if _, err := u.loadCheck(idx, memBytes, stride, "store"); err != nil {
+		return err
+	}
+	u.cycles += cyclesTileStore
+	return nil
+}
+
+// TileZeroCheck is TILEZERO's fault-and-cycles-only counterpart: the
+// decoded fast path zeroes its flat accumulator itself but still pays
+// the instruction's cycle (and faults on an unconfigured tile).
+func (u *Unit) TileZeroCheck(idx int) error {
+	if _, err := u.tileFor(idx); err != nil {
+		return err
+	}
+	u.cycles += cyclesTileZero
+	return nil
+}
+
 // readBF16 reads the bfloat16 at byte offset off within a tile row.
 func (t *tile) readBF16(row, pair int) BF16 {
 	off := row*MaxColBytes + pair*2
-	return BF16(uint16(t.data[off]) | uint16(t.data[off+1])<<8)
+	return BF16FromBytes(t.data[off], t.data[off+1])
 }
 
 // readF32 reads the float32 at element column c of a tile row.
@@ -211,7 +261,49 @@ func (t *tile) readI32(row, col int) int32 {
 }
 
 func (t *tile) writeI32(row, col int, v int32) {
-	t.writeF32(row, col, f32FromBits(uint32(v)))
+	// Write the four bytes directly: routing the bits through a float32
+	// round trip could canonicalize a signaling-NaN-patterned accumulator
+	// on platforms whose FP moves quieten sNaNs, and integer accumulators
+	// are plain bit patterns.
+	off := row*MaxColBytes + col*4
+	bits := uint32(v)
+	t.data[off] = byte(bits)
+	t.data[off+1] = byte(bits >> 8)
+	t.data[off+2] = byte(bits >> 16)
+	t.data[off+3] = byte(bits >> 24)
+}
+
+// tdpTiles resolves the three TMUL operand tiles, faulting exactly as
+// the hardware would on a bad index or unconfigured tile. Both the byte
+// and decoded entry points go through it so their faults are identical.
+func (u *Unit) tdpTiles(dst, a, b int) (td, ta, tb *tile, err error) {
+	if td, err = u.tileFor(dst); err != nil {
+		return nil, nil, nil, err
+	}
+	if ta, err = u.tileFor(a); err != nil {
+		return nil, nil, nil, err
+	}
+	if tb, err = u.tileFor(b); err != nil {
+		return nil, nil, nil, err
+	}
+	return td, ta, tb, nil
+}
+
+// tdpBF16Shapes validates the configured geometry for TDPBF16PS and
+// returns the m/n/kPairs trip counts. Shared by the byte and decoded
+// entry points: same checks, same error text.
+func tdpBF16Shapes(td, ta, tb *tile) (m, n, kPairs int, err error) {
+	m = td.shape.Rows
+	n = td.shape.ColBytes / 4
+	kPairs = ta.shape.ColBytes / 4 // bf16 pairs per A row
+	if ta.shape.Rows != m {
+		return 0, 0, 0, fmt.Errorf("amx: A rows %d != dst rows %d: %w", ta.shape.Rows, m, ErrShape)
+	}
+	if tb.shape.Rows != kPairs || tb.shape.ColBytes/4 != n {
+		return 0, 0, 0, fmt.Errorf("amx: B shape %dx%d incompatible with dst %dx%d / A pairs %d: %w",
+			tb.shape.Rows, tb.shape.ColBytes/4, m, n, kPairs, ErrShape)
+	}
+	return m, n, kPairs, nil
 }
 
 // TDPBF16PS executes dst += a × b where a holds bfloat16 pairs
@@ -220,28 +312,19 @@ func (t *tile) writeI32(row, col int, v int32) {
 //
 // VNNI layout: row r of b contains, for each output column n, the pair
 // (B[2r][n], B[2r+1][n]) of the logical (2K × N) matrix.
+//
+// This is the byte-accurate oracle: every operand value is reassembled
+// from the tile file's bytes on every multiply. The decoded fast path
+// (TDPBF16PSDecoded) runs the same accumulation over pre-decoded flat
+// slices; a fuzz + exhaustive-shape suite pins the two bit-for-bit.
 func (u *Unit) TDPBF16PS(dst, a, b int) error {
-	td, err := u.tileFor(dst)
+	td, ta, tb, err := u.tdpTiles(dst, a, b)
 	if err != nil {
 		return err
 	}
-	ta, err := u.tileFor(a)
+	m, n, kPairs, err := tdpBF16Shapes(td, ta, tb)
 	if err != nil {
 		return err
-	}
-	tb, err := u.tileFor(b)
-	if err != nil {
-		return err
-	}
-	m := td.shape.Rows
-	n := td.shape.ColBytes / 4
-	kPairs := ta.shape.ColBytes / 4 // bf16 pairs per A row
-	if ta.shape.Rows != m {
-		return fmt.Errorf("amx: A rows %d != dst rows %d: %w", ta.shape.Rows, m, ErrShape)
-	}
-	if tb.shape.Rows != kPairs || tb.shape.ColBytes/4 != n {
-		return fmt.Errorf("amx: B shape %dx%d incompatible with dst %dx%d / A pairs %d: %w",
-			tb.shape.Rows, tb.shape.ColBytes/4, m, n, kPairs, ErrShape)
 	}
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
@@ -260,27 +343,31 @@ func (u *Unit) TDPBF16PS(dst, a, b int) error {
 	return nil
 }
 
+// tdpINT8Shapes validates the configured geometry for TDPBUSD, shared
+// by the byte and decoded entry points.
+func tdpINT8Shapes(td, ta, tb *tile) (m, n, kQuads int, err error) {
+	m = td.shape.Rows
+	n = td.shape.ColBytes / 4
+	kQuads = ta.shape.ColBytes / 4
+	if ta.shape.Rows != m || tb.shape.Rows != kQuads || tb.shape.ColBytes/4 != n {
+		return 0, 0, 0, fmt.Errorf("amx: TDPBUSD operand shapes incompatible: %w", ErrShape)
+	}
+	return m, n, kQuads, nil
+}
+
 // TDPBUSD executes dst += a × b with a holding unsigned 8-bit quads
 // (M rows × 4K values), b holding the VNNI-packed signed 8-bit right
 // operand (K rows × N quads), and dst accumulating int32 (M rows × N).
+// Like TDPBF16PS it is the byte-accurate oracle; TDPBUSDDecoded is the
+// flat-slice fast path pinned to it bit-for-bit.
 func (u *Unit) TDPBUSD(dst, a, b int) error {
-	td, err := u.tileFor(dst)
+	td, ta, tb, err := u.tdpTiles(dst, a, b)
 	if err != nil {
 		return err
 	}
-	ta, err := u.tileFor(a)
+	m, n, kQuads, err := tdpINT8Shapes(td, ta, tb)
 	if err != nil {
 		return err
-	}
-	tb, err := u.tileFor(b)
-	if err != nil {
-		return err
-	}
-	m := td.shape.Rows
-	n := td.shape.ColBytes / 4
-	kQuads := ta.shape.ColBytes / 4
-	if ta.shape.Rows != m || tb.shape.Rows != kQuads || tb.shape.ColBytes/4 != n {
-		return fmt.Errorf("amx: TDPBUSD operand shapes incompatible: %w", ErrShape)
 	}
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
@@ -293,6 +380,145 @@ func (u *Unit) TDPBUSD(dst, a, b int) error {
 				}
 			}
 			td.writeI32(i, j, acc)
+		}
+	}
+	u.cycles += cyclesTDP
+	return nil
+}
+
+// TDPBF16PSDecoded executes TDPBF16PS's accumulation over pre-decoded
+// operands — the fast path real AMX kernel libraries model: format
+// conversion is hoisted out of the MAC loop, which runs over flat
+// float32 slices with hoisted row subslices and no per-element byte
+// assembly.
+//
+//   - cDec is the float32 accumulator: element (i, j) at cDec[i*cStride+j].
+//   - aDec holds tile a's bf16 lanes pre-rounded to float32, row-major:
+//     lane k of row i at aDec[i*aStride+k] (2·kPairs lanes per row).
+//   - bCols holds tile b's lanes decoded **column-major**: output column
+//     j's 2·kPairs lanes, in k order, at bCols[j*bColStride:]. This is a
+//     layout-only transpose of the VNNI image — pair p of column j is
+//     (bCols[j*bColStride+2p], bCols[j*bColStride+2p+1]), exactly the
+//     (B[2p][j], B[2p+1][j]) pair the byte path reads from packed row p.
+//
+// Configuration and shape faults, trip counts, cycle accounting and the
+// m/n/k accumulation order are identical to TDPBF16PS, so results are
+// bit-for-bit the same; only the operand transport differs.
+func (u *Unit) TDPBF16PSDecoded(dst, a, b int, cDec []float32, cStride int, aDec []float32, aStride int, bCols []float32, bColStride int) error {
+	td, ta, tb, err := u.tdpTiles(dst, a, b)
+	if err != nil {
+		return err
+	}
+	m, n, kPairs, err := tdpBF16Shapes(td, ta, tb)
+	if err != nil {
+		return err
+	}
+	lanes := 2 * kPairs
+	if cStride < n || aStride < lanes || bColStride < lanes {
+		return fmt.Errorf("amx: decoded strides %d/%d/%d below widths %d/%d: %w", cStride, aStride, bColStride, n, lanes, ErrShape)
+	}
+	if need := (m-1)*cStride + n; need > len(cDec) {
+		return fmt.Errorf("amx: decoded accumulator needs %d values, have %d: %w", need, len(cDec), ErrBounds)
+	}
+	if need := (m-1)*aStride + lanes; need > len(aDec) {
+		return fmt.Errorf("amx: decoded A needs %d values, have %d: %w", need, len(aDec), ErrBounds)
+	}
+	if need := (n-1)*bColStride + lanes; need > len(bCols) {
+		return fmt.Errorf("amx: decoded B needs %d values, have %d: %w", need, len(bCols), ErrBounds)
+	}
+	for i := 0; i < m; i++ {
+		arow := aDec[i*aStride : i*aStride+lanes]
+		crow := cDec[i*cStride : i*cStride+n]
+		// Each output element is a serial float32 add chain — the byte
+		// path's exact sequence acc += a0·b0 + a1·b1 per pair, in k order,
+		// cannot be reassociated — so single-column walks are bound by add
+		// latency. Register-blocking four columns per k-walk interleaves
+		// four *independent* chains (each still in its original order) and
+		// reuses every A load fourfold.
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := bCols[j*bColStride : j*bColStride+lanes]
+			b1 := bCols[(j+1)*bColStride : (j+1)*bColStride+lanes]
+			b2 := bCols[(j+2)*bColStride : (j+2)*bColStride+lanes]
+			b3 := bCols[(j+3)*bColStride : (j+3)*bColStride+lanes]
+			acc0, acc1, acc2, acc3 := crow[j], crow[j+1], crow[j+2], crow[j+3]
+			for k := 0; k < lanes; k += 2 {
+				a0, a1 := arow[k], arow[k+1]
+				acc0 += a0*b0[k] + a1*b0[k+1]
+				acc1 += a0*b1[k] + a1*b1[k+1]
+				acc2 += a0*b2[k] + a1*b2[k+1]
+				acc3 += a0*b3[k] + a1*b3[k+1]
+			}
+			crow[j], crow[j+1], crow[j+2], crow[j+3] = acc0, acc1, acc2, acc3
+		}
+		for ; j < n; j++ {
+			bcol := bCols[j*bColStride : j*bColStride+lanes]
+			acc := crow[j]
+			for k := 0; k < lanes; k += 2 {
+				acc += arow[k]*bcol[k] + arow[k+1]*bcol[k+1]
+			}
+			crow[j] = acc
+		}
+	}
+	u.cycles += cyclesTDP
+	return nil
+}
+
+// TDPBUSDDecoded executes TDPBUSD's accumulation over pre-decoded
+// operands, mirroring TDPBF16PSDecoded: aDec holds tile a's unsigned
+// lanes row-major (4·kQuads per row), bCols tile b's signed lanes
+// column-major (output column j's 4·kQuads lanes, in k order, at
+// bCols[j*bColStride:]), cDec the int32 accumulator. Faults, cycles and
+// results are identical to TDPBUSD.
+func (u *Unit) TDPBUSDDecoded(dst, a, b int, cDec []int32, cStride int, aDec []uint8, aStride int, bCols []int8, bColStride int) error {
+	td, ta, tb, err := u.tdpTiles(dst, a, b)
+	if err != nil {
+		return err
+	}
+	m, n, kQuads, err := tdpINT8Shapes(td, ta, tb)
+	if err != nil {
+		return err
+	}
+	lanes := 4 * kQuads
+	if cStride < n || aStride < lanes || bColStride < lanes {
+		return fmt.Errorf("amx: decoded strides %d/%d/%d below widths %d/%d: %w", cStride, aStride, bColStride, n, lanes, ErrShape)
+	}
+	if need := (m-1)*cStride + n; need > len(cDec) {
+		return fmt.Errorf("amx: decoded accumulator needs %d values, have %d: %w", need, len(cDec), ErrBounds)
+	}
+	if need := (m-1)*aStride + lanes; need > len(aDec) {
+		return fmt.Errorf("amx: decoded A needs %d values, have %d: %w", need, len(aDec), ErrBounds)
+	}
+	if need := (n-1)*bColStride + lanes; need > len(bCols) {
+		return fmt.Errorf("amx: decoded B needs %d values, have %d: %w", need, len(bCols), ErrBounds)
+	}
+	for i := 0; i < m; i++ {
+		arow := aDec[i*aStride : i*aStride+lanes]
+		crow := cDec[i*cStride : i*cStride+n]
+		for j := 0; j < n; j++ {
+			// Four independent partial sums break the loop-carried
+			// dependency on the accumulator; int32 addition wraps and is
+			// associative, so the total is bit-identical to the byte path's
+			// sequential sum. Walking by reslicing lets the compiler prove
+			// every access in bounds (lanes is always a multiple of 4:
+			// 4·kQuads).
+			ap, bp := arow, bCols[j*bColStride:j*bColStride+lanes]
+			var s0, s1, s2, s3 int32
+			for len(ap) >= 16 && len(bp) >= 16 {
+				s0 += int32(ap[0])*int32(bp[0]) + int32(ap[4])*int32(bp[4]) + int32(ap[8])*int32(bp[8]) + int32(ap[12])*int32(bp[12])
+				s1 += int32(ap[1])*int32(bp[1]) + int32(ap[5])*int32(bp[5]) + int32(ap[9])*int32(bp[9]) + int32(ap[13])*int32(bp[13])
+				s2 += int32(ap[2])*int32(bp[2]) + int32(ap[6])*int32(bp[6]) + int32(ap[10])*int32(bp[10]) + int32(ap[14])*int32(bp[14])
+				s3 += int32(ap[3])*int32(bp[3]) + int32(ap[7])*int32(bp[7]) + int32(ap[11])*int32(bp[11]) + int32(ap[15])*int32(bp[15])
+				ap, bp = ap[16:], bp[16:]
+			}
+			for len(ap) >= 4 && len(bp) >= 4 {
+				s0 += int32(ap[0]) * int32(bp[0])
+				s1 += int32(ap[1]) * int32(bp[1])
+				s2 += int32(ap[2]) * int32(bp[2])
+				s3 += int32(ap[3]) * int32(bp[3])
+				ap, bp = ap[4:], bp[4:]
+			}
+			crow[j] += s0 + s1 + s2 + s3
 		}
 	}
 	u.cycles += cyclesTDP

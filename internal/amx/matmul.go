@@ -37,19 +37,38 @@ func PackBF16(src []float32, rows, cols, padRows, padCols int) []byte {
 }
 
 // packBF16Into writes the padded bf16 image of src into dst, overwriting
-// every byte (dst may carry stale data from a previous use).
+// every byte (dst may carry stale data from a previous use). Only the
+// padding rows/columns are zeroed — the payload region is written
+// exactly once, not zeroed and then overwritten.
 func packBF16Into(dst []byte, src []float32, rows, cols, padRows, padCols int) {
-	for i := range dst {
-		dst[i] = 0
-	}
 	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			v := BF16FromFloat32(src[r*cols+c])
-			off := (r*padCols + c) * 2
-			dst[off] = byte(v)
-			dst[off+1] = byte(v >> 8)
+		srow := src[r*cols : r*cols+cols]
+		drow := dst[r*padCols*2 : (r+1)*padCols*2]
+		for c, f := range srow {
+			v := BF16FromFloat32(f)
+			drow[c*2] = byte(v)
+			drow[c*2+1] = byte(v >> 8)
 		}
+		clear(drow[cols*2:]) // padding columns
 	}
+	clear(dst[rows*padCols*2 : padRows*padCols*2]) // padding rows
+}
+
+// packBF16DecodedInto writes the padded, bf16-pre-rounded float32 image
+// of src into dst — the decoded twin of packBF16Into: element (r, c)
+// lands at dst[r*padCols+c] holding RoundFloat32(src[r][c]), which is
+// bit-identical to decoding the byte image's bf16 lane. Padding is
+// zeroed, the payload written once.
+func packBF16DecodedInto(dst []float32, src []float32, rows, cols, padRows, padCols int) {
+	for r := 0; r < rows; r++ {
+		srow := src[r*cols : r*cols+cols]
+		drow := dst[r*padCols : (r+1)*padCols]
+		for c, f := range srow {
+			drow[c] = RoundFloat32(f)
+		}
+		clear(drow[cols:])
+	}
+	clear(dst[rows*padCols : padRows*padCols])
 }
 
 // PackBF16VNNI converts a row-major float32 matrix (rows × cols) into the
@@ -67,25 +86,60 @@ func PackBF16VNNI(src []float32, rows, cols, padRows, padCols int) []byte {
 }
 
 // packBF16VNNIInto writes the VNNI image of src into dst, overwriting
-// every byte.
+// every byte. The inner loop works on hoisted row slices — no per-element
+// closure call or in-bounds test — and zeroes only the padding region:
+// prepack time is part of executor construction, so it is kept off the
+// per-element slow path too.
 func packBF16VNNIInto(dst []byte, src []float32, rows, cols, padRows, padCols int) {
-	at := func(r, c int) BF16 {
-		if r >= rows || c >= cols {
-			return 0
-		}
-		return BF16FromFloat32(src[r*cols+c])
-	}
 	for pr := 0; pr < padRows/2; pr++ {
-		for c := 0; c < padCols; c++ {
-			v0 := at(2*pr, c)
-			v1 := at(2*pr+1, c)
-			off := (pr*padCols + c) * 4
-			dst[off] = byte(v0)
-			dst[off+1] = byte(v0 >> 8)
-			dst[off+2] = byte(v1)
-			dst[off+3] = byte(v1 >> 8)
+		r0, r1 := 2*pr, 2*pr+1
+		drow := dst[pr*padCols*4 : (pr+1)*padCols*4]
+		if r0 >= rows {
+			// Pure padding pair rows.
+			clear(drow)
+			continue
 		}
+		row0 := src[r0*cols : r0*cols+cols]
+		if r1 < rows {
+			row1 := src[r1*cols : r1*cols+cols]
+			for c := 0; c < cols; c++ {
+				v0 := BF16FromFloat32(row0[c])
+				v1 := BF16FromFloat32(row1[c])
+				drow[c*4] = byte(v0)
+				drow[c*4+1] = byte(v0 >> 8)
+				drow[c*4+2] = byte(v1)
+				drow[c*4+3] = byte(v1 >> 8)
+			}
+		} else {
+			// Odd trailing row: the second lane of every pair is padding.
+			for c := 0; c < cols; c++ {
+				v0 := BF16FromFloat32(row0[c])
+				drow[c*4] = byte(v0)
+				drow[c*4+1] = byte(v0 >> 8)
+				drow[c*4+2] = 0
+				drow[c*4+3] = 0
+			}
+		}
+		clear(drow[cols*4:]) // padding columns
 	}
+}
+
+// packBF16DecodedBInto writes the decoded view of src's VNNI image into
+// dst: the bf16-pre-rounded values laid out **column-major**,
+// dst[c*padRows+r] = RoundFloat32(src[r][c]), padding zeroed. Column c's
+// slice dst[c*padRows:] then holds exactly the lane sequence the byte
+// path reads from the VNNI image for output column c — pair p at
+// elements (2p, 2p+1) — but contiguously, so the decoded MAC loop is a
+// flat dot product.
+func packBF16DecodedBInto(dst []float32, src []float32, rows, cols, padRows, padCols int) {
+	for c := 0; c < cols; c++ {
+		dcol := dst[c*padRows : (c+1)*padRows]
+		for r := 0; r < rows; r++ {
+			dcol[r] = RoundFloat32(src[r*cols+c])
+		}
+		clear(dcol[rows:])
+	}
+	clear(dst[cols*padRows : padCols*padRows])
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
@@ -101,11 +155,33 @@ type Prepacked struct {
 	K, N       int
 	padK, padN int
 	vnni       []byte
+	// dec is the decoded view of the VNNI image: the same bf16-rounded
+	// values as float32, column-major (column c's padK lanes at
+	// dec[c*padK:]), built once at prepack time so the decoded fast path
+	// never reassembles an operand from bytes. Nil only on byte-path-only
+	// operands built by prepackBF16Bytes (the oracle used in tests).
+	dec []float32
 }
 
 // PrepackBF16 packs a row-major float32 matrix (k × n) for reuse as the
-// right-hand operand of MatmulBF16Packed.
+// right-hand operand of MatmulBF16Packed, building both the VNNI byte
+// image (the byte-accurate oracle's operand) and its decoded float32
+// view (the fast path's).
 func PrepackBF16(b []float32, k, n int) (*Prepacked, error) {
+	w, err := prepackBF16Bytes(b, k, n)
+	if err != nil {
+		return nil, err
+	}
+	w.dec = make([]float32, w.padN*w.padK)
+	packBF16DecodedBInto(w.dec, b, k, n, w.padK, w.padN)
+	return w, nil
+}
+
+// prepackBF16Bytes builds a Prepacked with only the VNNI byte image —
+// the operand form the byte-path oracle driver consumes. Production
+// callers go through PrepackBF16; tests use this to pin the decoded
+// fast path against the byte path.
+func prepackBF16Bytes(b []float32, k, n int) (*Prepacked, error) {
 	if len(b) != k*n {
 		return nil, fmt.Errorf("amx: prepack operand size %d does not match %dx%d", len(b), k, n)
 	}
@@ -134,10 +210,10 @@ func MatmulBF16(a, b []float32, m, k, n int) ([]float32, uint64, error) {
 	}
 	padK := ceilDiv(k, blockK) * blockK
 	padN := ceilDiv(n, blockN) * blockN
-	bScratch := getScratch(padK * padN * 2)
-	defer putScratch(bScratch)
-	packBF16VNNIInto(*bScratch, b, k, n, padK, padN)
-	w := Prepacked{K: k, N: n, padK: padK, padN: padN, vnni: *bScratch}
+	bScratch := getScratchF32(padK * padN)
+	defer putScratchF32(bScratch)
+	packBF16DecodedBInto(*bScratch, b, k, n, padK, padN)
+	w := Prepacked{K: k, N: n, padK: padK, padN: padN, dec: *bScratch}
 	return matmulBF16Driver(a, m, &w)
 }
 
@@ -157,10 +233,24 @@ func MatmulBF16Packed(a []float32, m int, w *Prepacked) ([]float32, uint64, erro
 	return matmulBF16Driver(a, m, w)
 }
 
-// matmulBF16Driver packs A into pooled scratch and dispatches row blocks
-// onto the persistent worker pool (single-block products run inline on
-// the caller).
+// matmulBF16Driver routes a product to the decoded fast path when the
+// operand carries its decoded view (every production Prepacked does),
+// falling back to the byte-accurate oracle otherwise. Both paths share
+// the same blocking, worker-pool dispatch, fault checks and cycle
+// accounting, and produce bit-identical results.
 func matmulBF16Driver(a []float32, m int, w *Prepacked) ([]float32, uint64, error) {
+	if w.dec != nil {
+		return matmulBF16DriverDecoded(a, m, w)
+	}
+	return matmulBF16DriverBytes(a, m, w)
+}
+
+// matmulBF16DriverBytes packs A into pooled scratch and dispatches row
+// blocks onto the persistent worker pool (single-block products run
+// inline on the caller), moving every operand through the tile file
+// byte-for-byte — the instruction-level oracle the decoded fast path is
+// pinned against.
+func matmulBF16DriverBytes(a []float32, m int, w *Prepacked) ([]float32, uint64, error) {
 	padM := ceilDiv(m, blockM) * blockM
 	aScratch := getScratch(padM * w.padK * 2)
 	defer putScratch(aScratch)
@@ -189,6 +279,48 @@ func matmulBF16Driver(a []float32, m int, w *Prepacked) ([]float32, uint64, erro
 
 	cycles, err := runTiled(matmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
 		return runRowBlock(pu.u, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, pu.cTile[:blockM*blockN*4], c, m, w.N)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, cycles, nil
+}
+
+// matmulBF16DriverDecoded is the decoded-tile fast path: A is rounded
+// once per call into pooled float32 scratch (the same values decoding
+// the byte image would yield), the prepacked operand supplies its
+// decoded VNNI view, and row blocks run TDPBF16PSDecoded over flat
+// slices. Blocking, faults and cycle accounting mirror the byte driver
+// exactly.
+func matmulBF16DriverDecoded(a []float32, m int, w *Prepacked) ([]float32, uint64, error) {
+	padM := ceilDiv(m, blockM) * blockM
+	aScratch := getScratchF32(padM * w.padK)
+	defer putScratchF32(aScratch)
+	decA := *aScratch
+	packBF16DecodedInto(decA, a, m, w.K, padM, w.padK)
+
+	c := make([]float32, m*w.N)
+	rowBlocks := padM / blockM
+	colBlocks := w.padN / blockN
+	kBlocks := w.padK / blockK
+
+	if rowBlocks == 1 {
+		// Decode-shaped fast path, closure-free.
+		caller := callerUnits.Get().(*pooledUnit)
+		defer callerUnits.Put(caller)
+		start := caller.u.Cycles()
+		err := caller.ensure(matmulConfig)
+		if err == nil {
+			err = runRowBlockDecoded(caller, 0, colBlocks, kBlocks, w.padK, w.padN, decA, w.dec, c, m, w.N)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return c, caller.u.Cycles() - start, nil
+	}
+
+	cycles, err := runTiled(matmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
+		return runRowBlockDecoded(pu, rb, colBlocks, kBlocks, w.padK, w.padN, decA, w.dec, c, m, w.N)
 	})
 	if err != nil {
 		return nil, 0, err
@@ -236,6 +368,61 @@ func runRowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packe
 					uint32(cTile[off+2])<<16 | uint32(cTile[off+3])<<24
 				c[row*n+j] = f32FromBits(bits)
 			}
+		}
+	}
+	return nil
+}
+
+// runRowBlockDecoded computes one 16-row stripe of the output through
+// the decoded entry points: the same TileZero/TileLoad/TDP/TileStore
+// sequence as runRowBlock — with identical faults and cycle accounting
+// via the *Check variants — but the MAC loop reads flat pre-decoded
+// slices and the accumulator stays float32 end to end (a byte image of
+// the accumulator would round-trip losslessly anyway, so results are
+// bit-identical).
+func runRowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, decA, decB []float32, c []float32, m, n int) error {
+	u := pu.u
+	cDec := pu.cDecF[:blockM*blockN]
+	aStrideB := padK * 2 // byte stride of the A image the byte path would load
+	bStrideB := padN * 4 // byte stride of the VNNI image the byte path would load
+	aBytes := 2 * len(decA)
+	bBytes := 2 * len(decB)
+	for cb := 0; cb < colBlocks; cb++ {
+		if err := u.TileZeroCheck(tmmC); err != nil {
+			return err
+		}
+		clear(cDec)
+		for kb := 0; kb < kBlocks; kb++ {
+			aOff := rb*blockM*padK + kb*blockK
+			if err := u.TileLoadCheck(tmmA, aBytes-2*aOff, aStrideB); err != nil {
+				return err
+			}
+			// The byte path loads the VNNI image at this offset; the bounds
+			// arithmetic is identical even though the decoded view is
+			// column-major.
+			bOffB := kb*(blockK/2)*bStrideB + cb*blockN*4
+			if err := u.TileLoadCheck(tmmB, bBytes-bOffB, bStrideB); err != nil {
+				return err
+			}
+			bOff := cb*blockN*padK + kb*blockK
+			if err := u.TDPBF16PSDecoded(tmmC, tmmA, tmmB, cDec, blockN, decA[aOff:], padK, decB[bOff:], padK); err != nil {
+				return err
+			}
+		}
+		if err := u.TileStoreCheck(tmmC, blockM*blockN*4, blockN*4); err != nil {
+			return err
+		}
+		// Scatter the f32 accumulator into the unpadded result.
+		for r := 0; r < blockM; r++ {
+			row := rb*blockM + r
+			if row >= m {
+				break
+			}
+			cols := n - cb*blockN
+			if cols > blockN {
+				cols = blockN
+			}
+			copy(c[row*n+cb*blockN:row*n+cb*blockN+cols], cDec[r*blockN:r*blockN+cols])
 		}
 	}
 	return nil

@@ -28,14 +28,14 @@ func PackU8(src []uint8, rows, cols, padRows, padCols int) []byte {
 }
 
 // packU8Into writes the padded image of src into dst, overwriting every
-// byte (dst may carry stale data from a previous use).
+// byte (dst may carry stale data from a previous use). Only the padding
+// rows/columns are zeroed — the payload is copied exactly once.
 func packU8Into(dst []byte, src []uint8, rows, cols, padRows, padCols int) {
-	for i := range dst {
-		dst[i] = 0
-	}
 	for r := 0; r < rows; r++ {
 		copy(dst[r*padCols:], src[r*cols:(r+1)*cols])
+		clear(dst[r*padCols+cols : (r+1)*padCols])
 	}
+	clear(dst[rows*padCols : padRows*padCols])
 }
 
 // PackS8VNNI converts a row-major int8 matrix (rows × cols) into the
@@ -51,23 +51,64 @@ func PackS8VNNI(src []int8, rows, cols, padRows, padCols int) []byte {
 	return out
 }
 
-// packS8VNNIInto writes the VNNI image of src into dst, overwriting every
-// byte.
+// packS8VNNIInto writes the VNNI image of src into dst. Like the BF16
+// packers it works on hoisted row slices — no per-element closure or
+// bounds conditional — and zeroes only the padding region.
 func packS8VNNIInto(dst []byte, src []int8, rows, cols, padRows, padCols int) {
-	at := func(r, c int) byte {
-		if r >= rows || c >= cols {
-			return 0
-		}
-		return byte(src[r*cols+c])
-	}
 	for pr := 0; pr < padRows/4; pr++ {
-		for c := 0; c < padCols; c++ {
-			off := (pr*padCols + c) * 4
+		drow := dst[pr*padCols*4 : (pr+1)*padCols*4]
+		if 4*pr >= rows {
+			clear(drow) // pure padding quad rows
+			continue
+		}
+		if 4*pr+3 < rows {
+			// Full quad: all four logical rows exist.
+			row0 := src[(4*pr+0)*cols : (4*pr+0)*cols+cols]
+			row1 := src[(4*pr+1)*cols : (4*pr+1)*cols+cols]
+			row2 := src[(4*pr+2)*cols : (4*pr+2)*cols+cols]
+			row3 := src[(4*pr+3)*cols : (4*pr+3)*cols+cols]
+			for c := 0; c < cols; c++ {
+				drow[c*4] = byte(row0[c])
+				drow[c*4+1] = byte(row1[c])
+				drow[c*4+2] = byte(row2[c])
+				drow[c*4+3] = byte(row3[c])
+			}
+		} else {
+			// Trailing partial quad: missing lanes are padding.
+			var qrows [4][]int8
 			for q := 0; q < 4; q++ {
-				dst[off+q] = at(4*pr+q, c)
+				if r := 4*pr + q; r < rows {
+					qrows[q] = src[r*cols : r*cols+cols]
+				}
+			}
+			for c := 0; c < cols; c++ {
+				for q, qr := range qrows {
+					if qr != nil {
+						drow[c*4+q] = byte(qr[c])
+					} else {
+						drow[c*4+q] = 0
+					}
+				}
 			}
 		}
+		clear(drow[cols*4:]) // padding columns
 	}
+}
+
+// packS8DecodedBInto writes the decoded view of src's VNNI image into
+// dst: the signed lanes laid out column-major, dst[c*padRows+r] =
+// src[r][c], padding zeroed — the INT8 twin of packBF16DecodedBInto.
+// Column c's slice holds exactly the quad sequence TDPBUSD reads for
+// output column c, contiguously.
+func packS8DecodedBInto(dst []int8, src []int8, rows, cols, padRows, padCols int) {
+	for c := 0; c < cols; c++ {
+		dcol := dst[c*padRows : (c+1)*padRows]
+		for r := 0; r < rows; r++ {
+			dcol[r] = src[r*cols+c]
+		}
+		clear(dcol[rows:])
+	}
+	clear(dst[cols*padRows : padCols*padRows])
 }
 
 // PrepackedINT8 is a right-hand signed 8-bit GEMM operand converted once
@@ -77,11 +118,30 @@ type PrepackedINT8 struct {
 	K, N       int
 	padK, padN int
 	vnni       []byte
+	// dec is the decoded view of the VNNI image: the signed lanes
+	// column-major (column c's padK lanes at dec[c*padK:]), built once at
+	// prepack time for the decoded fast path. Nil only on operands built
+	// by prepackINT8Bytes (the byte-path oracle used in tests).
+	dec []int8
 }
 
 // PrepackINT8 packs a row-major int8 matrix (k × n) for reuse as the
-// right-hand operand of MatmulINT8Packed.
+// right-hand operand of MatmulINT8Packed, building both the VNNI byte
+// image and its decoded column-major view.
 func PrepackINT8(b []int8, k, n int) (*PrepackedINT8, error) {
+	w, err := prepackINT8Bytes(b, k, n)
+	if err != nil {
+		return nil, err
+	}
+	w.dec = make([]int8, w.padN*w.padK)
+	packS8DecodedBInto(w.dec, b, k, n, w.padK, w.padN)
+	return w, nil
+}
+
+// prepackINT8Bytes builds a PrepackedINT8 with only the VNNI byte image
+// for the byte-path oracle driver; tests use it to pin the decoded fast
+// path against the byte path.
+func prepackINT8Bytes(b []int8, k, n int) (*PrepackedINT8, error) {
 	if len(b) != k*n {
 		return nil, fmt.Errorf("amx: int8 prepack operand size %d does not match %dx%d", len(b), k, n)
 	}
@@ -109,10 +169,10 @@ func MatmulINT8(a []uint8, b []int8, m, k, n int) ([]int32, uint64, error) {
 	}
 	padK := ceilDiv(k, blockKi8) * blockKi8
 	padN := ceilDiv(n, blockNi8) * blockNi8
-	bScratch := getScratch(padK * padN)
-	defer putScratch(bScratch)
-	packS8VNNIInto(*bScratch, b, k, n, padK, padN)
-	w := PrepackedINT8{K: k, N: n, padK: padK, padN: padN, vnni: *bScratch}
+	bScratch := getScratchI8(padK * padN)
+	defer putScratchI8(bScratch)
+	packS8DecodedBInto(*bScratch, b, k, n, padK, padN)
+	w := PrepackedINT8{K: k, N: n, padK: padK, padN: padN, dec: *bScratch}
 	return matmulINT8Driver(a, m, &w)
 }
 
@@ -134,7 +194,10 @@ func MatmulINT8Packed(a []uint8, m int, w *PrepackedINT8) ([]int32, uint64, erro
 
 // matmulINT8Driver packs A into pooled scratch and dispatches row blocks
 // onto the persistent worker pool (single-block products run inline on
-// the caller).
+// the caller), routing to the decoded fast path when the operand carries
+// its decoded view (every production PrepackedINT8 does). The unsigned A
+// image needs no decoding — its padded bytes are the lane values — so
+// both paths share it.
 func matmulINT8Driver(a []uint8, m int, w *PrepackedINT8) ([]int32, uint64, error) {
 	padM := ceilDiv(m, blockMi8) * blockMi8
 	aScratch := getScratch(padM * w.padK)
@@ -154,7 +217,11 @@ func matmulINT8Driver(a []uint8, m int, w *PrepackedINT8) ([]int32, uint64, erro
 		start := caller.u.Cycles()
 		err := caller.ensure(int8MatmulConfig)
 		if err == nil {
-			err = runInt8RowBlock(caller.u, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, caller.cTile[:blockMi8*blockNi8*4], c, m, w.N)
+			if w.dec != nil {
+				err = runInt8RowBlockDecoded(caller, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.dec, c, m, w.N)
+			} else {
+				err = runInt8RowBlock(caller.u, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, caller.cTile[:blockMi8*blockNi8*4], c, m, w.N)
+			}
 		}
 		if err != nil {
 			return nil, 0, err
@@ -163,6 +230,9 @@ func matmulINT8Driver(a []uint8, m int, w *PrepackedINT8) ([]int32, uint64, erro
 	}
 
 	cycles, err := runTiled(int8MatmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
+		if w.dec != nil {
+			return runInt8RowBlockDecoded(pu, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.dec, c, m, w.N)
+		}
 		return runInt8RowBlock(pu.u, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, pu.cTile[:blockMi8*blockNi8*4], c, m, w.N)
 	})
 	if err != nil {
@@ -209,6 +279,56 @@ func runInt8RowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, p
 				c[row*n+j] = int32(uint32(cTile[off]) | uint32(cTile[off+1])<<8 |
 					uint32(cTile[off+2])<<16 | uint32(cTile[off+3])<<24)
 			}
+		}
+	}
+	return nil
+}
+
+// runInt8RowBlockDecoded computes one 16-row stripe of the INT8 output
+// through the decoded entry points — the TDPBUSD mirror of
+// runRowBlockDecoded: identical faults and cycle accounting via the
+// *Check variants, flat-slice MAC loop, int32 accumulator kept decoded
+// (its byte image round-trips losslessly, so results are bit-identical).
+func runInt8RowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, packedA []byte, decB []int8, c []int32, m, n int) error {
+	u := pu.u
+	cDec := pu.cDecI[:blockMi8*blockNi8]
+	aStride := padK     // bytes per packed A row (u8)
+	bStrideB := padN * 4 // byte stride of the VNNI image the byte path would load
+	bBytes := len(decB)
+	for cb := 0; cb < colBlocks; cb++ {
+		if err := u.TileZeroCheck(tmmC); err != nil {
+			return err
+		}
+		clear(cDec)
+		for kb := 0; kb < kBlocks; kb++ {
+			aOff := rb*blockMi8*aStride + kb*blockKi8
+			if err := u.TileLoadCheck(tmmA, len(packedA)-aOff, aStride); err != nil {
+				return err
+			}
+			// Bounds arithmetic of the byte path's VNNI load, applied to the
+			// column-major decoded view's equal-sized backing.
+			bOffB := kb*(blockKi8/4)*bStrideB + cb*blockNi8*4
+			if err := u.TileLoadCheck(tmmB, bBytes-bOffB, bStrideB); err != nil {
+				return err
+			}
+			bOff := cb*blockNi8*padK + kb*blockKi8
+			if err := u.TDPBUSDDecoded(tmmC, tmmA, tmmB, cDec, blockNi8, packedA[aOff:], aStride, decB[bOff:], padK); err != nil {
+				return err
+			}
+		}
+		if err := u.TileStoreCheck(tmmC, blockMi8*blockNi8*4, blockNi8*4); err != nil {
+			return err
+		}
+		for r := 0; r < blockMi8; r++ {
+			row := rb*blockMi8 + r
+			if row >= m {
+				break
+			}
+			cols := n - cb*blockNi8
+			if cols > blockNi8 {
+				cols = blockNi8
+			}
+			copy(c[row*n+cb*blockNi8:row*n+cb*blockNi8+cols], cDec[r*blockNi8:r*blockNi8+cols])
 		}
 	}
 	return nil

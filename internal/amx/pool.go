@@ -15,12 +15,15 @@ import (
 
 // pooledUnit is one worker's persistent emulator state: a Unit, the
 // last-installed tile palette (so reconfiguration only happens when the
-// pipeline switches between BF16 and INT8 geometry), and a C-tile staging
-// buffer.
+// pipeline switches between BF16 and INT8 geometry), a C-tile staging
+// buffer for the byte path, and the decoded fast path's flat C
+// accumulators (float32 for TDPBF16PSDecoded, int32 for TDPBUSDDecoded).
 type pooledUnit struct {
 	u     *Unit
 	cfg   TileConfig
 	cTile [MaxRows * MaxColBytes]byte
+	cDecF [blockM * blockN]float32
+	cDecI [blockMi8 * blockNi8]int32
 }
 
 // ensure installs cfg unless it is already the active palette.
@@ -155,3 +158,38 @@ func getScratch(n int) *[]byte {
 
 // putScratch returns a buffer obtained from getScratch.
 func putScratch(bp *[]byte) { packScratch.Put(bp) }
+
+// f32Scratch and i8Scratch recycle the decoded fast path's operand
+// buffers (pre-rounded A stripes, per-call decoded B views) across
+// matmul calls, mirroring packScratch for the byte images.
+var (
+	f32Scratch = sync.Pool{New: func() any { return new([]float32) }}
+	i8Scratch  = sync.Pool{New: func() any { return new([]int8) }}
+)
+
+// getScratchF32 returns a length-n float32 buffer (contents unspecified;
+// the decoded pack routines overwrite every element including padding).
+func getScratchF32(n int) *[]float32 {
+	bp := f32Scratch.Get().(*[]float32)
+	if cap(*bp) < n {
+		*bp = make([]float32, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putScratchF32 returns a buffer obtained from getScratchF32.
+func putScratchF32(bp *[]float32) { f32Scratch.Put(bp) }
+
+// getScratchI8 returns a length-n int8 buffer under the same contract.
+func getScratchI8(n int) *[]int8 {
+	bp := i8Scratch.Get().(*[]int8)
+	if cap(*bp) < n {
+		*bp = make([]int8, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putScratchI8 returns a buffer obtained from getScratchI8.
+func putScratchI8(bp *[]int8) { i8Scratch.Put(bp) }

@@ -10,9 +10,10 @@
 // — is executable end to end, and that the offloading decision never
 // changes the computed tokens (the policy-invariance property the paper's
 // correctness implicitly rests on). The executor mirrors what LIA's §5
-// kernels amortize: static weights are packed (VNNI) or rounded (BF16)
-// once per executor and the KV cache grows in place, so the steady-state
-// decode loop is free of repacking and of quadratic copying.
+// kernels amortize: static weights are packed (VNNI image + decoded view
+// for amx's fast-path TMUL tier) or rounded (BF16) once per executor and
+// the KV cache grows in place, so the steady-state decode loop is free of
+// repacking, of quadratic copying, and of per-multiply operand decoding.
 package llm
 
 import (
@@ -193,10 +194,12 @@ type quantizedLayer struct {
 }
 
 // packedWeight caches the two static-layout conversions of one parameter
-// matrix: the VNNI tile image for the AMX route and the BF16-rounded copy
-// for the dense (GPU) route. Each is built at most once per executor —
-// the per-weight cost a real AMX kernel amortizes — and is immutable
-// afterwards, so batch sequences share it concurrently.
+// matrix: the prepacked AMX operand (VNNI tile image plus the decoded
+// column-major view amx's fast-path TMUL tier reads, both built by one
+// PrepackBF16 call) and the BF16-rounded copy for the dense (GPU) route.
+// Each is built at most once per executor — the per-weight cost a real
+// AMX kernel amortizes — and is immutable afterwards, so batch sequences
+// share it concurrently.
 type packedWeight struct {
 	cpuOnce sync.Once
 	cpu     *amx.Prepacked

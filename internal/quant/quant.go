@@ -32,10 +32,12 @@ type Weights struct {
 	// ColSums caches Σ_k Q[k][j], needed for the activation zero-point
 	// correction.
 	ColSums []int32
-	// pre is the VNNI tile image of Q, built once at quantization time so
-	// Linear never re-packs the static operand (packing is layout-only,
-	// so results are unchanged). Nil for hand-built Weights, which fall
-	// back to the per-call packing path.
+	// pre is the prepacked form of Q, built once at quantization time so
+	// Linear never re-packs the static operand: the VNNI tile image plus
+	// the decoded column-major lane view amx's fast path consumes
+	// (PrepackINT8 builds both; packing is layout-only, so results are
+	// unchanged). Nil for hand-built Weights, which fall back to the
+	// per-call packing path.
 	pre *amx.PrepackedINT8
 }
 
