@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-functional
+.PHONY: check vet build test race bench bench-functional bench-gateway fuzz-smoke
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the runner pool and shared caches are
@@ -28,3 +28,17 @@ bench:
 bench-functional:
 	$(GO) test -bench='BenchmarkFunctionalDecodeStep|BenchmarkAMXMatmul|BenchmarkFunctionalGenerateBatch|BenchmarkTDP' \
 		-benchmem -benchtime=2s -run=^$$ .
+
+# bench-gateway drives the live gateway with concurrent closed-loop
+# clients and records sustained req/s plus exact client-side TTFT
+# percentiles into BENCH_gateway.json.
+bench-gateway:
+	$(GO) run ./cmd/lia-serve -live-bench -bench-clients 8 -bench-seconds 3 \
+		-max-batch 8 -live-kv-tokens 256 -seed 1 > BENCH_gateway.json
+	@cat BENCH_gateway.json
+
+# fuzz-smoke gives each native fuzz target a short budget — enough to
+# exercise the mutator without turning CI into a fuzz farm.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzTraceGenerator -fuzztime=10s -run=^$$ ./internal/trace
+	$(GO) test -fuzz=FuzzServeConfigValidate -fuzztime=10s -run=^$$ ./internal/serve

@@ -1,19 +1,48 @@
-// Command lia-serve simulates a serving deployment: Poisson arrivals
-// drawn from the Azure-style trace distributions (§7), a batcher with a
-// size cap and waiting window, and the chosen framework as the backend.
-// It reports per-request latency percentiles and sustained throughput.
+// Command lia-serve runs the serving layer in two modes.
+//
+// Simulator (default): Poisson arrivals drawn from the Azure-style trace
+// distributions (§7), a batcher with a size cap and waiting window, and
+// the chosen framework as the analytic backend. Reports per-request
+// latency percentiles and sustained throughput.
 //
 //	lia-serve -system SPR-A100 -model OPT-30B -rate 2 -requests 64 -max-batch 16
+//
+// Live (-live): a real HTTP gateway over the functional inference engine
+// — the same iteration-level continuous-batching policy the simulator
+// runs, driving llm.Executor under concurrent traffic with bounded-queue
+// load shedding, per-request deadlines, and Prometheus metrics:
+//
+//	lia-serve -live -addr :8080 -live-model tiny -max-batch 8
+//	curl -s localhost:8080/v1/generate -d '{"prompt":[5,17,42],"max_new_tokens":8}'
+//
+// Live bench (-live-bench): drives the in-process gateway with
+// concurrent closed-loop clients for a fixed window and prints sustained
+// req/s plus exact client-side TTFT percentiles as JSON (the
+// BENCH_gateway.json baseline).
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
+	"net/http"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"github.com/lia-sim/lia"
+	"github.com/lia-sim/lia/internal/core"
 	"github.com/lia-sim/lia/internal/engine"
+	"github.com/lia-sim/lia/internal/gateway"
+	"github.com/lia-sim/lia/internal/llm"
+	"github.com/lia-sim/lia/internal/model"
 	"github.com/lia-sim/lia/internal/serve"
 	"github.com/lia-sim/lia/internal/trace"
 	"github.com/lia-sim/lia/internal/units"
@@ -21,48 +50,289 @@ import (
 
 func main() {
 	var (
-		systemName = flag.String("system", "SPR-A100", "system name")
-		modelName  = flag.String("model", "OPT-30B", "model name")
-		fwName     = flag.String("framework", "LIA", "backend framework")
+		// Simulator flags.
+		systemName = flag.String("system", "SPR-A100", "system name (simulator)")
+		modelName  = flag.String("model", "OPT-30B", "model name (simulator)")
+		fwName     = flag.String("framework", "LIA", "backend framework (simulator)")
 		kind       = flag.String("trace", "code", "trace family: code (Lout≈32) or conversation (Lout≈256)")
-		rate       = flag.Float64("rate", 1, "arrival rate, requests/second")
+		rate       = flag.Float64("rate", 1, "arrival rate, requests/second (simulator)")
 		n          = flag.Int("requests", 64, "number of requests to simulate")
-		maxBatch   = flag.Int("max-batch", 16, "batch former size cap")
-		maxWait    = flag.Float64("max-wait", 5, "batching window, seconds")
-		seed       = flag.Int64("seed", 1, "random seed")
+		maxWait    = flag.Float64("max-wait", 5, "batching window, seconds (static simulator)")
 		continuous = flag.Bool("continuous", false, "iteration-level (continuous) batching instead of static batches")
 		kvBudgetGB = flag.Float64("kv-budget-gb", 0, "paged KV-cache pool size in GB (continuous only; 0 = unconstrained)")
+
+		// Shared.
+		maxBatch = flag.Int("max-batch", 16, "batch size cap")
+		seed     = flag.Int64("seed", 1, "random seed")
+
+		// Live gateway flags.
+		live       = flag.Bool("live", false, "serve real inference over HTTP instead of simulating")
+		liveBench  = flag.Bool("live-bench", false, "benchmark the in-process live gateway and print JSON")
+		addr       = flag.String("addr", ":8080", "listen address (live)")
+		liveModel  = flag.String("live-model", "tiny", "functional model: tiny or tiny-llama (live)")
+		livePolicy = flag.String("live-policy", "partial", "offloading policy: gpu, cpu, or partial (live)")
+		queueDepth = flag.Int("queue-depth", 64, "admission queue bound; excess sheds with 429 (live)")
+		kvTokens   = flag.Int("live-kv-tokens", 0, "paged KV pool capacity in tokens (live; 0 = unconstrained)")
+		drainSecs  = flag.Float64("drain-timeout", 30, "graceful shutdown drain budget, seconds (live)")
+
+		// Live bench flags.
+		benchClients = flag.Int("bench-clients", 8, "concurrent closed-loop clients (live-bench)")
+		benchSecs    = flag.Float64("bench-seconds", 3, "measurement window, seconds (live-bench)")
+		benchTokens  = flag.Int("bench-tokens", 16, "tokens generated per request (live-bench)")
 	)
 	flag.Parse()
 
-	sys, err := lia.SystemByName(*systemName)
+	if *live || *liveBench {
+		g, desc, err := buildGateway(*liveModel, *livePolicy, *maxBatch, *queueDepth, *kvTokens, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *liveBench {
+			err = runBench(g, desc, *benchClients, *benchSecs, *benchTokens, *seed)
+		} else {
+			err = runLive(g, desc, *addr, *drainSecs)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	runSimulator(*systemName, *modelName, *fwName, *kind, *rate, *n, *maxBatch, *maxWait, *seed, *continuous, *kvBudgetGB)
+}
+
+// buildGateway assembles the live serving stack: a random-weight
+// functional model, an executor with the chosen offloading policy, and
+// the gateway in front of them.
+func buildGateway(modelName, policyName string, maxBatch, queueDepth, kvTokens int, seed int64) (*gateway.Gateway, string, error) {
+	var cfg model.Config
+	switch strings.ToLower(modelName) {
+	case "tiny":
+		cfg = llm.TinyConfig()
+	case "tiny-llama", "tinyllama":
+		cfg = llm.TinyLlamaConfig()
+	default:
+		return nil, "", fmt.Errorf("unknown live model %q (want tiny or tiny-llama)", modelName)
+	}
+	var pol core.Policy
+	switch strings.ToLower(policyName) {
+	case "gpu":
+		// zero value: everything on GPU
+	case "cpu":
+		pol = core.FullCPU
+	case "partial":
+		pol = core.PartialCPU
+	default:
+		return nil, "", fmt.Errorf("unknown policy %q (want gpu, cpu, or partial)", policyName)
+	}
+	m, err := llm.NewRandom(cfg, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	var budget units.Bytes
+	if kvTokens > 0 {
+		budget = cfg.KVBytes(1, kvTokens)
+	}
+	g, err := gateway.New(llm.NewExecutor(m, pol), gateway.Config{
+		MaxBatch:      maxBatch,
+		QueueDepth:    queueDepth,
+		KVBudget:      budget,
+		KVBlockTokens: 4,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	desc := fmt.Sprintf("%s model, %s policy, max batch %d, queue %d", modelName, policyName, maxBatch, queueDepth)
+	if kvTokens > 0 {
+		desc += fmt.Sprintf(", KV pool %d tokens", kvTokens)
+	}
+	return g, desc, nil
+}
+
+// runLive serves the gateway over HTTP until SIGINT/SIGTERM, then drains
+// within the budget and dumps final stats.
+func runLive(g *gateway.Gateway, desc, addr string, drainSecs float64) error {
+	srv := &http.Server{Addr: addr, Handler: g.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("lia-serve: live gateway on %s (%s)\n", addr, desc)
+	fmt.Printf("  try: curl -s localhost%s/v1/generate -d '{\"prompt\":[5,17,42],\"max_new_tokens\":8}'\n", portOf(addr))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("lia-serve: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(drainSecs*float64(time.Second)))
+	defer cancel()
+	gwErr := g.Shutdown(drainCtx)
+	_ = srv.Shutdown(drainCtx)
+	dumpStats(g.Snapshot())
+	if gwErr != nil {
+		return fmt.Errorf("drain aborted: %w", gwErr)
+	}
+	return nil
+}
+
+func dumpStats(s gateway.Snapshot) {
+	fmt.Printf("  served      : %d requests, %d tokens (%d preemptions)\n", s.Completed, s.Tokens, s.Preempted)
+	fmt.Printf("  refused     : %d shed, %d rejected, %d canceled\n", s.Shed, s.Rejected, s.Canceled)
+	fmt.Printf("  queue wait  : mean %v, p99 ≤%v\n", s.QueueWaitMean, s.QueueWaitP99)
+	fmt.Printf("  ttft        : mean %v, p50 ≤%v, p99 ≤%v\n", s.TTFTMean, s.TTFTP50, s.TTFTP99)
+	fmt.Printf("  decode step : mean %v\n", s.PerTokenMean)
+}
+
+func portOf(addr string) string {
+	if i := strings.LastIndex(addr, ":"); i >= 0 {
+		return addr[i:]
+	}
+	return ":" + addr
+}
+
+// benchReport is the BENCH_gateway.json measurement payload. Percentiles
+// are exact (sorted client-side samples), not histogram bucket bounds.
+type benchReport struct {
+	Config struct {
+		Description string  `json:"description"`
+		Clients     int     `json:"clients"`
+		Seconds     float64 `json:"seconds"`
+		TokensPerOp int     `json:"tokens_per_request"`
+	} `json:"config"`
+	Completed        int     `json:"completed"`
+	Shed             uint64  `json:"shed"`
+	Preempted        uint64  `json:"preempted"`
+	SustainedReqS    float64 `json:"sustained_req_per_s"`
+	TokensPerS       float64 `json:"tokens_per_s"`
+	TTFTP50Ms        float64 `json:"ttft_p50_ms"`
+	TTFTP99Ms        float64 `json:"ttft_p99_ms"`
+	TotalP50Ms       float64 `json:"total_p50_ms"`
+	TotalP99Ms       float64 `json:"total_p99_ms"`
+	QueueMeanMs      float64 `json:"queue_wait_mean_ms"`
+	DecodeStepMeanMs float64 `json:"decode_step_mean_ms"`
+}
+
+// runBench drives the in-process gateway with closed-loop clients for a
+// fixed window and prints exact client-side percentiles as JSON.
+func runBench(g *gateway.Gateway, desc string, clients int, seconds float64, tokens int, seed int64) error {
+	type sample struct{ ttft, total time.Duration }
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for time.Now().Before(deadline) {
+				prompt := make([]int, 4+rng.Intn(8))
+				for i := range prompt {
+					prompt[i] = rng.Intn(64)
+				}
+				res, err := g.Submit(context.Background(), prompt, tokens)
+				if err != nil {
+					if errors.Is(err, gateway.ErrOverloaded) {
+						time.Sleep(time.Millisecond) // closed loop backs off on shed
+						continue
+					}
+					return
+				}
+				mu.Lock()
+				samples = append(samples, sample{ttft: res.TTFT, total: res.Total})
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := g.Shutdown(ctx); err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("bench served no requests")
+	}
+
+	// Exact nearest-rank percentile over the raw samples.
+	pct := func(d []time.Duration, p float64) time.Duration {
+		idx := int(p*float64(len(d))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(d) {
+			idx = len(d) - 1
+		}
+		return d[idx]
+	}
+	ttfts := make([]time.Duration, len(samples))
+	totals := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		ttfts[i], totals[i] = s.ttft, s.total
+	}
+	sort.Slice(ttfts, func(i, j int) bool { return ttfts[i] < ttfts[j] })
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+
+	snap := g.Snapshot()
+	var rep benchReport
+	rep.Config.Description = desc
+	rep.Config.Clients = clients
+	rep.Config.Seconds = seconds
+	rep.Config.TokensPerOp = tokens
+	rep.Completed = len(samples)
+	rep.Shed = snap.Shed
+	rep.Preempted = snap.Preempted
+	rep.SustainedReqS = float64(len(samples)) / elapsed.Seconds()
+	rep.TokensPerS = float64(len(samples)*tokens) / elapsed.Seconds()
+	rep.TTFTP50Ms = ms(pct(ttfts, 0.50))
+	rep.TTFTP99Ms = ms(pct(ttfts, 0.99))
+	rep.TotalP50Ms = ms(pct(totals, 0.50))
+	rep.TotalP99Ms = ms(pct(totals, 0.99))
+	rep.QueueMeanMs = ms(snap.QueueWaitMean)
+	rep.DecodeStepMeanMs = ms(snap.PerTokenMean)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runSimulator is the original analytic serving simulator.
+func runSimulator(systemName, modelName, fwName, kind string, rate float64, n, maxBatch int, maxWait float64, seed int64, continuous bool, kvBudgetGB float64) {
+	sys, err := lia.SystemByName(systemName)
 	if err != nil {
 		fatal(err)
 	}
-	m, err := lia.ModelByName(*modelName)
+	m, err := lia.ModelByName(modelName)
 	if err != nil {
 		fatal(err)
 	}
 	fw := engine.LIA
-	switch strings.ToLower(*fwName) {
+	switch strings.ToLower(fwName) {
 	case "lia":
 	case "ipex":
 		fw = engine.IPEX
 	case "flexgen":
 		fw = engine.FlexGen
 	default:
-		fatal(fmt.Errorf("unknown framework %q", *fwName))
+		fatal(fmt.Errorf("unknown framework %q", fwName))
 	}
 	family := trace.Code
-	if strings.HasPrefix(strings.ToLower(*kind), "conv") {
+	if strings.HasPrefix(strings.ToLower(kind), "conv") {
 		family = trace.Conversation
 	}
 
-	gen, err := trace.NewGenerator(family, 32, m.MaxSeqLen-family.MeanOutput(), *seed)
+	gen, err := trace.NewGenerator(family, 32, m.MaxSeqLen-family.MeanOutput(), seed)
 	if err != nil {
 		fatal(err)
 	}
-	reqs, err := serve.PoissonArrivals(gen, *n, *rate, *seed+1)
+	reqs, err := serve.PoissonArrivals(gen, n, rate, seed+1)
 	if err != nil {
 		fatal(err)
 	}
@@ -70,14 +340,14 @@ func main() {
 		System:             sys,
 		Model:              m,
 		Framework:          fw,
-		MaxBatch:           *maxBatch,
-		MaxWait:            units.Seconds(*maxWait),
+		MaxBatch:           maxBatch,
+		MaxWait:            units.Seconds(maxWait),
 		AssumeHostCapacity: true,
-		KVBudget:           units.Bytes(*kvBudgetGB) * units.GB,
+		KVBudget:           units.Bytes(kvBudgetGB) * units.GB,
 	}
 	simulate := serve.Simulate
 	mode := "static batching"
-	if *continuous {
+	if continuous {
 		simulate = serve.SimulateContinuous
 		mode = "continuous batching"
 	}
@@ -87,7 +357,7 @@ func main() {
 	}
 
 	fmt.Printf("%s serving %s on %s — %d requests at %.2f req/s (%s trace, %s)\n",
-		fw, m.Name, sys.Name, *n, *rate, family, mode)
+		fw, m.Name, sys.Name, n, rate, family, mode)
 	fmt.Printf("  completed   : %d in %v (%d batches, mean size %.1f)\n",
 		metrics.Completed, metrics.Makespan, metrics.Batches, metrics.MeanBatchSize)
 	fmt.Printf("  throughput  : %.1f tokens/s\n", metrics.Throughput)

@@ -1,0 +1,267 @@
+// Package batchpolicy is the iteration-level continuous-batching policy
+// shared by the serving simulator (internal/serve) and the live serving
+// gateway (internal/gateway): FIFO admission with eager KV-block
+// reservation, youngest-first preemption under paged-KV pressure, and
+// immediate retirement of finished sequences. Extracting the policy into
+// one package is what lets the differential test pin the simulator and
+// the gateway to the exact same admission/preemption/completion order —
+// the LLMServingSim-style alignment the ROADMAP calls for.
+//
+// The Scheduler is deliberately single-goroutine: the simulator runs it
+// inline and the gateway confines it to the batcher goroutine, so the
+// policy itself needs no locks and stays a deterministic state machine.
+package batchpolicy
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/kvpage"
+)
+
+// Item is one piece of admittable work: the caller-side handle plus the
+// lengths the policy needs for KV-block accounting.
+type Item struct {
+	// Ref is the caller's handle for the request (trace index for the
+	// simulator, request serial for the gateway). It survives preemption:
+	// a re-admitted request keeps its Ref but receives a fresh Seq ID.
+	Ref int
+	// PromptLen is the prompt length in tokens (KV blocks reserved at
+	// admission).
+	PromptLen int
+	// OutputLen is the number of tokens to generate.
+	OutputLen int
+}
+
+// Seq is one running sequence's scheduler-visible state. The batch is
+// ordered by admission, so the slice's last element is always the
+// youngest — the preemption victim.
+type Seq struct {
+	// ID is the KV-pool sequence id, unique per admission (a preempted
+	// and re-admitted request gets a new one).
+	ID int
+	// Item is the admitted work.
+	Item Item
+	// Context is the tokens in the KV cache; Remaining the output tokens
+	// still to produce.
+	Context   int
+	Remaining int
+}
+
+// EventKind labels a scheduling decision.
+type EventKind uint8
+
+// Scheduling decisions, in the order the policy can make them for one
+// request: admitted (possibly again after preemption), preempted,
+// completed.
+const (
+	EventAdmit EventKind = iota
+	EventPreempt
+	EventComplete
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventAdmit:
+		return "admit"
+	case EventPreempt:
+		return "preempt"
+	case EventComplete:
+		return "complete"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event records one scheduling decision — the differential test compares
+// the full event streams of the simulator and the gateway replay.
+type Event struct {
+	Kind EventKind
+	// Ref is the request's caller handle, Seq its pool id at the time of
+	// the decision.
+	Ref, Seq int
+}
+
+// Scheduler owns the continuous-batching state: the running batch, the
+// requeue list of preempted work (served before new arrivals), and the
+// optional paged KV pool. It must be driven from a single goroutine.
+type Scheduler struct {
+	maxBatch int
+	pool     *kvpage.Manager // nil = unconstrained
+	running  []Seq
+	requeued []Item
+	nextID   int
+
+	// OnEvent, when set, observes every scheduling decision in order.
+	OnEvent func(Event)
+}
+
+// NewScheduler builds a scheduler over an optional paged KV pool
+// (nil pool = unconstrained admission up to maxBatch).
+func NewScheduler(maxBatch int, pool *kvpage.Manager) (*Scheduler, error) {
+	if maxBatch < 1 {
+		return nil, fmt.Errorf("batchpolicy: max batch must be ≥1, got %d", maxBatch)
+	}
+	return &Scheduler{maxBatch: maxBatch, pool: pool}, nil
+}
+
+// event emits e to the observer, if any.
+func (s *Scheduler) event(kind EventKind, ref, seq int) {
+	if s.OnEvent != nil {
+		s.OnEvent(Event{Kind: kind, Ref: ref, Seq: seq})
+	}
+}
+
+// Running returns the running batch in admission order. The slice is a
+// snapshot; mutating it does not affect the scheduler.
+func (s *Scheduler) Running() []Seq {
+	out := make([]Seq, len(s.running))
+	copy(out, s.running)
+	return out
+}
+
+// RunningLen returns the running batch's size.
+func (s *Scheduler) RunningLen() int { return len(s.running) }
+
+// RequeuedLen returns how many preempted items await re-admission.
+func (s *Scheduler) RequeuedLen() int { return len(s.requeued) }
+
+// Busy reports whether any work is running or awaiting re-admission.
+func (s *Scheduler) Busy() bool { return len(s.running) > 0 || len(s.requeued) > 0 }
+
+// Pool returns the paged KV pool (nil when unconstrained).
+func (s *Scheduler) Pool() *kvpage.Manager { return s.pool }
+
+// tryReserve admits one item if the batch has room and the pool can hold
+// its prompt, reserving blocks eagerly so one admission wave cannot
+// over-commit.
+func (s *Scheduler) tryReserve(it Item) bool {
+	if len(s.running) >= s.maxBatch {
+		return false
+	}
+	if s.pool != nil {
+		if !s.pool.CanAdmit(it.PromptLen) {
+			return false
+		}
+		if err := s.pool.Admit(s.nextID, it.PromptLen); err != nil {
+			return false
+		}
+	}
+	seq := Seq{ID: s.nextID, Item: it, Context: it.PromptLen, Remaining: it.OutputLen}
+	s.nextID++
+	s.running = append(s.running, seq)
+	s.event(EventAdmit, it.Ref, seq.ID)
+	return true
+}
+
+// Admit admits work into the running batch: preempted (requeued) items
+// first, then the waiting list in order, while the batch and the pool
+// both have room. Admission is FIFO-blocking within each list — the
+// first item that cannot reserve its blocks stops that list — but a
+// stuck requeued head does not block smaller arrivals (same semantics
+// the simulator always had). It returns the newly admitted sequences in
+// admission order and how many items were consumed from waiting.
+func (s *Scheduler) Admit(waiting []Item) (admitted []Seq, consumed int) {
+	first := len(s.running)
+	for len(s.requeued) > 0 && s.tryReserve(s.requeued[0]) {
+		s.requeued = s.requeued[1:]
+	}
+	for consumed < len(waiting) && s.tryReserve(waiting[consumed]) {
+		consumed++
+	}
+	if len(s.running) > first {
+		admitted = make([]Seq, len(s.running)-first)
+		copy(admitted, s.running[first:])
+	}
+	return admitted, consumed
+}
+
+// ExtendAll grows every running sequence's KV reservation by one token
+// slot ahead of a decode iteration. When the pool cannot supply a block,
+// the youngest sequence is preempted — its blocks released and its item
+// moved to the requeue list for full recomputation — and the allocation
+// retries, repeating until the extension fits. If the victim is the very
+// sequence being extended (it was both the youngest and the one that
+// failed), extension stops there: everything before it already holds its
+// new block. Errors when even a one-sequence batch cannot extend, since
+// preempting the only member would make no progress. With a nil pool it
+// is a no-op.
+func (s *Scheduler) ExtendAll() (evicted []Seq, err error) {
+	if s.pool == nil {
+		return nil, nil
+	}
+	for i := 0; i < len(s.running); i++ {
+		for s.pool.Extend(s.running[i].ID) != nil {
+			if len(s.running) <= 1 {
+				return nil, fmt.Errorf("batchpolicy: KV pool cannot extend the sole running sequence")
+			}
+			last := s.running[len(s.running)-1]
+			s.running = s.running[:len(s.running)-1]
+			if err := s.pool.Release(last.ID); err != nil {
+				return nil, err
+			}
+			s.requeued = append(s.requeued, last.Item)
+			s.event(EventPreempt, last.Item.Ref, last.ID)
+			evicted = append(evicted, last)
+			if i >= len(s.running) {
+				return evicted, nil
+			}
+		}
+	}
+	return evicted, nil
+}
+
+// FinishStep accounts one completed decode iteration: every running
+// sequence gains a context token and owes one fewer, and sequences that
+// just emitted their last token retire immediately, releasing their
+// blocks. It returns the finished sequences in batch order.
+func (s *Scheduler) FinishStep() (finished []Seq, err error) {
+	kept := s.running[:0]
+	for _, seq := range s.running {
+		seq.Context++
+		seq.Remaining--
+		if seq.Remaining <= 0 {
+			if s.pool != nil {
+				if err := s.pool.Release(seq.ID); err != nil {
+					return nil, err
+				}
+			}
+			s.event(EventComplete, seq.Item.Ref, seq.ID)
+			finished = append(finished, seq)
+		} else {
+			kept = append(kept, seq)
+		}
+	}
+	s.running = kept
+	return finished, nil
+}
+
+// Remove drops a running sequence by pool id without requeueing it (the
+// gateway's cancellation path), releasing its blocks.
+func (s *Scheduler) Remove(id int) error {
+	for i, seq := range s.running {
+		if seq.ID == id {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			if s.pool != nil {
+				return s.pool.Release(id)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("batchpolicy: sequence %d is not running", id)
+}
+
+// DropRequeued removes requeued items for which drop returns true (the
+// gateway's cancellation path for preempted work) and returns them.
+func (s *Scheduler) DropRequeued(drop func(Item) bool) []Item {
+	var dropped []Item
+	kept := s.requeued[:0]
+	for _, it := range s.requeued {
+		if drop(it) {
+			dropped = append(dropped, it)
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	s.requeued = kept
+	return dropped
+}

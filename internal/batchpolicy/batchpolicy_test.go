@@ -1,0 +1,243 @@
+package batchpolicy
+
+import (
+	"testing"
+
+	"github.com/lia-sim/lia/internal/kvpage"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// testPool builds a pool of exactly `blocks` blocks of 4 token slots each
+// (1 byte per token keeps the budget arithmetic trivial).
+func testPool(t *testing.T, blocks int) *kvpage.Manager {
+	t.Helper()
+	pool, err := kvpage.NewManager(units.Bytes(blocks*4), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.TotalBlocks() != blocks {
+		t.Fatalf("pool sized %d blocks, want %d", pool.TotalBlocks(), blocks)
+	}
+	return pool
+}
+
+// sched builds a scheduler over a fresh test pool and places the given
+// prompt lengths directly into the running batch (bypassing Admit's
+// one-block headroom requirement, like the original hand-written serve
+// tests, so exactly-full pools are constructible).
+func sched(t *testing.T, blocks, maxBatch int, prompts ...int) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(maxBatch, testPool(t, blocks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range prompts {
+		if err := s.pool.Admit(i, p); err != nil {
+			t.Fatal(err)
+		}
+		s.running = append(s.running, Seq{ID: i, Item: Item{Ref: i, PromptLen: p, OutputLen: 100}, Context: p, Remaining: 100})
+		s.nextID = i + 1
+	}
+	return s
+}
+
+// checkBooks asserts the allocator's books balance: blocks held by the
+// running sequences plus the free list must partition the pool.
+func checkBooks(t *testing.T, s *Scheduler) {
+	t.Helper()
+	pool := s.Pool()
+	if pool.Live() != s.RunningLen() {
+		t.Errorf("pool holds %d live sequences, batch has %d", pool.Live(), s.RunningLen())
+	}
+	used := 0
+	for _, seq := range s.Running() {
+		used += (pool.Tokens(seq.ID) + 3) / 4 // blocksFor with 4-token blocks
+	}
+	if got := pool.TotalBlocks() - pool.FreeBlocks(); got != used {
+		t.Errorf("%d blocks allocated, running sequences account for %d — blocks leaked", got, used)
+	}
+}
+
+// TestExtendAllSelfPreemption: the regression the original extraction
+// guarded. When the youngest sequence is itself the one that cannot
+// extend, the preemption loop must evict it and stop — without walking
+// past the shrunken batch or re-extending the evicted victim.
+func TestExtendAllSelfPreemption(t *testing.T) {
+	s := sched(t, 3, 8,
+		3, // 1 block; extending to 4 tokens needs no new block
+		3, // 1 block, likewise
+		4, // 1 full block; extending demands a new one
+	)
+	if s.Pool().FreeBlocks() != 0 {
+		t.Fatalf("setup: want a full pool, %d blocks free", s.Pool().FreeBlocks())
+	}
+	evicted, err := s.ExtendAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequence 2 was both the youngest and the one out of room: it must
+	// be the (only) eviction, and 0 and 1 must survive extended.
+	run := s.Running()
+	if len(run) != 2 || run[0].ID != 0 || run[1].ID != 1 {
+		t.Fatalf("kept %+v, want sequences 0 and 1", run)
+	}
+	if len(evicted) != 1 || evicted[0].ID != 2 {
+		t.Fatalf("evicted %+v, want exactly the youngest (id 2)", evicted)
+	}
+	if s.RequeuedLen() != 1 {
+		t.Fatalf("requeued %d items, want the evicted one", s.RequeuedLen())
+	}
+	if s.Pool().Tokens(0) != 4 || s.Pool().Tokens(1) != 4 {
+		t.Errorf("survivors hold %d and %d tokens, want 4 and 4", s.Pool().Tokens(0), s.Pool().Tokens(1))
+	}
+	checkBooks(t, s)
+}
+
+// TestExtendAllPreemptsYoungestForOldest: when an older sequence needs a
+// block, the youngest is the victim and the older retries until its
+// extension fits.
+func TestExtendAllPreemptsYoungestForOldest(t *testing.T) {
+	s := sched(t, 4, 8,
+		4, // full block: extension allocates
+		4, // full block: extension allocates
+		8, // 2 blocks — the eviction candidate
+	)
+	if s.Pool().FreeBlocks() != 0 {
+		t.Fatalf("setup: want a full pool, %d blocks free", s.Pool().FreeBlocks())
+	}
+	evicted, err := s.ExtendAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := s.Running()
+	if len(run) != 2 || run[0].ID != 0 || run[1].ID != 1 {
+		t.Fatalf("kept %+v, want sequences 0 and 1", run)
+	}
+	if len(evicted) != 1 || evicted[0].ID != 2 {
+		t.Fatalf("evicted %+v, want 1 (the youngest)", evicted)
+	}
+	if s.Pool().Tokens(0) != 5 || s.Pool().Tokens(1) != 5 {
+		t.Errorf("survivors hold %d and %d tokens, want 5 and 5", s.Pool().Tokens(0), s.Pool().Tokens(1))
+	}
+	checkBooks(t, s)
+}
+
+// TestExtendAllSoleSequenceErrors: preempting the only member of the
+// batch would make no progress, so a one-sequence batch that cannot
+// extend is a hard error — and must not evict anything.
+func TestExtendAllSoleSequenceErrors(t *testing.T) {
+	s := sched(t, 1, 8, 4)
+	evicted, err := s.ExtendAll()
+	if err == nil {
+		t.Fatal("expected an error extending a sole sequence in a full pool")
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("sole-sequence failure must not evict, got %+v", evicted)
+	}
+	if s.RunningLen() != 1 {
+		t.Fatalf("sole sequence must stay running, batch has %d", s.RunningLen())
+	}
+}
+
+// TestExtendAllNoPressure: with free blocks available nothing is evicted
+// and every sequence's reservation grows by one token.
+func TestExtendAllNoPressure(t *testing.T) {
+	s := sched(t, 8, 8, 4, 2)
+	evicted, err := s.ExtendAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RunningLen() != 2 || len(evicted) != 0 {
+		t.Fatalf("kept %d evicted %d, want 2 and 0", s.RunningLen(), len(evicted))
+	}
+	if s.Pool().Tokens(0) != 5 || s.Pool().Tokens(1) != 3 {
+		t.Errorf("tokens %d and %d, want 5 and 3", s.Pool().Tokens(0), s.Pool().Tokens(1))
+	}
+	checkBooks(t, s)
+}
+
+// TestAdmitRequeuedFirst: preempted work is served before new arrivals.
+func TestAdmitRequeuedFirst(t *testing.T) {
+	// Three 1-block sequences in a 4-block pool leave one free block;
+	// extending the two full-block elders (4→5 tokens each needs a fresh
+	// block) evicts the youngest (ref 2) to the requeue list.
+	s := sched(t, 4, 8, 4, 4, 4)
+	evicted, err := s.ExtendAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].Item.Ref != 2 {
+		t.Fatalf("evicted %+v, want exactly ref 2", evicted)
+	}
+	if s.RequeuedLen() != 1 {
+		t.Fatalf("requeued %d, want 1", s.RequeuedLen())
+	}
+	checkBooks(t, s)
+	// Admission must re-admit ref 2 (requeued) before ref 12 (waiting).
+	var order []int
+	s.OnEvent = func(e Event) {
+		if e.Kind == EventAdmit {
+			order = append(order, e.Ref)
+		}
+	}
+	for _, seq := range s.Running() {
+		if err := s.Remove(seq.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adm, consumed := s.Admit([]Item{{Ref: 12, PromptLen: 4, OutputLen: 4}})
+	if len(adm) != 2 || consumed != 1 {
+		t.Fatalf("admitted %d consumed %d, want 2 and 1", len(adm), consumed)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 12 {
+		t.Fatalf("admission order %v, want requeued ref 2 before arrival ref 12", order)
+	}
+	// The re-admitted sequence got a fresh pool id.
+	if adm[0].ID == 2 {
+		t.Error("re-admission must assign a new sequence id")
+	}
+}
+
+// TestSchedulerValidation: a batch cap below one is rejected.
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(0, nil); err == nil {
+		t.Error("MaxBatch=0 accepted")
+	}
+	if _, err := NewScheduler(1, nil); err != nil {
+		t.Errorf("MaxBatch=1 rejected: %v", err)
+	}
+}
+
+// TestNilPoolUnconstrained: without a pool the policy admits up to the
+// batch cap, never evicts, and retires on schedule.
+func TestNilPoolUnconstrained(t *testing.T) {
+	s, err := NewScheduler(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm, consumed := s.Admit([]Item{
+		{Ref: 0, PromptLen: 100, OutputLen: 2},
+		{Ref: 1, PromptLen: 100, OutputLen: 1},
+		{Ref: 2, PromptLen: 100, OutputLen: 1},
+	})
+	if len(adm) != 2 || consumed != 2 {
+		t.Fatalf("admitted %d consumed %d, want the batch cap of 2", len(adm), consumed)
+	}
+	if ev, err := s.ExtendAll(); err != nil || len(ev) != 0 {
+		t.Fatalf("nil pool must never evict: %v %v", ev, err)
+	}
+	fin, err := s.FinishStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fin) != 1 || fin[0].Item.Ref != 1 {
+		t.Fatalf("finished %+v, want exactly ref 1", fin)
+	}
+	fin, err = s.FinishStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fin) != 1 || fin[0].Item.Ref != 0 || s.Busy() {
+		t.Fatalf("finished %+v busy=%v, want ref 0 and an idle scheduler", fin, s.Busy())
+	}
+}

@@ -1,0 +1,260 @@
+package batchpolicy
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/kvpage"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// TestSchedulerProperties drives random admit/extend/finish/remove
+// sequences through the scheduler over a paged pool and checks, after
+// every operation, the invariants the hand-written cases only spot-check:
+//
+//  1. No leak, no double-free: blocks held by running sequences plus the
+//     free list always partition the pool, and the pool's live count
+//     always equals the running batch size.
+//  2. The sole runnable sequence is never preempted: ExtendAll either
+//     succeeds or errors, but a one-sequence batch never shrinks.
+//  3. Preemption is youngest-first: every eviction wave is a suffix of
+//     the pre-extension batch, in reverse admission order.
+//  4. The batch cap is never exceeded and requeued work re-admits before
+//     arrivals.
+func TestSchedulerProperties(t *testing.T) {
+	const (
+		blockTokens = 4
+		rounds      = 400
+	)
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		blocks := 4 + rng.Intn(24)
+		maxBatch := 1 + rng.Intn(6)
+		pool, err := kvpage.NewManager(units.Bytes(blocks*blockTokens), blockTokens, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewScheduler(maxBatch, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nextRef := 0
+		check := func(op string) {
+			t.Helper()
+			if pool.Live() != s.RunningLen() {
+				t.Fatalf("seed %d after %s: pool live %d != running %d", seed, op, pool.Live(), s.RunningLen())
+			}
+			used := 0
+			for _, seq := range s.Running() {
+				tok := pool.Tokens(seq.ID)
+				if tok <= 0 {
+					t.Fatalf("seed %d after %s: running seq %d unknown to the pool", seed, op, seq.ID)
+				}
+				used += (tok + blockTokens - 1) / blockTokens
+			}
+			if got := pool.TotalBlocks() - pool.FreeBlocks(); got != used {
+				t.Fatalf("seed %d after %s: %d blocks allocated but running sequences account for %d — leak or double-free",
+					seed, op, got, used)
+			}
+			if s.RunningLen() > maxBatch {
+				t.Fatalf("seed %d after %s: batch %d exceeds cap %d", seed, op, s.RunningLen(), maxBatch)
+			}
+		}
+
+		for i := 0; i < rounds; i++ {
+			switch rng.Intn(4) {
+			case 0: // admission wave of random items
+				n := 1 + rng.Intn(3)
+				var items []Item
+				for j := 0; j < n; j++ {
+					items = append(items, Item{
+						Ref:       nextRef,
+						PromptLen: 1 + rng.Intn(3*blockTokens),
+						OutputLen: 1 + rng.Intn(12),
+					})
+					nextRef++
+				}
+				admitted, consumed := s.Admit(items)
+				if consumed > len(items) {
+					t.Fatalf("seed %d: consumed %d of %d", seed, consumed, len(items))
+				}
+				// Admission must consume a prefix: every admitted arrival
+				// ref appears among the consumed items or the requeue list.
+				if len(admitted) < consumed {
+					t.Fatalf("seed %d: %d admitted < %d consumed arrivals", seed, len(admitted), consumed)
+				}
+				check("admit")
+			case 1: // one extension round; invariants 2 and 3
+				before := s.Running()
+				evicted, err := s.ExtendAll()
+				if err != nil {
+					if len(before) != 1 {
+						t.Fatalf("seed %d: ExtendAll errored with %d running: %v", seed, len(before), err)
+					}
+					if s.RunningLen() != 1 {
+						t.Fatalf("seed %d: sole sequence was dropped on error", seed)
+					}
+					check("extend-error")
+					continue
+				}
+				if len(before) == 1 && len(evicted) > 0 {
+					t.Fatalf("seed %d: sole runnable sequence preempted", seed)
+				}
+				// Youngest-first: evictions are the pre-extension suffix in
+				// reverse order.
+				for j, ev := range evicted {
+					want := before[len(before)-1-j]
+					if ev.ID != want.ID {
+						t.Fatalf("seed %d: eviction %d took seq %d, youngest-first demands %d (batch %+v)",
+							seed, j, ev.ID, want.ID, before)
+					}
+				}
+				check("extend")
+			case 2: // one completed decode iteration
+				if s.RunningLen() == 0 {
+					continue
+				}
+				before := s.RunningLen()
+				finished, err := s.FinishStep()
+				if err != nil {
+					t.Fatalf("seed %d: FinishStep: %v", seed, err)
+				}
+				if s.RunningLen()+len(finished) != before {
+					t.Fatalf("seed %d: %d running + %d finished != %d before", seed, s.RunningLen(), len(finished), before)
+				}
+				check("finish")
+			case 3: // cancel a random running sequence
+				run := s.Running()
+				if len(run) == 0 {
+					continue
+				}
+				victim := run[rng.Intn(len(run))]
+				if err := s.Remove(victim.ID); err != nil {
+					t.Fatalf("seed %d: Remove(%d): %v", seed, victim.ID, err)
+				}
+				if err := s.Remove(victim.ID); err == nil {
+					t.Fatalf("seed %d: double Remove(%d) succeeded", seed, victim.ID)
+				}
+				check("remove")
+			}
+		}
+	}
+}
+
+// TestKVPageManagerProperties checks the allocator against a trivial
+// reference model under random admit/extend/release traffic: block
+// conservation, exact per-sequence accounting, and rejection of
+// double-admit, double-release, and unknown-sequence operations.
+func TestKVPageManagerProperties(t *testing.T) {
+	const blockTokens = 4
+	blocksFor := func(tokens int) int { return (tokens + blockTokens - 1) / blockTokens }
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		total := 2 + rng.Intn(30)
+		m, err := kvpage.NewManager(units.Bytes(total*blockTokens), blockTokens, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[int]int{} // live seq -> tokens
+		nextID := 0
+		check := func(op string) {
+			t.Helper()
+			if m.Live() != len(ref) {
+				t.Fatalf("seed %d after %s: live %d, reference %d", seed, op, m.Live(), len(ref))
+			}
+			used := 0
+			for id, tok := range ref {
+				if m.Tokens(id) != tok {
+					t.Fatalf("seed %d after %s: seq %d holds %d tokens, reference %d", seed, op, id, m.Tokens(id), tok)
+				}
+				used += blocksFor(tok)
+			}
+			if m.FreeBlocks() != total-used {
+				t.Fatalf("seed %d after %s: %d free, reference %d — leak or double-free", seed, op, m.FreeBlocks(), total-used)
+			}
+		}
+		for i := 0; i < 600; i++ {
+			switch rng.Intn(3) {
+			case 0: // admit — must succeed exactly when the blocks fit
+				tokens := 1 + rng.Intn(3*blockTokens)
+				free := m.FreeBlocks()
+				err := m.Admit(nextID, tokens)
+				if blocksFor(tokens) <= free && err != nil {
+					t.Fatalf("seed %d: Admit(%d tokens) failed with %d free blocks: %v", seed, tokens, free, err)
+				}
+				if blocksFor(tokens) > free && err == nil {
+					t.Fatalf("seed %d: Admit(%d tokens) succeeded with only %d free blocks", seed, tokens, free)
+				}
+				if err == nil {
+					ref[nextID] = tokens
+					if err := m.Admit(nextID, tokens); err == nil {
+						t.Fatalf("seed %d: double admit of %d accepted", seed, nextID)
+					}
+					nextID++
+				}
+				check("admit")
+			case 1: // extend a random live sequence
+				id, ok := anyKey(rng, ref)
+				if !ok {
+					continue
+				}
+				before := ref[id]
+				err := m.Extend(id)
+				if err != nil {
+					// Rollback contract: a failed extension leaves the
+					// sequence's token count untouched.
+					if m.Tokens(id) != before {
+						t.Fatalf("seed %d: failed Extend mutated tokens %d→%d", seed, before, m.Tokens(id))
+					}
+					if blocksFor(before+1) <= blocksFor(before) || m.FreeBlocks() > 0 {
+						t.Fatalf("seed %d: Extend failed with room available", seed)
+					}
+				} else {
+					ref[id] = before + 1
+				}
+				check("extend")
+			case 2: // release
+				id, ok := anyKey(rng, ref)
+				if !ok {
+					if err := m.Release(12345 + i); err == nil {
+						t.Fatalf("seed %d: releasing an unknown sequence succeeded", seed)
+					}
+					continue
+				}
+				if err := m.Release(id); err != nil {
+					t.Fatalf("seed %d: Release(%d): %v", seed, id, err)
+				}
+				delete(ref, id)
+				if err := m.Release(id); err == nil {
+					t.Fatalf("seed %d: double release of %d accepted", seed, id)
+				}
+				check("release")
+			}
+		}
+	}
+}
+
+// anyKey picks a deterministic pseudo-random live key (map iteration
+// order is randomized, so sort-free selection must go through the rng
+// over a stable ordering).
+func anyKey(rng *rand.Rand, ref map[int]int) (int, bool) {
+	if len(ref) == 0 {
+		return 0, false
+	}
+	max := -1
+	for id := range ref {
+		if id > max {
+			max = id
+		}
+	}
+	// Walk down from a random start until a live id is found — stable
+	// for a given rng stream and map contents.
+	start := rng.Intn(max + 1)
+	for off := 0; off <= max; off++ {
+		id := (start + off) % (max + 1)
+		if _, ok := ref[id]; ok {
+			return id, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,70 @@
+package batchpolicy
+
+// Hooks parameterizes one scheduling round with the caller's arrival
+// source and execution back-end. The simulator supplies analytic (or
+// injected) stage costs and a virtual clock; the live gateway supplies
+// the functional llm engine and real time. Every decision in between —
+// who is admitted, who is preempted, who completes — is shared code, so
+// the two stay behaviourally aligned by construction.
+type Hooks struct {
+	// Waiting returns the admissible work, FIFO. Admission consumes a
+	// prefix; Consumed reports how long that prefix was.
+	Waiting  func() []Item
+	Consumed func(n int)
+	// Prefill executes the batched prefill of newly admitted sequences.
+	Prefill func(admitted []Seq) error
+	// Step executes one decode iteration over the running batch (the
+	// snapshot passed is pre-extension context lengths plus the new
+	// token slot already reserved, batch in admission order).
+	Step func(running []Seq) error
+	// Evicted observes preemptions (already requeued inside the
+	// scheduler); Finished observes retirements.
+	Evicted  func(evicted []Seq)
+	Finished func(finished []Seq)
+}
+
+// Round runs one scheduling round: admit (requeued work first, then the
+// waiting list) and prefill if anything was admitted — returning so the
+// caller can surface newly arrived work before decoding, exactly like
+// the simulator's loop — otherwise extend the running batch (preempting
+// youngest-first under KV pressure), run one decode iteration, and
+// retire finished sequences. It reports false, nil when there was
+// nothing to do (nothing admitted, nothing running): the caller decides
+// whether to block for arrivals, jump its clock, or fail.
+func Round(s *Scheduler, h Hooks) (progressed bool, err error) {
+	var waiting []Item
+	if h.Waiting != nil {
+		waiting = h.Waiting()
+	}
+	admitted, consumed := s.Admit(waiting)
+	if consumed > 0 && h.Consumed != nil {
+		h.Consumed(consumed)
+	}
+	if len(admitted) > 0 {
+		if err := h.Prefill(admitted); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if s.RunningLen() == 0 {
+		return false, nil
+	}
+	evicted, err := s.ExtendAll()
+	if err != nil {
+		return false, err
+	}
+	if len(evicted) > 0 && h.Evicted != nil {
+		h.Evicted(evicted)
+	}
+	if err := h.Step(s.Running()); err != nil {
+		return false, err
+	}
+	finished, err := s.FinishStep()
+	if err != nil {
+		return false, err
+	}
+	if len(finished) > 0 && h.Finished != nil {
+		h.Finished(finished)
+	}
+	return true, nil
+}

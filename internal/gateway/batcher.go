@@ -1,0 +1,269 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/lia-sim/lia/internal/batchpolicy"
+	"github.com/lia-sim/lia/internal/llm"
+	"github.com/lia-sim/lia/internal/runner"
+)
+
+// entry is one live request's batcher-side state. Ref is the scheduler
+// handle; a preempted request keeps its entry (and its recorded
+// queue-wait/TTFT) across re-admission.
+type entry struct {
+	p   *pending
+	ref int
+
+	admitted  bool // queue wait recorded (first admission only)
+	ttftDone  bool // TTFT recorded (first prefill only)
+	queueWait time.Duration
+	ttft      time.Duration
+}
+
+// run is the batcher goroutine: the only code that touches the
+// scheduler, the sequences, and the per-request bookkeeping. One loop
+// iteration = gather new work, reap canceled work, then one shared
+// batchpolicy.Round (admit+prefill, or extend+decode+retire).
+func (g *Gateway) run(sched *batchpolicy.Scheduler) {
+	defer close(g.done)
+	// Release the kill watcher (below) on every exit path.
+	defer g.killOnce.Do(func() { close(g.kill) })
+
+	// stepCtx aborts in-flight engine work when the drain deadline kills
+	// the gateway.
+	stepCtx, cancelStep := context.WithCancel(context.Background())
+	defer cancelStep()
+	go func() {
+		<-g.kill
+		cancelStep()
+	}()
+
+	var (
+		backlog []*entry                  // accepted, not yet admitted
+		byRef   = map[int]*entry{}        // every live request by scheduler ref
+		seqs    = map[int]*llm.Sequence{} // running engine state by pool id
+		nextRef int
+	)
+
+	accept := func(p *pending) {
+		e := &entry{p: p, ref: nextRef}
+		nextRef++
+		byRef[e.ref] = e
+		backlog = append(backlog, e)
+	}
+	gather := func() {
+		for {
+			select {
+			case p := <-g.submit:
+				accept(p)
+			default:
+				return
+			}
+		}
+	}
+	respond := func(e *entry, out outcome) {
+		e.p.resp <- out // buffered(1); each entry is responded to at most once
+		delete(byRef, e.ref)
+	}
+	abortAll := func() {
+		for id := range seqs {
+			delete(seqs, id)
+		}
+		for _, e := range byRef {
+			e.p.resp <- outcome{err: ErrShuttingDown}
+		}
+		for {
+			select {
+			case p := <-g.submit:
+				p.resp <- outcome{err: ErrShuttingDown}
+			default:
+				return
+			}
+		}
+	}
+
+	hooks := batchpolicy.Hooks{
+		Waiting: func() []batchpolicy.Item {
+			items := make([]batchpolicy.Item, len(backlog))
+			for i, e := range backlog {
+				items[i] = batchpolicy.Item{Ref: e.ref, PromptLen: len(e.p.prompt), OutputLen: e.p.n}
+			}
+			return items
+		},
+		Consumed: func(n int) { backlog = backlog[n:] },
+		Prefill: func(admitted []batchpolicy.Seq) error {
+			// Record queue waits at the admission decision, then prefill
+			// every admitted prompt in parallel on the deterministic
+			// runner pool. Per-request failures (which validation should
+			// have made impossible) fail that request alone.
+			for _, a := range admitted {
+				e := byRef[a.Item.Ref]
+				if !e.admitted {
+					e.admitted = true
+					e.queueWait = time.Since(e.p.enqueued)
+					g.m.queueWait.observe(e.queueWait)
+				}
+			}
+			type prefillRes struct {
+				s   *llm.Sequence
+				err error
+			}
+			results, mapErr := runner.Map(stepCtx, admitted, func(_ context.Context, a batchpolicy.Seq) (prefillRes, error) {
+				s, err := g.exec.NewSequence(byRef[a.Item.Ref].p.prompt, a.Item.OutputLen)
+				return prefillRes{s: s, err: err}, nil
+			})
+			if mapErr != nil { // kill aborted the prefill wave mid-flight
+				for _, a := range admitted {
+					if rmErr := sched.Remove(a.ID); rmErr != nil {
+						continue
+					}
+					if e, ok := byRef[a.Item.Ref]; ok {
+						respond(e, outcome{err: fmt.Errorf("gateway: prefill: %w", mapErr)})
+					}
+				}
+				return nil
+			}
+			for i, a := range admitted {
+				e := byRef[a.Item.Ref]
+				if results[i].err != nil {
+					if rmErr := sched.Remove(a.ID); rmErr != nil {
+						results[i].err = fmt.Errorf("%w (and removing it failed: %v)", results[i].err, rmErr)
+					}
+					respond(e, outcome{err: fmt.Errorf("gateway: prefill: %w", results[i].err)})
+					continue
+				}
+				seqs[a.ID] = results[i].s
+				if !e.ttftDone {
+					e.ttftDone = true
+					e.ttft = time.Since(e.p.enqueued)
+					g.m.ttft.observe(e.ttft)
+				}
+			}
+			return nil
+		},
+		Step: func(running []batchpolicy.Seq) error {
+			live := make([]*llm.Sequence, len(running))
+			for i, r := range running {
+				live[i] = seqs[r.ID]
+			}
+			start := time.Now()
+			if err := llm.StepBatch(stepCtx, live); err != nil {
+				return err
+			}
+			g.m.perToken.observe(time.Since(start))
+			g.m.tokens.Add(uint64(len(running)))
+			return nil
+		},
+		Evicted: func(evicted []batchpolicy.Seq) {
+			// Preempted sequences lose their engine state; re-admission
+			// recomputes the prefill (the tokens are deterministic, so the
+			// client still sees one coherent stream).
+			for _, ev := range evicted {
+				delete(seqs, ev.ID)
+			}
+		},
+		Finished: func(finished []batchpolicy.Seq) {
+			for _, f := range finished {
+				e := byRef[f.Item.Ref]
+				s := seqs[f.ID]
+				delete(seqs, f.ID)
+				toks := make([]int, len(s.Output()))
+				copy(toks, s.Output())
+				respond(e, outcome{res: Result{
+					Tokens:    toks,
+					QueueWait: e.queueWait,
+					TTFT:      e.ttft,
+					Total:     time.Since(e.p.enqueued),
+				}})
+			}
+		},
+	}
+
+	reapCanceled := func() {
+		kept := backlog[:0]
+		for _, e := range backlog {
+			if e.p.ctx.Err() != nil {
+				delete(byRef, e.ref) // client already unblocked on its context
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		backlog = kept
+		for _, seq := range sched.Running() {
+			e := byRef[seq.Item.Ref]
+			if e.p.ctx.Err() == nil {
+				continue
+			}
+			if err := sched.Remove(seq.ID); err == nil {
+				delete(seqs, seq.ID)
+				delete(byRef, e.ref)
+			}
+		}
+		for _, it := range sched.DropRequeued(func(it batchpolicy.Item) bool {
+			return byRef[it.Ref].p.ctx.Err() != nil
+		}) {
+			delete(byRef, it.Ref)
+		}
+	}
+
+	for {
+		select {
+		case <-g.kill:
+			abortAll()
+			return
+		default:
+		}
+		gather()
+		reapCanceled()
+
+		if !sched.Busy() && len(backlog) == 0 {
+			// Idle. Exit if draining, otherwise block for the next
+			// submission (or shutdown).
+			select {
+			case <-g.stop:
+				return
+			default:
+			}
+			select {
+			case p := <-g.submit:
+				accept(p)
+			case <-g.stop:
+			case <-g.kill:
+			}
+			continue
+		}
+
+		progressed, err := batchpolicy.Round(sched, hooks)
+		if err != nil {
+			g.failRound(sched, seqs, byRef, err)
+			continue
+		}
+		if !progressed && len(backlog) > 0 {
+			// Nothing running and the backlog head cannot be placed even
+			// into a drained pool — validation should have shed it, so
+			// fail it rather than spin.
+			e := backlog[0]
+			backlog = backlog[1:]
+			respond(e, outcome{err: fmt.Errorf("gateway: request cannot be placed: prompt %d tokens", len(e.p.prompt))})
+		}
+	}
+}
+
+// failRound handles a Round error: a sole running sequence that cannot
+// extend its KV reservation (fail that one request, keep serving), or an
+// engine/step failure (fail the whole running batch, keep accepting).
+func (g *Gateway) failRound(sched *batchpolicy.Scheduler, seqs map[int]*llm.Sequence, byRef map[int]*entry, err error) {
+	for _, seq := range sched.Running() {
+		if rmErr := sched.Remove(seq.ID); rmErr != nil {
+			continue
+		}
+		delete(seqs, seq.ID)
+		if e, ok := byRef[seq.Item.Ref]; ok {
+			e.p.resp <- outcome{err: fmt.Errorf("gateway: %w", err)}
+			delete(byRef, e.ref)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package gateway
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/batchpolicy"
+	"github.com/lia-sim/lia/internal/llm"
+	"github.com/lia-sim/lia/internal/serve"
+	"github.com/lia-sim/lia/internal/trace"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// diffCosts is the shared deterministic fake engine: whole-millisecond
+// costs keep every clock comparison exact in float64, so the two sides
+// can only diverge through scheduling decisions, never rounding.
+func diffCosts() *serve.StepCosts {
+	return &serve.StepCosts{
+		Prefill: func(b, maxIn int) (units.Seconds, error) { return units.Seconds(b*maxIn) * 1e-3, nil },
+		Decode:  func(b, meanCtx int) (units.Seconds, error) { return units.Seconds(b+meanCtx) * 1e-3, nil },
+	}
+}
+
+// diffRequests builds a seeded request stream sized for a tight tiny
+// pool: prompts of 2–14 tokens, outputs of 1–24, arrivals bunched enough
+// to keep the batch full and the pool preempting.
+func diffRequests(seed int64, n int) []ReplayRequest {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]ReplayRequest, n)
+	var clock units.Seconds
+	for i := range out {
+		clock += units.Seconds(rng.ExpFloat64() * 5e-3)
+		// Worst case 10+14 = 24 total tokens (6 four-token blocks): even the
+		// tightest scenario pool below can hold any one sequence alone, so
+		// a sole-sequence extension failure is impossible and every request
+		// eventually completes on both sides.
+		out[i] = ReplayRequest{
+			PromptLen: 2 + rng.Intn(9),
+			OutputLen: 1 + rng.Intn(14),
+			Arrival:   clock,
+		}
+	}
+	return out
+}
+
+// TestDifferentialSimulatorVsGateway is the alignment test the policy
+// extraction exists for: one trace, one fake cost model, one pool
+// construction — replayed through serve.SimulateContinuous and through
+// the gateway's scheduling loop — must produce bit-identical event
+// streams: the same admissions, the same preemption victims with the
+// same sequence ids, the same completion order. Both sides run twice to
+// pin determinism of each on its own.
+func TestDifferentialSimulatorVsGateway(t *testing.T) {
+	modelCfg := llm.TinyConfig()
+	for _, tc := range []struct {
+		name     string
+		kvTokens int // pool capacity in tokens (0 = unconstrained)
+		maxBatch int
+		seed     int64
+		n        int
+	}{
+		{"unconstrained", 0, 4, 1, 40},
+		{"tight-pool", 64, 6, 2, 60},
+		{"tiny-pool-heavy-preemption", 32, 8, 3, 60},
+		{"batch-of-one", 48, 1, 4, 30},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var budget units.Bytes
+			if tc.kvTokens > 0 {
+				budget = modelCfg.KVBytes(1, tc.kvTokens)
+			}
+			reqs := diffRequests(tc.seed, tc.n)
+
+			simulate := func() ([]batchpolicy.Event, serve.Metrics) {
+				var events []batchpolicy.Event
+				cfg := serve.Config{
+					Model:         modelCfg,
+					MaxBatch:      tc.maxBatch,
+					KVBudget:      budget,
+					KVBlockTokens: 4,
+					StepCosts:     diffCosts(),
+					OnEvent:       func(e batchpolicy.Event) { events = append(events, e) },
+				}
+				sreqs := make([]serve.Request, len(reqs))
+				for i, r := range reqs {
+					sreqs[i] = serve.Request{
+						Request: trace.Request{InputLen: r.PromptLen, OutputLen: r.OutputLen},
+						Arrival: r.Arrival,
+					}
+				}
+				m, err := serve.SimulateContinuous(cfg, sreqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return events, m
+			}
+			replay := func() ReplayResult {
+				r, err := Replay(ReplayConfig{
+					MaxBatch:      tc.maxBatch,
+					Model:         modelCfg,
+					KVBudget:      budget,
+					KVBlockTokens: 4,
+					Costs:         diffCosts(),
+				}, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+
+			simEvents, simMetrics := simulate()
+			gwRes := replay()
+
+			if len(simEvents) != len(gwRes.Events) {
+				t.Fatalf("event streams differ in length: simulator %d, gateway %d", len(simEvents), len(gwRes.Events))
+			}
+			for i := range simEvents {
+				if simEvents[i] != gwRes.Events[i] {
+					t.Fatalf("event %d diverges: simulator %+v, gateway %+v", i, simEvents[i], gwRes.Events[i])
+				}
+			}
+			if simMetrics.Completed != gwRes.Completed {
+				t.Errorf("completions: simulator %d, gateway %d", simMetrics.Completed, gwRes.Completed)
+			}
+			if simMetrics.Preemptions != gwRes.Preemptions {
+				t.Errorf("preemptions: simulator %d, gateway %d", simMetrics.Preemptions, gwRes.Preemptions)
+			}
+			if simMetrics.Makespan != gwRes.Makespan {
+				t.Errorf("makespan: simulator %v, gateway %v", simMetrics.Makespan, gwRes.Makespan)
+			}
+			if gwRes.Completed != tc.n {
+				t.Errorf("completed %d of %d requests", gwRes.Completed, tc.n)
+			}
+			if tc.name == "tiny-pool-heavy-preemption" && gwRes.Preemptions == 0 {
+				t.Error("scenario designed to preempt saw no preemptions — differential coverage lost")
+			}
+
+			// Bit-determinism of each side on its own.
+			simEvents2, simMetrics2 := simulate()
+			gwRes2 := replay()
+			if simMetrics != simMetrics2 || len(simEvents) != len(simEvents2) {
+				t.Error("simulator not deterministic across runs")
+			}
+			if len(gwRes.Events) != len(gwRes2.Events) || gwRes.Makespan != gwRes2.Makespan {
+				t.Error("gateway replay not deterministic across runs")
+			}
+			for i := range simEvents {
+				if simEvents[i] != simEvents2[i] || gwRes.Events[i] != gwRes2.Events[i] {
+					t.Fatalf("event %d unstable across identical runs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayValidation: degenerate replay configurations are rejected.
+func TestReplayValidation(t *testing.T) {
+	costs := diffCosts()
+	good := ReplayConfig{MaxBatch: 2, Model: llm.TinyConfig(), Costs: costs}
+	reqs := []ReplayRequest{{PromptLen: 2, OutputLen: 2}}
+	if _, err := Replay(good, reqs); err != nil {
+		t.Fatalf("valid replay rejected: %v", err)
+	}
+	if _, err := Replay(ReplayConfig{Model: llm.TinyConfig(), Costs: costs}, reqs); err == nil {
+		t.Error("MaxBatch=0 accepted")
+	}
+	if _, err := Replay(ReplayConfig{MaxBatch: 2, Model: llm.TinyConfig()}, reqs); err == nil {
+		t.Error("missing costs accepted")
+	}
+	unsorted := []ReplayRequest{{PromptLen: 2, OutputLen: 1, Arrival: 5}, {PromptLen: 2, OutputLen: 1, Arrival: 1}}
+	if _, err := Replay(good, unsorted); err == nil {
+		t.Error("unsorted arrivals accepted")
+	}
+}

@@ -1,0 +1,301 @@
+// Package gateway is the live serving layer over the functional
+// inference engine: a bounded admission queue in front of an
+// iteration-level continuous batcher that drives llm.Executor under
+// concurrent traffic. Scheduling — FIFO admission with eager KV-block
+// reservation, youngest-first preemption, immediate retirement — is the
+// batchpolicy package, the exact same state machine the serving
+// simulator (internal/serve) runs; the differential test replays one
+// trace through both and requires identical event streams.
+//
+// Concurrency model: every client goroutine talks to the single batcher
+// goroutine through a bounded channel, and all scheduler/engine state is
+// confined to the batcher. Responses travel over per-request buffered
+// channels, so the batcher never blocks on a slow or departed client;
+// metrics are lock-free atomics, the only state shared both ways.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/lia-sim/lia/internal/batchpolicy"
+	"github.com/lia-sim/lia/internal/kvpage"
+	"github.com/lia-sim/lia/internal/llm"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Errors a Submit can return, beyond the caller's own context errors.
+var (
+	// ErrOverloaded: the admission queue is full; shed and retry later
+	// (HTTP 429).
+	ErrOverloaded = errors.New("gateway: overloaded, admission queue full")
+	// ErrShuttingDown: the gateway no longer accepts work (HTTP 503).
+	ErrShuttingDown = errors.New("gateway: shutting down")
+)
+
+// Config parameterizes the gateway.
+type Config struct {
+	// MaxBatch caps the running batch (default 8).
+	MaxBatch int
+	// QueueDepth bounds the admission queue; a full queue sheds new
+	// submissions with ErrOverloaded instead of queueing unboundedly
+	// (default 64).
+	QueueDepth int
+	// MaxNewTokens caps a single request's generation length (default:
+	// whatever fits the model's MaxSeqLen).
+	MaxNewTokens int
+	// KVBudget, when positive, bounds the paged KV pool; admission then
+	// reserves blocks eagerly and exhaustion preempts youngest-first.
+	KVBudget units.Bytes
+	// KVBlockTokens is the KV page size in token slots (default 16).
+	KVBlockTokens int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.KVBlockTokens == 0 {
+		c.KVBlockTokens = 16
+	}
+	return c
+}
+
+// Validate reports configuration errors (after defaulting).
+func (c Config) Validate() error {
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("gateway: MaxBatch must be ≥1, got %d", c.MaxBatch)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("gateway: QueueDepth must be ≥1, got %d", c.QueueDepth)
+	}
+	if c.MaxNewTokens < 0 {
+		return fmt.Errorf("gateway: MaxNewTokens must be ≥0, got %d", c.MaxNewTokens)
+	}
+	if c.KVBudget < 0 {
+		return fmt.Errorf("gateway: KVBudget must be ≥0, got %v", c.KVBudget)
+	}
+	return nil
+}
+
+// Result is one served request's output and timing.
+type Result struct {
+	// Tokens is the generated token stream, bit-identical to a solo
+	// Generate call with the same prompt and length.
+	Tokens []int
+	// QueueWait is enqueue → first admission, TTFT enqueue → first token
+	// available, Total enqueue → completion.
+	QueueWait, TTFT, Total time.Duration
+}
+
+// outcome is what the batcher sends back over a request's response
+// channel (buffered, so the batcher never blocks on delivery).
+type outcome struct {
+	res Result
+	err error
+}
+
+// pending is one submitted request travelling from a client goroutine to
+// the batcher.
+type pending struct {
+	ctx      context.Context
+	prompt   []int
+	n        int
+	enqueued time.Time
+	resp     chan outcome // buffered(1); batcher sends exactly once
+}
+
+// Gateway serves generation requests over one shared Executor.
+type Gateway struct {
+	cfg  Config
+	exec *llm.Executor
+	m    *metrics
+
+	submit chan *pending
+	stop   chan struct{} // closed by Shutdown: refuse new work, drain
+	kill   chan struct{} // closed when the drain deadline passes: abort
+	done   chan struct{} // closed when the batcher exits
+
+	stopOnce sync.Once
+	killOnce sync.Once
+
+	poolTotalBlocks int // for the can-ever-fit admission check (0 = unconstrained)
+	blockTokens     int
+}
+
+// New starts a gateway over the executor. The batcher goroutine runs
+// until Shutdown.
+func New(exec *llm.Executor, cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var pool *kvpage.Manager
+	if cfg.KVBudget > 0 {
+		var err error
+		pool, err = kvpage.ForModel(cfg.KVBudget, cfg.KVBlockTokens, exec.Model.Cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sched, err := batchpolicy.NewScheduler(cfg.MaxBatch, pool)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		exec:   exec,
+		m:      newMetrics(),
+		submit: make(chan *pending, cfg.QueueDepth),
+		stop:   make(chan struct{}),
+		kill:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if pool != nil {
+		g.poolTotalBlocks = pool.TotalBlocks()
+		g.blockTokens = pool.BlockTokens()
+		sched.OnEvent = func(e batchpolicy.Event) {
+			if e.Kind == batchpolicy.EventPreempt {
+				g.m.preempted.Add(1)
+			}
+		}
+	}
+	go g.run(sched)
+	return g, nil
+}
+
+// validate rejects work that could never be served, before it occupies a
+// queue slot: degenerate shapes, prompts past the context window or the
+// vocabulary, and prompts no amount of KV-pool draining could place.
+func (g *Gateway) validate(prompt []int, n int) error {
+	if n < 1 {
+		return fmt.Errorf("gateway: must request at least one token, got %d", n)
+	}
+	if g.cfg.MaxNewTokens > 0 && n > g.cfg.MaxNewTokens {
+		return fmt.Errorf("gateway: %d tokens requested, cap is %d", n, g.cfg.MaxNewTokens)
+	}
+	cfg := g.exec.Model.Cfg
+	if len(prompt) == 0 {
+		return fmt.Errorf("gateway: empty prompt")
+	}
+	if len(prompt)+n-1 > cfg.MaxSeqLen {
+		return fmt.Errorf("gateway: prompt %d + %d generated tokens exceeds max sequence length %d",
+			len(prompt), n, cfg.MaxSeqLen)
+	}
+	for i, tok := range prompt {
+		if tok < 0 || tok >= cfg.VocabSize {
+			return fmt.Errorf("gateway: prompt token %d (%d) outside vocabulary [0,%d)", i, tok, cfg.VocabSize)
+		}
+	}
+	if g.poolTotalBlocks > 0 {
+		need := (len(prompt)+g.blockTokens-1)/g.blockTokens + 1
+		if need > g.poolTotalBlocks {
+			return fmt.Errorf("gateway: prompt needs %d KV blocks, pool holds %d", need, g.poolTotalBlocks)
+		}
+	}
+	return nil
+}
+
+// Submit enqueues a generation request and blocks until it completes,
+// the context is canceled, or the gateway sheds or refuses it. The
+// returned tokens are bit-identical to Executor.Generate(prompt, n).
+func (g *Gateway) Submit(ctx context.Context, prompt []int, n int) (Result, error) {
+	if err := g.validate(prompt, n); err != nil {
+		g.m.rejected.Add(1)
+		return Result{}, err
+	}
+	select {
+	case <-g.stop:
+		return Result{}, ErrShuttingDown
+	default:
+	}
+	p := &pending{
+		ctx:      ctx,
+		prompt:   prompt,
+		n:        n,
+		enqueued: time.Now(),
+		resp:     make(chan outcome, 1),
+	}
+	select {
+	case g.submit <- p:
+		g.m.received.Add(1)
+	default:
+		g.m.shed.Add(1)
+		return Result{}, ErrOverloaded
+	}
+	select {
+	case out := <-p.resp:
+		return g.deliver(out)
+	case <-ctx.Done():
+		// Prefer a response that raced in just before the cancel; else
+		// the batcher notices the canceled context on its next iteration
+		// and discards the work (the buffered channel means it never
+		// blocks on us having left).
+		select {
+		case out := <-p.resp:
+			return g.deliver(out)
+		default:
+			g.m.canceled.Add(1)
+			return Result{}, ctx.Err()
+		}
+	case <-g.done:
+		// The batcher exited between our enqueue and its final drain.
+		// Prefer a response it may have buffered just before exiting.
+		select {
+		case out := <-p.resp:
+			return g.deliver(out)
+		default:
+			return Result{}, ErrShuttingDown
+		}
+	}
+}
+
+// deliver finalizes a batcher response on the client's goroutine.
+// Outcome counters live here, on the side that actually observes the
+// outcome, so completed/canceled/shed always sum to what clients saw —
+// counting completions in the batcher would race a client taking the
+// cancellation branch.
+func (g *Gateway) deliver(out outcome) (Result, error) {
+	if out.err == nil {
+		g.m.completed.Add(1)
+	}
+	return out.res, out.err
+}
+
+// Shutdown stops admission immediately, drains in-flight and queued work,
+// and returns when the batcher has exited. If ctx expires first the
+// drain is aborted: outstanding requests are failed with ErrShuttingDown
+// and the context's error is returned.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.stopOnce.Do(func() { close(g.stop) })
+	select {
+	case <-g.done:
+		return nil
+	case <-ctx.Done():
+		g.killOnce.Do(func() { close(g.kill) })
+		<-g.done
+		return ctx.Err()
+	}
+}
+
+// Snapshot returns the current counters and latency summaries.
+func (g *Gateway) Snapshot() Snapshot { return g.m.snapshot() }
+
+// Prometheus renders the metrics in Prometheus text format.
+func (g *Gateway) Prometheus() string { return g.m.prometheus() }
+
+// Draining reports whether Shutdown has begun.
+func (g *Gateway) Draining() bool {
+	select {
+	case <-g.stop:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,152 @@
+package gateway
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/batchpolicy"
+	"github.com/lia-sim/lia/internal/kvpage"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/serve"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// ReplayRequest is one request in a deterministic replay: lengths only,
+// plus a virtual arrival time.
+type ReplayRequest struct {
+	PromptLen, OutputLen int
+	Arrival              units.Seconds
+}
+
+// ReplayConfig parameterizes a replay. The pool is constructed exactly
+// as the simulator constructs its own (kvpage.ForModel over the same
+// model config), and Costs is the same injected fake engine type
+// serve.Config.StepCosts takes — the differential test hands one value
+// to both sides.
+type ReplayConfig struct {
+	MaxBatch      int
+	Model         model.Config
+	KVBudget      units.Bytes
+	KVBlockTokens int
+	Costs         *serve.StepCosts
+}
+
+// ReplayResult is the replay's observable behaviour: the full ordered
+// scheduling-decision stream plus summary counts.
+type ReplayResult struct {
+	Events      []batchpolicy.Event
+	Completed   int
+	Preemptions int
+	Makespan    units.Seconds
+}
+
+// Replay drives the gateway's batcher loop — the same batchpolicy.Round
+// skeleton run(
+// ) uses — over a virtual clock and the injected cost model,
+// with arrivals released by time instead of a live queue. The
+// differential test replays one trace through this and through
+// serve.SimulateContinuous and requires bit-identical event streams:
+// same admissions, same preemption victims, same completion order.
+func Replay(cfg ReplayConfig, reqs []ReplayRequest) (ReplayResult, error) {
+	if cfg.MaxBatch < 1 {
+		return ReplayResult{}, fmt.Errorf("gateway: replay MaxBatch must be ≥1, got %d", cfg.MaxBatch)
+	}
+	if cfg.Costs == nil || cfg.Costs.Prefill == nil || cfg.Costs.Decode == nil {
+		return ReplayResult{}, fmt.Errorf("gateway: replay requires injected step costs")
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			return ReplayResult{}, fmt.Errorf("gateway: replay requests not sorted by arrival")
+		}
+	}
+	var pool *kvpage.Manager
+	if cfg.KVBudget > 0 {
+		blockTokens := cfg.KVBlockTokens
+		if blockTokens <= 0 {
+			blockTokens = 16
+		}
+		var err error
+		pool, err = kvpage.ForModel(cfg.KVBudget, blockTokens, cfg.Model)
+		if err != nil {
+			return ReplayResult{}, err
+		}
+	}
+	sched, err := batchpolicy.NewScheduler(cfg.MaxBatch, pool)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+
+	var (
+		out     ReplayResult
+		clock   units.Seconds
+		next    int
+		costErr error
+	)
+	sched.OnEvent = func(e batchpolicy.Event) {
+		out.Events = append(out.Events, e)
+		if e.Kind == batchpolicy.EventPreempt {
+			out.Preemptions++
+		}
+		if e.Kind == batchpolicy.EventComplete {
+			out.Completed++
+		}
+	}
+	hooks := batchpolicy.Hooks{
+		Waiting: func() []batchpolicy.Item {
+			var waiting []batchpolicy.Item
+			for i := next; i < len(reqs) && reqs[i].Arrival <= clock; i++ {
+				waiting = append(waiting, batchpolicy.Item{Ref: i, PromptLen: reqs[i].PromptLen, OutputLen: reqs[i].OutputLen})
+			}
+			return waiting
+		},
+		Consumed: func(n int) { next += n },
+		Prefill: func(admitted []batchpolicy.Seq) error {
+			maxIn := 1
+			for _, a := range admitted {
+				if a.Item.PromptLen > maxIn {
+					maxIn = a.Item.PromptLen
+				}
+			}
+			c, err := cfg.Costs.Prefill(len(admitted), maxIn)
+			if err != nil {
+				costErr = err
+				return err
+			}
+			clock += c
+			return nil
+		},
+		Step: func(running []batchpolicy.Seq) error {
+			var ctxSum int
+			for _, a := range running {
+				ctxSum += a.Context
+			}
+			c, err := cfg.Costs.Decode(len(running), ctxSum/len(running))
+			if err != nil {
+				costErr = err
+				return err
+			}
+			clock += c
+			return nil
+		},
+	}
+
+	for next < len(reqs) || sched.Busy() {
+		progressed, err := batchpolicy.Round(sched, hooks)
+		if err != nil {
+			if costErr != nil {
+				return ReplayResult{}, costErr
+			}
+			return ReplayResult{}, fmt.Errorf("gateway: replay: %w", err)
+		}
+		if !progressed {
+			if sched.RequeuedLen() > 0 || next >= len(reqs) || reqs[next].Arrival <= clock {
+				return ReplayResult{}, fmt.Errorf("gateway: replay: KV budget %v cannot hold the next request", cfg.KVBudget)
+			}
+			clock = reqs[next].Arrival
+			continue
+		}
+		if clock > out.Makespan {
+			out.Makespan = clock
+		}
+	}
+	return out, nil
+}

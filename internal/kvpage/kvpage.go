@@ -66,6 +66,9 @@ func ForModel(budget units.Bytes, blockTokens int, cfg model.Config) (*Manager, 
 // TotalBlocks returns the pool size.
 func (m *Manager) TotalBlocks() int { return m.totalBlocks }
 
+// BlockTokens returns the page size in token slots.
+func (m *Manager) BlockTokens() int { return m.blockTokens }
+
 // FreeBlocks returns how many blocks are unallocated.
 func (m *Manager) FreeBlocks() int { return len(m.freeBlocks) }
 
@@ -78,6 +81,13 @@ func (m *Manager) blocksFor(tokens int) int {
 // (plus one block of headroom for its first generated tokens) fits now.
 func (m *Manager) CanAdmit(promptTokens int) bool {
 	return m.blocksFor(promptTokens)+1 <= len(m.freeBlocks)
+}
+
+// CanEverAdmit reports whether a prompt of the given length could be
+// admitted into a fully drained pool — the shed test serving admission
+// runs before queueing work that no amount of waiting can place.
+func (m *Manager) CanEverAdmit(promptTokens int) bool {
+	return m.blocksFor(promptTokens)+1 <= m.totalBlocks
 }
 
 // Admit allocates blocks for a new sequence's prompt. Sequence IDs must

@@ -1,0 +1,116 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/runner"
+)
+
+// Sequence is one in-flight generation: a forked executor (private Stats
+// and scratch, shared packed-weight caches), its KV cache, and the next
+// token to emit. It is the unit the serving gateway's iteration-level
+// batcher schedules — a sequence advances one token per StepBatch call,
+// so the running batch's membership can change between decode iterations
+// (Orca-style continuous batching) while each sequence's tokens stay
+// bit-identical to a solo Generate call.
+//
+// A Sequence is single-goroutine: concurrent Step calls on one Sequence
+// race, but different Sequences step concurrently (that is what
+// StepBatch does).
+type Sequence struct {
+	e       *Executor
+	cache   *KVCache
+	pending int // next token to emit, already decoded
+	out     []int
+	target  int
+}
+
+// NewSequence prefills the prompt on a forked executor and returns a
+// sequence that will emit exactly n tokens. The shape is validated up
+// front — the serving admission path must reject oversized work before
+// reserving batch slots, not discover it mid-decode: prefill occupies
+// len(prompt) positions and the n-1 decode steps one more each, so
+// len(prompt)+n-1 must fit MaxSeqLen.
+func (e *Executor) NewSequence(prompt []int, n int) (*Sequence, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("llm: sequence must emit at least one token, got %d", n)
+	}
+	if len(prompt)+n-1 > e.Model.Cfg.MaxSeqLen {
+		return nil, fmt.Errorf("llm: prompt %d + %d generated tokens exceeds max sequence length %d",
+			len(prompt), n, e.Model.Cfg.MaxSeqLen)
+	}
+	sub := e.fork()
+	logits, cache, err := sub.Prefill(prompt)
+	if err != nil {
+		return nil, err
+	}
+	return &Sequence{
+		e:       sub,
+		cache:   cache,
+		pending: logits.ArgmaxRow(logits.Rows - 1),
+		out:     make([]int, 0, n),
+		target:  n,
+	}, nil
+}
+
+// Step emits the pending token and, unless it was the sequence's last,
+// decodes the next one. The emitted stream over target steps is
+// bit-identical to Generate(prompt, target) — the final decode is
+// skipped exactly as Generate skips it. Stepping a finished sequence is
+// an error.
+func (s *Sequence) Step() (int, error) {
+	if s.Done() {
+		return 0, fmt.Errorf("llm: sequence already emitted its %d tokens", s.target)
+	}
+	tok := s.pending
+	s.out = append(s.out, tok)
+	if len(s.out) < s.target {
+		logits, err := s.e.DecodeStep(s.cache, tok)
+		if err != nil {
+			return 0, err
+		}
+		s.pending = logits.ArgmaxRow(0)
+	}
+	return tok, nil
+}
+
+// Done reports whether the sequence has emitted all its tokens.
+func (s *Sequence) Done() bool { return len(s.out) >= s.target }
+
+// Output returns the tokens emitted so far (aliased, not copied).
+func (s *Sequence) Output() []int { return s.out }
+
+// Emitted returns how many tokens have been emitted.
+func (s *Sequence) Emitted() int { return len(s.out) }
+
+// Target returns how many tokens the sequence will emit in total.
+func (s *Sequence) Target() int { return s.target }
+
+// ContextLen returns the KV cache's current length.
+func (s *Sequence) ContextLen() int { return s.cache.Len() }
+
+// Stats returns the fork's dispatch counters (prefill plus all steps so
+// far).
+func (s *Sequence) Stats() Stats { return s.e.Stats }
+
+// StepBatch advances every sequence one decode step in parallel on the
+// deterministic runner pool — one iteration of continuous batching. Each
+// sequence owns its executor fork and KV cache, so the only shared state
+// is the immutable packed-weight cache; results are bit-identical to
+// stepping the sequences one by one. Finished sequences are rejected,
+// matching the scheduler contract that retired work leaves the batch
+// immediately.
+func StepBatch(ctx context.Context, seqs []*Sequence) error {
+	if len(seqs) == 0 {
+		return fmt.Errorf("llm: empty step batch")
+	}
+	_, err := runner.Map(ctx, seqs, func(_ context.Context, s *Sequence) (struct{}, error) {
+		_, err := s.Step()
+		return struct{}{}, err
+	})
+	if err != nil {
+		return fmt.Errorf("llm: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package llm
+
+import (
+	"context"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/core"
+)
+
+// seqTestPolicies covers the routing extremes the invariance suite uses:
+// everything on GPU, everything on CPU, and splits.
+func seqTestPolicies() map[string]core.Policy {
+	return map[string]core.Policy{
+		"gpu":     {},
+		"cpu":     core.FullCPU,
+		"partial": core.PartialCPU,
+		"split":   {true, false, true, false, true, false},
+	}
+}
+
+// TestSequenceMatchesGenerate: driving a Sequence step by step emits the
+// exact token stream Generate produces, for every routing policy.
+func TestSequenceMatchesGenerate(t *testing.T) {
+	m, err := NewRandom(TinyConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{5, 17, 42, 3}
+	const n = 12
+	for name, pol := range seqTestPolicies() {
+		want, err := NewExecutor(m, pol).Generate(prompt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewExecutor(m, pol).NewSequence(prompt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; !seq.Done(); i++ {
+			tok, err := seq.Step()
+			if err != nil {
+				t.Fatalf("%s: step %d: %v", name, i, err)
+			}
+			if tok != want[i] {
+				t.Fatalf("%s: step %d emitted %d, Generate emitted %d", name, i, tok, want[i])
+			}
+		}
+		if _, err := seq.Step(); err == nil {
+			t.Errorf("%s: stepping a finished sequence must error", name)
+		}
+		got := seq.Output()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: output diverges at %d: %v vs %v", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestStepBatchMatchesGenerateBatch: iteration-level batching with
+// ragged targets — sequences retiring at different steps, like the
+// gateway's running batch — produces exactly GenerateBatch's tokens.
+func TestStepBatchMatchesGenerateBatch(t *testing.T) {
+	m, err := NewRandom(TinyLlamaConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(m, core.PartialCPU)
+	prompts := [][]int{
+		{1, 2, 3},
+		{9, 8, 7, 6, 5},
+		{50},
+		{33, 44},
+	}
+	targets := []int{3, 9, 1, 6} // ragged: batch membership shrinks over time
+
+	// Reference: per-prompt Generate with each target.
+	want := make([][]int, len(prompts))
+	for i := range prompts {
+		w, err := NewExecutor(m, e.Policy).Generate(prompts[i], targets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+
+	seqs := make([]*Sequence, len(prompts))
+	for i := range prompts {
+		s, err := e.NewSequence(prompts[i], targets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = s
+	}
+	for iter := 0; ; iter++ {
+		var live []*Sequence
+		for _, s := range seqs {
+			if !s.Done() {
+				live = append(live, s)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		if err := StepBatch(context.Background(), live); err != nil {
+			t.Fatalf("iteration %d: %v", iter, err)
+		}
+		if iter > 100 {
+			t.Fatal("batch never drained")
+		}
+	}
+	for i := range prompts {
+		got := seqs[i].Output()
+		if len(got) != targets[i] {
+			t.Fatalf("sequence %d emitted %d tokens, want %d", i, len(got), targets[i])
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("sequence %d diverges at token %d: %v vs %v", i, j, got, want[i])
+			}
+		}
+	}
+}
+
+// TestNewSequenceValidation: oversized or degenerate shapes are rejected
+// up front — the gateway admission path depends on failing before any
+// batch slot or KV block is reserved.
+func TestNewSequenceValidation(t *testing.T) {
+	m, err := NewRandom(TinyConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(m, core.Policy{})
+	if _, err := e.NewSequence([]int{1}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	maxSeq := m.Cfg.MaxSeqLen
+	long := make([]int, maxSeq)
+	if _, err := e.NewSequence(long, 2); err == nil {
+		t.Error("prompt+generation beyond MaxSeqLen accepted")
+	}
+	// The exact boundary fits: prompt + n - 1 == MaxSeqLen.
+	if _, err := e.NewSequence(long, 1); err != nil {
+		t.Errorf("boundary shape rejected: %v", err)
+	}
+	if _, err := e.NewSequence([]int{m.Cfg.VocabSize}, 1); err == nil {
+		t.Error("out-of-vocabulary token accepted")
+	}
+	if err := StepBatch(context.Background(), nil); err == nil {
+		t.Error("empty step batch accepted")
+	}
+}

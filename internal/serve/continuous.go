@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/lia-sim/lia/internal/batchpolicy"
 	"github.com/lia-sim/lia/internal/core"
 	"github.com/lia-sim/lia/internal/exec"
 	"github.com/lia-sim/lia/internal/kvpage"
@@ -12,46 +13,6 @@ import (
 	"github.com/lia-sim/lia/internal/units"
 )
 
-// sequence is one admitted request's in-flight state in the continuous
-// scheduler. Sequences append to the running batch in admission order,
-// so the slice's last element is always the youngest.
-type sequence struct {
-	id        int
-	req       Request
-	context   int // tokens in the KV cache
-	remaining int // output tokens still to produce
-	started   units.Seconds
-}
-
-// extendRunning grows every running sequence's KV cache by one token
-// slot ahead of a decode iteration. When the pool cannot supply a block,
-// the youngest sequence is preempted — its blocks released and its
-// request returned in evicted for full recomputation — and the
-// allocation retries, repeating until the extension fits. If the victim
-// is the very sequence being extended (it was both the youngest and the
-// one that failed), extension stops there: everything before it already
-// holds its new block. Errors when even a one-sequence batch cannot
-// extend, since preempting the only member would make no progress.
-func extendRunning(pool *kvpage.Manager, running []sequence, budget units.Bytes) (kept []sequence, evicted []Request, err error) {
-	for i := 0; i < len(running); i++ {
-		for pool.Extend(running[i].id) != nil {
-			if len(running) <= 1 {
-				return nil, nil, fmt.Errorf("serve: KV budget %v cannot hold even one sequence", budget)
-			}
-			last := running[len(running)-1]
-			running = running[:len(running)-1]
-			if err := pool.Release(last.id); err != nil {
-				return nil, nil, err
-			}
-			evicted = append(evicted, last.req)
-			if i >= len(running) {
-				return running, evicted, nil
-			}
-		}
-	}
-	return running, evicted, nil
-}
-
 // SimulateContinuous runs an iteration-level (Orca-style continuous
 // batching) scheduler over the request stream: at every decode iteration
 // the running batch admits newly-arrived requests (after a batched
@@ -59,10 +20,17 @@ func extendRunning(pool *kvpage.Manager, running []sequence, budget units.Bytes)
 // whole batch until its longest member completes. Same Config and
 // Metrics as Simulate, so the two disciplines compare directly.
 //
+// Every scheduling decision — FIFO admission with eager KV-block
+// reservation, youngest-first preemption, immediate retirement — is made
+// by the batchpolicy package, the exact same code the live serving
+// gateway (internal/gateway) runs; the differential test in that package
+// pins the two to identical admission/preemption/completion order.
+//
 // The per-iteration cost comes from the same execution back-end the
 // engine uses (policy re-optimized per batch size, Optimization-1
 // pinning, Optimization-2 overlap), evaluated at the running batch's
-// mean context length.
+// mean context length — unless Config.StepCosts injects deterministic
+// costs (the differential test's fake engine).
 func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return Metrics{}, err
@@ -76,36 +44,7 @@ func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
 		}
 	}
 
-	env := core.NewEnvWithPlacement(cfg.System, cfg.Model, cfg.Placement)
-	gpuPlan := memplan.PlanLIAGPU(cfg.System.GPU, cfg.Model, cfg.MaxBatch, cfg.Model.MaxSeqLen)
-	opt := core.Options{KVOnGPU: gpuPlan.KVOnGPU}
-
-	basePlan := exec.Plan{
-		Env:          env,
-		Opt:          opt,
-		Layers:       cfg.Model.Layers,
-		PinnedLayers: gpuPlan.PinnedLayers,
-		Overlap:      true,
-		MiniBatches:  1,
-	}
-
-	// Per-iteration costs come from the process-wide step cache
-	// (stepcost.go): decode policies and costs are shared by context
-	// bucket, prefill costs by exact shape. Both are pure functions of
-	// the plan and shape, so runs of the same configuration — including
-	// concurrent ones on the runner pool — share the work.
-	stepCost := func(b, l int) (units.Seconds, error) {
-		return decodeStepCost(basePlan, b, l)
-	}
-	prefillCost := func(b, l int) (units.Seconds, error) {
-		pol, _ := core.OptimizeOptsCached(env, model.Prefill, b, l, opt)
-		p := basePlan
-		p.Policy = pol
-		if b > 1 {
-			p.MiniBatches = 2
-		}
-		return stageCost(p, model.Prefill, b, l)
-	}
+	stepCost, prefillCost := cfg.iterationCosts()
 
 	// Optional paged KV-cache pool (vLLM-style): admissions and per-token
 	// extensions allocate blocks; exhaustion preempts the youngest
@@ -122,116 +61,103 @@ func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
 			return Metrics{}, err
 		}
 	}
+	sched, err := batchpolicy.NewScheduler(cfg.MaxBatch, pool)
+	if err != nil {
+		return Metrics{}, err
+	}
+	sched.OnEvent = cfg.OnEvent
 
 	var (
 		m         Metrics
 		clock     units.Seconds
-		running   []sequence
-		requeued  []Request // preempted work, served before new arrivals
 		next      int
 		latencies []units.Seconds
 		queueing  []units.Seconds
-		nextID    int
+		costErr   error
 	)
-
-	for next < len(reqs) || len(running) > 0 || len(requeued) > 0 {
-		// Admit requeued work first, then arrived requests, while the
-		// batch and (when bounded) the KV pool both have room. Pool blocks
-		// are reserved eagerly so one admission round cannot over-commit.
-		type admission struct {
-			id  int
-			req Request
-		}
-		var admit []admission
-		tryReserve := func(r Request) bool {
-			if pool != nil {
-				if !pool.CanAdmit(r.InputLen) {
-					return false
-				}
-				if err := pool.Admit(nextID, r.InputLen); err != nil {
-					return false
-				}
+	hooks := batchpolicy.Hooks{
+		// Admissible work: the arrived prefix of the trace (requeued
+		// preemptions live inside the scheduler and take priority there).
+		Waiting: func() []batchpolicy.Item {
+			var waiting []batchpolicy.Item
+			for i := next; i < len(reqs) && reqs[i].Arrival <= clock; i++ {
+				waiting = append(waiting, batchpolicy.Item{
+					Ref:       i,
+					PromptLen: reqs[i].InputLen,
+					OutputLen: reqs[i].OutputLen,
+				})
 			}
-			admit = append(admit, admission{id: nextID, req: r})
-			nextID++
-			return true
-		}
-		for len(requeued) > 0 && len(running)+len(admit) < cfg.MaxBatch && tryReserve(requeued[0]) {
-			requeued = requeued[1:]
-		}
-		for next < len(reqs) && len(running)+len(admit) < cfg.MaxBatch && reqs[next].Arrival <= clock && tryReserve(reqs[next]) {
-			next++
-		}
-		if len(admit) == 0 && len(running) == 0 {
-			if len(requeued) > 0 || next >= len(reqs) {
-				// Nothing can be admitted and nothing is running: the
-				// pool cannot hold the next piece of work at all.
-				return Metrics{}, fmt.Errorf("serve: KV budget %v cannot hold the next request", cfg.KVBudget)
-			}
-			// Idle: jump to the next arrival.
-			clock = reqs[next].Arrival
-			continue
-		}
-		if len(admit) > 0 {
+			return waiting
+		},
+		Consumed: func(n int) { next += n },
+		Prefill: func(admitted []batchpolicy.Seq) error {
 			maxIn := 1
-			for _, a := range admit {
-				if a.req.InputLen > maxIn {
-					maxIn = a.req.InputLen
+			for _, a := range admitted {
+				if a.Item.PromptLen > maxIn {
+					maxIn = a.Item.PromptLen
 				}
 			}
-			c, err := prefillCost(len(admit), maxIn)
+			c, err := prefillCost(len(admitted), maxIn)
 			if err != nil {
-				return Metrics{}, err
+				costErr = err
+				return err
 			}
 			clock += c
 			m.Batches++ // each prefill launch is one executed batch
-			m.MeanBatchSize += float64(len(admit))
-			for _, a := range admit {
-				running = append(running, sequence{id: a.id, req: a.req, context: a.req.InputLen, remaining: a.req.OutputLen, started: clock})
-				queueing = append(queueing, clock-a.req.Arrival)
+			m.MeanBatchSize += float64(len(admitted))
+			for _, a := range admitted {
+				queueing = append(queueing, clock-reqs[a.Item.Ref].Arrival)
 			}
-			continue // check for more arrivals before decoding
-		}
-
-		if pool != nil {
-			kept, evicted, err := extendRunning(pool, running, cfg.KVBudget)
+			return nil
+		},
+		Step: func(running []batchpolicy.Seq) error {
+			var ctxSum int
+			for _, a := range running {
+				ctxSum += a.Context
+			}
+			c, err := stepCost(len(running), ctxSum/len(running))
 			if err != nil {
-				return Metrics{}, err
+				costErr = err
+				return err
 			}
-			running = kept
-			requeued = append(requeued, evicted...)
+			clock += c
+			m.Batches++ // each decode iteration is one executed batch
+			m.MeanBatchSize += float64(len(running))
+			m.GeneratedTokens += len(running)
+			return nil
+		},
+		Evicted: func(evicted []batchpolicy.Seq) {
 			m.Preemptions += len(evicted)
-		}
-
-		// One decode iteration across the running batch.
-		var ctxSum int
-		for _, a := range running {
-			ctxSum += a.context
-		}
-		c, err := stepCost(len(running), ctxSum/len(running))
-		if err != nil {
-			return Metrics{}, err
-		}
-		clock += c
-		m.Batches++ // each decode iteration is one executed batch
-		m.MeanBatchSize += float64(len(running))
-		kept := running[:0]
-		for _, a := range running {
-			a.context++
-			a.remaining--
-			m.GeneratedTokens++
-			if a.remaining <= 0 {
-				latencies = append(latencies, clock-a.req.Arrival)
-				if pool != nil {
-					if err := pool.Release(a.id); err != nil {
-						return Metrics{}, err
-					}
-				}
-			} else {
-				kept = append(kept, a)
+		},
+		Finished: func(finished []batchpolicy.Seq) {
+			for _, f := range finished {
+				latencies = append(latencies, clock-reqs[f.Item.Ref].Arrival)
 			}
+		},
+	}
+
+	for next < len(reqs) || sched.Busy() {
+		progressed, err := batchpolicy.Round(sched, hooks)
+		if err != nil {
+			if costErr != nil {
+				return Metrics{}, costErr
+			}
+			return Metrics{}, fmt.Errorf("serve: KV budget %v: %w", cfg.KVBudget, err)
 		}
-		running = kept
+		if !progressed {
+			// Nothing was admitted and nothing is running. If the head of
+			// the line (preempted work, or an arrival that is already
+			// here) still cannot be admitted into an otherwise-empty
+			// batch, it never will be — erroring beats the seed
+			// implementation's silent infinite loop on an oversized
+			// mid-trace request. Otherwise the server is idle: jump to
+			// the next arrival.
+			if sched.RequeuedLen() > 0 || next >= len(reqs) || reqs[next].Arrival <= clock {
+				return Metrics{}, fmt.Errorf("serve: KV budget %v cannot hold the next request", cfg.KVBudget)
+			}
+			clock = reqs[next].Arrival
+			continue
+		}
 		if clock > m.Makespan {
 			m.Makespan = clock
 		}
@@ -269,4 +195,38 @@ func SimulateContinuous(cfg Config, reqs []Request) (Metrics, error) {
 	m.P95 = percentile(latencies, 0.95)
 	m.P99 = percentile(latencies, 0.99)
 	return m, nil
+}
+
+// iterationCosts returns the decode and prefill cost functions for the
+// iteration-level simulators: the injected StepCosts when present (the
+// differential test's deterministic fake engine), else the analytic
+// execution back-end through the process-wide step cache (stepcost.go).
+func (c Config) iterationCosts() (step, prefill func(b, l int) (units.Seconds, error)) {
+	if c.StepCosts != nil {
+		return c.StepCosts.Decode, c.StepCosts.Prefill
+	}
+	env := core.NewEnvWithPlacement(c.System, c.Model, c.Placement)
+	gpuPlan := memplan.PlanLIAGPU(c.System.GPU, c.Model, c.MaxBatch, c.Model.MaxSeqLen)
+	opt := core.Options{KVOnGPU: gpuPlan.KVOnGPU}
+	basePlan := exec.Plan{
+		Env:          env,
+		Opt:          opt,
+		Layers:       c.Model.Layers,
+		PinnedLayers: gpuPlan.PinnedLayers,
+		Overlap:      true,
+		MiniBatches:  1,
+	}
+	step = func(b, l int) (units.Seconds, error) {
+		return decodeStepCost(basePlan, b, l)
+	}
+	prefill = func(b, l int) (units.Seconds, error) {
+		pol, _ := core.OptimizeOptsCached(env, model.Prefill, b, l, opt)
+		p := basePlan
+		p.Policy = pol
+		if b > 1 {
+			p.MiniBatches = 2
+		}
+		return stageCost(p, model.Prefill, b, l)
+	}
+	return step, prefill
 }

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/llm"
+	"github.com/lia-sim/lia/internal/trace"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// FuzzServeConfigValidate throws arbitrary shapes at Config.Validate and
+// then — whenever Validate accepts — actually runs SimulateContinuous
+// over a small trace with injected costs. The property under test: a
+// validated configuration must never panic or hang; it either serves the
+// trace or returns an error (impossible KV budgets are errors, not
+// loops — the regression the idle-branch fix closed).
+func FuzzServeConfigValidate(f *testing.F) {
+	f.Add(8, 2.0, int64(1<<24), 16)
+	f.Add(1, 0.0, int64(0), 0)
+	f.Add(0, -1.0, int64(-5), -3)       // invalid everywhere
+	f.Add(4, math.NaN(), int64(512), 4) // NaN wait
+	f.Add(3, 1.0, int64(1), 1)          // budget too small for one block
+	f.Fuzz(func(t *testing.T, maxBatch int, maxWait float64, kvBudget int64, blockTokens int) {
+		// Cap magnitudes: a pool is backed by real slices, and the fuzzer
+		// finding "allocating 2^60 blocks OOMs" is not a scheduler bug.
+		if kvBudget > 1<<26 || blockTokens > 1<<12 {
+			t.Skip()
+		}
+		cfg := Config{
+			Model:         llm.TinyConfig(),
+			MaxBatch:      maxBatch,
+			MaxWait:       units.Seconds(maxWait),
+			KVBudget:      units.Bytes(kvBudget),
+			KVBlockTokens: blockTokens,
+			StepCosts: &StepCosts{
+				Prefill: func(b, maxIn int) (units.Seconds, error) { return units.Seconds(b*maxIn) * 1e-3, nil },
+				Decode:  func(b, meanCtx int) (units.Seconds, error) { return units.Seconds(b+meanCtx) * 1e-3, nil },
+			},
+		}
+		err := cfg.Validate()
+		if maxBatch < 1 || maxWait < 0 || math.IsNaN(maxWait) || kvBudget < 0 || (kvBudget > 0 && blockTokens < 0) {
+			if err == nil {
+				t.Fatalf("degenerate config accepted: %+v", cfg)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+		reqs := []Request{
+			{Request: trace.Request{InputLen: 2, OutputLen: 3}, Arrival: 0},
+			{Request: trace.Request{InputLen: 7, OutputLen: 1}, Arrival: 0},
+			{Request: trace.Request{InputLen: 4, OutputLen: 5}, Arrival: 0.002},
+		}
+		m, simErr := SimulateContinuous(cfg, reqs)
+		if simErr != nil {
+			return // tight budgets legitimately reject the trace — but never hang
+		}
+		if m.Completed != len(reqs) {
+			t.Fatalf("completed %d of %d with no error", m.Completed, len(reqs))
+		}
+		if m.GeneratedTokens < 9 { // 3+1+5, more under preemption recomputation
+			t.Fatalf("generated %d tokens, want ≥9", m.GeneratedTokens)
+		}
+		if !(m.P50 <= m.P95 && m.P95 <= m.P99) {
+			t.Fatalf("percentiles out of order: %v %v %v", m.P50, m.P95, m.P99)
+		}
+	})
+}

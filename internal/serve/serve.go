@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/lia-sim/lia/internal/batchpolicy"
 	"github.com/lia-sim/lia/internal/cxl"
 	"github.com/lia-sim/lia/internal/engine"
 	"github.com/lia-sim/lia/internal/hw"
@@ -67,6 +68,23 @@ type Config struct {
 	KVBudget units.Bytes
 	// KVBlockTokens is the page size in token slots (default 16).
 	KVBlockTokens int
+	// StepCosts, when non-nil, replaces the analytic execution back-end
+	// with injected per-iteration costs in the iteration-level simulators.
+	// The differential test uses this to drive SimulateContinuous and the
+	// gateway's trace replay off one deterministic fake engine.
+	StepCosts *StepCosts
+	// OnEvent, when non-nil, observes every scheduling decision
+	// (admit/preempt/complete) SimulateContinuous makes, in order.
+	OnEvent func(batchpolicy.Event)
+}
+
+// StepCosts injects deterministic per-iteration costs in place of the
+// analytic execution back-end. Prefill is charged per batched prefill
+// launch (batch size, longest prompt); Decode per decode iteration
+// (batch size, mean context length).
+type StepCosts struct {
+	Prefill func(batch, maxIn int) (units.Seconds, error)
+	Decode  func(batch, meanCtx int) (units.Seconds, error)
 }
 
 // Validate reports configuration errors.
@@ -74,8 +92,14 @@ func (c Config) Validate() error {
 	if c.MaxBatch < 1 {
 		return fmt.Errorf("serve: MaxBatch must be ≥1")
 	}
-	if c.MaxWait < 0 {
-		return fmt.Errorf("serve: MaxWait must be ≥0")
+	if c.MaxWait < 0 || math.IsNaN(float64(c.MaxWait)) {
+		return fmt.Errorf("serve: MaxWait must be ≥0, got %v", c.MaxWait)
+	}
+	if c.KVBudget < 0 {
+		return fmt.Errorf("serve: KVBudget must be ≥0, got %v", c.KVBudget)
+	}
+	if c.KVBudget > 0 && c.KVBlockTokens < 0 {
+		return fmt.Errorf("serve: KVBlockTokens must be ≥0, got %d", c.KVBlockTokens)
 	}
 	return nil
 }

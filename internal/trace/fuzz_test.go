@@ -1,0 +1,49 @@
+package trace
+
+import "testing"
+
+// FuzzTraceGenerator hunts for parameter corners where the generator
+// either accepts a degenerate range or emits a request outside its
+// contract: inputs must land in [minIn, maxIn] and outputs must be ≥1
+// (the geometric draw's log-domain arithmetic must never round to zero
+// or go negative, whatever the seed).
+func FuzzTraceGenerator(f *testing.F) {
+	f.Add(int8(0), 32, 2048, int64(1))
+	f.Add(int8(1), 1, 1, int64(42))
+	f.Add(int8(0), 1, 1<<20, int64(-7))
+	f.Add(int8(1), 100, 99, int64(0)) // invalid: max < min
+	f.Add(int8(0), 0, 10, int64(3))   // invalid: min < 1
+	f.Fuzz(func(t *testing.T, kindRaw int8, minIn, maxIn int, seed int64) {
+		kind := Code
+		if kindRaw%2 != 0 {
+			kind = Conversation
+		}
+		// Keep the range arithmetic away from int overflow; the generator's
+		// contract is about distribution shape, not 2^62-token prompts.
+		if minIn > 1<<30 || maxIn > 1<<30 || minIn < -(1<<30) || maxIn < -(1<<30) {
+			t.Skip()
+		}
+		gen, err := NewGenerator(kind, minIn, maxIn, seed)
+		if minIn < 1 || maxIn < minIn {
+			if err == nil {
+				t.Fatalf("invalid range [%d, %d] accepted", minIn, maxIn)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid range [%d, %d] rejected: %v", minIn, maxIn, err)
+		}
+		for i := 0; i < 64; i++ {
+			r := gen.Next()
+			if r.InputLen < minIn || r.InputLen > maxIn {
+				t.Fatalf("draw %d: input %d outside [%d, %d]", i, r.InputLen, minIn, maxIn)
+			}
+			if r.OutputLen < 1 {
+				t.Fatalf("draw %d: output %d must be ≥1", i, r.OutputLen)
+			}
+			if r.ID != i+1 {
+				t.Fatalf("draw %d: ID %d, want %d", i, r.ID, i+1)
+			}
+		}
+	})
+}
