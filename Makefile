@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-functional bench-gateway fuzz-smoke
+.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload fuzz-smoke
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the runner pool and shared caches are
@@ -37,8 +37,16 @@ bench-gateway:
 		-max-batch 8 -live-kv-tokens 256 -seed 1 > BENCH_gateway.json
 	@cat BENCH_gateway.json
 
+# bench-offload generates the same stream resident and tier-hosted
+# (DDR-streamed, CXL-streamed) and records the wall-clock and
+# virtual-clock decode latencies into BENCH_offload.json.
+bench-offload:
+	$(GO) run ./cmd/lia-serve -offload-bench -bench-tokens 32 -seed 1 > BENCH_offload.json
+	@cat BENCH_offload.json
+
 # fuzz-smoke gives each native fuzz target a short budget — enough to
 # exercise the mutator without turning CI into a fuzz farm.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzTraceGenerator -fuzztime=10s -run=^$$ ./internal/trace
 	$(GO) test -fuzz=FuzzServeConfigValidate -fuzztime=10s -run=^$$ ./internal/serve
+	$(GO) test -fuzz=FuzzPlanHost -fuzztime=10s -run=^$$ ./internal/memplan

@@ -19,6 +19,14 @@
 // concurrent closed-loop clients for a fixed window and prints sustained
 // req/s plus exact client-side TTFT percentiles as JSON (the
 // BENCH_gateway.json baseline).
+//
+// The live modes optionally host the engine's weights and KV cache in
+// the tiered-memory runtime (-offload ddr or -offload cxl): tokens stay
+// bit-identical, admission derives its KV budget from the KV tier, and
+// /metrics gains the lia_offload_* counters. Offload bench
+// (-offload-bench) compares resident against DDR-streamed and
+// CXL-streamed hosting on the tiny model and prints the virtual-clock
+// decode latencies as JSON (the BENCH_offload.json baseline).
 package main
 
 import (
@@ -39,10 +47,12 @@ import (
 
 	"github.com/lia-sim/lia"
 	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/cxl"
 	"github.com/lia-sim/lia/internal/engine"
 	"github.com/lia-sim/lia/internal/gateway"
 	"github.com/lia-sim/lia/internal/llm"
 	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/offload"
 	"github.com/lia-sim/lia/internal/serve"
 	"github.com/lia-sim/lia/internal/trace"
 	"github.com/lia-sim/lia/internal/units"
@@ -74,6 +84,10 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 64, "admission queue bound; excess sheds with 429 (live)")
 		kvTokens   = flag.Int("live-kv-tokens", 0, "paged KV pool capacity in tokens (live; 0 = unconstrained)")
 		drainSecs  = flag.Float64("drain-timeout", 30, "graceful shutdown drain budget, seconds (live)")
+		offloadTo  = flag.String("offload", "none", "tiered-memory hosting of weights and KV: none, ddr, or cxl (live)")
+
+		// Offload bench flag (uses -live-model, -bench-tokens, -seed).
+		offloadBench = flag.Bool("offload-bench", false, "compare resident vs ddr vs cxl tiered hosting and print JSON")
 
 		// Live bench flags.
 		benchClients = flag.Int("bench-clients", 8, "concurrent closed-loop clients (live-bench)")
@@ -82,10 +96,20 @@ func main() {
 	)
 	flag.Parse()
 
+	if *offloadBench {
+		if err := runOffloadBench(*liveModel, *benchTokens, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *live || *liveBench {
-		g, desc, err := buildGateway(*liveModel, *livePolicy, *maxBatch, *queueDepth, *kvTokens, *seed)
+		g, host, desc, err := buildGateway(*liveModel, *livePolicy, *offloadTo, *maxBatch, *queueDepth, *kvTokens, *seed)
 		if err != nil {
 			fatal(err)
+		}
+		if host != nil {
+			defer host.Close()
 		}
 		if *liveBench {
 			err = runBench(g, desc, *benchClients, *benchSecs, *benchTokens, *seed)
@@ -101,18 +125,57 @@ func main() {
 	runSimulator(*systemName, *modelName, *fwName, *kind, *rate, *n, *maxBatch, *maxWait, *seed, *continuous, *kvBudgetGB)
 }
 
-// buildGateway assembles the live serving stack: a random-weight
-// functional model, an executor with the chosen offloading policy, and
-// the gateway in front of them.
-func buildGateway(modelName, policyName string, maxBatch, queueDepth, kvTokens int, seed int64) (*gateway.Gateway, string, error) {
-	var cfg model.Config
+// liveModelConfig resolves the functional-model flag.
+func liveModelConfig(modelName string) (model.Config, error) {
 	switch strings.ToLower(modelName) {
 	case "tiny":
-		cfg = llm.TinyConfig()
+		return llm.TinyConfig(), nil
 	case "tiny-llama", "tinyllama":
-		cfg = llm.TinyLlamaConfig()
+		return llm.TinyLlamaConfig(), nil
 	default:
-		return nil, "", fmt.Errorf("unknown live model %q (want tiny or tiny-llama)", modelName)
+		return model.Config{}, fmt.Errorf("unknown live model %q (want tiny or tiny-llama)", modelName)
+	}
+}
+
+// buildOffloadHost assembles the tiered-memory runtime over a
+// laptop-scale system that pins one decoder layer: "ddr" streams the
+// rest from host DRAM, "cxl" attaches an expander and places parameters
+// there under the §6 policy. Mode "none" returns nil.
+func buildOffloadHost(cfg model.Config, mode string, pol core.Policy) (*offload.Host, error) {
+	nCXL, placement := 0, cxl.DDROnlyPlacement()
+	switch strings.ToLower(mode) {
+	case "none", "":
+		return nil, nil
+	case "ddr":
+	case "cxl":
+		nCXL, placement = 1, cxl.PolicyPlacement()
+	default:
+		return nil, fmt.Errorf("unknown offload mode %q (want none, ddr, or cxl)", mode)
+	}
+	// ctx 256 keeps the KV cache heavier than one layer, so the planner
+	// pins a layer yet leaves KV host-side (the streaming regime).
+	const pinned, ctx = 1, 256
+	plan, err := offload.NewPlan(offload.Config{
+		System:    offload.TinySystem(cfg, 1, ctx, pinned, nCXL),
+		Model:     cfg,
+		Batch:     1,
+		Context:   ctx,
+		Placement: placement,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return offload.NewHost(plan, pol)
+}
+
+// buildGateway assembles the live serving stack: a random-weight
+// functional model, an executor with the chosen offloading policy
+// (optionally hosted by the tiered-memory runtime), and the gateway in
+// front of them.
+func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDepth, kvTokens int, seed int64) (*gateway.Gateway, *offload.Host, string, error) {
+	cfg, err := liveModelConfig(modelName)
+	if err != nil {
+		return nil, nil, "", err
 	}
 	var pol core.Policy
 	switch strings.ToLower(policyName) {
@@ -123,30 +186,45 @@ func buildGateway(modelName, policyName string, maxBatch, queueDepth, kvTokens i
 	case "partial":
 		pol = core.PartialCPU
 	default:
-		return nil, "", fmt.Errorf("unknown policy %q (want gpu, cpu, or partial)", policyName)
+		return nil, nil, "", fmt.Errorf("unknown policy %q (want gpu, cpu, or partial)", policyName)
 	}
 	m, err := llm.NewRandom(cfg, seed)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
+	}
+	host, err := buildOffloadHost(cfg, offloadMode, pol)
+	if err != nil {
+		return nil, nil, "", err
 	}
 	var budget units.Bytes
 	if kvTokens > 0 {
 		budget = cfg.KVBytes(1, kvTokens)
 	}
-	g, err := gateway.New(llm.NewExecutor(m, pol), gateway.Config{
+	exec := llm.NewExecutor(m, pol)
+	if host != nil { // interface-typed field: a nil *Host is not a nil MemHost
+		exec.Mem = host
+	}
+	g, err := gateway.New(exec, gateway.Config{
 		MaxBatch:      maxBatch,
 		QueueDepth:    queueDepth,
 		KVBudget:      budget,
 		KVBlockTokens: 4,
+		Offload:       host,
 	})
 	if err != nil {
-		return nil, "", err
+		if host != nil {
+			host.Close()
+		}
+		return nil, nil, "", err
 	}
 	desc := fmt.Sprintf("%s model, %s policy, max batch %d, queue %d", modelName, policyName, maxBatch, queueDepth)
 	if kvTokens > 0 {
 		desc += fmt.Sprintf(", KV pool %d tokens", kvTokens)
 	}
-	return g, desc, nil
+	if host != nil {
+		desc += fmt.Sprintf(", offload %s (%s)", strings.ToLower(offloadMode), host.Plan())
+	}
+	return g, host, desc, nil
 }
 
 // runLive serves the gateway over HTTP until SIGINT/SIGTERM, then drains
@@ -302,6 +380,109 @@ func runBench(g *gateway.Gateway, desc string, clients int, seconds float64, tok
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// offloadBenchRow is one tier configuration's measurement in
+// BENCH_offload.json. Virtual times come from the host's transfer/compute
+// clock (the analytic link semantics); the resident baseline has none.
+type offloadBenchRow struct {
+	Name         string `json:"name"`
+	PinnedLayers int    `json:"pinned_layers,omitempty"`
+	// VirtualDecodeMs is the last decode pass's virtual makespan; the
+	// stream and compute columns show how much of it each side occupies
+	// (they overlap under double buffering).
+	VirtualDecodeMs  float64 `json:"virtual_decode_ms,omitempty"`
+	VirtualStreamMs  float64 `json:"virtual_stream_ms,omitempty"`
+	VirtualComputeMs float64 `json:"virtual_compute_ms,omitempty"`
+	LinkTransfers    uint64  `json:"link_transfers,omitempty"`
+	KVSpills         uint64  `json:"kv_spills,omitempty"`
+	KVEvictions      uint64  `json:"kv_evictions,omitempty"`
+	WallDecodeUs     float64 `json:"wall_decode_us_per_token"`
+}
+
+// offloadBenchReport is the BENCH_offload.json payload: the same
+// generation on the same weights, resident versus tier-hosted.
+type offloadBenchReport struct {
+	Model        string            `json:"model"`
+	Tokens       int               `json:"tokens"`
+	BitIdentical bool              `json:"bit_identical"`
+	Configs      []offloadBenchRow `json:"configs"`
+}
+
+// runOffloadBench generates the same stream under three hosting
+// configurations — resident, DDR-streamed, CXL-streamed — and prints the
+// wall-clock and virtual-clock decode latencies as JSON. The token
+// streams must agree bit-for-bit; the report records that they did.
+func runOffloadBench(modelName string, tokens int, seed int64) error {
+	cfg, err := liveModelConfig(modelName)
+	if err != nil {
+		return err
+	}
+	if tokens < 2 {
+		return fmt.Errorf("offload bench needs at least 2 tokens, got %d", tokens)
+	}
+	prompt := []int{5, 17, 42, 9, 63}
+	rep := offloadBenchReport{Model: cfg.Name, Tokens: tokens, BitIdentical: true}
+	var first []int
+	for _, mode := range []string{"none", "ddr", "cxl"} {
+		m, err := llm.NewRandom(cfg, seed)
+		if err != nil {
+			return err
+		}
+		e := llm.NewExecutor(m, core.FullGPU)
+		host, err := buildOffloadHost(cfg, mode, core.FullGPU)
+		if err != nil {
+			return err
+		}
+		if host != nil {
+			e.Mem = host
+		}
+		start := time.Now()
+		out, err := e.Generate(prompt, tokens)
+		wall := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if first == nil {
+			first = out
+		} else if !equalTokens(first, out) {
+			rep.BitIdentical = false
+		}
+		row := offloadBenchRow{
+			Name:         "resident",
+			WallDecodeUs: float64(wall.Microseconds()) / float64(tokens),
+		}
+		if host != nil {
+			snap := host.Snapshot()
+			row.Name = mode + "-streamed"
+			row.PinnedLayers = host.Plan().GPU.PinnedLayers
+			row.VirtualDecodeMs = secMs(snap.LastPass.Makespan)
+			row.VirtualStreamMs = secMs(snap.LastPass.Stream)
+			row.VirtualComputeMs = secMs(snap.LastPass.Compute)
+			row.LinkTransfers = snap.Xfer.Transfers
+			row.KVSpills = snap.KVSpills
+			row.KVEvictions = snap.KVEvictions
+			host.Close()
+		}
+		rep.Configs = append(rep.Configs, row)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func secMs(s units.Seconds) float64 { return float64(s) * 1e3 }
+
+func equalTokens(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // runSimulator is the original analytic serving simulator.
 func runSimulator(systemName, modelName, fwName, kind string, rate float64, n, maxBatch int, maxWait float64, seed int64, continuous bool, kvBudgetGB float64) {

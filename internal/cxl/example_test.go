@@ -1,0 +1,33 @@
+package cxl_test
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/hw"
+)
+
+// ExampleFromSystem builds the pool for the paper's SPR-A100 platform
+// with two Samsung 128 GB expanders and reports its aggregates.
+func ExampleFromSystem() {
+	sys := hw.SPRA100.WithCXL(2, hw.SamsungCXL128)
+	pool := cxl.FromSystem(sys)
+	fmt.Println("capacity:", pool.Capacity())
+	fmt.Println("bandwidth:", pool.Bandwidth())
+	fmt.Println("extra latency:", pool.ExtraLatency())
+	// Output:
+	// capacity: 256.00 GiB
+	// bandwidth: 34.0 GB/s
+	// extra latency: 155.0 ns
+}
+
+// ExampleFromSystem_empty shows that a system without expanders yields a
+// transparent pool: no capacity, DDR-class behaviour everywhere.
+func ExampleFromSystem_empty() {
+	pool := cxl.FromSystem(hw.SPRA100)
+	fmt.Println("empty:", pool.Empty())
+	fmt.Println("capacity:", pool.Capacity())
+	// Output:
+	// empty: true
+	// capacity: 0 B
+}

@@ -1,0 +1,91 @@
+package cxl
+
+import (
+	"testing"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// TestPoolAggregatesTable pins ExtraLatency and Bandwidth over the empty
+// pool and heterogeneous expander mixes: bandwidth sums across devices,
+// latency is the worst device (interleaved lines hit every expander), and
+// an empty pool contributes nothing.
+func TestPoolAggregatesTable(t *testing.T) {
+	mk := func(capGiB int, bwGB float64, lat units.Seconds) hw.CXLExpander {
+		return hw.CXLExpander{
+			Name:         "test-expander",
+			Capacity:     units.Bytes(capGiB) * units.GiB,
+			BW:           units.BytesPerSecond(bwGB) * units.GBps,
+			ExtraLatency: lat,
+		}
+	}
+	const ns = units.Seconds(1e-9)
+	cases := []struct {
+		name      string
+		expanders []hw.CXLExpander
+		wantBW    units.BytesPerSecond
+		wantLat   units.Seconds
+		wantCap   units.Bytes
+	}{
+		{
+			name:      "empty pool",
+			expanders: nil,
+			wantBW:    0,
+			wantLat:   0,
+			wantCap:   0,
+		},
+		{
+			name:      "single expander",
+			expanders: []hw.CXLExpander{mk(128, 17, 155*ns)},
+			wantBW:    17 * units.GBps,
+			wantLat:   155 * ns,
+			wantCap:   128 * units.GiB,
+		},
+		{
+			name:      "two identical expanders",
+			expanders: []hw.CXLExpander{mk(128, 17, 155*ns), mk(128, 17, 155*ns)},
+			wantBW:    34 * units.GBps,
+			wantLat:   155 * ns,
+			wantCap:   256 * units.GiB,
+		},
+		{
+			name: "mixed expanders: slow-but-large dominates latency",
+			expanders: []hw.CXLExpander{
+				mk(128, 17, 155*ns),
+				mk(512, 9, 400*ns),
+			},
+			wantBW:  26 * units.GBps,
+			wantLat: 400 * ns,
+			wantCap: 640 * units.GiB,
+		},
+		{
+			name: "mixed expanders: fast device does not hide slow latency",
+			expanders: []hw.CXLExpander{
+				mk(64, 26, 90*ns),
+				mk(128, 17, 155*ns),
+				mk(128, 17, 155*ns),
+			},
+			wantBW:  60 * units.GBps,
+			wantLat: 155 * ns,
+			wantCap: 320 * units.GiB,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Pool{Expanders: tc.expanders, DDRBW: 260 * units.GBps}
+			if got := p.Bandwidth(); got != tc.wantBW {
+				t.Errorf("Bandwidth() = %v, want %v", got, tc.wantBW)
+			}
+			if got := p.ExtraLatency(); got != tc.wantLat {
+				t.Errorf("ExtraLatency() = %v, want %v", got, tc.wantLat)
+			}
+			if got := p.Capacity(); got != tc.wantCap {
+				t.Errorf("Capacity() = %v, want %v", got, tc.wantCap)
+			}
+			if p.Empty() != (len(tc.expanders) == 0) {
+				t.Errorf("Empty() = %v with %d expanders", p.Empty(), len(tc.expanders))
+			}
+		})
+	}
+}

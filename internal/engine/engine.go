@@ -187,10 +187,15 @@ func finalize(r *Result) {
 }
 
 // hostPlanFor computes and capacity-checks the host placement. It returns
-// an OOM result when host memory cannot hold the workload.
+// an OOM result when host memory cannot hold the workload, or when the
+// placement itself is unsatisfiable (CXL classes with no expanders — a
+// zero-capacity tier no AssumeHostCapacity can conjure up).
 func hostPlanFor(cfg Config) (memplan.HostPlan, bool, string) {
 	w := cfg.Workload
-	plan := memplan.PlanHost(cfg.System, cfg.Model, w.Batch, w.InputLen+w.OutputLen, cfg.Placement)
+	plan, err := memplan.PlanHost(cfg.System, cfg.Model, w.Batch, w.InputLen+w.OutputLen, cfg.Placement)
+	if err != nil {
+		return plan, true, fmt.Sprintf("host memory: %v", err)
+	}
 	if !plan.Fits && !cfg.AssumeHostCapacity {
 		return plan, true, fmt.Sprintf("host memory: %s", plan)
 	}

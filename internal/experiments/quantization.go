@@ -33,7 +33,11 @@ func QuantizationStudy() *report.Table {
 			return throughputOrNaN(engine.Config{Framework: engine.LIA, System: hw.SPRA100, Model: mc, Workload: offline, AssumeHostCapacity: true})
 		}
 		maxB := func(mc model.Config) int {
-			return memplan.MaxBatch(hw.SPRA100, mc, 544, 16384, cxl.DDROnlyPlacement())
+			b, err := memplan.MaxBatch(hw.SPRA100, mc, 544, 16384, cxl.DDROnlyPlacement())
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %v", err))
+			}
+			return b
 		}
 		return []string{m.Name,
 			m.ParamBytes().String(), int8.ParamBytes().String(),

@@ -73,8 +73,14 @@ func Table3() *report.Table {
 			Placement: cxl.PolicyPlacement(), AssumeHostCapacity: true,
 		})
 		// Enlarged batch under the same DDR footprint.
-		budget := memplan.PlanHost(sys, m, b, lin+lout, cxl.DDROnlyPlacement()).DDRUsed
-		bigB := memplan.MaxBatchWithinDDR(sys, m, lin+lout, budget, 8192, cxl.PolicyPlacement())
+		ddrPlan, err := memplan.PlanHost(sys, m, b, lin+lout, cxl.DDROnlyPlacement())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		bigB, err := memplan.MaxBatchWithinDDR(sys, m, lin+lout, ddrPlan.DDRUsed, 8192, cxl.PolicyPlacement())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
 		big := mustRun(engine.Config{
 			Framework: engine.LIA, System: sys, Model: m,
 			Workload:  trace.Workload{Batch: bigB, InputLen: lin, OutputLen: lout},

@@ -69,7 +69,8 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 		delete(byRef, e.ref)
 	}
 	abortAll := func() {
-		for id := range seqs {
+		for id, s := range seqs {
+			s.Release()
 			delete(seqs, id)
 		}
 		for _, e := range byRef {
@@ -162,6 +163,9 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 			// recomputes the prefill (the tokens are deterministic, so the
 			// client still sees one coherent stream).
 			for _, ev := range evicted {
+				if s := seqs[ev.ID]; s != nil {
+					s.Release()
+				}
 				delete(seqs, ev.ID)
 			}
 		},
@@ -172,6 +176,7 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 				delete(seqs, f.ID)
 				toks := make([]int, len(s.Output()))
 				copy(toks, s.Output())
+				s.Release()
 				respond(e, outcome{res: Result{
 					Tokens:    toks,
 					QueueWait: e.queueWait,
@@ -198,6 +203,9 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 				continue
 			}
 			if err := sched.Remove(seq.ID); err == nil {
+				if s := seqs[seq.ID]; s != nil {
+					s.Release()
+				}
 				delete(seqs, seq.ID)
 				delete(byRef, e.ref)
 			}
@@ -259,6 +267,9 @@ func (g *Gateway) failRound(sched *batchpolicy.Scheduler, seqs map[int]*llm.Sequ
 	for _, seq := range sched.Running() {
 		if rmErr := sched.Remove(seq.ID); rmErr != nil {
 			continue
+		}
+		if s := seqs[seq.ID]; s != nil {
+			s.Release()
 		}
 		delete(seqs, seq.ID)
 		if e, ok := byRef[seq.Item.Ref]; ok {

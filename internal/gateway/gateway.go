@@ -24,6 +24,7 @@ import (
 	"github.com/lia-sim/lia/internal/batchpolicy"
 	"github.com/lia-sim/lia/internal/kvpage"
 	"github.com/lia-sim/lia/internal/llm"
+	"github.com/lia-sim/lia/internal/offload"
 	"github.com/lia-sim/lia/internal/units"
 )
 
@@ -52,11 +53,20 @@ type Config struct {
 	KVBudget units.Bytes
 	// KVBlockTokens is the KV page size in token slots (default 16).
 	KVBlockTokens int
+	// Offload, when set, is the tiered-memory runtime hosting the
+	// executor's weights and KV cache. Admission then consults the tiered
+	// capacity — a zero KVBudget is filled in from the host's KV-tier
+	// budget — and the host's per-tier counters render into /metrics
+	// alongside the gateway's own.
+	Offload *offload.Host
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 8
+	}
+	if c.Offload != nil && c.KVBudget == 0 {
+		c.KVBudget = c.Offload.KVBudget()
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 64
@@ -287,8 +297,16 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 // Snapshot returns the current counters and latency summaries.
 func (g *Gateway) Snapshot() Snapshot { return g.m.snapshot() }
 
-// Prometheus renders the metrics in Prometheus text format.
-func (g *Gateway) Prometheus() string { return g.m.prometheus() }
+// Prometheus renders the metrics in Prometheus text format. With an
+// offload host configured, the tiered-memory counters
+// (lia_offload_*) follow the gateway's own.
+func (g *Gateway) Prometheus() string {
+	out := g.m.prometheus()
+	if g.cfg.Offload != nil {
+		out += g.cfg.Offload.Prometheus()
+	}
+	return out
+}
 
 // Draining reports whether Shutdown has begun.
 func (g *Gateway) Draining() bool {

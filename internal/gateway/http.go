@@ -101,7 +101,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(g.m.prometheus()))
+	_, _ = w.Write([]byte(g.Prometheus()))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,97 @@
+package gateway
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/offload"
+)
+
+// TestGatewayOverOffloadHost serves live traffic through an executor
+// whose weights and KV cache live in the tiered runtime: admission takes
+// its KV budget from the host's KV tier, responses stay bit-identical to
+// solo generation, tier counters render into /metrics, and every
+// retired sequence returns its KV pages to the tiers.
+func TestGatewayOverOffloadHost(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	exec := testExecutor(t)
+	cfg := exec.Model.Cfg
+	sys := offload.TinySystem(cfg, 1, 128, 0, 1)
+	plan, err := offload.NewPlan(offload.Config{
+		System: sys, Model: cfg, Batch: 1, Context: 128,
+		Placement: cxl.PolicyPlacement(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := offload.NewHost(plan, core.PartialCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	exec.Mem = host
+
+	g, err := New(exec, Config{MaxBatch: 4, Offload: host})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.cfg.KVBudget != host.KVBudget() {
+		t.Fatalf("admission budget %v, host KV budget %v", g.cfg.KVBudget, host.KVBudget())
+	}
+
+	prompts := [][]int{{5, 17, 42}, {9, 63}, {1, 2, 3, 4}, {7, 11}}
+	var wg sync.WaitGroup
+	results := make([]Result, len(prompts))
+	errs := make([]error, len(prompts))
+	for i, p := range prompts {
+		wg.Add(1)
+		go func(i int, p []int) {
+			defer wg.Done()
+			results[i], errs[i] = g.Submit(context.Background(), p, 6)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, p := range prompts {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if want := reference(t, exec, p, 6); !reflect.DeepEqual(results[i].Tokens, want) {
+			t.Errorf("request %d diverged under tiered hosting:\n got %v\nwant %v", i, results[i].Tokens, want)
+		}
+	}
+
+	prom := g.Prometheus()
+	for _, want := range []string{
+		"lia_gateway_requests_completed_total",
+		`lia_offload_tier_used_bytes{tier="hbm"}`,
+		`lia_offload_tier_reads_total{tier="ddr"}`,
+		"lia_offload_passes_decode_total",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	shutdown(t, g)
+	snap := host.Snapshot()
+	if snap.Prefills == 0 || snap.Decodes == 0 {
+		t.Fatalf("host saw no passes: %+v", snap)
+	}
+	// Finished sequences were Released, so their tier-hosted KV pages are
+	// back in the pool: residency equals the immutable weight footprint.
+	tiers := snap.Tiers
+	if tiers[offload.DDR].Frees == 0 {
+		t.Errorf("no KV pages freed on retirement: %+v", tiers[offload.DDR])
+	}
+	if tiers[offload.DDR].Used != 0 {
+		t.Errorf("DDR residency %s after all retirements (KV tier should be empty)", tiers[offload.DDR].Used)
+	}
+	host.Close()
+	checkNoGoroutineLeak(t, baseline)
+}

@@ -143,7 +143,12 @@ type KVCache struct {
 	kT []tensor.Matrix
 	// capRows is the backing capacity in rows.
 	capRows int
+	// id identifies the cache to a MemHost (0 when no host is attached).
+	id int64
 }
+
+// ID returns the cache's MemHost identifier (0 without a host).
+func (c *KVCache) ID() int64 { return c.id }
 
 // Len returns the cached context length.
 func (c *KVCache) Len() int {
@@ -223,6 +228,10 @@ type sharedState struct {
 	// no matter how many tokens are generated.
 	packs atomic.Int64
 
+	// cacheIDs issues MemHost cache identifiers, unique across every fork
+	// of the executor family (IDs start at 1; 0 means "no host").
+	cacheIDs atomic.Int64
+
 	ropeOnce sync.Once
 	// ropeSin/ropeCos hold sin/cos of pos·base^(-2i/d_h) for every
 	// (position, pair) — float64, exactly the values math.Sincos returns
@@ -239,6 +248,15 @@ type Executor struct {
 	Policy core.Policy
 	// Stats accumulates dispatch counters.
 	Stats Stats
+	// Mem, when non-nil, observes the executor's memory traffic (weight
+	// packs, KV-cache lifetime, per-pass access order) — the attachment
+	// point for the tiered offload runtime. Hooks are observational only:
+	// tokens are bit-identical with or without a host. Set it before the
+	// first pass, not concurrently with generation.
+	Mem MemHost
+	// pass holds the active pass's hooks; a fork runs one pass at a time
+	// on one goroutine, so no synchronization is needed.
+	pass PassHooks
 	// int8 holds pre-quantized parameter weights when INT8 mode is on.
 	int8 []quantizedLayer
 	// shared holds the packed-weight caches and RoPE tables, common to
@@ -269,7 +287,7 @@ func (e *Executor) sharedState() *sharedState {
 // and quantized weights, with private Stats and scratch — the unit of
 // parallelism for GenerateBatch.
 func (e *Executor) fork() *Executor {
-	return &Executor{Model: e.Model, Policy: e.Policy, int8: e.int8, shared: e.sharedState()}
+	return &Executor{Model: e.Model, Policy: e.Policy, Mem: e.Mem, int8: e.int8, shared: e.sharedState()}
 }
 
 // WeightPacks reports how many static-weight layout conversions (VNNI
@@ -322,6 +340,9 @@ func (e *Executor) weightFor(li int, s model.Sublayer) (tensor.Matrix, *packedWe
 // computed by the caller (the dense route rounds it to bfloat16 in
 // place, exactly the rounding the seed applied to a clone).
 func (e *Executor) linear(li int, s model.Sublayer, x tensor.Matrix) tensor.Matrix {
+	if e.pass != nil {
+		e.pass.WeightAccess(li, s)
+	}
 	if e.int8 != nil {
 		q := &e.int8[li]
 		var qw *quant.Weights
@@ -357,6 +378,9 @@ func (e *Executor) linear(li int, s model.Sublayer, x tensor.Matrix) tensor.Matr
 			}
 			cached.cpu = pre
 			e.sharedState().packs.Add(1)
+			if e.pass != nil {
+				e.pass.WeightPacked(li, s)
+			}
 		})
 		out, cycles, err := amx.MatmulBF16Packed(x.Data, x.Rows, cached.cpu)
 		if err != nil {
@@ -371,6 +395,9 @@ func (e *Executor) linear(li int, s model.Sublayer, x tensor.Matrix) tensor.Matr
 		amx.RoundSlice(g.Data)
 		cached.gpu = g
 		e.sharedState().packs.Add(1)
+		if e.pass != nil {
+			e.pass.WeightPacked(li, s)
+		}
 	})
 	e.Stats.GPUMatmuls++
 	amx.RoundSlice(x.Data)
@@ -405,6 +432,9 @@ func (e *Executor) matmul(s model.Sublayer, a, b tensor.Matrix) tensor.Matrix {
 // (rows × d), reading `past` cached positions and appending the new K/V
 // rows to the cache. mask enables causal masking (prefill).
 func (e *Executor) forwardLayer(li int, x tensor.Matrix, cache *KVCache, mask bool) tensor.Matrix {
+	if e.pass != nil {
+		e.pass.LayerStart(li)
+	}
 	cfg := e.Model.Cfg
 	w := e.Model.Layers[li]
 	d := cfg.DModel
@@ -431,6 +461,10 @@ func (e *Executor) forwardLayer(li int, x tensor.Matrix, cache *KVCache, mask bo
 	fullK := cache.K[li]
 	fullV := cache.V[li]
 	seen := fullK.Rows
+	if e.pass != nil {
+		e.pass.KVWrite(li, k.Rows)
+		e.pass.KVRead(li, seen)
+	}
 
 	// Sublayers 2+3 per head: scores = Q·Kᵀ/√dh, probs = softmax, ctx =
 	// probs·V.
@@ -466,7 +500,7 @@ func (e *Executor) forwardLayer(li int, x tensor.Matrix, cache *KVCache, mask bo
 		khT := tensor.FromSlice(dh, seen, e.khT[:dh*seen])
 		kt := cache.kT[li]
 		for i := 0; i < dh; i++ {
-			copy(khT.Row(i), kt.Row(kvHead*dh+i)[:seen])
+			copy(khT.Row(i), kt.Row(kvHead*dh + i)[:seen])
 		}
 		scores := tensor.Scale(e.matmul(model.QKT, qh, khT), invSqrt)
 		if mask {
@@ -540,7 +574,36 @@ func (e *Executor) NewCache() *KVCache {
 		c.V = append(c.V, tensor.NewWithCap(0, kvDim, capRows))
 		c.kT = append(c.kT, tensor.New(kvDim, capRows))
 	}
+	if e.Mem != nil {
+		c.id = e.sharedState().cacheIDs.Add(1)
+		e.Mem.CacheCreated(c.id, capRows)
+	}
 	return c
+}
+
+// RetireCache tells the attached MemHost the cache's storage can be
+// reclaimed. Callers driving Prefill/DecodeStep directly own the cache
+// lifetime; Generate and Sequence retire theirs automatically. Safe to
+// call without a host, and idempotent on the host side.
+func (e *Executor) RetireCache(c *KVCache) {
+	if e.Mem != nil && c != nil && c.id != 0 {
+		e.Mem.CacheRetired(c.id)
+	}
+}
+
+// beginPass opens a MemHost observation window for one forward pass.
+func (e *Executor) beginPass(cache *KVCache, stage model.Stage, rows, past int) {
+	if e.Mem != nil {
+		e.pass = e.Mem.BeginPass(cache.id, stage, rows, past)
+	}
+}
+
+// endPass closes the observation window opened by beginPass.
+func (e *Executor) endPass() {
+	if e.pass != nil {
+		e.pass.EndPass()
+		e.pass = nil
+	}
 }
 
 // Prefill runs the Sum stage over a prompt, returning the logits of its
@@ -549,26 +612,31 @@ func (e *Executor) Prefill(prompt []int) (tensor.Matrix, *KVCache, error) {
 	if len(prompt) == 0 {
 		return tensor.Matrix{}, nil, fmt.Errorf("llm: empty prompt")
 	}
-	cache := e.NewCache()
 	x, err := e.embed(prompt, 0)
 	if err != nil {
 		return tensor.Matrix{}, nil, err
 	}
+	cache := e.NewCache()
+	e.beginPass(cache, model.Prefill, len(prompt), 0)
 	for li := range e.Model.Layers {
 		x = e.forwardLayer(li, x, cache, true)
 	}
+	e.endPass()
 	return e.logits(x), cache, nil
 }
 
 // DecodeStep runs the Gen stage for one token, extending the cache.
 func (e *Executor) DecodeStep(cache *KVCache, token int) (tensor.Matrix, error) {
-	x, err := e.embed([]int{token}, cache.Len())
+	past := cache.Len()
+	x, err := e.embed([]int{token}, past)
 	if err != nil {
 		return tensor.Matrix{}, err
 	}
+	e.beginPass(cache, model.Decode, 1, past)
 	for li := range e.Model.Layers {
 		x = e.forwardLayer(li, x, cache, false)
 	}
+	e.endPass()
 	return e.logits(x), nil
 }
 
@@ -578,6 +646,7 @@ func (e *Executor) Generate(prompt []int, n int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer e.RetireCache(cache)
 	out := make([]int, 0, n)
 	next := logits.ArgmaxRow(logits.Rows - 1)
 	for i := 0; i < n; i++ {

@@ -19,11 +19,12 @@ import (
 // race, but different Sequences step concurrently (that is what
 // StepBatch does).
 type Sequence struct {
-	e       *Executor
-	cache   *KVCache
-	pending int // next token to emit, already decoded
-	out     []int
-	target  int
+	e        *Executor
+	cache    *KVCache
+	pending  int // next token to emit, already decoded
+	out      []int
+	target   int
+	released bool
 }
 
 // NewSequence prefills the prompt on a forked executor and returns a
@@ -93,6 +94,19 @@ func (s *Sequence) ContextLen() int { return s.cache.Len() }
 // Stats returns the fork's dispatch counters (prefill plus all steps so
 // far).
 func (s *Sequence) Stats() Stats { return s.e.Stats }
+
+// Release returns the sequence's KV-cache storage to the executor's
+// MemHost (a no-op without one). The serving gateway calls it whenever a
+// sequence leaves the batch — retirement, preemption, cancellation, or
+// failure — so tier-hosted KV pages never outlive the request. Idempotent;
+// the sequence must not be stepped afterwards.
+func (s *Sequence) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.e.RetireCache(s.cache)
+}
 
 // StepBatch advances every sequence one decode step in parallel on the
 // deterministic runner pool — one iteration of continuous batching. Each

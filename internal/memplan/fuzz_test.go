@@ -1,0 +1,113 @@
+package memplan
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// TestPlanHostRejectsDegenerateInputs pins the hardening contract: shapes
+// that used to produce silently wrong plans (negative KV bytes, garbage
+// fractions) now return errors.
+func TestPlanHostRejectsDegenerateInputs(t *testing.T) {
+	sys := hw.SPRA100
+	for _, tc := range []struct {
+		name   string
+		b, l   int
+		pl     cxl.Placement
+		wantOK bool
+	}{
+		{"valid", 1, 64, cxl.DDROnlyPlacement(), true},
+		{"zero batch", 0, 64, cxl.DDROnlyPlacement(), false},
+		{"negative batch", -3, 64, cxl.DDROnlyPlacement(), false},
+		{"zero context", 1, 0, cxl.DDROnlyPlacement(), false},
+		{"negative context", 1, -128, cxl.DDROnlyPlacement(), false},
+		{"cxl placement without expanders", 1, 64, cxl.PolicyPlacement(), false},
+	} {
+		_, err := PlanHost(sys, model.OPT30B, tc.b, tc.l, tc.pl)
+		if tc.wantOK && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.wantOK && err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+	if _, err := PlanHost(sys, model.Config{}, 1, 64, cxl.DDROnlyPlacement()); err == nil {
+		t.Error("invalid model config: expected an error")
+	}
+	if _, err := PlanHost(sys, model.OPT30B, 1, 64, cxl.NaivePlacement()); !errors.Is(err, ErrNoCXL) {
+		t.Errorf("naive placement without expanders: want ErrNoCXL, got %v", err)
+	}
+	// With expanders installed the same placements plan cleanly.
+	withCXL := hw.SPRA100.WithCXL(2, hw.SamsungCXL128)
+	if _, err := PlanHost(withCXL, model.OPT30B, 1, 64, cxl.PolicyPlacement()); err != nil {
+		t.Errorf("placement with expanders: %v", err)
+	}
+}
+
+// TestMaxBatchRejectsDegenerateInputs mirrors the PlanHost contract for
+// the batch searches.
+func TestMaxBatchRejectsDegenerateInputs(t *testing.T) {
+	if _, err := MaxBatch(hw.SPRA100, model.OPT30B, 0, 128, cxl.DDROnlyPlacement()); err == nil {
+		t.Error("zero context: expected an error")
+	}
+	if _, err := MaxBatch(hw.SPRA100, model.OPT30B, 64, 0, cxl.DDROnlyPlacement()); err == nil {
+		t.Error("zero limit: expected an error")
+	}
+	if _, err := MaxBatch(hw.SPRA100, model.OPT30B, 64, 128, cxl.PolicyPlacement()); !errors.Is(err, ErrNoCXL) {
+		t.Error("CXL placement without expanders: want ErrNoCXL")
+	}
+	if _, err := MaxBatchWithinDDR(hw.SPRA100, model.OPT30B, -1, units.GiB, 128, cxl.DDROnlyPlacement()); err == nil {
+		t.Error("negative context: expected an error")
+	}
+}
+
+// FuzzPlanHost throws arbitrary shapes, capacities and placements at the
+// host planner and checks the structural invariants every returned plan
+// must satisfy: fractions in [0, 1], non-negative usage, Fits implying
+// Used ≤ Capacity per tier, and byte conservation across tiers.
+func FuzzPlanHost(f *testing.F) {
+	f.Add(1, 288, uint(512), uint(0), 0, true, false, false)
+	f.Add(900, 64, uint(512), uint(256), 2, true, false, false)
+	f.Add(64, 2048, uint(64), uint(128), 4, true, true, true)
+	f.Add(0, 0, uint(0), uint(0), 0, false, false, false)
+	f.Add(-5, -7, uint(1), uint(1), 1, false, true, false)
+	f.Fuzz(func(t *testing.T, b, lTotal int, ddrGiB, cxlGiB uint, nCXL int, pParams, pKV, pAct bool) {
+		sys := hw.SPRA100
+		sys.CPU.DRAMCapacity = units.Bytes(ddrGiB%4096) * units.GiB
+		if nCXL < 0 {
+			nCXL = -nCXL
+		}
+		nCXL %= 8
+		if nCXL > 0 {
+			exp := hw.SamsungCXL128
+			exp.Capacity = units.Bytes(cxlGiB%4096) * units.GiB
+			sys = sys.WithCXL(nCXL, exp)
+		}
+		pl := cxl.Placement{InCXL: map[cxl.DataClass]bool{
+			cxl.Parameters: pParams, cxl.KVCache: pKV, cxl.Activations: pAct,
+		}}
+		m := model.OPT30B
+		plan, err := PlanHost(sys, m, b, lTotal, pl)
+		if err != nil {
+			return // rejected inputs carry no invariants
+		}
+		if plan.OffloadedFraction < 0 || plan.OffloadedFraction > 1 {
+			t.Fatalf("OffloadedFraction %v outside [0,1] (plan %v)", plan.OffloadedFraction, plan)
+		}
+		if plan.DDRUsed < 0 || plan.CXLUsed < 0 {
+			t.Fatalf("negative usage: %v", plan)
+		}
+		if plan.Fits && (plan.DDRUsed > plan.DDRCapacity || plan.CXLUsed > plan.CXLCapacity) {
+			t.Fatalf("Fits but overcommitted: %v", plan)
+		}
+		want := m.ParamBytes() + m.KVBytes(b, lTotal) + m.ActivationBytes(b, lTotal, model.Prefill)
+		if got := plan.DDRUsed + plan.CXLUsed; got != want {
+			t.Fatalf("placed bytes %v, footprint is %v", got, want)
+		}
+	})
+}

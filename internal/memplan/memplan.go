@@ -6,6 +6,7 @@
 package memplan
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/lia-sim/lia/internal/cxl"
@@ -147,10 +148,43 @@ type HostPlan struct {
 	OffloadedFraction float64
 }
 
+// ErrNoCXL reports a placement that sends data classes to CXL on a system
+// with no expanders installed — a configuration error, not a capacity
+// shortfall (there is no tier to be short of).
+var ErrNoCXL = errors.New("memplan: placement requires CXL but no expanders are installed")
+
+// validateHostInputs rejects the degenerate shapes that used to produce
+// silently wrong plans: non-positive batch or context (negative KV and
+// activation bytes), an invalid model, and CXL placements without CXL.
+func validateHostInputs(sys hw.System, m model.Config, b, lTotal int, pl cxl.Placement) error {
+	if b < 1 {
+		return fmt.Errorf("memplan: batch must be ≥1, got %d", b)
+	}
+	if lTotal < 1 {
+		return fmt.Errorf("memplan: context length must be ≥1, got %d", lTotal)
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("memplan: %w", err)
+	}
+	if sys.CXLCapacity() == 0 {
+		for _, class := range []cxl.DataClass{cxl.Parameters, cxl.KVCache, cxl.Activations} {
+			if pl.Holds(class) {
+				return fmt.Errorf("%w (%s)", ErrNoCXL, class)
+			}
+		}
+	}
+	return nil
+}
+
 // PlanHost places the model's host-resident state (parameters, KV cache
 // at full context, activations) across DDR and CXL under a placement
 // policy. lTotal should be the maximum context length (L_in + L_out).
-func PlanHost(sys hw.System, m model.Config, b, lTotal int, pl cxl.Placement) HostPlan {
+// Degenerate inputs (batch or context < 1, invalid model, CXL placement
+// without expanders) return an error instead of a garbage plan.
+func PlanHost(sys hw.System, m model.Config, b, lTotal int, pl cxl.Placement) (HostPlan, error) {
+	if err := validateHostInputs(sys, m, b, lTotal, pl); err != nil {
+		return HostPlan{}, err
+	}
 	plan := HostPlan{
 		DDRCapacity: sys.CPU.DRAMCapacity,
 		CXLCapacity: sys.CXLCapacity(),
@@ -169,42 +203,62 @@ func PlanHost(sys hw.System, m model.Config, b, lTotal int, pl cxl.Placement) Ho
 	if total := plan.DDRUsed + plan.CXLUsed; total > 0 {
 		plan.OffloadedFraction = float64(plan.CXLUsed) / float64(total)
 	}
-	return plan
+	return plan, nil
 }
 
 // MaxBatch returns the largest batch size whose host footprint fits under
 // the placement, searching up to limit. Returns 0 when even B=1 does not
-// fit.
-func MaxBatch(sys hw.System, m model.Config, lTotal, limit int, pl cxl.Placement) int {
+// fit, and an error for degenerate inputs (limit or context < 1, invalid
+// model, CXL placement without expanders).
+func MaxBatch(sys hw.System, m model.Config, lTotal, limit int, pl cxl.Placement) (int, error) {
+	if limit < 1 {
+		return 0, fmt.Errorf("memplan: batch search limit must be ≥1, got %d", limit)
+	}
+	if err := validateHostInputs(sys, m, 1, lTotal, pl); err != nil {
+		return 0, err
+	}
 	lo, hi := 0, limit
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if PlanHost(sys, m, mid, lTotal, pl).Fits {
+		p, err := PlanHost(sys, m, mid, lTotal, pl)
+		if err != nil {
+			return 0, err
+		}
+		if p.Fits {
 			lo = mid
 		} else {
 			hi = mid - 1
 		}
 	}
-	return lo
+	return lo, nil
 }
 
 // MaxBatchWithinDDR returns the largest batch whose *DDR* usage stays
 // within ddrBudget (and whose CXL usage fits the installed expanders)
 // under the placement — Table 3's "same DDR memory footprint" comparison:
 // offloading parameters to CXL frees DDR for more KV cache, admitting a
-// larger B.
-func MaxBatchWithinDDR(sys hw.System, m model.Config, lTotal int, ddrBudget units.Bytes, limit int, pl cxl.Placement) int {
+// larger B. Degenerate inputs error exactly as in MaxBatch.
+func MaxBatchWithinDDR(sys hw.System, m model.Config, lTotal int, ddrBudget units.Bytes, limit int, pl cxl.Placement) (int, error) {
+	if limit < 1 {
+		return 0, fmt.Errorf("memplan: batch search limit must be ≥1, got %d", limit)
+	}
+	if err := validateHostInputs(sys, m, 1, lTotal, pl); err != nil {
+		return 0, err
+	}
 	lo, hi := 0, limit
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		p := PlanHost(sys, m, mid, lTotal, pl)
+		p, err := PlanHost(sys, m, mid, lTotal, pl)
+		if err != nil {
+			return 0, err
+		}
 		if p.DDRUsed <= ddrBudget && p.CXLUsed <= p.CXLCapacity {
 			lo = mid
 		} else {
 			hi = mid - 1
 		}
 	}
-	return lo
+	return lo, nil
 }
 
 // GPUFits reports whether a fully GPU-resident deployment (no offloading)

@@ -75,7 +75,10 @@ func TestSmallModelFullyResident(t *testing.T) {
 }
 
 func TestHostPlanDDROnly(t *testing.T) {
-	plan := PlanHost(hw.SPRA100, model.OPT30B, 64, 288, cxl.DDROnlyPlacement())
+	plan, err := PlanHost(hw.SPRA100, model.OPT30B, 64, 288, cxl.DDROnlyPlacement())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if plan.CXLUsed != 0 {
 		t.Error("DDR-only placement must not touch CXL")
 	}
@@ -94,7 +97,10 @@ func TestHostPlanDDROnly(t *testing.T) {
 func TestTable3OffloadFraction(t *testing.T) {
 	sys := hw.SPRA100.WithCXL(2, hw.SamsungCXL128)
 	frac := func(lout int) float64 {
-		p := PlanHost(sys, model.OPT30B, 900, 32+lout, cxl.PolicyPlacement())
+		p, err := PlanHost(sys, model.OPT30B, 900, 32+lout, cxl.PolicyPlacement())
+		if err != nil {
+			t.Fatal(err)
+		}
 		return p.OffloadedFraction
 	}
 	f32 := frac(32)
@@ -115,8 +121,14 @@ func TestTable3OffloadFraction(t *testing.T) {
 
 func TestCXLReducesDDRUse(t *testing.T) {
 	sys := hw.SPRA100.WithCXL(2, hw.SamsungCXL128)
-	before := PlanHost(sys, model.OPT30B, 900, 64, cxl.DDROnlyPlacement())
-	after := PlanHost(sys, model.OPT30B, 900, 64, cxl.PolicyPlacement())
+	before, err := PlanHost(sys, model.OPT30B, 900, 64, cxl.DDROnlyPlacement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := PlanHost(sys, model.OPT30B, 900, 64, cxl.PolicyPlacement())
+	if err != nil {
+		t.Fatal(err)
+	}
 	saved := DDRSavings(before, after)
 	if saved != model.OPT30B.ParamBytes() {
 		t.Errorf("DDR savings = %v, want the parameter bytes %v", saved, model.OPT30B.ParamBytes())
@@ -140,8 +152,14 @@ func TestMaxBatchGrowsWithCXL(t *testing.T) {
 	}
 	for _, tc := range cases {
 		lTotal := 32 + tc.lout
-		budget := PlanHost(sys, model.OPT30B, 900, lTotal, cxl.DDROnlyPlacement()).DDRUsed
-		got := MaxBatchWithinDDR(sys, model.OPT30B, lTotal, budget, 8192, cxl.PolicyPlacement())
+		ddr, err := PlanHost(sys, model.OPT30B, 900, lTotal, cxl.DDROnlyPlacement())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MaxBatchWithinDDR(sys, model.OPT30B, lTotal, ddr.DDRUsed, 8192, cxl.PolicyPlacement())
+		if err != nil {
+			t.Fatal(err)
+		}
 		if float64(got) < tc.wantLo || float64(got) > tc.wantHi {
 			t.Errorf("L_out=%d: max batch = %d, want ≈%.0f (%.2fx of 900)",
 				tc.lout, got, 900*tc.wantRatio, tc.wantRatio)
@@ -152,7 +170,11 @@ func TestMaxBatchGrowsWithCXL(t *testing.T) {
 func TestMaxBatchZeroWhenNothingFits(t *testing.T) {
 	tiny := hw.SPRA100
 	tiny.CPU.DRAMCapacity = units.GiB
-	if got := MaxBatch(tiny, model.OPT175B, 2048, 1024, cxl.DDROnlyPlacement()); got != 0 {
+	got, err := MaxBatch(tiny, model.OPT175B, 2048, 1024, cxl.DDROnlyPlacement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
 		t.Errorf("MaxBatch = %d, want 0", got)
 	}
 }
@@ -172,7 +194,10 @@ func TestPlanStrings(t *testing.T) {
 	if g.String() == "" {
 		t.Error("empty GPUPlan string")
 	}
-	h := PlanHost(hw.SPRA100, model.OPT30B, 64, 288, cxl.DDROnlyPlacement())
+	h, err := PlanHost(hw.SPRA100, model.OPT30B, 64, 288, cxl.DDROnlyPlacement())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.String() == "" {
 		t.Error("empty HostPlan string")
 	}

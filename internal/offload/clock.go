@@ -1,0 +1,127 @@
+package offload
+
+import (
+	"sync"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// XferEngine is the virtual-clock transfer engine. It models the single
+// host↔GPU link as a serially-occupied resource: each transfer starts no
+// earlier than both its request time and the moment the link frees, and
+// lasts bytes over the effective bandwidth plus the link setup cost —
+// exactly the analytic engine's semantics. Transfers sourced from the
+// CXL pool run at the pool's size-dependent interleaved bandwidth capped
+// by the link (Observation-1), with the pool's extra load-to-use latency
+// folded into setup.
+//
+// Host-side copies (the DDR↔CXL KV spill path) do not occupy the GPU
+// link; they are charged at the pool bandwidth and tracked separately.
+type XferEngine struct {
+	mu   sync.Mutex
+	link hw.LinkSpec
+	pool cxl.Pool
+
+	linkFree units.Seconds // virtual time at which the GPU link frees
+
+	transfers     uint64
+	linkBusy      units.Seconds // cumulative GPU-link occupancy
+	linkBytes     units.Bytes
+	hostCopies    uint64
+	hostCopyTime  units.Seconds
+	hostCopyBytes units.Bytes
+}
+
+// NewXferEngine builds a transfer engine over the system's host link and
+// CXL pool.
+func NewXferEngine(link hw.LinkSpec, pool cxl.Pool) *XferEngine {
+	return &XferEngine{link: link, pool: pool}
+}
+
+// xferCost returns the duration of a b-byte host→GPU transfer sourced
+// from the given tier, independent of link contention.
+func (x *XferEngine) xferCost(from Tier, b units.Bytes) units.Seconds {
+	switch from {
+	case CXL:
+		bw := x.pool.GPUTransferBW(x.link, b)
+		return units.TransferTime(b, bw, x.link.Setup+x.pool.ExtraLatency())
+	default: // DDR (and HBM staging, which is free of host-link cost)
+		bw := x.link.BW
+		if x.pool.DDRBW > 0 && x.pool.DDRBW < bw {
+			bw = x.pool.DDRBW
+		}
+		return units.TransferTime(b, bw, x.link.Setup)
+	}
+}
+
+// HostToGPU schedules a b-byte upload from the given host tier onto the
+// GPU link, requested at virtual time `at`. It returns the transfer's
+// start and finish times; the link is occupied for the whole interval.
+func (x *XferEngine) HostToGPU(from Tier, b units.Bytes, at units.Seconds) (start, finish units.Seconds) {
+	cost := x.xferCost(from, b)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	start = at
+	if x.linkFree > start {
+		start = x.linkFree
+	}
+	finish = start + cost
+	x.linkFree = finish
+	x.transfers++
+	x.linkBusy += cost
+	x.linkBytes += b
+	return start, finish
+}
+
+// HostCopy charges a b-byte DDR↔CXL migration (no GPU-link occupancy)
+// and returns its duration at the pool's interleaved bandwidth.
+func (x *XferEngine) HostCopy(b units.Bytes) units.Seconds {
+	bw := x.pool.TransferBW(b)
+	if x.pool.Empty() {
+		bw = x.pool.DDRBW
+	}
+	d := units.TransferTime(b, bw, x.pool.ExtraLatency())
+	x.mu.Lock()
+	x.hostCopies++
+	x.hostCopyTime += d
+	x.hostCopyBytes += b
+	x.mu.Unlock()
+	return d
+}
+
+// LinkFree returns the virtual time at which the GPU link next frees.
+func (x *XferEngine) LinkFree() units.Seconds {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.linkFree
+}
+
+// Reset rewinds the virtual link clock to zero, keeping the cumulative
+// traffic counters. Each engine pass schedules from a fresh origin.
+func (x *XferEngine) Reset() {
+	x.mu.Lock()
+	x.linkFree = 0
+	x.mu.Unlock()
+}
+
+// XferStats is the engine's cumulative traffic accounting.
+type XferStats struct {
+	Transfers     uint64
+	LinkBusy      units.Seconds
+	LinkBytes     units.Bytes
+	HostCopies    uint64
+	HostCopyTime  units.Seconds
+	HostCopyBytes units.Bytes
+}
+
+// Stats returns the cumulative transfer accounting.
+func (x *XferEngine) Stats() XferStats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return XferStats{
+		Transfers: x.transfers, LinkBusy: x.linkBusy, LinkBytes: x.linkBytes,
+		HostCopies: x.hostCopies, HostCopyTime: x.hostCopyTime, HostCopyBytes: x.hostCopyBytes,
+	}
+}

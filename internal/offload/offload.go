@@ -1,0 +1,234 @@
+// Package offload is the functional tiered-memory runtime: it hosts the
+// live engine's weights and KV cache across three simulated device tiers
+// — GPU HBM, host DDR, and a CXL Type-3 pool — sized from the hw catalog
+// and the memplan placement decisions, and accounts every access against
+// a virtual clock whose transfer costs reuse the analytic link semantics
+// (bytes over effective bandwidth plus setup; CXL reads at the pool's
+// interleaved bandwidth with its extra load-to-use latency).
+//
+// The centrepiece is Host, an llm.MemHost implementation that runs the
+// paper's §5 streaming schedule against real executor passes: layers
+// pinned by Optimization-1 stay HBM-resident, streamed layers are
+// double-buffered so layer l+1 prefetches while l computes
+// (Optimization-2), and KV pages allocate and evict under the §6 policy
+// (parameters→CXL, KV cache and activations→DDR). Hooks never alter the
+// math — a hosted executor's tokens are bit-identical to a resident one's
+// — but tokens, virtual timings, and admission all flow through the same
+// tiered model the analytic engine evaluates, and the differential tests
+// pin the two against each other.
+package offload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Tier identifies one simulated memory device.
+type Tier int
+
+// The three tiers of the §6 memory hierarchy.
+const (
+	// HBM is GPU device memory: pinned layers, staging buffers, and (for
+	// small models) the KV cache.
+	HBM Tier = iota
+	// DDR is host CPU memory: KV cache and activations under the policy
+	// placement, parameters when no CXL is installed.
+	DDR
+	// CXL is the interleaved expander pool: parameters under the §6
+	// policy, spill target for cold KV pages.
+	CXL
+
+	numTiers
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case HBM:
+		return "hbm"
+	case DDR:
+		return "ddr"
+	case CXL:
+		return "cxl"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// ErrTierFull reports an allocation that exceeds the tier's capacity.
+var ErrTierFull = errors.New("offload: tier capacity exceeded")
+
+// Allocation is one tier-hosted region. The manager tracks only sizes and
+// access counts — the functional engine keeps the actual float data; the
+// runtime makes its *placement* observable and chargeable.
+type Allocation struct {
+	tier  Tier
+	class cxl.DataClass
+	label string
+	bytes units.Bytes
+	freed bool
+}
+
+// Tier returns the allocation's current tier (Move changes it).
+func (a *Allocation) Tier() Tier { return a.tier }
+
+// Bytes returns the allocation's size.
+func (a *Allocation) Bytes() units.Bytes { return a.bytes }
+
+// Label returns the diagnostic label given at allocation.
+func (a *Allocation) Label() string { return a.label }
+
+// tierState is one tier's capacity accounting and traffic counters.
+type tierState struct {
+	capacity, used, peak    units.Bytes
+	allocs, frees           uint64
+	reads, writes           uint64
+	bytesRead, bytesWritten units.Bytes
+	bytesIn, bytesOut       units.Bytes // migration traffic (Move)
+}
+
+// Manager is the tiered device-memory manager: capacity bookkeeping and
+// per-tier access accounting for HBM, DDR, and the CXL pool. All methods
+// are safe for concurrent use — the prefetch worker and every executor
+// fork charge it without further coordination.
+type Manager struct {
+	mu    sync.Mutex
+	tiers [numTiers]tierState
+}
+
+// NewManager builds a manager with the given tier capacities.
+func NewManager(hbm, ddr, cxlCap units.Bytes) *Manager {
+	m := &Manager{}
+	m.tiers[HBM].capacity = hbm
+	m.tiers[DDR].capacity = ddr
+	m.tiers[CXL].capacity = cxlCap
+	return m
+}
+
+// Alloc reserves bytes in a tier. It fails with ErrTierFull when the tier
+// cannot hold the allocation — the caller decides whether that means
+// spill, evict, or refuse admission.
+func (m *Manager) Alloc(t Tier, class cxl.DataClass, label string, b units.Bytes) (*Allocation, error) {
+	if b < 0 {
+		return nil, fmt.Errorf("offload: negative allocation %v (%s)", b, label)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := &m.tiers[t]
+	if ts.used+b > ts.capacity {
+		return nil, fmt.Errorf("%w: %s cannot hold %s for %s (%s/%s used)",
+			ErrTierFull, t, b, label, ts.used, ts.capacity)
+	}
+	ts.used += b
+	ts.allocs++
+	if ts.used > ts.peak {
+		ts.peak = ts.used
+	}
+	return &Allocation{tier: t, class: class, label: label, bytes: b}, nil
+}
+
+// Free releases an allocation. Idempotent.
+func (m *Manager) Free(a *Allocation) {
+	if a == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a.freed {
+		return
+	}
+	a.freed = true
+	ts := &m.tiers[a.tier]
+	ts.used -= a.bytes
+	ts.frees++
+}
+
+// Move migrates an allocation to another tier (the KV spill path),
+// failing with ErrTierFull when the destination cannot hold it.
+func (m *Manager) Move(a *Allocation, to Tier) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a.freed {
+		return fmt.Errorf("offload: move of freed allocation %s", a.label)
+	}
+	if a.tier == to {
+		return nil
+	}
+	dst := &m.tiers[to]
+	if dst.used+a.bytes > dst.capacity {
+		return fmt.Errorf("%w: %s cannot hold %s for %s", ErrTierFull, to, a.bytes, a.label)
+	}
+	src := &m.tiers[a.tier]
+	src.used -= a.bytes
+	src.bytesOut += a.bytes
+	dst.used += a.bytes
+	dst.bytesIn += a.bytes
+	if dst.used > dst.peak {
+		dst.peak = dst.used
+	}
+	a.tier = to
+	return nil
+}
+
+// Read charges b bytes of read traffic against the allocation's tier.
+func (m *Manager) Read(a *Allocation, b units.Bytes) { m.ReadTier(a.tier, b) }
+
+// Write charges b bytes of write traffic against the allocation's tier.
+func (m *Manager) Write(a *Allocation, b units.Bytes) { m.WriteTier(a.tier, b) }
+
+// ReadTier charges b bytes of read traffic against a tier directly (for
+// traffic spanning many allocations, like a whole KV cache scan).
+func (m *Manager) ReadTier(t Tier, b units.Bytes) {
+	m.mu.Lock()
+	ts := &m.tiers[t]
+	ts.reads++
+	ts.bytesRead += b
+	m.mu.Unlock()
+}
+
+// WriteTier charges b bytes of write traffic against a tier directly.
+func (m *Manager) WriteTier(t Tier, b units.Bytes) {
+	m.mu.Lock()
+	ts := &m.tiers[t]
+	ts.writes++
+	ts.bytesWritten += b
+	m.mu.Unlock()
+}
+
+// Used returns the tier's current residency.
+func (m *Manager) Used(t Tier) units.Bytes {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tiers[t].used
+}
+
+// TierSnapshot is one tier's point-in-time accounting.
+type TierSnapshot struct {
+	Tier                    Tier
+	Capacity, Used, Peak    units.Bytes
+	Allocs, Frees           uint64
+	Reads, Writes           uint64
+	BytesRead, BytesWritten units.Bytes
+	BytesIn, BytesOut       units.Bytes
+}
+
+// Snapshot returns all three tiers' accounting, HBM/DDR/CXL order.
+func (m *Manager) Snapshot() []TierSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TierSnapshot, numTiers)
+	for t := Tier(0); t < numTiers; t++ {
+		ts := m.tiers[t]
+		out[t] = TierSnapshot{
+			Tier: t, Capacity: ts.capacity, Used: ts.used, Peak: ts.peak,
+			Allocs: ts.allocs, Frees: ts.frees, Reads: ts.reads, Writes: ts.writes,
+			BytesRead: ts.bytesRead, BytesWritten: ts.bytesWritten,
+			BytesIn: ts.bytesIn, BytesOut: ts.bytesOut,
+		}
+	}
+	return out
+}

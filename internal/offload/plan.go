@@ -1,0 +1,185 @@
+package offload
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/memplan"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Config describes the deployment an offload plan is built for: the
+// platform, the model, the §6 placement policy, and the workload shape
+// the tiers are sized against.
+type Config struct {
+	// System is the hardware platform (GPU HBM, host DDR, CXL expanders).
+	System hw.System
+	// Model is the hosted architecture.
+	Model model.Config
+	// Placement is the §6 policy deciding which data classes live in CXL.
+	// The zero value keeps everything in DDR.
+	Placement cxl.Placement
+	// Batch and Context size the GPU pinning plan and the KV budget.
+	// They default to 1 and 2048.
+	Batch, Context int
+	// PageTokens is the KV paging granularity in token positions (all
+	// layers of PageTokens positions form one page). Defaults to 64.
+	PageTokens int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch == 0 {
+		c.Batch = 1
+	}
+	if c.Context == 0 {
+		c.Context = 2048
+	}
+	if c.PageTokens == 0 {
+		c.PageTokens = 64
+	}
+	return c
+}
+
+// Plan is the resolved tier layout: which layers pin in HBM
+// (Optimization-1), which tier hosts streamed parameters and which hosts
+// the KV cache (§6 policy), and the KV paging shape.
+type Plan struct {
+	// Cfg is the defaulted configuration the plan was built from.
+	Cfg Config
+	// GPU is the Optimization-1 pinning decision.
+	GPU memplan.GPUPlan
+	// Host is the DDR/CXL split of host-resident state.
+	Host memplan.HostPlan
+	// Pool is the system's CXL pool (empty when no expanders).
+	Pool cxl.Pool
+	// Link is the host↔GPU interconnect.
+	Link hw.LinkSpec
+	// ParamTier hosts streamed (non-pinned) layer parameters.
+	ParamTier Tier
+	// KVTier hosts hot KV pages; cold pages spill from it toward CXL.
+	KVTier Tier
+	// ActTier hosts activation staging.
+	ActTier Tier
+	// PageBytes is one KV page: all layers × PageTokens positions at the
+	// plan's batch size 1 (pages are per sequence).
+	PageBytes units.Bytes
+}
+
+// NewPlan resolves a deployment into a tier layout. It fails when the
+// inputs are degenerate (propagating memplan's validation) — notably a
+// CXL placement on a system without expanders.
+func NewPlan(cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	host, err := memplan.PlanHost(cfg.System, cfg.Model, cfg.Batch, cfg.Context, cfg.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("offload: %w", err)
+	}
+	p := &Plan{
+		Cfg:  cfg,
+		GPU:  memplan.PlanLIAGPU(cfg.System.GPU, cfg.Model, cfg.Batch, cfg.Context),
+		Host: host,
+		Pool: cxl.FromSystem(cfg.System),
+		Link: cfg.System.HostLink(),
+	}
+	tierFor := func(class cxl.DataClass) Tier {
+		if !p.Pool.Empty() && cfg.Placement.Holds(class) {
+			return CXL
+		}
+		return DDR
+	}
+	p.ParamTier = tierFor(cxl.Parameters)
+	p.KVTier = tierFor(cxl.KVCache)
+	p.ActTier = tierFor(cxl.Activations)
+	p.PageBytes = cfg.Model.KVBytes(1, cfg.PageTokens)
+	return p, nil
+}
+
+// Pinned reports whether layer li's parameters are HBM-resident.
+func (p *Plan) Pinned(li int) bool { return li < p.GPU.PinnedLayers }
+
+// StreamedLayers returns how many decoder layers stream per pass.
+func (p *Plan) StreamedLayers() int { return p.Cfg.Model.Layers - p.GPU.PinnedLayers }
+
+// LayerBytes returns one decoder layer's parameter bytes.
+func (p *Plan) LayerBytes() units.Bytes { return p.Cfg.Model.LayerParamBytes() }
+
+// SublayerBytes returns one layer's parameter bytes for sublayer s (zero
+// for the parameter-free attention scores).
+func (p *Plan) SublayerBytes(s model.Sublayer) units.Bytes {
+	return p.Cfg.Model.DataY(model.Prefill, s, 1, 1)
+}
+
+// tierCapacity returns the installed capacity of a tier.
+func (p *Plan) tierCapacity(t Tier) units.Bytes {
+	switch t {
+	case HBM:
+		return p.Cfg.System.GPU.MemCapacity
+	case DDR:
+		return p.Cfg.System.CPU.DRAMCapacity
+	default:
+		return p.Pool.Capacity()
+	}
+}
+
+// KVBudget returns the bytes available for KV pages in the KV tier after
+// the other data classes assigned there are accounted — the number the
+// gateway's admission control consults instead of a flat pool size.
+func (p *Plan) KVBudget() units.Bytes {
+	capacity := p.tierCapacity(p.KVTier)
+	var other units.Bytes
+	if p.ParamTier == p.KVTier {
+		other += p.Cfg.Model.ParamBytes()
+	}
+	if p.ActTier == p.KVTier {
+		other += p.Cfg.Model.ActivationBytes(p.Cfg.Batch, p.Cfg.Context, model.Prefill)
+	}
+	if other >= capacity {
+		return 0
+	}
+	return capacity - other
+}
+
+// Manager builds the tier manager sized to the plan's system.
+func (p *Plan) Manager() *Manager {
+	return NewManager(p.tierCapacity(HBM), p.tierCapacity(DDR), p.tierCapacity(CXL))
+}
+
+// String summarizes the plan.
+func (p *Plan) String() string {
+	return fmt.Sprintf("offload plan: %d/%d layers pinned, params→%s, kv→%s, page %s, kv budget %s",
+		p.GPU.PinnedLayers, p.Cfg.Model.Layers, p.ParamTier, p.KVTier, p.PageBytes, p.KVBudget())
+}
+
+// TinySystem builds a laptop-scale platform whose GPU capacity pins
+// exactly `pinned` decoder layers of model m (with the KV cache staying
+// host-side) at workload shape (b, ctx), and whose host side holds the
+// model with room to spare. nCXL > 0 attaches that many small expanders.
+// Because the planner places KV before pinning layers, pinned > 0 needs
+// pinned·LayerParamBytes < KVBytes(b, ctx) — pick ctx accordingly.
+// It exists for tests and the lia-serve demo: real systems come from the
+// hw catalog.
+func TinySystem(m model.Config, b, ctx, pinned, nCXL int) hw.System {
+	layer := m.LayerParamBytes()
+	kv := m.KVBytes(b, ctx)
+	reserve := 2*layer + m.ActivationBytes(b, ctx, model.Prefill)
+	// PlanLIAGPU pins floor(budget/layer) layers once the KV check fails,
+	// so aim the post-reserve budget midway between pinned·layer and the
+	// smaller of kv and (pinned+1)·layer. Requires pinned·layer < kv.
+	hi := kv
+	if lim := units.Bytes(pinned+1) * layer; lim < hi {
+		hi = lim
+	}
+	budget := (units.Bytes(pinned)*layer + hi) / 2
+	sys := hw.SPRA100
+	sys.Name = fmt.Sprintf("tiny-%s", m.Name)
+	sys.GPU.MemCapacity = reserve + budget
+	sys.CPU.DRAMCapacity = 4 * (m.ParamBytes() + kv + reserve)
+	if nCXL > 0 {
+		exp := hw.SamsungCXL128
+		exp.Capacity = 4 * m.ParamBytes()
+		sys = sys.WithCXL(nCXL, exp)
+	}
+	return sys
+}
