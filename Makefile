@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload fuzz-smoke
+.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload bench-prefix fuzz-smoke
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the runner pool and shared caches are
@@ -44,9 +44,17 @@ bench-offload:
 	$(GO) run ./cmd/lia-serve -offload-bench -bench-tokens 32 -seed 1 > BENCH_offload.json
 	@cat BENCH_offload.json
 
+# bench-prefix replays a skewed hot-prefix trace with the prefix cache
+# off and on, checks the token streams stay bit-identical, and records
+# TTFT medians plus the analytic concurrency win into BENCH_prefix.json.
+bench-prefix:
+	$(GO) run ./cmd/lia-serve -prefix-bench -seed 1 > BENCH_prefix.json
+	@cat BENCH_prefix.json
+
 # fuzz-smoke gives each native fuzz target a short budget — enough to
 # exercise the mutator without turning CI into a fuzz farm.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzTraceGenerator -fuzztime=10s -run=^$$ ./internal/trace
 	$(GO) test -fuzz=FuzzServeConfigValidate -fuzztime=10s -run=^$$ ./internal/serve
 	$(GO) test -fuzz=FuzzPlanHost -fuzztime=10s -run=^$$ ./internal/memplan
+	$(GO) test -fuzz=FuzzPrefixTree -fuzztime=10s -run=^$$ ./internal/kvprefix

@@ -27,6 +27,14 @@
 // (-offload-bench) compares resident against DDR-streamed and
 // CXL-streamed hosting on the tiny model and prints the virtual-clock
 // decode latencies as JSON (the BENCH_offload.json baseline).
+//
+// -prefix-cache turns on cross-request KV reuse in the live modes: a
+// radix tree over the paged KV pool serves shared prompt prefixes from
+// cache, prefill skips the cached tokens, and /metrics gains the
+// lia_prefix_* counters. Prefix bench (-prefix-bench) replays a skewed
+// hot-prefix trace with the cache off and on, checks the token streams
+// stay bit-identical, and prints TTFT percentiles plus the analytic
+// concurrency win as JSON (the BENCH_prefix.json baseline).
 package main
 
 import (
@@ -50,6 +58,7 @@ import (
 	"github.com/lia-sim/lia/internal/cxl"
 	"github.com/lia-sim/lia/internal/engine"
 	"github.com/lia-sim/lia/internal/gateway"
+	"github.com/lia-sim/lia/internal/kvpage"
 	"github.com/lia-sim/lia/internal/llm"
 	"github.com/lia-sim/lia/internal/model"
 	"github.com/lia-sim/lia/internal/offload"
@@ -85,9 +94,13 @@ func main() {
 		kvTokens   = flag.Int("live-kv-tokens", 0, "paged KV pool capacity in tokens (live; 0 = unconstrained)")
 		drainSecs  = flag.Float64("drain-timeout", 30, "graceful shutdown drain budget, seconds (live)")
 		offloadTo  = flag.String("offload", "none", "tiered-memory hosting of weights and KV: none, ddr, or cxl (live)")
+		prefixOn   = flag.Bool("prefix-cache", false, "cross-request KV prefix reuse over the paged pool (live)")
 
 		// Offload bench flag (uses -live-model, -bench-tokens, -seed).
 		offloadBench = flag.Bool("offload-bench", false, "compare resident vs ddr vs cxl tiered hosting and print JSON")
+
+		// Prefix bench flag (uses -live-model, -seed).
+		prefixBench = flag.Bool("prefix-bench", false, "replay a hot-prefix trace with the prefix cache off and on and print JSON")
 
 		// Live bench flags.
 		benchClients = flag.Int("bench-clients", 8, "concurrent closed-loop clients (live-bench)")
@@ -103,8 +116,15 @@ func main() {
 		return
 	}
 
+	if *prefixBench {
+		if err := runPrefixBench(*liveModel, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *live || *liveBench {
-		g, host, desc, err := buildGateway(*liveModel, *livePolicy, *offloadTo, *maxBatch, *queueDepth, *kvTokens, *seed)
+		g, host, desc, err := buildGateway(*liveModel, *livePolicy, *offloadTo, *maxBatch, *queueDepth, *kvTokens, *prefixOn, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -172,7 +192,7 @@ func buildOffloadHost(cfg model.Config, mode string, pol core.Policy) (*offload.
 // functional model, an executor with the chosen offloading policy
 // (optionally hosted by the tiered-memory runtime), and the gateway in
 // front of them.
-func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDepth, kvTokens int, seed int64) (*gateway.Gateway, *offload.Host, string, error) {
+func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDepth, kvTokens int, prefixCache bool, seed int64) (*gateway.Gateway, *offload.Host, string, error) {
 	cfg, err := liveModelConfig(modelName)
 	if err != nil {
 		return nil, nil, "", err
@@ -210,6 +230,7 @@ func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDept
 		KVBudget:      budget,
 		KVBlockTokens: 4,
 		Offload:       host,
+		PrefixCache:   prefixCache,
 	})
 	if err != nil {
 		if host != nil {
@@ -220,6 +241,9 @@ func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDept
 	desc := fmt.Sprintf("%s model, %s policy, max batch %d, queue %d", modelName, policyName, maxBatch, queueDepth)
 	if kvTokens > 0 {
 		desc += fmt.Sprintf(", KV pool %d tokens", kvTokens)
+	}
+	if prefixCache {
+		desc += ", prefix cache"
 	}
 	if host != nil {
 		desc += fmt.Sprintf(", offload %s (%s)", strings.ToLower(offloadMode), host.Plan())
@@ -471,6 +495,216 @@ func runOffloadBench(modelName string, tokens int, seed int64) error {
 }
 
 func secMs(s units.Seconds) float64 { return float64(s) * 1e3 }
+
+// prefixBenchMode is one cache configuration's measurement in
+// BENCH_prefix.json. Cold is the first replay of the trace (nothing
+// cached yet), warm the second replay of the same requests; with the
+// cache on the hit/miss split classifies individual requests by whether
+// their prefill actually reused cached blocks.
+type prefixBenchMode struct {
+	Name          string  `json:"name"`
+	ColdTTFTP50Ms float64 `json:"cold_ttft_p50_ms"`
+	WarmTTFTP50Ms float64 `json:"warm_ttft_p50_ms"`
+	HitTTFTP50Ms  float64 `json:"hit_ttft_p50_ms,omitempty"`
+	MissTTFTP50Ms float64 `json:"miss_ttft_p50_ms,omitempty"`
+	WallMs        float64 `json:"wall_ms"`
+}
+
+// prefixBenchReport is the BENCH_prefix.json payload: the same skewed
+// hot-prefix trace served with the prefix cache off and on. The token
+// streams must agree bit-for-bit; the report records that they did. The
+// concurrency block is the analytic capacity question: how many mean
+// sequences the same pool admits with isolated KV versus a shared
+// cached prefix.
+type prefixBenchReport struct {
+	Config struct {
+		Model           string  `json:"model"`
+		RequestsPerWave int     `json:"requests_per_wave"`
+		Waves           int     `json:"waves"`
+		Prefixes        int     `json:"prefixes"`
+		PrefixTokens    int     `json:"prefix_tokens"`
+		Skew            float64 `json:"skew"`
+		OutputTokens    int     `json:"output_tokens"`
+		KVPoolTokens    int     `json:"kv_pool_tokens"`
+	} `json:"config"`
+	BitIdentical bool              `json:"bit_identical"`
+	Modes        []prefixBenchMode `json:"modes"`
+	PrefixStats  struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		HitTokens uint64 `json:"hit_tokens"`
+		Inserts   uint64 `json:"inserts"`
+		Evictions uint64 `json:"evictions"`
+		Spills    uint64 `json:"spills"`
+		Refetches uint64 `json:"refetches"`
+	} `json:"prefix_stats"`
+	Concurrency struct {
+		MeanSeqTokens      int `json:"mean_seq_tokens"`
+		SharedPrefixTokens int `json:"shared_prefix_tokens"`
+		Isolated           int `json:"max_concurrent_sequences"`
+		Shared             int `json:"max_concurrent_sequences_shared"`
+	} `json:"concurrency"`
+}
+
+// p50 returns the exact nearest-rank median of the samples.
+func p50(d []time.Duration) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(0.5*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// runPrefixBench replays the same hot-prefix trace twice (a cold wave
+// and a warm wave) through two gateways — prefix cache off and on —
+// checks both serve bit-identical token streams, and prints TTFT
+// medians, prefix-cache counters, and the analytic concurrency gain as
+// JSON. Requests go one at a time so TTFT is pure prefill cost, not
+// queueing noise.
+func runPrefixBench(modelName string, seed int64) error {
+	cfg, err := liveModelConfig(modelName)
+	if err != nil {
+		return err
+	}
+	const (
+		nRequests = 40
+		waves     = 2
+		kvTokens  = 512
+		maxBatch  = 4
+	)
+	spec := trace.PrefixSpec{
+		Prefixes:     4,
+		PrefixTokens: 48,
+		Skew:         1.2,
+		Vocab:        cfg.VocabSize,
+		MinSuffix:    4,
+		MaxSuffix:    12,
+		OutputTokens: 8,
+	}
+	if spec.PrefixTokens+spec.MaxSuffix+spec.OutputTokens > cfg.MaxSeqLen {
+		return fmt.Errorf("prefix bench workload exceeds %s's %d-token context", cfg.Name, cfg.MaxSeqLen)
+	}
+
+	var rep prefixBenchReport
+	rep.Config.Model = cfg.Name
+	rep.Config.RequestsPerWave = nRequests
+	rep.Config.Waves = waves
+	rep.Config.Prefixes = spec.Prefixes
+	rep.Config.PrefixTokens = spec.PrefixTokens
+	rep.Config.Skew = spec.Skew
+	rep.Config.OutputTokens = spec.OutputTokens
+	rep.Config.KVPoolTokens = kvTokens
+	rep.BitIdentical = true
+
+	var first [][]int
+	for _, cacheOn := range []bool{false, true} {
+		// Same seed both runs: identical weights, identical requests.
+		gen, err := trace.NewPrefixGenerator(spec, seed)
+		if err != nil {
+			return err
+		}
+		reqs := gen.Batch(nRequests)
+		g, _, _, err := buildGateway(modelName, "partial", "none", maxBatch, 64, kvTokens, cacheOn, seed)
+		if err != nil {
+			return err
+		}
+		row := prefixBenchMode{Name: "prefix-off"}
+		if cacheOn {
+			row.Name = "prefix-on"
+		}
+		var (
+			outs      [][]int
+			waveTTFT  [waves][]time.Duration
+			hit, miss []time.Duration
+		)
+		start := time.Now()
+		for w := 0; w < waves; w++ {
+			for _, r := range reqs {
+				var hitTokensBefore uint64
+				if cacheOn {
+					st, _ := g.PrefixStats()
+					hitTokensBefore = st.HitTokens
+				}
+				res, err := g.Submit(context.Background(), r.Prompt, r.OutputLen)
+				if err != nil {
+					return fmt.Errorf("%s request %d: %w", row.Name, r.ID, err)
+				}
+				outs = append(outs, res.Tokens)
+				waveTTFT[w] = append(waveTTFT[w], res.TTFT)
+				if cacheOn {
+					st, _ := g.PrefixStats()
+					if st.HitTokens > hitTokensBefore {
+						hit = append(hit, res.TTFT)
+					} else {
+						miss = append(miss, res.TTFT)
+					}
+				}
+			}
+		}
+		row.WallMs = ms(time.Since(start))
+		if cacheOn {
+			st, _ := g.PrefixStats()
+			rep.PrefixStats.Hits = st.Hits
+			rep.PrefixStats.Misses = st.Misses
+			rep.PrefixStats.HitTokens = st.HitTokens
+			rep.PrefixStats.Inserts = st.Inserts
+			rep.PrefixStats.Evictions = st.Evictions
+			rep.PrefixStats.Spills = st.Spills
+			rep.PrefixStats.Refetches = st.Refetches
+			row.HitTTFTP50Ms = ms(p50(hit))
+			row.MissTTFTP50Ms = ms(p50(miss))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = g.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		if first == nil {
+			first = outs
+		} else {
+			for i := range outs {
+				if !equalTokens(first[i], outs[i]) {
+					rep.BitIdentical = false
+				}
+			}
+		}
+		row.ColdTTFTP50Ms = ms(p50(waveTTFT[0]))
+		row.WarmTTFTP50Ms = ms(p50(waveTTFT[1]))
+		rep.Modes = append(rep.Modes, row)
+	}
+
+	// The analytic capacity win: a sequence's mean footprint with
+	// isolated KV versus when its first PrefixTokens tokens are served
+	// from a shared cached prefix.
+	pool, err := kvpage.ForModel(cfg.KVBytes(1, kvTokens), 4, cfg)
+	if err != nil {
+		return err
+	}
+	gen, err := trace.NewPrefixGenerator(spec, seed)
+	if err != nil {
+		return err
+	}
+	var total int
+	reqs := gen.Batch(nRequests)
+	for _, r := range reqs {
+		total += r.InputLen + r.OutputLen
+	}
+	mean := total / len(reqs)
+	rep.Concurrency.MeanSeqTokens = mean
+	rep.Concurrency.SharedPrefixTokens = spec.PrefixTokens
+	rep.Concurrency.Isolated = pool.MaxConcurrentSequences(mean)
+	rep.Concurrency.Shared = pool.MaxConcurrentSequencesShared(mean, spec.PrefixTokens)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
 
 func equalTokens(a, b []int) bool {
 	if len(a) != len(b) {

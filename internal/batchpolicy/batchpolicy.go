@@ -81,12 +81,39 @@ type Event struct {
 	Ref, Seq int
 }
 
+// KV is the admission-capacity interface the scheduler charges: the
+// plain paged pool (NewScheduler wraps kvpage.Manager) or the gateway's
+// prefix-cache admitter, which discounts the shared-prefix blocks a
+// prompt can reuse. Item (not just PromptLen) flows into the admission
+// calls so an implementation can resolve Ref back to the actual prompt.
+// Implementations are driven from the scheduler's single goroutine.
+type KV interface {
+	// CanAdmit reports whether the item's prompt fits now.
+	CanAdmit(it Item) bool
+	// Admit reserves the item's prompt blocks under the sequence id.
+	Admit(seqID int, it Item) error
+	// Extend grows the sequence's reservation by one token slot.
+	Extend(seqID int) error
+	// Release frees the sequence's reservation.
+	Release(seqID int) error
+}
+
+// poolKV adapts the plain paged pool to the KV interface.
+type poolKV struct{ m *kvpage.Manager }
+
+func (p poolKV) CanAdmit(it Item) bool        { return p.m.CanAdmit(it.PromptLen) }
+func (p poolKV) Admit(seqID int, it Item) error { return p.m.Admit(seqID, it.PromptLen) }
+func (p poolKV) Extend(seqID int) error       { return p.m.Extend(seqID) }
+func (p poolKV) Release(seqID int) error      { return p.m.Release(seqID) }
+
 // Scheduler owns the continuous-batching state: the running batch, the
 // requeue list of preempted work (served before new arrivals), and the
-// optional paged KV pool. It must be driven from a single goroutine.
+// optional KV admission backend. It must be driven from a single
+// goroutine.
 type Scheduler struct {
 	maxBatch int
-	pool     *kvpage.Manager // nil = unconstrained
+	pool     *kvpage.Manager // nil when constructed via NewSchedulerKV or unconstrained
+	kv       KV              // nil = unconstrained
 	running  []Seq
 	requeued []Item
 	nextID   int
@@ -101,7 +128,22 @@ func NewScheduler(maxBatch int, pool *kvpage.Manager) (*Scheduler, error) {
 	if maxBatch < 1 {
 		return nil, fmt.Errorf("batchpolicy: max batch must be ≥1, got %d", maxBatch)
 	}
-	return &Scheduler{maxBatch: maxBatch, pool: pool}, nil
+	s := &Scheduler{maxBatch: maxBatch, pool: pool}
+	if pool != nil {
+		s.kv = poolKV{pool}
+	}
+	return s, nil
+}
+
+// NewSchedulerKV builds a scheduler over a custom KV admission backend
+// (nil = unconstrained). The policy — FIFO admission, youngest-first
+// preemption, immediate retirement — is identical to NewScheduler's;
+// only the capacity arithmetic is delegated.
+func NewSchedulerKV(maxBatch int, kv KV) (*Scheduler, error) {
+	if maxBatch < 1 {
+		return nil, fmt.Errorf("batchpolicy: max batch must be ≥1, got %d", maxBatch)
+	}
+	return &Scheduler{maxBatch: maxBatch, kv: kv}, nil
 }
 
 // event emits e to the observer, if any.
@@ -138,11 +180,11 @@ func (s *Scheduler) tryReserve(it Item) bool {
 	if len(s.running) >= s.maxBatch {
 		return false
 	}
-	if s.pool != nil {
-		if !s.pool.CanAdmit(it.PromptLen) {
+	if s.kv != nil {
+		if !s.kv.CanAdmit(it) {
 			return false
 		}
-		if err := s.pool.Admit(s.nextID, it.PromptLen); err != nil {
+		if err := s.kv.Admit(s.nextID, it); err != nil {
 			return false
 		}
 	}
@@ -186,17 +228,17 @@ func (s *Scheduler) Admit(waiting []Item) (admitted []Seq, consumed int) {
 // preempting the only member would make no progress. With a nil pool it
 // is a no-op.
 func (s *Scheduler) ExtendAll() (evicted []Seq, err error) {
-	if s.pool == nil {
+	if s.kv == nil {
 		return nil, nil
 	}
 	for i := 0; i < len(s.running); i++ {
-		for s.pool.Extend(s.running[i].ID) != nil {
+		for s.kv.Extend(s.running[i].ID) != nil {
 			if len(s.running) <= 1 {
 				return nil, fmt.Errorf("batchpolicy: KV pool cannot extend the sole running sequence")
 			}
 			last := s.running[len(s.running)-1]
 			s.running = s.running[:len(s.running)-1]
-			if err := s.pool.Release(last.ID); err != nil {
+			if err := s.kv.Release(last.ID); err != nil {
 				return nil, err
 			}
 			s.requeued = append(s.requeued, last.Item)
@@ -220,8 +262,8 @@ func (s *Scheduler) FinishStep() (finished []Seq, err error) {
 		seq.Context++
 		seq.Remaining--
 		if seq.Remaining <= 0 {
-			if s.pool != nil {
-				if err := s.pool.Release(seq.ID); err != nil {
+			if s.kv != nil {
+				if err := s.kv.Release(seq.ID); err != nil {
 					return nil, err
 				}
 			}
@@ -241,8 +283,8 @@ func (s *Scheduler) Remove(id int) error {
 	for i, seq := range s.running {
 		if seq.ID == id {
 			s.running = append(s.running[:i], s.running[i+1:]...)
-			if s.pool != nil {
-				return s.pool.Release(id)
+			if s.kv != nil {
+				return s.kv.Release(id)
 			}
 			return nil
 		}

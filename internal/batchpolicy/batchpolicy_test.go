@@ -21,21 +21,29 @@ func testPool(t *testing.T, blocks int) *kvpage.Manager {
 	return pool
 }
 
-// sched builds a scheduler over a fresh test pool and places the given
-// prompt lengths directly into the running batch (bypassing Admit's
-// one-block headroom requirement, like the original hand-written serve
-// tests, so exactly-full pools are constructible).
-func sched(t *testing.T, blocks, maxBatch int, prompts ...int) *Scheduler {
+// sched builds a scheduler over a fresh test pool and places one running
+// sequence per {prompt, tokens} pair: admitted at the prompt length
+// (which reserves blocksFor(prompt)+1 blocks, headroom included) and then
+// extended token by token to the target length. This is the only way to
+// construct exactly-full pools now that Admit actually reserves the
+// headroom block CanAdmit charges.
+func sched(t *testing.T, blocks, maxBatch int, seqs ...[2]int) *Scheduler {
 	t.Helper()
 	s, err := NewScheduler(maxBatch, testPool(t, blocks))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, p := range prompts {
-		if err := s.pool.Admit(i, p); err != nil {
+	for i, pr := range seqs {
+		prompt, tokens := pr[0], pr[1]
+		if err := s.pool.Admit(i, prompt); err != nil {
 			t.Fatal(err)
 		}
-		s.running = append(s.running, Seq{ID: i, Item: Item{Ref: i, PromptLen: p, OutputLen: 100}, Context: p, Remaining: 100})
+		for tok := prompt; tok < tokens; tok++ {
+			if err := s.pool.Extend(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.running = append(s.running, Seq{ID: i, Item: Item{Ref: i, PromptLen: prompt, OutputLen: 100}, Context: tokens, Remaining: 100})
 		s.nextID = i + 1
 	}
 	return s
@@ -51,7 +59,7 @@ func checkBooks(t *testing.T, s *Scheduler) {
 	}
 	used := 0
 	for _, seq := range s.Running() {
-		used += (pool.Tokens(seq.ID) + 3) / 4 // blocksFor with 4-token blocks
+		used += pool.Blocks(seq.ID)
 	}
 	if got := pool.TotalBlocks() - pool.FreeBlocks(); got != used {
 		t.Errorf("%d blocks allocated, running sequences account for %d — blocks leaked", got, used)
@@ -63,10 +71,10 @@ func checkBooks(t *testing.T, s *Scheduler) {
 // extend, the preemption loop must evict it and stop — without walking
 // past the shrunken batch or re-extending the evicted victim.
 func TestExtendAllSelfPreemption(t *testing.T) {
-	s := sched(t, 3, 8,
-		3, // 1 block; extending to 4 tokens needs no new block
-		3, // 1 block, likewise
-		4, // 1 full block; extending demands a new one
+	s := sched(t, 6, 8,
+		[2]int{4, 7}, // 2 blocks; extending to 8 tokens needs no new block
+		[2]int{4, 7}, // 2 blocks, likewise
+		[2]int{4, 8}, // 2 full blocks; extending demands a new one
 	)
 	if s.Pool().FreeBlocks() != 0 {
 		t.Fatalf("setup: want a full pool, %d blocks free", s.Pool().FreeBlocks())
@@ -87,8 +95,8 @@ func TestExtendAllSelfPreemption(t *testing.T) {
 	if s.RequeuedLen() != 1 {
 		t.Fatalf("requeued %d items, want the evicted one", s.RequeuedLen())
 	}
-	if s.Pool().Tokens(0) != 4 || s.Pool().Tokens(1) != 4 {
-		t.Errorf("survivors hold %d and %d tokens, want 4 and 4", s.Pool().Tokens(0), s.Pool().Tokens(1))
+	if s.Pool().Tokens(0) != 8 || s.Pool().Tokens(1) != 8 {
+		t.Errorf("survivors hold %d and %d tokens, want 8 and 8", s.Pool().Tokens(0), s.Pool().Tokens(1))
 	}
 	checkBooks(t, s)
 }
@@ -97,10 +105,10 @@ func TestExtendAllSelfPreemption(t *testing.T) {
 // block, the youngest is the victim and the older retries until its
 // extension fits.
 func TestExtendAllPreemptsYoungestForOldest(t *testing.T) {
-	s := sched(t, 4, 8,
-		4, // full block: extension allocates
-		4, // full block: extension allocates
-		8, // 2 blocks — the eviction candidate
+	s := sched(t, 7, 8,
+		[2]int{4, 8},  // 2 full blocks: extension allocates
+		[2]int{4, 8},  // 2 full blocks: extension allocates
+		[2]int{4, 12}, // 3 blocks — the eviction candidate
 	)
 	if s.Pool().FreeBlocks() != 0 {
 		t.Fatalf("setup: want a full pool, %d blocks free", s.Pool().FreeBlocks())
@@ -114,10 +122,10 @@ func TestExtendAllPreemptsYoungestForOldest(t *testing.T) {
 		t.Fatalf("kept %+v, want sequences 0 and 1", run)
 	}
 	if len(evicted) != 1 || evicted[0].ID != 2 {
-		t.Fatalf("evicted %+v, want 1 (the youngest)", evicted)
+		t.Fatalf("evicted %+v, want 2 (the youngest)", evicted)
 	}
-	if s.Pool().Tokens(0) != 5 || s.Pool().Tokens(1) != 5 {
-		t.Errorf("survivors hold %d and %d tokens, want 5 and 5", s.Pool().Tokens(0), s.Pool().Tokens(1))
+	if s.Pool().Tokens(0) != 9 || s.Pool().Tokens(1) != 9 {
+		t.Errorf("survivors hold %d and %d tokens, want 9 and 9", s.Pool().Tokens(0), s.Pool().Tokens(1))
 	}
 	checkBooks(t, s)
 }
@@ -126,7 +134,7 @@ func TestExtendAllPreemptsYoungestForOldest(t *testing.T) {
 // batch would make no progress, so a one-sequence batch that cannot
 // extend is a hard error — and must not evict anything.
 func TestExtendAllSoleSequenceErrors(t *testing.T) {
-	s := sched(t, 1, 8, 4)
+	s := sched(t, 2, 8, [2]int{4, 8}) // prompt + headroom block, both full
 	evicted, err := s.ExtendAll()
 	if err == nil {
 		t.Fatal("expected an error extending a sole sequence in a full pool")
@@ -142,7 +150,7 @@ func TestExtendAllSoleSequenceErrors(t *testing.T) {
 // TestExtendAllNoPressure: with free blocks available nothing is evicted
 // and every sequence's reservation grows by one token.
 func TestExtendAllNoPressure(t *testing.T) {
-	s := sched(t, 8, 8, 4, 2)
+	s := sched(t, 8, 8, [2]int{4, 4}, [2]int{2, 2})
 	evicted, err := s.ExtendAll()
 	if err != nil {
 		t.Fatal(err)
@@ -158,10 +166,10 @@ func TestExtendAllNoPressure(t *testing.T) {
 
 // TestAdmitRequeuedFirst: preempted work is served before new arrivals.
 func TestAdmitRequeuedFirst(t *testing.T) {
-	// Three 1-block sequences in a 4-block pool leave one free block;
-	// extending the two full-block elders (4→5 tokens each needs a fresh
-	// block) evicts the youngest (ref 2) to the requeue list.
-	s := sched(t, 4, 8, 4, 4, 4)
+	// Three 2-block sequences fill the 6-block pool; extending the two
+	// full elders (8→9 tokens each needs a fresh block) evicts the
+	// youngest (ref 2) to the requeue list.
+	s := sched(t, 6, 8, [2]int{4, 8}, [2]int{4, 8}, [2]int{4, 8})
 	evicted, err := s.ExtendAll()
 	if err != nil {
 		t.Fatal(err)
@@ -206,6 +214,81 @@ func TestSchedulerValidation(t *testing.T) {
 	if _, err := NewScheduler(1, nil); err != nil {
 		t.Errorf("MaxBatch=1 rejected: %v", err)
 	}
+	if _, err := NewSchedulerKV(0, nil); err == nil {
+		t.Error("NewSchedulerKV MaxBatch=0 accepted")
+	}
+}
+
+// TestSchedulerKVDelegates: a custom KV backend sees exactly the calls
+// the plain pool would — admission gets the full Item (Ref included),
+// extension and release run per sequence id.
+func TestSchedulerKVDelegates(t *testing.T) {
+	pool := testPool(t, 6)
+	kv := &recordingKV{pool: pool}
+	s, err := NewSchedulerKV(4, kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm, consumed := s.Admit([]Item{{Ref: 7, PromptLen: 4, OutputLen: 2}})
+	if len(adm) != 1 || consumed != 1 {
+		t.Fatalf("admitted %d consumed %d", len(adm), consumed)
+	}
+	if len(kv.admits) != 1 || kv.admits[0] != 7 {
+		t.Fatalf("KV saw admit refs %v, want [7]", kv.admits)
+	}
+	if _, err := s.ExtendAll(); err != nil {
+		t.Fatal(err)
+	}
+	if kv.extends != 1 {
+		t.Fatalf("KV saw %d extends, want 1", kv.extends)
+	}
+	fin, err := s.FinishStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fin) != 0 {
+		t.Fatalf("finished early: %+v", fin)
+	}
+	if err := s.Remove(adm[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if kv.releases != 1 {
+		t.Fatalf("KV saw %d releases, want 1", kv.releases)
+	}
+	if pool.Live() != 0 || pool.FreeBlocks() != pool.TotalBlocks() {
+		t.Errorf("pool leaked: live=%d free=%d", pool.Live(), pool.FreeBlocks())
+	}
+}
+
+// recordingKV wraps a pool and records the scheduler's KV traffic.
+type recordingKV struct {
+	pool     *kvpage.Manager
+	admits   []int // refs, proving Item flows through
+	extends  int
+	releases int
+}
+
+func (r *recordingKV) CanAdmit(it Item) bool { return r.pool.CanAdmit(it.PromptLen) }
+func (r *recordingKV) Admit(seqID int, it Item) error {
+	if err := r.pool.Admit(seqID, it.PromptLen); err != nil {
+		return err
+	}
+	r.admits = append(r.admits, it.Ref)
+	return nil
+}
+func (r *recordingKV) Extend(seqID int) error {
+	if err := r.pool.Extend(seqID); err != nil {
+		return err
+	}
+	r.extends++
+	return nil
+}
+func (r *recordingKV) Release(seqID int) error {
+	if err := r.pool.Release(seqID); err != nil {
+		return err
+	}
+	r.releases++
+	return nil
 }
 
 // TestNilPoolUnconstrained: without a pool the policy admits up to the

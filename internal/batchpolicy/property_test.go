@@ -46,11 +46,10 @@ func TestSchedulerProperties(t *testing.T) {
 			}
 			used := 0
 			for _, seq := range s.Running() {
-				tok := pool.Tokens(seq.ID)
-				if tok <= 0 {
+				if pool.Tokens(seq.ID) <= 0 {
 					t.Fatalf("seed %d after %s: running seq %d unknown to the pool", seed, op, seq.ID)
 				}
-				used += (tok + blockTokens - 1) / blockTokens
+				used += pool.Blocks(seq.ID)
 			}
 			if got := pool.TotalBlocks() - pool.FreeBlocks(); got != used {
 				t.Fatalf("seed %d after %s: %d blocks allocated but running sequences account for %d — leak or double-free",
@@ -143,11 +142,20 @@ func TestSchedulerProperties(t *testing.T) {
 
 // TestKVPageManagerProperties checks the allocator against a trivial
 // reference model under random admit/extend/release traffic: block
-// conservation, exact per-sequence accounting, and rejection of
-// double-admit, double-release, and unknown-sequence operations.
+// conservation, exact per-sequence accounting (admission reserves
+// blocksFor(prompt)+1 including the headroom block; extension grows past
+// that reservation only), and rejection of double-admit, double-release,
+// and unknown-sequence operations.
 func TestKVPageManagerProperties(t *testing.T) {
 	const blockTokens = 4
 	blocksFor := func(tokens int) int { return (tokens + blockTokens - 1) / blockTokens }
+	type refSeq struct{ prompt, tokens int }
+	held := func(s refSeq) int { // blocks a sequence owns
+		if b := blocksFor(s.tokens); b > blocksFor(s.prompt)+1 {
+			return b
+		}
+		return blocksFor(s.prompt) + 1
+	}
 	for seed := int64(1); seed <= 8; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		total := 2 + rng.Intn(30)
@@ -155,7 +163,7 @@ func TestKVPageManagerProperties(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref := map[int]int{} // live seq -> tokens
+		ref := map[int]refSeq{} // live seq -> {prompt, tokens}
 		nextID := 0
 		check := func(op string) {
 			t.Helper()
@@ -163,11 +171,14 @@ func TestKVPageManagerProperties(t *testing.T) {
 				t.Fatalf("seed %d after %s: live %d, reference %d", seed, op, m.Live(), len(ref))
 			}
 			used := 0
-			for id, tok := range ref {
-				if m.Tokens(id) != tok {
-					t.Fatalf("seed %d after %s: seq %d holds %d tokens, reference %d", seed, op, id, m.Tokens(id), tok)
+			for id, s := range ref {
+				if m.Tokens(id) != s.tokens {
+					t.Fatalf("seed %d after %s: seq %d holds %d tokens, reference %d", seed, op, id, m.Tokens(id), s.tokens)
 				}
-				used += blocksFor(tok)
+				if m.Blocks(id) != held(s) {
+					t.Fatalf("seed %d after %s: seq %d holds %d blocks, reference %d", seed, op, id, m.Blocks(id), held(s))
+				}
+				used += held(s)
 			}
 			if m.FreeBlocks() != total-used {
 				t.Fatalf("seed %d after %s: %d free, reference %d — leak or double-free", seed, op, m.FreeBlocks(), total-used)
@@ -175,18 +186,18 @@ func TestKVPageManagerProperties(t *testing.T) {
 		}
 		for i := 0; i < 600; i++ {
 			switch rng.Intn(3) {
-			case 0: // admit — must succeed exactly when the blocks fit
+			case 0: // admit — must succeed exactly when prompt + headroom fit
 				tokens := 1 + rng.Intn(3*blockTokens)
 				free := m.FreeBlocks()
 				err := m.Admit(nextID, tokens)
-				if blocksFor(tokens) <= free && err != nil {
+				if blocksFor(tokens)+1 <= free && err != nil {
 					t.Fatalf("seed %d: Admit(%d tokens) failed with %d free blocks: %v", seed, tokens, free, err)
 				}
-				if blocksFor(tokens) > free && err == nil {
+				if blocksFor(tokens)+1 > free && err == nil {
 					t.Fatalf("seed %d: Admit(%d tokens) succeeded with only %d free blocks", seed, tokens, free)
 				}
 				if err == nil {
-					ref[nextID] = tokens
+					ref[nextID] = refSeq{prompt: tokens, tokens: tokens}
 					if err := m.Admit(nextID, tokens); err == nil {
 						t.Fatalf("seed %d: double admit of %d accepted", seed, nextID)
 					}
@@ -203,14 +214,15 @@ func TestKVPageManagerProperties(t *testing.T) {
 				if err != nil {
 					// Rollback contract: a failed extension leaves the
 					// sequence's token count untouched.
-					if m.Tokens(id) != before {
-						t.Fatalf("seed %d: failed Extend mutated tokens %d→%d", seed, before, m.Tokens(id))
+					if m.Tokens(id) != before.tokens {
+						t.Fatalf("seed %d: failed Extend mutated tokens %d→%d", seed, before.tokens, m.Tokens(id))
 					}
-					if blocksFor(before+1) <= blocksFor(before) || m.FreeBlocks() > 0 {
+					if blocksFor(before.tokens+1) <= held(before) || m.FreeBlocks() > 0 {
 						t.Fatalf("seed %d: Extend failed with room available", seed)
 					}
 				} else {
-					ref[id] = before + 1
+					before.tokens++
+					ref[id] = before
 				}
 				check("extend")
 			case 2: // release
@@ -237,7 +249,7 @@ func TestKVPageManagerProperties(t *testing.T) {
 // anyKey picks a deterministic pseudo-random live key (map iteration
 // order is randomized, so sort-free selection must go through the rng
 // over a stable ordering).
-func anyKey(rng *rand.Rand, ref map[int]int) (int, bool) {
+func anyKey[V any](rng *rand.Rand, ref map[int]V) (int, bool) {
 	if len(ref) == 0 {
 		return 0, false
 	}

@@ -53,6 +53,17 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 		nextRef++
 		byRef[e.ref] = e
 		backlog = append(backlog, e)
+		if g.prefix != nil {
+			g.prefix.register(e.ref, p.prompt)
+		}
+	}
+	// forget retires a ref from every side table; all removal paths go
+	// through it so the prefix admitter never leaks prompt state.
+	forget := func(ref int) {
+		delete(byRef, ref)
+		if g.prefix != nil {
+			g.prefix.forget(ref)
+		}
 	}
 	gather := func() {
 		for {
@@ -66,7 +77,7 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 	}
 	respond := func(e *entry, out outcome) {
 		e.p.resp <- out // buffered(1); each entry is responded to at most once
-		delete(byRef, e.ref)
+		forget(e.ref)
 	}
 	abortAll := func() {
 		for id, s := range seqs {
@@ -112,8 +123,22 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 				s   *llm.Sequence
 				err error
 			}
-			results, mapErr := runner.Map(stepCtx, admitted, func(_ context.Context, a batchpolicy.Seq) (prefillRes, error) {
-				s, err := g.exec.NewSequence(byRef[a.Item.Ref].p.prompt, a.Item.OutputLen)
+			// Capture seeds on the batcher goroutine (the admitter's maps
+			// are confined here), then prefill in parallel: with the prefix
+			// cache on, each sequence resumes from its pinned cached prefix
+			// and computes only the unshared suffix.
+			type prefillJob struct {
+				prompt []int
+				n      int
+				seed   *llm.KVSeed
+			}
+			jobs := make([]prefillJob, len(admitted))
+			for i, a := range admitted {
+				prompt := byRef[a.Item.Ref].p.prompt
+				jobs[i] = prefillJob{prompt: prompt, n: a.Item.OutputLen, seed: g.seedFor(a.ID, prompt)}
+			}
+			results, mapErr := runner.Map(stepCtx, jobs, func(_ context.Context, j prefillJob) (prefillRes, error) {
+				s, err := g.exec.NewSequenceFrom(j.prompt, j.n, j.seed)
 				return prefillRes{s: s, err: err}, nil
 			})
 			if mapErr != nil { // kill aborted the prefill wave mid-flight
@@ -137,6 +162,9 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 					continue
 				}
 				seqs[a.ID] = results[i].s
+				// Cache the freshly computed prefix for future requests
+				// (a no-op for blocks already in the tree).
+				g.insertPrefix(e.p.prompt, results[i].s)
 				if !e.ttftDone {
 					e.ttftDone = true
 					e.ttft = time.Since(e.p.enqueued)
@@ -191,7 +219,7 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 		kept := backlog[:0]
 		for _, e := range backlog {
 			if e.p.ctx.Err() != nil {
-				delete(byRef, e.ref) // client already unblocked on its context
+				forget(e.ref) // client already unblocked on its context
 			} else {
 				kept = append(kept, e)
 			}
@@ -207,13 +235,13 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 					s.Release()
 				}
 				delete(seqs, seq.ID)
-				delete(byRef, e.ref)
+				forget(e.ref)
 			}
 		}
 		for _, it := range sched.DropRequeued(func(it batchpolicy.Item) bool {
 			return byRef[it.Ref].p.ctx.Err() != nil
 		}) {
-			delete(byRef, it.Ref)
+			forget(it.Ref)
 		}
 	}
 
@@ -275,6 +303,9 @@ func (g *Gateway) failRound(sched *batchpolicy.Scheduler, seqs map[int]*llm.Sequ
 		if e, ok := byRef[seq.Item.Ref]; ok {
 			e.p.resp <- outcome{err: fmt.Errorf("gateway: %w", err)}
 			delete(byRef, e.ref)
+			if g.prefix != nil {
+				g.prefix.forget(e.ref)
+			}
 		}
 	}
 }

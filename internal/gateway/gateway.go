@@ -23,6 +23,7 @@ import (
 
 	"github.com/lia-sim/lia/internal/batchpolicy"
 	"github.com/lia-sim/lia/internal/kvpage"
+	"github.com/lia-sim/lia/internal/kvprefix"
 	"github.com/lia-sim/lia/internal/llm"
 	"github.com/lia-sim/lia/internal/offload"
 	"github.com/lia-sim/lia/internal/units"
@@ -59,6 +60,16 @@ type Config struct {
 	// budget — and the host's per-tier counters render into /metrics
 	// alongside the gateway's own.
 	Offload *offload.Host
+	// PrefixCache enables cross-request KV reuse: a radix tree over the
+	// paged pool caches prompt prefixes at block granularity, admission
+	// charges only a prompt's unshared suffix, and prefill skips the
+	// cached tokens. Generated tokens stay bit-identical to the cache-off
+	// path. With an Offload host, cold prefix nodes spill to the DDR/CXL
+	// tiers instead of being evicted. Off by default.
+	PrefixCache bool
+	// PrefixMaxBlocks bounds the cache's residency when no KV pool is
+	// configured (ignored otherwise; default 1024).
+	PrefixMaxBlocks int
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +148,9 @@ type Gateway struct {
 
 	poolTotalBlocks int // for the can-ever-fit admission check (0 = unconstrained)
 	blockTokens     int
+
+	tree   *kvprefix.Tree  // prefix cache (nil when disabled)
+	prefix *prefixAdmitter // pooled admission through the tree (nil when pool-less or disabled)
 }
 
 // New starts a gateway over the executor. The batcher goroutine runs
@@ -154,10 +168,6 @@ func New(exec *llm.Executor, cfg Config) (*Gateway, error) {
 			return nil, err
 		}
 	}
-	sched, err := batchpolicy.NewScheduler(cfg.MaxBatch, pool)
-	if err != nil {
-		return nil, err
-	}
 	g := &Gateway{
 		cfg:    cfg,
 		exec:   exec,
@@ -166,6 +176,34 @@ func New(exec *llm.Executor, cfg Config) (*Gateway, error) {
 		stop:   make(chan struct{}),
 		kill:   make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+	var sched *batchpolicy.Scheduler
+	var err error
+	if cfg.PrefixCache {
+		var spiller kvprefix.Spiller
+		if cfg.Offload != nil {
+			spiller = cfg.Offload.PrefixStore()
+		}
+		g.tree, err = kvprefix.New(kvprefix.Config{
+			BlockTokens: cfg.KVBlockTokens,
+			Layers:      len(exec.Model.Layers),
+			Pool:        pool,
+			MaxBlocks:   cfg.PrefixMaxBlocks,
+			Spiller:     spiller,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if g.tree != nil && pool != nil {
+		// Admission goes through the tree: charge only unshared suffixes.
+		g.prefix = newPrefixAdmitter(pool, g.tree)
+		sched, err = batchpolicy.NewSchedulerKV(cfg.MaxBatch, g.prefix)
+	} else {
+		sched, err = batchpolicy.NewScheduler(cfg.MaxBatch, pool)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if pool != nil {
 		g.poolTotalBlocks = pool.TotalBlocks()
@@ -299,11 +337,15 @@ func (g *Gateway) Snapshot() Snapshot { return g.m.snapshot() }
 
 // Prometheus renders the metrics in Prometheus text format. With an
 // offload host configured, the tiered-memory counters
-// (lia_offload_*) follow the gateway's own.
+// (lia_offload_*) follow the gateway's own; with the prefix cache on,
+// the lia_prefix_* counters follow too.
 func (g *Gateway) Prometheus() string {
 	out := g.m.prometheus()
 	if g.cfg.Offload != nil {
 		out += g.cfg.Offload.Prometheus()
+	}
+	if st, ok := g.PrefixStats(); ok {
+		out += prefixProm(st)
 	}
 	return out
 }

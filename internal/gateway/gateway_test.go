@@ -390,8 +390,20 @@ func TestGatewayHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("draining healthz: %d, want 503", resp.StatusCode)
 	}
-	if status, _ := post(`{"prompt":[1,2],"max_new_tokens":2}`); status != http.StatusServiceUnavailable {
-		t.Errorf("draining generate: status %d, want 503", status)
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("draining healthz carries no Retry-After header")
+	}
+	resp, err = http.Post(srv.URL+"/v1/generate", "application/json",
+		bytes.NewReader([]byte(`{"prompt":[1,2],"max_new_tokens":2}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining generate: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("draining generate carries no Retry-After header")
 	}
 }
 

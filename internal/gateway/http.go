@@ -61,7 +61,14 @@ func (g *Gateway) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := g.Submit(ctx, req.Prompt, req.MaxNewTokens)
 	if err != nil {
-		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		status := statusFor(err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			// Retryable conditions: tell well-behaved clients when to come
+			// back. The header must land before writeJSON commits the
+			// status line.
+			w.Header().Set("Retry-After", retryAfterSeconds)
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, GenerateResponse{
@@ -91,8 +98,17 @@ func statusFor(err error) int {
 	}
 }
 
+// retryAfterSeconds is the Retry-After hint on retryable failures (shed
+// traffic and a draining server): a drain is bounded by the shutdown
+// deadline and queue pressure clears within a scheduling round or two,
+// so a short constant beats computing a fake precise estimate.
+const retryAfterSeconds = "1"
+
 func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if g.Draining() {
+		// Draining is terminal for this process but load balancers poll:
+		// the Retry-After keeps naive pollers from hammering the endpoint.
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}

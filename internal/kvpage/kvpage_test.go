@@ -35,27 +35,30 @@ func TestAdmitExtendRelease(t *testing.T) {
 	if m.TotalBlocks() != 100 || m.FreeBlocks() != 100 {
 		t.Fatalf("pool = %d/%d", m.FreeBlocks(), m.TotalBlocks())
 	}
-	// A 20-token prompt needs 2 blocks.
+	// A 20-token prompt needs 2 blocks plus the reserved headroom block.
 	if err := m.Admit(1, 20); err != nil {
 		t.Fatal(err)
 	}
-	if m.FreeBlocks() != 98 || m.Tokens(1) != 20 {
-		t.Errorf("after admit: free=%d tokens=%d", m.FreeBlocks(), m.Tokens(1))
+	if m.FreeBlocks() != 97 || m.Tokens(1) != 20 || m.Blocks(1) != 3 {
+		t.Errorf("after admit: free=%d tokens=%d blocks=%d", m.FreeBlocks(), m.Tokens(1), m.Blocks(1))
 	}
-	// Extending within the partial block allocates nothing new.
-	for i := 0; i < 12; i++ {
+	// Extending through the partial block and across the first boundary
+	// (token 33) allocates nothing: the boundary lands in the headroom
+	// block reserved at admission.
+	for i := 0; i < 28; i++ { // tokens 21..48
 		if err := m.Extend(1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if m.FreeBlocks() != 98 {
-		t.Errorf("extend within block allocated: free=%d", m.FreeBlocks())
+	if m.FreeBlocks() != 97 {
+		t.Errorf("extend within reserved blocks allocated: free=%d", m.FreeBlocks())
 	}
-	// The 33rd token crosses into a third block.
+	// The 49th token crosses into a fourth block — only now does the pool
+	// hand out another one.
 	if err := m.Extend(1); err != nil {
 		t.Fatal(err)
 	}
-	if m.FreeBlocks() != 97 {
+	if m.FreeBlocks() != 96 {
 		t.Errorf("block boundary not allocated: free=%d", m.FreeBlocks())
 	}
 	if err := m.Release(1); err != nil {
@@ -63,6 +66,39 @@ func TestAdmitExtendRelease(t *testing.T) {
 	}
 	if m.FreeBlocks() != 100 || m.Live() != 0 {
 		t.Errorf("release leaked: free=%d live=%d", m.FreeBlocks(), m.Live())
+	}
+}
+
+// TestAdmitReservesHeadroom pins the admission-headroom bug: CanAdmit
+// charges blocksFor(prompt)+1 but Admit used to pop only blocksFor, so
+// two sequences could both pass the check against the same last free
+// block and then both fail their first block-boundary Extend. With the
+// headroom actually reserved, the second admit is refused up front and
+// the first sequence's boundary crossing is guaranteed.
+func TestAdmitReservesHeadroom(t *testing.T) {
+	m, err := NewManager(3*16*units.KiB, 16, units.KiB) // 3 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanAdmit(16) {
+		t.Fatal("empty 3-block pool must admit a 1-block prompt")
+	}
+	if err := m.Admit(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	// The headroom block must be gone from the free list now, so a second
+	// 1-block prompt (needing 1+1 blocks) no longer fits. The unfixed
+	// allocator left it free and admitted sequence 2 here — and then both
+	// sequences raced for one block at their first boundary crossing.
+	if m.CanAdmit(16) {
+		t.Fatal("headroom block not reserved: second admit would race the first sequence's growth")
+	}
+	// The admitted sequence's guaranteed growth: 16 more tokens (through
+	// its second block) without any allocation failure.
+	for i := 0; i < 16; i++ {
+		if err := m.Extend(1); err != nil {
+			t.Fatalf("extend %d failed despite reserved headroom: %v", i, err)
+		}
 	}
 }
 
@@ -93,8 +129,13 @@ func TestExtendExhaustionRollsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Admit(1, 32); err != nil { // consumes both blocks exactly
+	if err := m.Admit(1, 16); err != nil { // 1 prompt block + 1 headroom = whole pool
 		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ { // tokens 17..32 fill the headroom block
+		if err := m.Extend(1); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := m.Extend(1); err == nil {
 		t.Fatal("extension past capacity accepted")
@@ -116,19 +157,172 @@ func TestCanAdmitKeepsHeadroom(t *testing.T) {
 
 func TestStatsAndWaste(t *testing.T) {
 	m := tiny(t)
-	if err := m.Admit(1, 17); err != nil { // 2 blocks, 17/32 slots used
+	if err := m.Admit(1, 17); err != nil { // 2 blocks + headroom, 17/48 slots used
 		t.Fatal(err)
 	}
 	st := m.Stats()
-	if st.UsedBlocks != 2 || st.UsedTokens != 17 {
+	if st.UsedBlocks != 3 || st.UsedTokens != 17 {
 		t.Errorf("stats = %+v", st)
 	}
-	wantWaste := 1 - 17.0/32.0
+	wantWaste := 1 - 17.0/48.0
 	if st.InternalWaste < wantWaste-1e-9 || st.InternalWaste > wantWaste+1e-9 {
 		t.Errorf("waste = %v, want %v", st.InternalWaste, wantWaste)
 	}
-	if st.UsedBytes != 32*units.KiB {
+	if st.UsedBytes != 48*units.KiB {
 		t.Errorf("used bytes = %v", st.UsedBytes)
+	}
+}
+
+// TestMaxConcurrentSequencesMatchesAdmission pins the §6 capacity answer
+// to what admission actually accepts: repeatedly admitting mean-length
+// sequences must place exactly MaxConcurrentSequences of them. (The
+// formula previously omitted the +1 headroom block CanAdmit charges,
+// so it overstated capacity.)
+func TestMaxConcurrentSequencesMatchesAdmission(t *testing.T) {
+	cases := []struct {
+		blocks, mean int
+		want         int
+	}{
+		{blocks: 100, mean: 16, want: 50},  // 1+1 blocks per sequence
+		{blocks: 100, mean: 17, want: 33},  // 2+1 blocks per sequence
+		{blocks: 100, mean: 300, want: 5},  // 19+1 blocks per sequence
+		{blocks: 3, mean: 16, want: 1},     // the double-admit scenario
+		{blocks: 2, mean: 33, want: 0},     // cannot ever fit
+		{blocks: 100, mean: 0, want: 0},    // degenerate
+	}
+	for _, c := range cases {
+		m, err := NewManager(units.Bytes(c.blocks)*16*units.KiB, 16, units.KiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.MaxConcurrentSequences(c.mean); got != c.want {
+			t.Errorf("blocks=%d mean=%d: MaxConcurrentSequences=%d, want %d", c.blocks, c.mean, got, c.want)
+		}
+		if c.mean < 1 {
+			continue
+		}
+		admitted := 0
+		for m.CanAdmit(c.mean) {
+			if err := m.Admit(admitted, c.mean); err != nil {
+				t.Fatalf("blocks=%d mean=%d: CanAdmit passed but Admit failed: %v", c.blocks, c.mean, err)
+			}
+			admitted++
+		}
+		if admitted != c.want {
+			t.Errorf("blocks=%d mean=%d: admission placed %d sequences, formula says %d", c.blocks, c.mean, admitted, c.want)
+		}
+	}
+}
+
+func TestMaxConcurrentSequencesShared(t *testing.T) {
+	m, err := NewManager(20*16*units.KiB, 16, units.KiB) // 20 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48-token sequences: 3 blocks + headroom = 4 each → 5 fit cold.
+	if got := m.MaxConcurrentSequences(48); got != 5 {
+		t.Fatalf("cold capacity = %d, want 5", got)
+	}
+	// With a 32-token shared prefix (2 blocks charged once), each
+	// sequence pays 1 suffix block + 1 headroom → (20−2)/2 = 9.
+	if got := m.MaxConcurrentSequencesShared(48, 32); got != 9 {
+		t.Errorf("shared capacity = %d, want 9", got)
+	}
+	// Partial shared blocks don't count; prefix ≥ mean is clamped.
+	if got := m.MaxConcurrentSequencesShared(48, 15); got != 5 {
+		t.Errorf("sub-block prefix must not discount: got %d", got)
+	}
+	if got := m.MaxConcurrentSequencesShared(16, 100); got != m.MaxConcurrentSequences(16) {
+		t.Errorf("over-long prefix must clamp, got %d", got)
+	}
+}
+
+func TestAdmitSharedAccounting(t *testing.T) {
+	m := tiny(t)
+	prefix, err := m.AllocBlocks(2) // tree-owned 32-token prefix
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 98 {
+		t.Fatalf("free=%d after AllocBlocks", m.FreeBlocks())
+	}
+	// 40-token prompt sharing the 2 prefix blocks: pops 1 suffix + 1
+	// headroom, retains the shared pair.
+	if err := m.AdmitShared(1, 40, prefix); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 96 || m.Blocks(1) != 4 || m.SharedBlocks(1) != 2 {
+		t.Errorf("free=%d blocks=%d shared=%d", m.FreeBlocks(), m.Blocks(1), m.SharedBlocks(1))
+	}
+	for _, id := range prefix {
+		if m.BlockRef(id) != 2 {
+			t.Errorf("prefix block %d ref=%d, want 2", id, m.BlockRef(id))
+		}
+	}
+	// Shared tokens are counted once: 2 tree blocks (32 slots) + the
+	// sequence's 8 unshared tokens.
+	if st := m.Stats(); st.UsedTokens != 40 {
+		t.Errorf("UsedTokens=%d, want 40", st.UsedTokens)
+	}
+	// A second sequence over the same prefix pays only its suffix.
+	if !m.CanAdmitShared(40, 2) {
+		t.Error("shared admit refused")
+	}
+	if err := m.AdmitShared(2, 40, prefix); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 94 {
+		t.Errorf("free=%d after second shared admit", m.FreeBlocks())
+	}
+	// Releasing the sequences keeps the prefix alive for the tree.
+	if err := m.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 98 {
+		t.Errorf("free=%d after releases, want 98", m.FreeBlocks())
+	}
+	for _, id := range prefix {
+		if m.BlockRef(id) != 1 {
+			t.Errorf("prefix block %d ref=%d, want 1", id, m.BlockRef(id))
+		}
+	}
+	if err := m.ReleaseBlocks(prefix); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 100 {
+		t.Errorf("free=%d after tree release, want 100", m.FreeBlocks())
+	}
+}
+
+func TestAdmitSharedValidation(t *testing.T) {
+	m := tiny(t)
+	prefix, err := m.AllocBlocks(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AdmitShared(1, 16, prefix); err == nil {
+		t.Error("shared blocks covering the whole prompt accepted")
+	}
+	if err := m.AdmitShared(1, 20, []int{999}); err == nil {
+		t.Error("out-of-range shared block accepted")
+	}
+	if err := m.AdmitShared(1, 20, []int{50}); err == nil {
+		t.Error("free shared block accepted")
+	}
+	if err := m.ReleaseBlocks(prefix); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReleaseBlocks(prefix); err == nil {
+		t.Error("double release accepted")
+	}
+	if _, err := m.AllocBlocks(-1); err == nil {
+		t.Error("negative block count accepted")
+	}
+	if _, err := m.AllocBlocks(101); err == nil {
+		t.Error("over-capacity AllocBlocks accepted")
 	}
 }
 

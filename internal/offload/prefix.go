@@ -1,0 +1,44 @@
+package offload
+
+import (
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// PrefixStore adapts the tiered memory to the prefix cache's spill
+// interface (kvprefix.Spiller, matched structurally): cold radix-tree
+// nodes move out of the paged pool into CXL when the system has
+// expanders, else DDR, instead of being evicted outright. Spilling
+// charges one write of the node's bytes into the cold tier; the release
+// closure charges the read back out (a refetch) and frees the
+// reservation.
+type PrefixStore struct {
+	mgr  *Manager
+	tier Tier
+}
+
+// PrefixStore returns the host's cold-tier store for prefix-cache nodes.
+func (h *Host) PrefixStore() *PrefixStore {
+	tier := DDR
+	if h.plan.Pool.Capacity() > 0 {
+		tier = CXL
+	}
+	return &PrefixStore{mgr: h.mgr, tier: tier}
+}
+
+// Tier reports where spilled nodes land.
+func (s *PrefixStore) Tier() Tier { return s.tier }
+
+// Spill reserves b bytes of cold-tier capacity for a node. ok=false when
+// the tier is full — the caller then evicts instead.
+func (s *PrefixStore) Spill(label string, b units.Bytes) (func(), bool) {
+	a, err := s.mgr.Alloc(s.tier, cxl.KVCache, label, b)
+	if err != nil {
+		return nil, false
+	}
+	s.mgr.Write(a, b)
+	return func() {
+		s.mgr.Read(a, b)
+		s.mgr.Free(a)
+	}, true
+}

@@ -1,0 +1,46 @@
+package offload
+
+import (
+	"testing"
+
+	"github.com/lia-sim/lia/internal/kvprefix"
+	"github.com/lia-sim/lia/internal/llm"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// The store must satisfy the prefix cache's spill interface structurally.
+var _ kvprefix.Spiller = (*PrefixStore)(nil)
+
+func TestPrefixStoreTierSelection(t *testing.T) {
+	cfg := llm.TinyConfig()
+	if got := newTinyHost(t, cfg, 0, 0, nil).PrefixStore().Tier(); got != DDR {
+		t.Fatalf("expander-less system spills to %v, want DDR", got)
+	}
+	if got := newTinyHost(t, cfg, 0, 2, nil).PrefixStore().Tier(); got != CXL {
+		t.Fatalf("expander system spills to %v, want CXL", got)
+	}
+}
+
+func TestPrefixStoreSpillAccounting(t *testing.T) {
+	h := newTinyHost(t, llm.TinyConfig(), 0, 2, nil)
+	ps := h.PrefixStore()
+	before := h.mgr.Used(ps.Tier())
+
+	release, ok := ps.Spill("prefix-node-1", 512)
+	if !ok {
+		t.Fatal("spill into an empty tier refused")
+	}
+	if got := h.mgr.Used(ps.Tier()); got != before+512 {
+		t.Fatalf("cold tier holds %v after spill, want %v", got, before+512)
+	}
+	release()
+	if got := h.mgr.Used(ps.Tier()); got != before {
+		t.Fatalf("cold tier holds %v after release, want %v", got, before)
+	}
+
+	// A spill exceeding the tier's capacity is refused, not an error.
+	huge := units.Bytes(1e15)
+	if _, ok := ps.Spill("prefix-node-2", huge); ok {
+		t.Fatal("oversized spill accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PromptRequest is a Request with concrete prompt tokens — what the
+// prefix-cache benchmark needs, since prefix reuse is about content, not
+// just lengths.
+type PromptRequest struct {
+	Request
+	// Prompt is the tokenized prompt: one of the workload's hot prefixes
+	// followed by a request-unique suffix.
+	Prompt []int
+}
+
+// PrefixSpec shapes a hot-prefix workload: a small population of shared
+// prompt prefixes (system prompts, few-shot preambles, document
+// contexts) continued by per-request suffixes, with the prefix
+// popularity following a power law.
+type PrefixSpec struct {
+	// Prefixes is the number of distinct hot prefixes (≥1).
+	Prefixes int
+	// PrefixTokens is each prefix's length in tokens (≥1).
+	PrefixTokens int
+	// Skew is the popularity exponent s: prefix i is drawn with
+	// probability ∝ (i+1)^−s. 0 is uniform; ~1.2 matches the skewed
+	// reuse real serving traces show.
+	Skew float64
+	// Vocab bounds token ids to [0, Vocab).
+	Vocab int
+	// MinSuffix and MaxSuffix bound the unique suffix length (uniform
+	// draw, 1 ≤ min ≤ max).
+	MinSuffix, MaxSuffix int
+	// OutputTokens is the fixed generation length per request (default 8).
+	OutputTokens int
+}
+
+func (s PrefixSpec) withDefaults() PrefixSpec {
+	if s.OutputTokens == 0 {
+		s.OutputTokens = 8
+	}
+	return s
+}
+
+func (s PrefixSpec) validate() error {
+	if s.Prefixes < 1 || s.PrefixTokens < 1 {
+		return fmt.Errorf("trace: need ≥1 prefixes of ≥1 tokens, got %d × %d", s.Prefixes, s.PrefixTokens)
+	}
+	if s.Vocab < 2 {
+		return fmt.Errorf("trace: vocabulary %d too small", s.Vocab)
+	}
+	if s.MinSuffix < 1 || s.MaxSuffix < s.MinSuffix {
+		return fmt.Errorf("trace: invalid suffix range [%d, %d]", s.MinSuffix, s.MaxSuffix)
+	}
+	if s.Skew < 0 {
+		return fmt.Errorf("trace: negative skew %g", s.Skew)
+	}
+	if s.OutputTokens < 1 {
+		return fmt.Errorf("trace: OutputTokens must be ≥1, got %d", s.OutputTokens)
+	}
+	return nil
+}
+
+// PrefixGenerator produces a deterministic hot-prefix request stream.
+// Like Generator it is NOT safe for concurrent use — give each goroutine
+// its own instance.
+type PrefixGenerator struct {
+	rng      *rand.Rand
+	spec     PrefixSpec
+	prefixes [][]int
+	cum      []float64 // cumulative popularity, cum[len-1] == 1
+	produced int
+}
+
+// NewPrefixGenerator materializes the prefix population from the seed;
+// the same (spec, seed) pair always yields the same prefixes and the
+// same request stream.
+func NewPrefixGenerator(spec PrefixSpec, seed int64) (*PrefixGenerator, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &PrefixGenerator{rng: rng, spec: spec}
+	for i := 0; i < spec.Prefixes; i++ {
+		p := make([]int, spec.PrefixTokens)
+		for j := range p {
+			p[j] = rng.Intn(spec.Vocab)
+		}
+		g.prefixes = append(g.prefixes, p)
+	}
+	// Precompute the power-law CDF so each selection costs one uniform
+	// draw plus a binary search.
+	g.cum = make([]float64, spec.Prefixes)
+	total := 0.0
+	for i := range g.cum {
+		total += math.Pow(float64(i+1), -spec.Skew)
+		g.cum[i] = total
+	}
+	for i := range g.cum {
+		g.cum[i] /= total
+	}
+	return g, nil
+}
+
+// Prefixes returns the hot prefix population (callers must not mutate).
+func (g *PrefixGenerator) Prefixes() [][]int { return g.prefixes }
+
+// Next draws one request: a power-law prefix choice, a uniform suffix
+// length, and suffix tokens — three independent uses of the stream, in a
+// fixed order, so per-seed determinism holds.
+func (g *PrefixGenerator) Next() PromptRequest {
+	g.produced++
+	u := g.rng.Float64()
+	pi := sort.SearchFloat64s(g.cum, u)
+	if pi >= len(g.prefixes) {
+		pi = len(g.prefixes) - 1
+	}
+	sl := g.spec.MinSuffix + g.rng.Intn(g.spec.MaxSuffix-g.spec.MinSuffix+1)
+	prompt := make([]int, 0, g.spec.PrefixTokens+sl)
+	prompt = append(prompt, g.prefixes[pi]...)
+	for i := 0; i < sl; i++ {
+		prompt = append(prompt, g.rng.Intn(g.spec.Vocab))
+	}
+	return PromptRequest{
+		Request: Request{ID: g.produced, InputLen: len(prompt), OutputLen: g.spec.OutputTokens},
+		Prompt:  prompt,
+	}
+}
+
+// Batch draws n requests.
+func (g *PrefixGenerator) Batch(n int) []PromptRequest {
+	out := make([]PromptRequest, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

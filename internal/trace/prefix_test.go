@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestGeneratorBatchDeterministic pins the batch-level contract: the
+// same seed yields an identical Batch(n), and a different seed does not.
+func TestGeneratorBatchDeterministic(t *testing.T) {
+	g1, err := NewGenerator(Conversation, 32, 2048, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(Conversation, 32, 2048, 42)
+	a, b := g1.Batch(200), g2.Batch(200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different Batch(200)")
+	}
+	g3, _ := NewGenerator(Conversation, 32, 2048, 43)
+	if reflect.DeepEqual(a, g3.Batch(200)) {
+		t.Fatal("different seeds produced identical Batch(200)")
+	}
+}
+
+// TestGeneratorPerGoroutineClones guards the documented concurrency
+// contract: a Generator must not be shared across goroutines; the
+// supported pattern is one same-seed instance per goroutine, which this
+// test shows yields identical streams — sharing is never needed.
+func TestGeneratorPerGoroutineClones(t *testing.T) {
+	want, err := NewGenerator(Code, 32, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := want.Batch(64)
+	const workers = 8
+	streams := make([][]Request, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g, err := NewGenerator(Code, 32, 256, 9) // own instance, same seed
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			streams[w] = g.Batch(64)
+		}(w)
+	}
+	wg.Wait()
+	for w, s := range streams {
+		if !reflect.DeepEqual(s, ref) {
+			t.Fatalf("worker %d's clone diverged from the reference stream", w)
+		}
+	}
+}
+
+func testPrefixSpec() PrefixSpec {
+	return PrefixSpec{
+		Prefixes:     4,
+		PrefixTokens: 48,
+		Skew:         1.2,
+		Vocab:        128,
+		MinSuffix:    4,
+		MaxSuffix:    12,
+		OutputTokens: 8,
+	}
+}
+
+func TestPrefixGeneratorDeterministic(t *testing.T) {
+	g1, err := NewPrefixGenerator(testPrefixSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewPrefixGenerator(testPrefixSpec(), 7)
+	if !reflect.DeepEqual(g1.Prefixes(), g2.Prefixes()) {
+		t.Fatal("same seed produced different prefix populations")
+	}
+	if !reflect.DeepEqual(g1.Batch(100), g2.Batch(100)) {
+		t.Fatal("same seed produced different request streams")
+	}
+	g3, _ := NewPrefixGenerator(testPrefixSpec(), 8)
+	if reflect.DeepEqual(g1.Batch(100), g3.Batch(100)) {
+		t.Fatal("different seeds produced identical request streams")
+	}
+}
+
+func TestPrefixGeneratorShape(t *testing.T) {
+	spec := testPrefixSpec()
+	g, err := NewPrefixGenerator(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixes := g.Prefixes()
+	for _, r := range g.Batch(500) {
+		if r.OutputLen != spec.OutputTokens {
+			t.Fatalf("request %d: output %d, want fixed %d", r.ID, r.OutputLen, spec.OutputTokens)
+		}
+		if r.InputLen != len(r.Prompt) {
+			t.Fatalf("request %d: InputLen %d but %d prompt tokens", r.ID, r.InputLen, len(r.Prompt))
+		}
+		sl := len(r.Prompt) - spec.PrefixTokens
+		if sl < spec.MinSuffix || sl > spec.MaxSuffix {
+			t.Fatalf("request %d: suffix %d outside [%d, %d]", r.ID, sl, spec.MinSuffix, spec.MaxSuffix)
+		}
+		matched := false
+		for _, p := range prefixes {
+			if reflect.DeepEqual(r.Prompt[:spec.PrefixTokens], p) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("request %d's prompt starts with no known prefix", r.ID)
+		}
+		for i, tok := range r.Prompt {
+			if tok < 0 || tok >= spec.Vocab {
+				t.Fatalf("request %d token %d (%d) outside vocab", r.ID, i, tok)
+			}
+		}
+	}
+}
+
+// TestPrefixGeneratorSkew: with positive skew the lowest-index prefix
+// must dominate and popularity must fall with rank; with zero skew the
+// draw is near-uniform.
+func TestPrefixGeneratorSkew(t *testing.T) {
+	count := func(skew float64) []int {
+		spec := testPrefixSpec()
+		spec.Skew = skew
+		g, err := NewPrefixGenerator(spec, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, spec.Prefixes)
+		for _, r := range g.Batch(4000) {
+			for i, p := range g.Prefixes() {
+				if reflect.DeepEqual(r.Prompt[:spec.PrefixTokens], p) {
+					counts[i]++
+					break
+				}
+			}
+		}
+		return counts
+	}
+	skewed := count(1.2)
+	for i := 1; i < len(skewed); i++ {
+		if skewed[i] >= skewed[0] {
+			t.Fatalf("skew 1.2: prefix %d drawn %d times ≥ head's %d", i, skewed[i], skewed[0])
+		}
+	}
+	// With s=1.2 and 4 prefixes the head holds ~44% of the mass.
+	if skewed[0] < 4000*35/100 {
+		t.Fatalf("skew 1.2: head drawn %d of 4000, want ≥ 35%%", skewed[0])
+	}
+	uniform := count(0)
+	for i, c := range uniform {
+		if c < 4000/8 || c > 4000*3/8 {
+			t.Fatalf("skew 0: prefix %d drawn %d of 4000 — not near-uniform", i, c)
+		}
+	}
+}
+
+func TestPrefixSpecValidation(t *testing.T) {
+	cases := []func(*PrefixSpec){
+		func(s *PrefixSpec) { s.Prefixes = 0 },
+		func(s *PrefixSpec) { s.PrefixTokens = 0 },
+		func(s *PrefixSpec) { s.Vocab = 1 },
+		func(s *PrefixSpec) { s.MinSuffix = 0 },
+		func(s *PrefixSpec) { s.MaxSuffix = 2; s.MinSuffix = 3 },
+		func(s *PrefixSpec) { s.Skew = -1 },
+		func(s *PrefixSpec) { s.OutputTokens = -1 },
+	}
+	for i, mutate := range cases {
+		spec := testPrefixSpec()
+		mutate(&spec)
+		if _, err := NewPrefixGenerator(spec, 1); err == nil {
+			t.Errorf("case %d: bad spec %+v accepted", i, spec)
+		}
+	}
+	// A zero OutputTokens defaults rather than failing.
+	spec := testPrefixSpec()
+	spec.OutputTokens = 0
+	g, err := NewPrefixGenerator(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := g.Next(); r.OutputLen != 8 {
+		t.Fatalf("default output %d, want 8", r.OutputLen)
+	}
+}

@@ -48,7 +48,11 @@ type Request struct {
 	OutputLen int
 }
 
-// Generator produces deterministic synthetic requests.
+// Generator produces deterministic synthetic requests: the same seed
+// always yields the same stream. It is NOT safe for concurrent use —
+// the draws mutate the unsynchronized rng, and interleaving would also
+// destroy per-seed reproducibility. Give each goroutine its own
+// Generator (same seed ⇒ same stream makes that cheap).
 type Generator struct {
 	rng      *rand.Rand
 	kind     Kind
