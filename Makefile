@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload bench-prefix fuzz-smoke
+.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload bench-prefix bench-smoke bench-chunked fuzz-smoke
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the runner pool and shared caches are
@@ -50,6 +50,20 @@ bench-offload:
 bench-prefix:
 	$(GO) run ./cmd/lia-serve -prefix-bench -seed 1 > BENCH_prefix.json
 	@cat BENCH_prefix.json
+
+# bench-smoke runs the latency-ladder benchmarks (speculative decode,
+# chunked prefill, cross-sequence fused decode round) briefly under the
+# race detector — a CI-sized check that the three rungs stay runnable
+# and race-free, not a timing source.
+bench-smoke:
+	$(GO) test -race -bench='BenchmarkSpecDecode|BenchmarkChunkedPrefill|BenchmarkBatchedDecodeRound' \
+		-benchtime=100ms -run=^$$ .
+
+# bench-chunked replays a long-prompt + short-burst mix through the live
+# gateway with monolithic vs chunked prefill, checks bit-identity, and
+# reports short-request TTFT percentiles for both modes.
+bench-chunked:
+	$(GO) run ./cmd/lia-serve -chunked-bench -prefill-chunk 4 -seed 1
 
 # fuzz-smoke gives each native fuzz target a short budget — enough to
 # exercise the mutator without turning CI into a fuzz farm.

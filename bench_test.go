@@ -12,6 +12,7 @@
 package lia_test
 
 import (
+	"context"
 	"testing"
 
 	"github.com/lia-sim/lia"
@@ -433,6 +434,115 @@ func BenchmarkFunctionalDecodeStep(b *testing.B) {
 		if cache.Len() > 100 {
 			_, cache, _ = exe.Prefill([]int{1, 2, 3, 4})
 		}
+	}
+}
+
+// BenchmarkSpecDecode measures draft-and-verify speculative decoding of
+// a low-entropy (draft-friendly) prompt: a 1-layer shared-weight draft
+// proposes γ=3 tokens per round and the target scores them in one
+// multi-row VerifyStep pass. Output is bit-identical to plain Generate.
+func BenchmarkSpecDecode(b *testing.B) {
+	m, err := lia.NewFunctionalModel(lia.TinyModelConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe := lia.NewFunctionalExecutor(m, lia.PartialCPU)
+	dm, err := lia.NewDraftModel(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	draft := lia.NewFunctionalExecutor(dm, lia.PartialCPU)
+	gen, err := trace.NewLowEntropyGenerator(trace.LowEntropySpec{
+		Vocab: lia.TinyModelConfig().VocabSize, HotTokens: 4, RepeatProb: 0.8,
+		MinLen: 16, MaxLen: 16,
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prompt := gen.Next().Prompt
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, stats, err := exe.SpecGenerate(prompt, 32, draft, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Rounds == 0 {
+			b.Fatal("speculative loop never ran a verify round")
+		}
+		sink = out
+	}
+}
+
+// BenchmarkChunkedPrefill measures a long prompt prefilled in 8-token
+// chunks (the gateway's decode-interleaved TTFT path) followed by a
+// short decode, end to end.
+func BenchmarkChunkedPrefill(b *testing.B) {
+	m, err := lia.NewFunctionalModel(lia.TinyModelConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe := lia.NewFunctionalExecutor(m, lia.PartialCPU)
+	prompt := make([]int, 96)
+	for i := range prompt {
+		prompt[i] = 1 + (i*7)%100
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := exe.NewSequenceChunked(prompt, 4, 8, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s.Prefilling() {
+			if _, err := s.AdvancePrefill(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for !s.Done() {
+			if _, err := s.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sink = s.Output()
+		s.Release()
+	}
+}
+
+// BenchmarkBatchedDecodeRound measures one cross-sequence fused decode
+// round: 8 sequences advanced by StepBatchFused, which stacks the four
+// parameter sublayers of the whole batch into one GEMM each.
+func BenchmarkBatchedDecodeRound(b *testing.B) {
+	m, err := lia.NewFunctionalModel(lia.TinyModelConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe := lia.NewFunctionalExecutor(m, lia.PartialCPU)
+	build := func() []*lia.FunctionalSequence {
+		seqs := make([]*lia.FunctionalSequence, 8)
+		for i := range seqs {
+			s, err := exe.NewSequence([]int{1 + i, 2 + i, 3 + i}, 120)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seqs[i] = s
+		}
+		return seqs
+	}
+	seqs := build()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if seqs[0].Done() {
+			for _, s := range seqs {
+				s.Release()
+			}
+			seqs = build()
+		}
+		if err := exe.StepBatchFused(ctx, seqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range seqs {
+		s.Release()
 	}
 }
 

@@ -35,6 +35,14 @@
 // hot-prefix trace with the cache off and on, checks the token streams
 // stay bit-identical, and prints TTFT percentiles plus the analytic
 // concurrency win as JSON (the BENCH_prefix.json baseline).
+//
+// The latency ladder rides on the live modes: -spec γ enables greedy
+// speculative decoding against a truncated self-draft
+// (-spec-draft-layers deep), -prefill-chunk bounds how many prompt
+// tokens one scheduling round prefills so decodes interleave with long
+// arrivals. Both keep tokens bit-identical. Chunked bench
+// (-chunked-bench) serves the same short/long-prompt mix monolithic and
+// chunked and prints short-request TTFT percentiles as JSON.
 package main
 
 import (
@@ -96,11 +104,19 @@ func main() {
 		offloadTo  = flag.String("offload", "none", "tiered-memory hosting of weights and KV: none, ddr, or cxl (live)")
 		prefixOn   = flag.Bool("prefix-cache", false, "cross-request KV prefix reuse over the paged pool (live)")
 
+		// Latency-ladder flags (live modes).
+		specGamma    = flag.Int("spec", 0, "speculative decoding draft depth γ; 0 disables (live)")
+		specDraft    = flag.Int("spec-draft-layers", 1, "decoder layers in the truncated self-draft model (live, with -spec)")
+		prefillChunk = flag.Int("prefill-chunk", 0, "prompt tokens prefilled per scheduling round; 0 = whole prompt at admission (live)")
+
 		// Offload bench flag (uses -live-model, -bench-tokens, -seed).
 		offloadBench = flag.Bool("offload-bench", false, "compare resident vs ddr vs cxl tiered hosting and print JSON")
 
 		// Prefix bench flag (uses -live-model, -seed).
 		prefixBench = flag.Bool("prefix-bench", false, "replay a hot-prefix trace with the prefix cache off and on and print JSON")
+
+		// Chunked-prefill bench flag (uses -live-model, -prefill-chunk, -seed).
+		chunkedBench = flag.Bool("chunked-bench", false, "serve a mixed short/long-prompt workload with chunked prefill off and on and print JSON")
 
 		// Live bench flags.
 		benchClients = flag.Int("bench-clients", 8, "concurrent closed-loop clients (live-bench)")
@@ -123,8 +139,19 @@ func main() {
 		return
 	}
 
+	if *chunkedBench {
+		chunk := *prefillChunk
+		if chunk <= 0 {
+			chunk = 4
+		}
+		if err := runChunkedBench(*liveModel, chunk, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *live || *liveBench {
-		g, host, desc, err := buildGateway(*liveModel, *livePolicy, *offloadTo, *maxBatch, *queueDepth, *kvTokens, *prefixOn, *seed)
+		g, host, desc, err := buildGateway(*liveModel, *livePolicy, *offloadTo, *maxBatch, *queueDepth, *kvTokens, *prefixOn, *prefillChunk, *specGamma, *specDraft, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -192,7 +219,7 @@ func buildOffloadHost(cfg model.Config, mode string, pol core.Policy) (*offload.
 // functional model, an executor with the chosen offloading policy
 // (optionally hosted by the tiered-memory runtime), and the gateway in
 // front of them.
-func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDepth, kvTokens int, prefixCache bool, seed int64) (*gateway.Gateway, *offload.Host, string, error) {
+func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDepth, kvTokens int, prefixCache bool, prefillChunk, specGamma, specDraftLayers int, seed int64) (*gateway.Gateway, *offload.Host, string, error) {
 	cfg, err := liveModelConfig(modelName)
 	if err != nil {
 		return nil, nil, "", err
@@ -225,12 +252,15 @@ func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDept
 		exec.Mem = host
 	}
 	g, err := gateway.New(exec, gateway.Config{
-		MaxBatch:      maxBatch,
-		QueueDepth:    queueDepth,
-		KVBudget:      budget,
-		KVBlockTokens: 4,
-		Offload:       host,
-		PrefixCache:   prefixCache,
+		MaxBatch:        maxBatch,
+		QueueDepth:      queueDepth,
+		KVBudget:        budget,
+		KVBlockTokens:   4,
+		Offload:         host,
+		PrefixCache:     prefixCache,
+		PrefillChunk:    prefillChunk,
+		SpecGamma:       specGamma,
+		SpecDraftLayers: specDraftLayers,
 	})
 	if err != nil {
 		if host != nil {
@@ -244,6 +274,12 @@ func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDept
 	}
 	if prefixCache {
 		desc += ", prefix cache"
+	}
+	if prefillChunk > 0 {
+		desc += fmt.Sprintf(", prefill chunk %d", prefillChunk)
+	}
+	if specGamma > 0 {
+		desc += fmt.Sprintf(", spec γ=%d (%d-layer draft)", specGamma, specDraftLayers)
 	}
 	if host != nil {
 		desc += fmt.Sprintf(", offload %s (%s)", strings.ToLower(offloadMode), host.Plan())
@@ -609,7 +645,7 @@ func runPrefixBench(modelName string, seed int64) error {
 			return err
 		}
 		reqs := gen.Batch(nRequests)
-		g, _, _, err := buildGateway(modelName, "partial", "none", maxBatch, 64, kvTokens, cacheOn, seed)
+		g, _, _, err := buildGateway(modelName, "partial", "none", maxBatch, 64, kvTokens, cacheOn, 0, 0, 0, seed)
 		if err != nil {
 			return err
 		}
@@ -704,6 +740,180 @@ func runPrefixBench(modelName string, seed int64) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// chunkedBenchMode is one prefill configuration's measurement in the
+// chunked bench report: short-request TTFT percentiles while long
+// prompts trickle (or slam) in, exact client-side values.
+type chunkedBenchMode struct {
+	Name          string  `json:"name"`
+	ShortTTFTP50  float64 `json:"short_ttft_p50_ms"`
+	ShortTTFTP99  float64 `json:"short_ttft_p99_ms"`
+	LongTTFTP50   float64 `json:"long_ttft_p50_ms"`
+	PrefillChunks uint64  `json:"prefill_chunks"`
+	WallMs        float64 `json:"wall_ms"`
+}
+
+// chunkedBenchReport is the chunked-prefill A/B payload: the same mixed
+// short/long-prompt workload served monolithic versus chunked. The token
+// streams must agree bit-for-bit; the report records that they did.
+type chunkedBenchReport struct {
+	Config struct {
+		Model        string `json:"model"`
+		Waves        int    `json:"waves"`
+		ShortPerWave int    `json:"short_requests_per_wave"`
+		ShortPrompt  int    `json:"short_prompt_tokens"`
+		LongPrompt   int    `json:"long_prompt_tokens"`
+		OutputTokens int    `json:"output_tokens"`
+		Chunk        int    `json:"prefill_chunk"`
+	} `json:"config"`
+	BitIdentical bool               `json:"bit_identical"`
+	Modes        []chunkedBenchMode `json:"modes"`
+}
+
+// runChunkedBench serves an identical mixed workload — each wave slams
+// one long prompt and a burst of short prompts into the queue together —
+// once with monolithic prefill and once with the given chunk size, and
+// prints short-request TTFT percentiles for both as JSON. Monolithic
+// admission prefills the whole long prompt inside one scheduling round,
+// so a short request admitted in the same round stalls behind it;
+// chunking bounds that stall to one chunk per round.
+func runChunkedBench(modelName string, chunk int, seed int64) error {
+	cfg, err := liveModelConfig(modelName)
+	if err != nil {
+		return err
+	}
+	const (
+		waves        = 6
+		shortPerWave = 6
+		shortPrompt  = 4
+		longPrompt   = 96
+		outputTokens = 8
+		maxBatch     = 8
+	)
+	if longPrompt+outputTokens > cfg.MaxSeqLen {
+		return fmt.Errorf("chunked bench workload exceeds %s's %d-token context", cfg.Name, cfg.MaxSeqLen)
+	}
+
+	var rep chunkedBenchReport
+	rep.Config.Model = cfg.Name
+	rep.Config.Waves = waves
+	rep.Config.ShortPerWave = shortPerWave
+	rep.Config.ShortPrompt = shortPrompt
+	rep.Config.LongPrompt = longPrompt
+	rep.Config.OutputTokens = outputTokens
+	rep.Config.Chunk = chunk
+	rep.BitIdentical = true
+
+	// The same deterministic request set for both modes.
+	rng := rand.New(rand.NewSource(seed))
+	type request struct{ prompt []int }
+	var longs, shorts []request
+	for w := 0; w < waves; w++ {
+		p := make([]int, longPrompt)
+		for i := range p {
+			p[i] = rng.Intn(cfg.VocabSize)
+		}
+		longs = append(longs, request{prompt: p})
+		for s := 0; s < shortPerWave; s++ {
+			p := make([]int, shortPrompt)
+			for i := range p {
+				p[i] = rng.Intn(cfg.VocabSize)
+			}
+			shorts = append(shorts, request{prompt: p})
+		}
+	}
+
+	var first [][]int
+	for _, mode := range []int{0, chunk} {
+		g, _, _, err := buildGateway(modelName, "partial", "none", maxBatch, 64, 0, false, mode, 0, 0, seed)
+		if err != nil {
+			return err
+		}
+		row := chunkedBenchMode{Name: "monolithic"}
+		if mode > 0 {
+			row.Name = fmt.Sprintf("chunked-%d", mode)
+		}
+		var (
+			mu         sync.Mutex
+			outs       = make([][]int, len(longs)+len(shorts))
+			shortTTFTs []time.Duration
+			longTTFTs  []time.Duration
+		)
+		start := time.Now()
+		for w := 0; w < waves; w++ {
+			var wg sync.WaitGroup
+			submit := func(slot int, prompt []int, short bool) {
+				defer wg.Done()
+				res, err := g.Submit(context.Background(), prompt, outputTokens)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				outs[slot] = res.Tokens
+				if short {
+					shortTTFTs = append(shortTTFTs, res.TTFT)
+				} else {
+					longTTFTs = append(longTTFTs, res.TTFT)
+				}
+				mu.Unlock()
+			}
+			// The long prompt enters the queue first, the burst right behind
+			// it: every short request in the wave contends with its prefill.
+			wg.Add(1 + shortPerWave)
+			go submit(w, longs[w].prompt, false)
+			for s := 0; s < shortPerWave; s++ {
+				go submit(waves+w*shortPerWave+s, shorts[w*shortPerWave+s].prompt, true)
+			}
+			wg.Wait()
+		}
+		row.WallMs = ms(time.Since(start))
+		snap := g.Snapshot()
+		row.PrefillChunks = snap.PrefillChunks
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = g.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		if len(shortTTFTs) != waves*shortPerWave || len(longTTFTs) != waves {
+			return fmt.Errorf("%s served %d short / %d long requests, want %d / %d",
+				row.Name, len(shortTTFTs), len(longTTFTs), waves*shortPerWave, waves)
+		}
+		sort.Slice(shortTTFTs, func(i, j int) bool { return shortTTFTs[i] < shortTTFTs[j] })
+		row.ShortTTFTP50 = ms(pctDur(shortTTFTs, 0.50))
+		row.ShortTTFTP99 = ms(pctDur(shortTTFTs, 0.99))
+		row.LongTTFTP50 = ms(p50(longTTFTs))
+		if first == nil {
+			first = outs
+		} else {
+			for i := range outs {
+				if !equalTokens(first[i], outs[i]) {
+					rep.BitIdentical = false
+				}
+			}
+		}
+		rep.Modes = append(rep.Modes, row)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// pctDur returns the exact nearest-rank percentile of pre-sorted samples.
+func pctDur(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(d))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(d) {
+		idx = len(d) - 1
+	}
+	return d[idx]
 }
 
 func equalTokens(a, b []int) bool {

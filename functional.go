@@ -64,6 +64,25 @@ func LoadModel(path string) (*FunctionalModel, error) {
 	return llm.LoadCheckpointFile(path)
 }
 
+// FunctionalSequence is an in-flight generation on a FunctionalExecutor:
+// cache-resumed decode via Step, chunked prefill via AdvancePrefill
+// (NewSequenceChunked), speculative rounds via EnableSpec/SpecStep, and
+// cross-sequence fused rounds via FunctionalExecutor.StepBatchFused.
+type FunctionalSequence = llm.Sequence
+
+// SpecDecodeStats counts a speculative-decoding run's rounds, drafted,
+// accepted and emitted tokens (see FunctionalExecutor.SpecGenerate).
+type SpecDecodeStats = llm.SpecStats
+
+// NewDraftModel derives a shallow draft from a target model: its first
+// `layers` decoder layers wrapped in the target's own embeddings and
+// final norm. The shared weights keep the draft's argmax surface
+// correlated with the target's, which is what earns non-trivial
+// speculative acceptance rates.
+func NewDraftModel(m *FunctionalModel, layers int) (*FunctionalModel, error) {
+	return llm.DraftModel(m, layers)
+}
+
 // Tokenizer is a byte-level BPE tokenizer — the text front-end ahead of
 // the decoder stack.
 type Tokenizer = token.Tokenizer

@@ -405,6 +405,19 @@ func (u *Unit) TDPBUSD(dst, a, b int) error {
 // m/n/k accumulation order are identical to TDPBF16PS, so results are
 // bit-for-bit the same; only the operand transport differs.
 func (u *Unit) TDPBF16PSDecoded(dst, a, b int, cDec []float32, cStride int, aDec []float32, aStride int, bCols []float32, bColStride int) error {
+	return u.tdpBF16PSDecodedRows(dst, a, b, MaxRows, cDec, cStride, aDec, aStride, bCols, bColStride)
+}
+
+// tdpBF16PSDecodedRows is TDPBF16PSDecoded with the MAC loop bounded to
+// the first rows tile rows. The matmul drivers use it to skip A rows
+// that are pure zero padding (a GEMV pads 1 real row to a 16-row tile):
+// a zero A row contributes only zero adds to its accumulator row, and
+// the drivers never scatter those rows into the result, so skipping
+// them changes no observable output. Faults, trip-count validation and
+// cycle accounting are those of the full instruction — the modeled AMX
+// unit still pays for the whole tile; only the emulation's host-side
+// arithmetic is elided.
+func (u *Unit) tdpBF16PSDecodedRows(dst, a, b, rows int, cDec []float32, cStride int, aDec []float32, aStride int, bCols []float32, bColStride int) error {
 	td, ta, tb, err := u.tdpTiles(dst, a, b)
 	if err != nil {
 		return err
@@ -425,6 +438,11 @@ func (u *Unit) TDPBF16PSDecoded(dst, a, b int, cDec []float32, cStride int, aDec
 	}
 	if need := (n-1)*bColStride + lanes; need > len(bCols) {
 		return fmt.Errorf("amx: decoded B needs %d values, have %d: %w", need, len(bCols), ErrBounds)
+	}
+	if rows < m {
+		// Bounds and faults above are the full instruction's; only the
+		// MAC trip count shrinks.
+		m = rows
 	}
 	for i := 0; i < m; i++ {
 		arow := aDec[i*aStride : i*aStride+lanes]
@@ -471,6 +489,15 @@ func (u *Unit) TDPBF16PSDecoded(dst, a, b int, cDec []float32, cStride int, aDec
 // bCols[j*bColStride:]), cDec the int32 accumulator. Faults, cycles and
 // results are identical to TDPBUSD.
 func (u *Unit) TDPBUSDDecoded(dst, a, b int, cDec []int32, cStride int, aDec []uint8, aStride int, bCols []int8, bColStride int) error {
+	return u.tdpBUSDDecodedRows(dst, a, b, MaxRows, cDec, cStride, aDec, aStride, bCols, bColStride)
+}
+
+// tdpBUSDDecodedRows bounds TDPBUSDDecoded's MAC loop to the first rows
+// tile rows, the INT8 twin of tdpBF16PSDecodedRows: callers guarantee
+// the elided rows are zero padding whose accumulator rows are never
+// scattered, and faults and cycle accounting stay those of the full
+// instruction.
+func (u *Unit) tdpBUSDDecodedRows(dst, a, b, rows int, cDec []int32, cStride int, aDec []uint8, aStride int, bCols []int8, bColStride int) error {
 	td, ta, tb, err := u.tdpTiles(dst, a, b)
 	if err != nil {
 		return err
@@ -491,6 +518,9 @@ func (u *Unit) TDPBUSDDecoded(dst, a, b int, cDec []int32, cStride int, aDec []u
 	}
 	if need := (n-1)*bColStride + lanes; need > len(bCols) {
 		return fmt.Errorf("amx: decoded B needs %d values, have %d: %w", need, len(bCols), ErrBounds)
+	}
+	if rows < m {
+		m = rows
 	}
 	for i := 0; i < m; i++ {
 		arow := aDec[i*aStride : i*aStride+lanes]

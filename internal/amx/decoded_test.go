@@ -405,13 +405,14 @@ func TestDecodedDriverMatchesByteDriverBF16(t *testing.T) {
 		// Warm both drivers so the pooled units have the palette installed;
 		// otherwise a one-time Configure charge lands on whichever path
 		// happens to draw a cold unit.
-		if _, _, err := matmulBF16DriverBytes(a, s.m, byteW); err != nil {
+		if _, err := matmulBF16DriverBytes(make([]float32, s.m*s.n), a, s.m, byteW); err != nil {
 			t.Fatal(err)
 		}
 		if _, _, err := MatmulBF16Packed(a, s.m, decW); err != nil {
 			t.Fatal(err)
 		}
-		want, wantCycles, err := matmulBF16DriverBytes(a, s.m, byteW)
+		want := make([]float32, s.m*s.n)
+		wantCycles, err := matmulBF16DriverBytes(want, a, s.m, byteW)
 		if err != nil {
 			t.Fatalf("%dx%dx%d byte driver: %v", s.m, s.k, s.n, err)
 		}

@@ -214,7 +214,12 @@ func MatmulBF16(a, b []float32, m, k, n int) ([]float32, uint64, error) {
 	defer putScratchF32(bScratch)
 	packBF16DecodedBInto(*bScratch, b, k, n, padK, padN)
 	w := Prepacked{K: k, N: n, padK: padK, padN: padN, dec: *bScratch}
-	return matmulBF16Driver(a, m, &w)
+	c := make([]float32, m*n)
+	cycles, err := matmulBF16Driver(c, a, m, &w)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, cycles, nil
 }
 
 // MatmulBF16Packed computes C = A·W for a prepacked right-hand operand,
@@ -230,19 +235,46 @@ func MatmulBF16Packed(a []float32, m int, w *Prepacked) ([]float32, uint64, erro
 	if m <= 0 {
 		return nil, 0, fmt.Errorf("amx: matmul rows must be positive, got %d", m)
 	}
-	return matmulBF16Driver(a, m, w)
+	c := make([]float32, m*w.N)
+	cycles, err := matmulBF16Driver(c, a, m, w)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, cycles, nil
+}
+
+// MatmulBF16PackedInto is MatmulBF16Packed writing into a caller-owned
+// destination (len must be exactly m×W.N) instead of allocating one —
+// the steady-state entry point for decode loops that reuse an output
+// ring across rounds. Every element of dst is overwritten; results and
+// cycle accounting are bit-identical to MatmulBF16Packed.
+func MatmulBF16PackedInto(dst, a []float32, m int, w *Prepacked) (uint64, error) {
+	if w == nil {
+		return 0, fmt.Errorf("amx: nil prepacked operand")
+	}
+	if len(a) != m*w.K {
+		return 0, fmt.Errorf("amx: matmul operand size %d does not match %dx%d", len(a), m, w.K)
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("amx: matmul rows must be positive, got %d", m)
+	}
+	if len(dst) != m*w.N {
+		return 0, fmt.Errorf("amx: matmul destination size %d does not match %dx%d", len(dst), m, w.N)
+	}
+	return matmulBF16Driver(dst, a, m, w)
 }
 
 // matmulBF16Driver routes a product to the decoded fast path when the
 // operand carries its decoded view (every production Prepacked does),
 // falling back to the byte-accurate oracle otherwise. Both paths share
 // the same blocking, worker-pool dispatch, fault checks and cycle
-// accounting, and produce bit-identical results.
-func matmulBF16Driver(a []float32, m int, w *Prepacked) ([]float32, uint64, error) {
+// accounting, write the full m×N result into c, and produce
+// bit-identical results.
+func matmulBF16Driver(c, a []float32, m int, w *Prepacked) (uint64, error) {
 	if w.dec != nil {
-		return matmulBF16DriverDecoded(a, m, w)
+		return matmulBF16DriverDecoded(c, a, m, w)
 	}
-	return matmulBF16DriverBytes(a, m, w)
+	return matmulBF16DriverBytes(c, a, m, w)
 }
 
 // matmulBF16DriverBytes packs A into pooled scratch and dispatches row
@@ -250,14 +282,13 @@ func matmulBF16Driver(a []float32, m int, w *Prepacked) ([]float32, uint64, erro
 // inline on the caller), moving every operand through the tile file
 // byte-for-byte — the instruction-level oracle the decoded fast path is
 // pinned against.
-func matmulBF16DriverBytes(a []float32, m int, w *Prepacked) ([]float32, uint64, error) {
+func matmulBF16DriverBytes(c, a []float32, m int, w *Prepacked) (uint64, error) {
 	padM := ceilDiv(m, blockM) * blockM
 	aScratch := getScratch(padM * w.padK * 2)
 	defer putScratch(aScratch)
 	packedA := *aScratch
 	packBF16Into(packedA, a, m, w.K, padM, w.padK)
 
-	c := make([]float32, m*w.N)
 	rowBlocks := padM / blockM
 	colBlocks := w.padN / blockN
 	kBlocks := w.padK / blockK
@@ -272,18 +303,18 @@ func matmulBF16DriverBytes(a []float32, m int, w *Prepacked) ([]float32, uint64,
 			err = runRowBlock(caller.u, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, caller.cTile[:blockM*blockN*4], c, m, w.N)
 		}
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
-		return c, caller.u.Cycles() - start, nil
+		return caller.u.Cycles() - start, nil
 	}
 
 	cycles, err := runTiled(matmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
 		return runRowBlock(pu.u, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, pu.cTile[:blockM*blockN*4], c, m, w.N)
 	})
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	return c, cycles, nil
+	return cycles, nil
 }
 
 // matmulBF16DriverDecoded is the decoded-tile fast path: A is rounded
@@ -292,14 +323,13 @@ func matmulBF16DriverBytes(a []float32, m int, w *Prepacked) ([]float32, uint64,
 // decoded VNNI view, and row blocks run TDPBF16PSDecoded over flat
 // slices. Blocking, faults and cycle accounting mirror the byte driver
 // exactly.
-func matmulBF16DriverDecoded(a []float32, m int, w *Prepacked) ([]float32, uint64, error) {
+func matmulBF16DriverDecoded(c, a []float32, m int, w *Prepacked) (uint64, error) {
 	padM := ceilDiv(m, blockM) * blockM
 	aScratch := getScratchF32(padM * w.padK)
 	defer putScratchF32(aScratch)
 	decA := *aScratch
 	packBF16DecodedInto(decA, a, m, w.K, padM, w.padK)
 
-	c := make([]float32, m*w.N)
 	rowBlocks := padM / blockM
 	colBlocks := w.padN / blockN
 	kBlocks := w.padK / blockK
@@ -314,18 +344,18 @@ func matmulBF16DriverDecoded(a []float32, m int, w *Prepacked) ([]float32, uint6
 			err = runRowBlockDecoded(caller, 0, colBlocks, kBlocks, w.padK, w.padN, decA, w.dec, c, m, w.N)
 		}
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
-		return c, caller.u.Cycles() - start, nil
+		return caller.u.Cycles() - start, nil
 	}
 
 	cycles, err := runTiled(matmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
 		return runRowBlockDecoded(pu, rb, colBlocks, kBlocks, w.padK, w.padN, decA, w.dec, c, m, w.N)
 	})
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	return c, cycles, nil
+	return cycles, nil
 }
 
 // runRowBlock computes one 16-row stripe of the output.
@@ -383,6 +413,14 @@ func runRowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packe
 func runRowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, decA, decB []float32, c []float32, m, n int) error {
 	u := pu.u
 	cDec := pu.cDecF[:blockM*blockN]
+	// Rows of this stripe that carry real data; the rest of the tile is
+	// zero padding whose accumulator rows are never scattered, so the
+	// decoded MAC skips them (a GEMV otherwise pays 16 rows of host
+	// arithmetic for 1 row of output).
+	valid := m - rb*blockM
+	if valid > blockM {
+		valid = blockM
+	}
 	aStrideB := padK * 2 // byte stride of the A image the byte path would load
 	bStrideB := padN * 4 // byte stride of the VNNI image the byte path would load
 	aBytes := 2 * len(decA)
@@ -405,7 +443,7 @@ func runRowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, 
 				return err
 			}
 			bOff := cb*blockN*padK + kb*blockK
-			if err := u.TDPBF16PSDecoded(tmmC, tmmA, tmmB, cDec, blockN, decA[aOff:], padK, decB[bOff:], padK); err != nil {
+			if err := u.tdpBF16PSDecodedRows(tmmC, tmmA, tmmB, valid, cDec, blockN, decA[aOff:], padK, decB[bOff:], padK); err != nil {
 				return err
 			}
 		}

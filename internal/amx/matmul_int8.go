@@ -292,6 +292,12 @@ func runInt8RowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, p
 func runInt8RowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, packedA []byte, decB []int8, c []int32, m, n int) error {
 	u := pu.u
 	cDec := pu.cDecI[:blockMi8*blockNi8]
+	// Rows of this stripe carrying real data; the padding rows' MAC work
+	// is skipped (see runRowBlockDecoded).
+	valid := m - rb*blockMi8
+	if valid > blockMi8 {
+		valid = blockMi8
+	}
 	aStride := padK     // bytes per packed A row (u8)
 	bStrideB := padN * 4 // byte stride of the VNNI image the byte path would load
 	bBytes := len(decB)
@@ -312,7 +318,7 @@ func runInt8RowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN i
 				return err
 			}
 			bOff := cb*blockNi8*padK + kb*blockKi8
-			if err := u.TDPBUSDDecoded(tmmC, tmmA, tmmB, cDec, blockNi8, packedA[aOff:], aStride, decB[bOff:], padK); err != nil {
+			if err := u.tdpBUSDDecodedRows(tmmC, tmmA, tmmB, valid, cDec, blockNi8, packedA[aOff:], aStride, decB[bOff:], padK); err != nil {
 				return err
 			}
 		}

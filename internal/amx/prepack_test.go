@@ -136,3 +136,64 @@ func TestPrepackValidation(t *testing.T) {
 		t.Error("nil int8 prepacked operand accepted")
 	}
 }
+
+// TestMatmulBF16PackedInto pins the destination-reusing entry point
+// against the allocating one: identical bits across shapes (including
+// multi-row-block stacked-decode shapes), matching cycles modulo palette
+// reconfiguration (a pooled unit that already carries the matmul config
+// skips the LDTILECFG charge, so back-to-back calls may differ by a
+// multiple of cyclesConfig — same tolerance as the decoded-parity suite),
+// full overwrite of a dirty destination, and size validation.
+func TestMatmulBF16PackedInto(t *testing.T) {
+	for _, s := range []struct{ m, k, n int }{
+		{1, 64, 64},   // decode GEMV
+		{8, 48, 20},   // stacked decode round, ragged shape
+		{33, 129, 3},  // padding in every dimension
+		{64, 64, 128}, // multiple row blocks → worker pool
+	} {
+		a, b := matrices(s.m, s.k, s.n, 1.5)
+		pre, err := PrepackBF16(b, s.k, s.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantCycles, err := MatmulBF16Packed(a, s.m, pre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float32, s.m*s.n)
+		for i := range dst {
+			dst[i] = -1e30 // poison: every element must be overwritten
+		}
+		cycles, err := MatmulBF16PackedInto(dst, a, s.m, pre)
+		if err != nil {
+			t.Fatalf("%dx%dx%d into: %v", s.m, s.k, s.n, err)
+		}
+		if !reflect.DeepEqual(want, dst) {
+			t.Fatalf("%dx%dx%d: Into result diverges from allocating path", s.m, s.k, s.n)
+		}
+		if diff := cycleDiff(cycles, wantCycles); diff%cyclesConfig != 0 {
+			t.Fatalf("%dx%dx%d: Into cycles %d != %d", s.m, s.k, s.n, cycles, wantCycles)
+		}
+	}
+
+	a, b := matrices(4, 32, 16, 0)
+	pre, err := PrepackBF16(b, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MatmulBF16PackedInto(make([]float32, 4*16-1), a, 4, pre); err == nil {
+		t.Error("short destination accepted")
+	}
+	if _, err := MatmulBF16PackedInto(make([]float32, 4*16+1), a, 4, pre); err == nil {
+		t.Error("oversized destination accepted")
+	}
+	if _, err := MatmulBF16PackedInto(make([]float32, 4*16), a[:1], 4, pre); err == nil {
+		t.Error("short A accepted")
+	}
+	if _, err := MatmulBF16PackedInto(make([]float32, 0), a, 0, pre); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := MatmulBF16PackedInto(nil, nil, 1, nil); err == nil {
+		t.Error("nil operand accepted")
+	}
+}

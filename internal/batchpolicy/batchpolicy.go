@@ -45,7 +45,17 @@ type Seq struct {
 	// still to produce.
 	Context   int
 	Remaining int
+	// Prefilled is how many prompt tokens have been computed so far.
+	// Under monolithic prefill (chunk 0) it equals PromptLen from
+	// admission; under chunked prefill it starts at 0 and AdvancePrefills
+	// walks it forward chunk tokens per round. A preempted and
+	// re-admitted sequence restarts at 0 (full recomputation).
+	Prefilled int
 }
+
+// Prefilling reports whether prompt chunks remain to be computed before
+// the sequence can decode.
+func (q Seq) Prefilling() bool { return q.Prefilled < q.Item.PromptLen }
 
 // EventKind labels a scheduling decision.
 type EventKind uint8
@@ -114,6 +124,7 @@ type Scheduler struct {
 	maxBatch int
 	pool     *kvpage.Manager // nil when constructed via NewSchedulerKV or unconstrained
 	kv       KV              // nil = unconstrained
+	chunk    int             // 0 = monolithic prefill
 	running  []Seq
 	requeued []Item
 	nextID   int
@@ -173,6 +184,23 @@ func (s *Scheduler) Busy() bool { return len(s.running) > 0 || len(s.requeued) >
 // Pool returns the paged KV pool (nil when unconstrained).
 func (s *Scheduler) Pool() *kvpage.Manager { return s.pool }
 
+// SetChunk switches admission to chunked prefill: newly admitted
+// sequences start with Prefilled 0 and AdvancePrefills walks them
+// forward chunk prompt tokens per round, so long prompts stop
+// monopolizing whole rounds and decode latency for the rest of the
+// batch stays bounded. 0 restores monolithic prefill. Sequences already
+// running keep the mode they were admitted under.
+func (s *Scheduler) SetChunk(chunk int) error {
+	if chunk < 0 {
+		return fmt.Errorf("batchpolicy: prefill chunk must be ≥0, got %d", chunk)
+	}
+	s.chunk = chunk
+	return nil
+}
+
+// Chunk returns the prefill chunk size (0 = monolithic).
+func (s *Scheduler) Chunk() int { return s.chunk }
+
 // tryReserve admits one item if the batch has room and the pool can hold
 // its prompt, reserving blocks eagerly so one admission wave cannot
 // over-commit.
@@ -188,7 +216,10 @@ func (s *Scheduler) tryReserve(it Item) bool {
 			return false
 		}
 	}
-	seq := Seq{ID: s.nextID, Item: it, Context: it.PromptLen, Remaining: it.OutputLen}
+	seq := Seq{ID: s.nextID, Item: it, Context: it.PromptLen, Remaining: it.OutputLen, Prefilled: it.PromptLen}
+	if s.chunk > 0 {
+		seq.Prefilled = 0
+	}
 	s.nextID++
 	s.running = append(s.running, seq)
 	s.event(EventAdmit, it.Ref, seq.ID)
@@ -227,11 +258,16 @@ func (s *Scheduler) Admit(waiting []Item) (admitted []Seq, consumed int) {
 // new block. Errors when even a one-sequence batch cannot extend, since
 // preempting the only member would make no progress. With a nil pool it
 // is a no-op.
+// Sequences still prefilling are skipped — their prompt blocks were
+// reserved in full at admission and they do not decode this round.
 func (s *Scheduler) ExtendAll() (evicted []Seq, err error) {
 	if s.kv == nil {
 		return nil, nil
 	}
 	for i := 0; i < len(s.running); i++ {
+		if s.running[i].Prefilling() {
+			continue
+		}
 		for s.kv.Extend(s.running[i].ID) != nil {
 			if len(s.running) <= 1 {
 				return nil, fmt.Errorf("batchpolicy: KV pool cannot extend the sole running sequence")
@@ -255,12 +291,40 @@ func (s *Scheduler) ExtendAll() (evicted []Seq, err error) {
 // FinishStep accounts one completed decode iteration: every running
 // sequence gains a context token and owes one fewer, and sequences that
 // just emitted their last token retire immediately, releasing their
-// blocks. It returns the finished sequences in batch order.
+// blocks. Sequences still prefilling are untouched (they did not
+// decode). It returns the finished sequences in batch order.
 func (s *Scheduler) FinishStep() (finished []Seq, err error) {
+	return s.finishCounts(nil)
+}
+
+// FinishStepN accounts one variable-token decode iteration — the
+// speculative-decoding counterpart of FinishStep. emitted maps a
+// sequence's pool ID to how many tokens its round produced (a
+// draft-and-verify round emits 1+accepted); IDs absent from the map
+// account zero tokens. Emitting at or past the sequence's remaining
+// budget retires it. Prefilling sequences are untouched.
+func (s *Scheduler) FinishStepN(emitted map[int]int) (finished []Seq, err error) {
+	if emitted == nil {
+		return nil, fmt.Errorf("batchpolicy: nil emitted counts")
+	}
+	return s.finishCounts(emitted)
+}
+
+// finishCounts retires sequences after a decode round. nil counts means
+// one token for every non-prefilling sequence.
+func (s *Scheduler) finishCounts(counts map[int]int) (finished []Seq, err error) {
 	kept := s.running[:0]
 	for _, seq := range s.running {
-		seq.Context++
-		seq.Remaining--
+		n := 1
+		if counts != nil {
+			n = counts[seq.ID]
+		}
+		if seq.Prefilling() || n <= 0 {
+			kept = append(kept, seq)
+			continue
+		}
+		seq.Context += n
+		seq.Remaining -= n
 		if seq.Remaining <= 0 {
 			if s.kv != nil {
 				if err := s.kv.Release(seq.ID); err != nil {
@@ -275,6 +339,70 @@ func (s *Scheduler) FinishStep() (finished []Seq, err error) {
 	}
 	s.running = kept
 	return finished, nil
+}
+
+// AdvancePrefills returns the still-prefilling sequences (admission
+// order, pre-advance positions — Prefilled is each one's chunk start)
+// and then walks every one forward by the chunk size, clamped to its
+// prompt length. The caller executes the returned chunk assignments;
+// a sequence whose Prefilled reaches PromptLen decodes from this round
+// on (its first pending token is computed by the final chunk).
+func (s *Scheduler) AdvancePrefills() []Seq {
+	var snap []Seq
+	for i := range s.running {
+		if !s.running[i].Prefilling() {
+			continue
+		}
+		snap = append(snap, s.running[i])
+		next := s.running[i].Prefilled + s.chunk
+		if s.chunk <= 0 || next > s.running[i].Item.PromptLen {
+			next = s.running[i].Item.PromptLen
+		}
+		s.running[i].Prefilled = next
+	}
+	return snap
+}
+
+// Ready returns the running sequences whose prompt is fully prefilled
+// (admission order, snapshot).
+func (s *Scheduler) Ready() []Seq {
+	var out []Seq
+	for _, seq := range s.running {
+		if !seq.Prefilling() {
+			out = append(out, seq)
+		}
+	}
+	return out
+}
+
+// PrefillingLen returns how many running sequences still owe prompt
+// chunks.
+func (s *Scheduler) PrefillingLen() int {
+	n := 0
+	for _, seq := range s.running {
+		if seq.Prefilling() {
+			n++
+		}
+	}
+	return n
+}
+
+// TryExtend grows one running sequence's KV reservation by a single
+// token slot without preempting anyone, reporting whether the pool had
+// room. Speculative decoding uses it to top a sequence's allowance up
+// to γ+1 slots before a draft-and-verify round: a false return just
+// caps that round's draft depth, it is never fatal. With a nil pool it
+// always succeeds.
+func (s *Scheduler) TryExtend(id int) bool {
+	if s.kv == nil {
+		return true
+	}
+	for _, seq := range s.running {
+		if seq.ID == id {
+			return s.kv.Extend(id) == nil
+		}
+	}
+	return false
 }
 
 // Remove drops a running sequence by pool id without requeueing it (the

@@ -43,7 +43,7 @@ func sched(t *testing.T, blocks, maxBatch int, seqs ...[2]int) *Scheduler {
 				t.Fatal(err)
 			}
 		}
-		s.running = append(s.running, Seq{ID: i, Item: Item{Ref: i, PromptLen: prompt, OutputLen: 100}, Context: tokens, Remaining: 100})
+		s.running = append(s.running, Seq{ID: i, Item: Item{Ref: i, PromptLen: prompt, OutputLen: 100}, Context: tokens, Remaining: 100, Prefilled: prompt})
 		s.nextID = i + 1
 	}
 	return s

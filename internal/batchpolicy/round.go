@@ -11,26 +11,47 @@ type Hooks struct {
 	// prefix; Consumed reports how long that prefix was.
 	Waiting  func() []Item
 	Consumed func(n int)
-	// Prefill executes the batched prefill of newly admitted sequences.
+	// Prefill executes the batched prefill of newly admitted sequences
+	// (monolithic mode, chunk 0).
 	Prefill func(admitted []Seq) error
+	// PrefillChunk executes one prompt chunk per listed sequence
+	// (chunked mode): each Seq's Prefilled field is its chunk start and
+	// the scheduler's chunk size bounds the chunk length. Required when
+	// the scheduler's chunk is nonzero.
+	PrefillChunk func(prefilling []Seq) error
 	// Step executes one decode iteration over the running batch (the
 	// snapshot passed is pre-extension context lengths plus the new
 	// token slot already reserved, batch in admission order).
 	Step func(running []Seq) error
+	// StepN, when set, replaces Step and may emit several tokens per
+	// sequence per round (speculative decoding): it returns the emitted
+	// token counts keyed by Seq.ID, which feed FinishStepN.
+	StepN func(running []Seq) (map[int]int, error)
 	// Evicted observes preemptions (already requeued inside the
 	// scheduler); Finished observes retirements.
 	Evicted  func(evicted []Seq)
 	Finished func(finished []Seq)
 }
 
-// Round runs one scheduling round: admit (requeued work first, then the
-// waiting list) and prefill if anything was admitted — returning so the
-// caller can surface newly arrived work before decoding, exactly like
-// the simulator's loop — otherwise extend the running batch (preempting
-// youngest-first under KV pressure), run one decode iteration, and
-// retire finished sequences. It reports false, nil when there was
-// nothing to do (nothing admitted, nothing running): the caller decides
-// whether to block for arrivals, jump its clock, or fail.
+// Round runs one scheduling round. With monolithic prefill (chunk 0):
+// admit (requeued work first, then the waiting list) and prefill if
+// anything was admitted — returning so the caller can surface newly
+// arrived work before decoding, exactly like the simulator's loop —
+// otherwise extend the running batch (preempting youngest-first under
+// KV pressure), run one decode iteration, and retire finished
+// sequences.
+//
+// With chunked prefill (chunk > 0) a round interleaves both phases:
+// admit, compute one prompt chunk for every prefilling sequence, then
+// run one decode iteration over the ready sequences. Decode rounds keep
+// flowing while long prompts trickle in chunk by chunk — the TTFT/TBT
+// trade the chunk size tunes. A sequence whose final chunk lands this
+// round joins the decode in the same round (its first token is already
+// pending), so chunking never adds a full-round bubble to TTFT.
+//
+// It reports false, nil when there was nothing to do (nothing admitted,
+// nothing running): the caller decides whether to block for arrivals,
+// jump its clock, or fail.
 func Round(s *Scheduler, h Hooks) (progressed bool, err error) {
 	var waiting []Item
 	if h.Waiting != nil {
@@ -40,13 +61,34 @@ func Round(s *Scheduler, h Hooks) (progressed bool, err error) {
 	if consumed > 0 && h.Consumed != nil {
 		h.Consumed(consumed)
 	}
-	if len(admitted) > 0 {
-		if err := h.Prefill(admitted); err != nil {
+	if s.chunk <= 0 {
+		if len(admitted) > 0 {
+			if err := h.Prefill(admitted); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		return s.decodeRound(h)
+	}
+
+	prefilling := s.AdvancePrefills()
+	if len(prefilling) > 0 {
+		if err := h.PrefillChunk(prefilling); err != nil {
 			return false, err
 		}
-		return true, nil
+		progressed = true
 	}
-	if s.RunningLen() == 0 {
+	decoded, err := s.decodeRound(h)
+	if err != nil {
+		return false, err
+	}
+	return progressed || decoded, nil
+}
+
+// decodeRound extends, steps and retires the ready portion of the
+// running batch — the shared tail of both Round modes.
+func (s *Scheduler) decodeRound(h Hooks) (bool, error) {
+	if len(s.Ready()) == 0 {
 		return false, nil
 	}
 	evicted, err := s.ExtendAll()
@@ -56,12 +98,23 @@ func Round(s *Scheduler, h Hooks) (progressed bool, err error) {
 	if len(evicted) > 0 && h.Evicted != nil {
 		h.Evicted(evicted)
 	}
-	if err := h.Step(s.Running()); err != nil {
-		return false, err
-	}
-	finished, err := s.FinishStep()
-	if err != nil {
-		return false, err
+	ready := s.Ready() // re-snapshot: eviction may have shrunk the batch
+	var finished []Seq
+	if h.StepN != nil {
+		counts, err := h.StepN(ready)
+		if err != nil {
+			return false, err
+		}
+		if finished, err = s.FinishStepN(counts); err != nil {
+			return false, err
+		}
+	} else {
+		if err := h.Step(ready); err != nil {
+			return false, err
+		}
+		if finished, err = s.FinishStep(); err != nil {
+			return false, err
+		}
 	}
 	if len(finished) > 0 && h.Finished != nil {
 		h.Finished(finished)

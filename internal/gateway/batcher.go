@@ -46,6 +46,13 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 		byRef   = map[int]*entry{}        // every live request by scheduler ref
 		seqs    = map[int]*llm.Sequence{} // running engine state by pool id
 		nextRef int
+		// ahead tracks, per pool id, KV slots reserved beyond the tokens
+		// emitted so far — the speculative rounds' draft allowance.
+		// ExtendAll contributes one slot per round; TryExtend tops the
+		// balance up toward γ+1; each round's emissions draw it down. A
+		// sequence's over-reservation is bounded by γ slots and is freed
+		// with the rest of its blocks on retirement or eviction.
+		ahead = map[int]int{}
 	)
 
 	accept := func(p *pending) {
@@ -173,13 +180,98 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 			}
 			return nil
 		},
+		PrefillChunk: func(prefilling []batchpolicy.Seq) error {
+			// First sight of a sequence is its admission: record the queue
+			// wait and build the chunked engine sequence (resuming from a
+			// cached prefix when the tree has one). Then every listed
+			// sequence computes one prompt chunk, in parallel on the runner
+			// pool. The scheduler walks the full prompt even when a prefix
+			// seed let the engine skip ahead, so the engine-side advance
+			// no-ops once its (shorter) remainder is done.
+			for _, a := range prefilling {
+				e := byRef[a.Item.Ref]
+				if !e.admitted {
+					e.admitted = true
+					e.queueWait = time.Since(e.p.enqueued)
+					g.m.queueWait.observe(e.queueWait)
+				}
+				if seqs[a.ID] != nil {
+					continue
+				}
+				s, err := g.exec.NewSequenceChunked(e.p.prompt, a.Item.OutputLen, sched.Chunk(), g.seedFor(a.ID, e.p.prompt))
+				if err != nil {
+					if rmErr := sched.Remove(a.ID); rmErr != nil {
+						err = fmt.Errorf("%w (and removing it failed: %v)", err, rmErr)
+					}
+					respond(e, outcome{err: fmt.Errorf("gateway: chunked prefill: %w", err)})
+					continue
+				}
+				seqs[a.ID] = s
+			}
+			type chunkRes struct {
+				done bool
+				err  error
+			}
+			var live []batchpolicy.Seq
+			for _, a := range prefilling {
+				if seqs[a.ID] != nil {
+					live = append(live, a)
+				}
+			}
+			results, mapErr := runner.Map(stepCtx, live, func(_ context.Context, a batchpolicy.Seq) (chunkRes, error) {
+				done, err := seqs[a.ID].AdvancePrefill()
+				return chunkRes{done: done, err: err}, nil
+			})
+			if mapErr != nil { // kill aborted the chunk wave mid-flight
+				for _, a := range live {
+					if rmErr := sched.Remove(a.ID); rmErr != nil {
+						continue
+					}
+					seqs[a.ID].Release()
+					delete(seqs, a.ID)
+					if e, ok := byRef[a.Item.Ref]; ok {
+						respond(e, outcome{err: fmt.Errorf("gateway: chunked prefill: %w", mapErr)})
+					}
+				}
+				return nil
+			}
+			for i, a := range live {
+				e := byRef[a.Item.Ref]
+				if results[i].err != nil {
+					err := results[i].err
+					if rmErr := sched.Remove(a.ID); rmErr != nil {
+						err = fmt.Errorf("%w (and removing it failed: %v)", err, rmErr)
+					}
+					seqs[a.ID].Release()
+					delete(seqs, a.ID)
+					respond(e, outcome{err: fmt.Errorf("gateway: chunked prefill: %w", err)})
+					continue
+				}
+				g.m.prefillChunks.Add(1)
+				if results[i].done {
+					// Cache the completed prefix for future requests (no-op
+					// for blocks already in the tree).
+					g.insertPrefix(e.p.prompt, seqs[a.ID])
+					if !e.ttftDone {
+						// The final chunk computed the first pending token.
+						e.ttftDone = true
+						e.ttft = time.Since(e.p.enqueued)
+						g.m.ttft.observe(e.ttft)
+					}
+				}
+			}
+			return nil
+		},
 		Step: func(running []batchpolicy.Seq) error {
 			live := make([]*llm.Sequence, len(running))
 			for i, r := range running {
 				live[i] = seqs[r.ID]
 			}
 			start := time.Now()
-			if err := llm.StepBatch(stepCtx, live); err != nil {
+			// Fused decode: the whole batch's parameter GEMMs stack into
+			// one call per sublayer (bit-identical to per-sequence steps;
+			// INT8 and offloaded executors fall back internally).
+			if err := g.exec.StepBatchFused(stepCtx, live); err != nil {
 				return err
 			}
 			g.m.perToken.observe(time.Since(start))
@@ -195,6 +287,7 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 					s.Release()
 				}
 				delete(seqs, ev.ID)
+				delete(ahead, ev.ID)
 			}
 		},
 		Finished: func(finished []batchpolicy.Seq) {
@@ -202,6 +295,7 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 				e := byRef[f.Item.Ref]
 				s := seqs[f.ID]
 				delete(seqs, f.ID)
+				delete(ahead, f.ID)
 				toks := make([]int, len(s.Output()))
 				copy(toks, s.Output())
 				s.Release()
@@ -215,11 +309,100 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 		},
 	}
 
+	if g.draft != nil {
+		// Speculative decode rounds replace Step: each ready sequence runs
+		// one draft-and-verify round, emitting 1+accepted tokens per target
+		// pass. The emitted stream is bit-identical to plain decode.
+		hooks.StepN = func(running []batchpolicy.Seq) (map[int]int, error) {
+			gamma := g.cfg.SpecGamma
+			for _, r := range running {
+				s := seqs[r.ID]
+				if !s.SpecEnabled() {
+					// First decode round for this sequence: attach a draft
+					// fork, prefilled over the confirmed stream.
+					if err := s.EnableSpec(g.draft, gamma); err != nil {
+						return nil, err
+					}
+				}
+				// ExtendAll reserved this round's guaranteed slot; top the
+				// balance up toward γ+1 so the round can draft. Refusals
+				// just shallow this round's draft — never fatal, and never
+				// preempting.
+				ahead[r.ID]++
+				for ahead[r.ID] < gamma+1 && sched.TryExtend(r.ID) {
+					ahead[r.ID]++
+				}
+			}
+			type specRes struct {
+				emitted int
+				stats   llm.SpecStats
+			}
+			start := time.Now()
+			results, mapErr := runner.Map(stepCtx, running, func(_ context.Context, r batchpolicy.Seq) (specRes, error) {
+				s := seqs[r.ID]
+				prev := s.SpecStats()
+				emitted, err := s.SpecStep(ahead[r.ID])
+				if err != nil {
+					return specRes{}, err
+				}
+				cur := s.SpecStats()
+				return specRes{emitted: emitted, stats: llm.SpecStats{
+					Rounds:   cur.Rounds - prev.Rounds,
+					Drafted:  cur.Drafted - prev.Drafted,
+					Accepted: cur.Accepted - prev.Accepted,
+					Emitted:  cur.Emitted - prev.Emitted,
+				}}, nil
+			})
+			if mapErr != nil {
+				return nil, mapErr
+			}
+			g.m.perToken.observe(time.Since(start))
+			counts := make(map[int]int, len(running))
+			for i, r := range running {
+				counts[r.ID] = results[i].emitted
+				ahead[r.ID] -= results[i].emitted
+				if ahead[r.ID] < 0 {
+					ahead[r.ID] = 0
+				}
+				g.m.tokens.Add(uint64(results[i].emitted))
+				g.m.specRounds.Add(uint64(results[i].stats.Rounds))
+				g.m.specDrafted.Add(uint64(results[i].stats.Drafted))
+				g.m.specAccepted.Add(uint64(results[i].stats.Accepted))
+				g.m.specEmitted.Add(uint64(results[i].stats.Emitted))
+			}
+			return counts, nil
+		}
+	}
+
+	// expired reports whether a request's budget is spent: its context is
+	// done, or its wall-clock deadline has passed. The second clause is
+	// load-bearing on a saturated box: the runtime can deliver a context's
+	// deadline timer many milliseconds late while the batcher monopolizes
+	// the CPU, so budget enforcement reads the clock directly instead of
+	// waiting for ctx.Err() to flip.
+	expired := func(ctx context.Context) bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		d, ok := ctx.Deadline()
+		return ok && !time.Now().Before(d)
+	}
+	// reapErr is the error a reaped request is answered with. Answering
+	// (rather than relying on the client's own ctx.Done()) matters for the
+	// same reason expired checks the clock: the client may not see its
+	// timer fire for a while, but it is always watching the resp channel.
+	reapErr := func(ctx context.Context) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return context.DeadlineExceeded
+	}
+
 	reapCanceled := func() {
 		kept := backlog[:0]
 		for _, e := range backlog {
-			if e.p.ctx.Err() != nil {
-				forget(e.ref) // client already unblocked on its context
+			if expired(e.p.ctx) {
+				respond(e, outcome{err: reapErr(e.p.ctx)})
 			} else {
 				kept = append(kept, e)
 			}
@@ -227,7 +410,7 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 		backlog = kept
 		for _, seq := range sched.Running() {
 			e := byRef[seq.Item.Ref]
-			if e.p.ctx.Err() == nil {
+			if !expired(e.p.ctx) {
 				continue
 			}
 			if err := sched.Remove(seq.ID); err == nil {
@@ -235,13 +418,16 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 					s.Release()
 				}
 				delete(seqs, seq.ID)
-				forget(e.ref)
+				delete(ahead, seq.ID)
+				respond(e, outcome{err: reapErr(e.p.ctx)})
 			}
 		}
 		for _, it := range sched.DropRequeued(func(it batchpolicy.Item) bool {
-			return byRef[it.Ref].p.ctx.Err() != nil
+			return expired(byRef[it.Ref].p.ctx)
 		}) {
-			forget(it.Ref)
+			if e := byRef[it.Ref]; e != nil {
+				respond(e, outcome{err: reapErr(e.p.ctx)})
+			}
 		}
 	}
 
@@ -275,6 +461,7 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 		progressed, err := batchpolicy.Round(sched, hooks)
 		if err != nil {
 			g.failRound(sched, seqs, byRef, err)
+			clear(ahead) // the whole batch is gone; reservations went with it
 			continue
 		}
 		if !progressed && len(backlog) > 0 {

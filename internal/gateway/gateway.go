@@ -70,6 +70,22 @@ type Config struct {
 	// PrefixMaxBlocks bounds the cache's residency when no KV pool is
 	// configured (ignored otherwise; default 1024).
 	PrefixMaxBlocks int
+	// PrefillChunk, when positive, prefills admitted prompts in fixed-
+	// size chunks interleaved with the running batch's decode rounds, so
+	// one long arrival stops stalling everyone else's inter-token latency
+	// and queued work's TTFT. Tokens stay bit-identical to monolithic
+	// prefill (INT8 executors fall back internally). Off (monolithic) by
+	// default.
+	PrefillChunk int
+	// SpecGamma, when positive, decodes speculatively: a shallow draft
+	// sharing the target's weights proposes up to γ tokens per round and
+	// the target verifies them all in one multi-row pass, emitting
+	// 1+accepted tokens per target pass. Greedy acceptance keeps the
+	// streams bit-identical to plain decode. Requires the BF16 path
+	// without an Offload host. Off by default.
+	SpecGamma int
+	// SpecDraftLayers is the draft model's depth (default 1).
+	SpecDraftLayers int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.KVBlockTokens == 0 {
 		c.KVBlockTokens = 16
+	}
+	if c.SpecGamma > 0 && c.SpecDraftLayers == 0 {
+		c.SpecDraftLayers = 1
 	}
 	return c
 }
@@ -101,6 +120,20 @@ func (c Config) Validate() error {
 	}
 	if c.KVBudget < 0 {
 		return fmt.Errorf("gateway: KVBudget must be ≥0, got %v", c.KVBudget)
+	}
+	if c.PrefillChunk < 0 {
+		return fmt.Errorf("gateway: PrefillChunk must be ≥0, got %d", c.PrefillChunk)
+	}
+	if c.SpecGamma < 0 {
+		return fmt.Errorf("gateway: SpecGamma must be ≥0, got %d", c.SpecGamma)
+	}
+	if c.SpecGamma > 0 {
+		if c.SpecDraftLayers < 1 {
+			return fmt.Errorf("gateway: SpecDraftLayers must be ≥1, got %d", c.SpecDraftLayers)
+		}
+		if c.Offload != nil {
+			return fmt.Errorf("gateway: speculative decoding does not compose with tiered-memory offload")
+		}
 	}
 	return nil
 }
@@ -151,6 +184,8 @@ type Gateway struct {
 
 	tree   *kvprefix.Tree  // prefix cache (nil when disabled)
 	prefix *prefixAdmitter // pooled admission through the tree (nil when pool-less or disabled)
+
+	draft *llm.Executor // speculative draft (nil when SpecGamma is 0)
 }
 
 // New starts a gateway over the executor. The batcher goroutine runs
@@ -213,6 +248,19 @@ func New(exec *llm.Executor, cfg Config) (*Gateway, error) {
 				g.m.preempted.Add(1)
 			}
 		}
+	}
+	if err := sched.SetChunk(cfg.PrefillChunk); err != nil {
+		return nil, err
+	}
+	if cfg.SpecGamma > 0 {
+		if exec.INT8() || exec.Mem != nil {
+			return nil, fmt.Errorf("gateway: speculative decoding requires a BF16 executor without a memory host")
+		}
+		draftM, err := llm.DraftModel(exec.Model, cfg.SpecDraftLayers)
+		if err != nil {
+			return nil, err
+		}
+		g.draft = llm.NewExecutor(draftM, exec.Policy)
 	}
 	go g.run(sched)
 	return g, nil
@@ -310,8 +358,13 @@ func (g *Gateway) Submit(ctx context.Context, prompt []int, n int) (Result, erro
 // counting completions in the batcher would race a client taking the
 // cancellation branch.
 func (g *Gateway) deliver(out outcome) (Result, error) {
-	if out.err == nil {
+	switch {
+	case out.err == nil:
 		g.m.completed.Add(1)
+	case errors.Is(out.err, context.Canceled), errors.Is(out.err, context.DeadlineExceeded):
+		// The batcher reaped this request against its budget before the
+		// client's own context watcher fired; it is a cancel either way.
+		g.m.canceled.Add(1)
 	}
 	return out.res, out.err
 }

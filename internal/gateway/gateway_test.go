@@ -417,6 +417,15 @@ func TestGatewayServerSideTimeout(t *testing.T) {
 	}
 	srv := httptest.NewServer(g.Handler())
 	defer srv.Close()
+	// Warm the client connection first: once the batcher is busy decoding,
+	// a fresh dial can lose the only core for tens of milliseconds, and the
+	// timed request below must reach the queue while the blockers still
+	// hold it.
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
 	// Fill the single-slot batch and its FIFO queue with long generations,
 	// then send a request with a 1ms budget: it sits behind all of them
 	// (admission is FIFO), so the deadline must fire while it queues.

@@ -1,0 +1,206 @@
+package gateway
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/offload"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// mixedWorkload is the latency-ladder differential mix: short prompts, a
+// couple of long ones (so chunked prefill has rounds to interleave), and
+// repeats (so the batcher sees co-resident duplicates).
+func mixedWorkload(vocab int) [][]int {
+	var prompts [][]int
+	for i := 0; i < 6; i++ {
+		p := make([]int, 3+i%4)
+		for j := range p {
+			p[j] = (i*13 + j*7 + 1) % vocab
+		}
+		prompts = append(prompts, p)
+	}
+	for i := 0; i < 2; i++ {
+		p := make([]int, 24+8*i)
+		for j := range p {
+			p[j] = (i*29 + j*3 + 5) % vocab
+		}
+		prompts = append(prompts, p)
+	}
+	prompts = append(prompts, append([]int{}, prompts[0]...))
+	return prompts
+}
+
+// ladderConfigs enumerates the ladder's gateway modes: chunked prefill,
+// speculative decoding, and both together, each with and without a
+// bounded KV pool (the pool exercises the spec allowance top-up and
+// chunked preemption paths).
+func ladderConfigs(kv units.Bytes) map[string]Config {
+	return map[string]Config{
+		"chunked":      {MaxBatch: 4, QueueDepth: 64, PrefillChunk: 5},
+		"spec":         {MaxBatch: 4, QueueDepth: 64, SpecGamma: 3},
+		"spec+chunked": {MaxBatch: 4, QueueDepth: 64, SpecGamma: 3, PrefillChunk: 5},
+		"chunked+pool": {MaxBatch: 4, QueueDepth: 64, PrefillChunk: 5, KVBudget: kv, KVBlockTokens: 4},
+		"spec+pool":    {MaxBatch: 4, QueueDepth: 64, SpecGamma: 2, KVBudget: kv, KVBlockTokens: 4},
+		"spec+chunked+pool": {MaxBatch: 4, QueueDepth: 64, SpecGamma: 3, PrefillChunk: 5,
+			KVBudget: kv, KVBlockTokens: 4},
+	}
+}
+
+// TestLadderBitIdentical is the gateway-level differential bar for the
+// latency ladder: the same workload served with chunked prefill,
+// speculative decoding, and both at once — with and without KV-pool
+// pressure — must match solo Generate token for token.
+func TestLadderBitIdentical(t *testing.T) {
+	e := testExecutor(t)
+	prompts := mixedWorkload(e.Model.Cfg.VocabSize)
+	const n = 9
+
+	want := make([][]int, len(prompts))
+	for i, p := range prompts {
+		want[i] = reference(t, e, p, n)
+	}
+
+	for name, cfg := range ladderConfigs(e.Model.Cfg.KVBytes(1, 256)) {
+		t.Run(name, func(t *testing.T) {
+			g, err := New(testExecutor(t), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for wave := 0; wave < 2; wave++ {
+				got := runGateway(t, g, prompts, n)
+				for i := range prompts {
+					if got[i] == nil {
+						continue // already reported by runGateway
+					}
+					if len(got[i]) != n {
+						t.Fatalf("wave %d prompt %d: %d tokens, want %d", wave, i, len(got[i]), n)
+					}
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("wave %d prompt %d: got %v want %v", wave, i, got[i], want[i])
+						}
+					}
+				}
+			}
+			snap := g.Snapshot()
+			if cfg.PrefillChunk > 0 && snap.PrefillChunks == 0 {
+				t.Error("chunked gateway computed no prompt chunks")
+			}
+			if cfg.SpecGamma > 0 {
+				if snap.SpecRounds == 0 || snap.SpecDrafted == 0 {
+					t.Errorf("speculative gateway ran no draft rounds: %+v", snap)
+				}
+				if snap.SpecAccepted > snap.SpecDrafted {
+					t.Errorf("accepted %d > drafted %d", snap.SpecAccepted, snap.SpecDrafted)
+				}
+				if snap.SpecEmitted < snap.SpecRounds {
+					t.Errorf("emitted %d < rounds %d: every round must emit", snap.SpecEmitted, snap.SpecRounds)
+				}
+			}
+			shutdown(t, g)
+		})
+	}
+}
+
+// TestLadderMetricsExposition: the spec and chunked counters appear in
+// the Prometheus rendering and agree with the snapshot.
+func TestLadderMetricsExposition(t *testing.T) {
+	g, err := New(testExecutor(t), Config{MaxBatch: 4, QueueDepth: 16, SpecGamma: 2, PrefillChunk: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{{5, 17, 42, 9, 63, 2, 11}, {9, 33, 71}}
+	runGateway(t, g, prompts, 6)
+	prom := g.Prometheus()
+	for _, name := range []string{
+		"lia_prefill_chunks_total",
+		"lia_spec_rounds_total",
+		"lia_spec_drafted_tokens_total",
+		"lia_spec_accepted_tokens_total",
+		"lia_spec_emitted_tokens_total",
+	} {
+		if !strings.Contains(prom, name) {
+			t.Errorf("metrics exposition missing %s", name)
+		}
+	}
+	snap := g.Snapshot()
+	if snap.PrefillChunks == 0 || snap.SpecRounds == 0 {
+		t.Fatalf("ladder counters flat: %+v", snap)
+	}
+	// Tokens served through spec steps are part of the generated total.
+	if snap.SpecEmitted > snap.Tokens {
+		t.Fatalf("spec emitted %d > total tokens %d", snap.SpecEmitted, snap.Tokens)
+	}
+	shutdown(t, g)
+}
+
+// TestLadderConfigValidation: the compositions the ladder rejects.
+func TestLadderConfigValidation(t *testing.T) {
+	e := testExecutor(t)
+	if _, err := New(e, Config{MaxBatch: 2, PrefillChunk: -1}); err == nil {
+		t.Error("negative prefill chunk accepted")
+	}
+	if _, err := New(e, Config{MaxBatch: 2, SpecGamma: -2}); err == nil {
+		t.Error("negative spec gamma accepted")
+	}
+	if _, err := New(e, Config{MaxBatch: 2, SpecGamma: 2, SpecDraftLayers: -1}); err == nil {
+		t.Error("negative draft layers accepted")
+	}
+	// Spec + tiered-memory offload: rejected at validation.
+	cfg := e.Model.Cfg
+	plan, err := offload.NewPlan(offload.Config{
+		System: offload.TinySystem(cfg, 1, 128, 0, 1), Model: cfg,
+		Batch: 1, Context: 128, Placement: cxl.PolicyPlacement(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := offload.NewHost(plan, core.PartialCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	hosted := testExecutor(t)
+	hosted.Mem = host
+	if _, err := New(hosted, Config{MaxBatch: 2, SpecGamma: 2, Offload: host}); err == nil {
+		t.Error("spec + offload accepted")
+	}
+	// Spec on an INT8 executor: rejected at construction.
+	int8e := testExecutor(t)
+	int8e.EnableINT8()
+	if _, err := New(int8e, Config{MaxBatch: 2, SpecGamma: 2}); err == nil {
+		t.Error("spec + INT8 accepted")
+	}
+}
+
+// TestLadderConcurrentSpecChunked floods a spec+chunked gateway from
+// many goroutines — the -race run's target for the new batcher paths.
+func TestLadderConcurrentSpecChunked(t *testing.T) {
+	e := testExecutor(t)
+	g, err := New(testExecutor(t), Config{
+		MaxBatch:      4,
+		QueueDepth:    64,
+		SpecGamma:     2,
+		PrefillChunk:  4,
+		KVBudget:      e.Model.Cfg.KVBytes(1, 192),
+		KVBlockTokens: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := mixedWorkload(e.Model.Cfg.VocabSize)
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runGateway(t, g, prompts, 7)
+		}()
+	}
+	wg.Wait()
+	shutdown(t, g)
+}

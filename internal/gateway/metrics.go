@@ -103,6 +103,12 @@ type metrics struct {
 	preempted atomic.Uint64 // evictions under KV pressure (recomputed later)
 	tokens    atomic.Uint64 // generated tokens, including recomputation
 
+	prefillChunks atomic.Uint64 // prompt chunks computed (chunked prefill)
+	specRounds    atomic.Uint64 // draft-and-verify rounds
+	specDrafted   atomic.Uint64 // tokens the draft proposed
+	specAccepted  atomic.Uint64 // proposals matching the target's argmax
+	specEmitted   atomic.Uint64 // tokens emitted through speculative steps
+
 	queueWait *histogram // enqueue → first admission
 	ttft      *histogram // enqueue → first token available
 	perToken  *histogram // mean decode-iteration time per served token
@@ -117,6 +123,9 @@ func newMetrics() *metrics {
 type Snapshot struct {
 	Received, Completed, Shed, Rejected, Canceled uint64
 	Preempted, Tokens                             uint64
+	PrefillChunks                                 uint64
+	SpecRounds, SpecDrafted                       uint64
+	SpecAccepted, SpecEmitted                     uint64
 	QueueWaitMean, QueueWaitP99                   time.Duration
 	TTFTMean, TTFTP50, TTFTP99                    time.Duration
 	PerTokenMean                                  time.Duration
@@ -131,6 +140,11 @@ func (m *metrics) snapshot() Snapshot {
 		Canceled:      m.canceled.Load(),
 		Preempted:     m.preempted.Load(),
 		Tokens:        m.tokens.Load(),
+		PrefillChunks: m.prefillChunks.Load(),
+		SpecRounds:    m.specRounds.Load(),
+		SpecDrafted:   m.specDrafted.Load(),
+		SpecAccepted:  m.specAccepted.Load(),
+		SpecEmitted:   m.specEmitted.Load(),
 		QueueWaitMean: m.queueWait.mean(),
 		QueueWaitP99:  m.queueWait.quantile(0.99),
 		TTFTMean:      m.ttft.mean(),
@@ -154,6 +168,11 @@ func (m *metrics) prometheus() string {
 	counter("lia_gateway_requests_canceled_total", "Requests abandoned by deadline or client cancel.", m.canceled.Load())
 	counter("lia_gateway_preemptions_total", "Sequences evicted under KV pressure.", m.preempted.Load())
 	counter("lia_gateway_generated_tokens_total", "Generated tokens, including recomputation after preemption.", m.tokens.Load())
+	counter("lia_prefill_chunks_total", "Prompt chunks computed under chunked prefill.", m.prefillChunks.Load())
+	counter("lia_spec_rounds_total", "Speculative draft-and-verify rounds.", m.specRounds.Load())
+	counter("lia_spec_drafted_tokens_total", "Tokens proposed by the speculative draft.", m.specDrafted.Load())
+	counter("lia_spec_accepted_tokens_total", "Draft proposals accepted (matched the target argmax).", m.specAccepted.Load())
+	counter("lia_spec_emitted_tokens_total", "Tokens emitted through speculative decode steps.", m.specEmitted.Load())
 	hist := func(name, help string, h *histogram) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 		h.writeProm(&b, name)

@@ -535,25 +535,33 @@ func (e *Executor) forwardLayer(li int, x tensor.Matrix, cache *KVCache, mask bo
 
 // embed builds the hidden states for token IDs starting at position pos.
 func (e *Executor) embed(tokens []int, pos int) (tensor.Matrix, error) {
-	cfg := e.Model.Cfg
-	x := tensor.New(len(tokens), cfg.DModel)
+	x := tensor.New(len(tokens), e.Model.Cfg.DModel)
 	for i, tok := range tokens {
-		if tok < 0 || tok >= cfg.VocabSize {
-			return tensor.Matrix{}, fmt.Errorf("llm: token %d outside vocabulary [0, %d)", tok, cfg.VocabSize)
-		}
-		p := pos + i
-		if p >= cfg.MaxSeqLen {
-			return tensor.Matrix{}, fmt.Errorf("llm: position %d exceeds max sequence length %d", p, cfg.MaxSeqLen)
-		}
-		row := x.Row(i)
-		copy(row, e.Model.Embed.Row(tok))
-		if !cfg.RoPE {
-			for c, pv := range e.Model.Pos.Row(p) {
-				row[c] += pv
-			}
+		if err := e.embedRow(x.Row(i), tok, pos+i); err != nil {
+			return tensor.Matrix{}, err
 		}
 	}
 	return x, nil
+}
+
+// embedRow writes one token's embedding at absolute position pos into
+// dst (length DModel) — the row primitive embed and the fused decode
+// round share.
+func (e *Executor) embedRow(dst []float32, tok, pos int) error {
+	cfg := e.Model.Cfg
+	if tok < 0 || tok >= cfg.VocabSize {
+		return fmt.Errorf("llm: token %d outside vocabulary [0, %d)", tok, cfg.VocabSize)
+	}
+	if pos >= cfg.MaxSeqLen {
+		return fmt.Errorf("llm: position %d exceeds max sequence length %d", pos, cfg.MaxSeqLen)
+	}
+	copy(dst, e.Model.Embed.Row(tok))
+	if !cfg.RoPE {
+		for c, pv := range e.Model.Pos.Row(pos) {
+			dst[c] += pv
+		}
+	}
+	return nil
 }
 
 // logits projects hidden states onto the (tied) vocabulary.
@@ -676,13 +684,21 @@ func TinyLlamaConfig() model.Config {
 
 // GenerateBatch greedily decodes n tokens for each prompt, sharing the
 // model weights and packed-weight caches across the batch (each sequence
-// keeps its own KV cache, like the per-request caches of §2.1). The
-// sequences run in parallel on the deterministic runner pool; results
+// keeps its own KV cache, like the per-request caches of §2.1). Results
 // align with prompts and are bit-identical to sequential generation. Call
 // EnableINT8 (if wanted) before GenerateBatch, not concurrently with it.
+//
+// On the BF16 path without a memory host, decode rounds run through the
+// cross-sequence batched GEMM (StepBatchFused): the batch's parameter
+// sublayers stack into one matmul per sublayer while attention runs
+// per-sequence in parallel. INT8 and hosted runs keep the fully
+// per-sequence parallel path. Tokens are bit-identical either way.
 func (e *Executor) GenerateBatch(prompts [][]int, n int) ([][]int, error) {
 	if len(prompts) == 0 {
 		return nil, fmt.Errorf("llm: empty batch")
+	}
+	if e.int8 == nil && e.Mem == nil && len(prompts) > 1 {
+		return e.GenerateBatchFused(prompts, n)
 	}
 	type seqResult struct {
 		tokens []int

@@ -163,11 +163,13 @@ func (e *Executor) NewSequenceFrom(prompt []int, n int, seed *KVSeed) (*Sequence
 		return nil, err
 	}
 	return &Sequence{
-		e:       sub,
-		cache:   cache,
-		pending: logits.ArgmaxRow(logits.Rows - 1),
-		out:     make([]int, 0, n),
-		target:  n,
+		e:          sub,
+		cache:      cache,
+		pending:    logits.ArgmaxRow(logits.Rows - 1),
+		out:        make([]int, 0, n),
+		target:     n,
+		prompt:     prompt,
+		prefillPos: len(prompt),
 	}, nil
 }
 

@@ -19,11 +19,22 @@ import (
 // race, but different Sequences step concurrently (that is what
 // StepBatch does).
 type Sequence struct {
-	e        *Executor
-	cache    *KVCache
-	pending  int // next token to emit, already decoded
-	out      []int
-	target   int
+	e       *Executor
+	cache   *KVCache
+	pending int // next token to emit, already decoded
+	out     []int
+	target  int
+	// prompt is retained (aliased, not copied) for the two paths that
+	// need it after construction: chunked prefill computes it piecewise
+	// and speculative decoding prefills the draft over it.
+	prompt []int
+	// prefillPos counts prompt tokens whose KV rows are in the cache;
+	// below len(prompt) the sequence is still prefilling (chunked mode)
+	// and cannot Step yet.
+	prefillPos int
+	// chunk is the chunked-prefill chunk size (0 = monolithic).
+	chunk    int
+	spec     *specState
 	released bool
 }
 
@@ -47,11 +58,13 @@ func (e *Executor) NewSequence(prompt []int, n int) (*Sequence, error) {
 		return nil, err
 	}
 	return &Sequence{
-		e:       sub,
-		cache:   cache,
-		pending: logits.ArgmaxRow(logits.Rows - 1),
-		out:     make([]int, 0, n),
-		target:  n,
+		e:          sub,
+		cache:      cache,
+		pending:    logits.ArgmaxRow(logits.Rows - 1),
+		out:        make([]int, 0, n),
+		target:     n,
+		prompt:     prompt,
+		prefillPos: len(prompt),
 	}, nil
 }
 
@@ -61,6 +74,9 @@ func (e *Executor) NewSequence(prompt []int, n int) (*Sequence, error) {
 // skipped exactly as Generate skips it. Stepping a finished sequence is
 // an error.
 func (s *Sequence) Step() (int, error) {
+	if s.Prefilling() {
+		return 0, fmt.Errorf("llm: sequence is still prefilling (%d/%d prompt tokens)", s.prefillPos, len(s.prompt))
+	}
 	if s.Done() {
 		return 0, fmt.Errorf("llm: sequence already emitted its %d tokens", s.target)
 	}
@@ -106,6 +122,9 @@ func (s *Sequence) Release() {
 	}
 	s.released = true
 	s.e.RetireCache(s.cache)
+	if s.spec != nil {
+		s.spec.draft.RetireCache(s.spec.dcache)
+	}
 }
 
 // StepBatch advances every sequence one decode step in parallel on the

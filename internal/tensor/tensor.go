@@ -131,19 +131,47 @@ func MatMul(a, b Matrix) Matrix {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			orow := out.Row(i)
-			for kk := 0; kk < k; kk++ {
-				av := arow[kk]
-				if av == 0 {
+			// Four k-rows per pass amortize the orow load/store fourfold.
+			// orow[j] + p0 + p1 + p2 + p3 evaluates left to right with each
+			// float32 add rounded, exactly the scalar loop's sequence; any
+			// zero coefficient drops to the scalar tail so the zero-skip
+			// (and its effect on ±0/NaN propagation) is preserved verbatim.
+			kk := 0
+			for ; kk+4 <= k; kk += 4 {
+				a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+				if a0 == 0 || a1 == 0 || a2 == 0 || a3 == 0 {
+					matmulAxpyTail(orow, arow[kk:kk+4], b.Data[kk*n:], n)
 					continue
 				}
-				brow := b.Data[kk*n : (kk+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
+				b0 := b.Data[kk*n : kk*n+n]
+				b1 := b.Data[(kk+1)*n : (kk+1)*n+n]
+				b2 := b.Data[(kk+2)*n : (kk+2)*n+n]
+				b3 := b.Data[(kk+3)*n : (kk+3)*n+n]
+				for j := range orow {
+					orow[j] = orow[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 				}
+			}
+			if kk < k {
+				matmulAxpyTail(orow, arow[kk:k], b.Data[kk*n:], n)
 			}
 		}
 	})
 	return out
+}
+
+// matmulAxpyTail accumulates the given k-rows one at a time with the
+// zero-skip — the scalar inner loop MatMul's unrolled pass falls back to
+// for its remainder and for coefficient groups containing zeros.
+func matmulAxpyTail(orow, coeffs, bData []float32, n int) {
+	for kk, av := range coeffs {
+		if av == 0 {
+			continue
+		}
+		brow := bData[kk*n : kk*n+n]
+		for j, bv := range brow {
+			orow[j] += av * bv
+		}
+	}
 }
 
 // MatMulT computes a·bᵀ (a is M×K, b is N×K). Transposed weights keep the
