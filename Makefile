@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload bench-prefix bench-smoke bench-chunked fuzz-smoke
+.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload bench-prefix bench-smoke bench-chunked bench-quant fuzz-smoke
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the runner pool and shared caches are
@@ -24,9 +24,10 @@ bench:
 
 # bench-functional runs the allocation-sensitive micro-benchmarks the
 # BENCH_functional.json baseline records (decode step, packed vs legacy
-# AMX matmul, single tile ops byte vs decoded, parallel batch generation).
+# AMX matmul, block-sparse skip, INT4 LUT-GEMV, single tile ops byte vs
+# decoded, parallel batch generation).
 bench-functional:
-	$(GO) test -bench='BenchmarkFunctionalDecodeStep|BenchmarkAMXMatmul|BenchmarkFunctionalGenerateBatch|BenchmarkTDP' \
+	$(GO) test -bench='BenchmarkFunctionalDecodeStep|BenchmarkAMXMatmul|BenchmarkINT4LUTGEMV|BenchmarkFunctionalGenerateBatch|BenchmarkTDP' \
 		-benchmem -benchtime=2s -run=^$$ .
 
 # bench-gateway drives the live gateway with concurrent closed-loop
@@ -65,6 +66,14 @@ bench-smoke:
 bench-chunked:
 	$(GO) run ./cmd/lia-serve -chunked-bench -prefill-chunk 4 -seed 1
 
+# bench-quant decodes the same stream under the dense, block-sparse,
+# and INT4 LUT weight tiers and records per-tier decode speed, serving
+# footprint, and accuracy against the dense baseline into
+# BENCH_quant.json.
+bench-quant:
+	$(GO) run ./cmd/lia-serve -quant-bench -live-policy cpu -bench-tokens 64 -seed 1 > BENCH_quant.json
+	@cat BENCH_quant.json
+
 # fuzz-smoke gives each native fuzz target a short budget — enough to
 # exercise the mutator without turning CI into a fuzz farm.
 fuzz-smoke:
@@ -72,3 +81,4 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzServeConfigValidate -fuzztime=10s -run=^$$ ./internal/serve
 	$(GO) test -fuzz=FuzzPlanHost -fuzztime=10s -run=^$$ ./internal/memplan
 	$(GO) test -fuzz=FuzzPrefixTree -fuzztime=10s -run=^$$ ./internal/kvprefix
+	$(GO) test -fuzz=FuzzSparsePrepack -fuzztime=10s -run=^$$ ./internal/amx

@@ -23,6 +23,8 @@ import (
 	"github.com/lia-sim/lia/internal/hw"
 	"github.com/lia-sim/lia/internal/kvpage"
 	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/quant"
+	"github.com/lia-sim/lia/internal/tensor"
 	"github.com/lia-sim/lia/internal/trace"
 	"github.com/lia-sim/lia/internal/units"
 )
@@ -225,6 +227,61 @@ func BenchmarkAMXMatmulPacked(b *testing.B) {
 			b.Fatal(err)
 		}
 		sink = c
+	}
+}
+
+// BenchmarkAMXMatmulSparse measures the 128³ GEMM with the right-hand
+// operand pruned to 50% tile-block sparsity and prepacked with the
+// zero-block bitmap — the compressed-tier CPU path. The ratio against
+// BenchmarkAMXMatmulPacked is the skip win at this sparsity.
+func BenchmarkAMXMatmulSparse(b *testing.B) {
+	const n = 128
+	a := make([]float32, n*n)
+	w := tensor.New(n, n)
+	for i := range a {
+		a[i] = float32(i%7) - 3
+		w.Data[i] = float32(i%5) - 2
+	}
+	pruned, _ := quant.PruneBlocks(w, 0.5)
+	pre, err := amx.PrepackBF16Sparse(pruned.Data, n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(3 * n * n * 4))
+	for i := 0; i < b.N; i++ {
+		c, _, err := amx.MatmulBF16Packed(a, n, pre)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = c
+	}
+}
+
+// BenchmarkINT4LUTGEMV measures a single-row 128→128 projection through
+// the INT4 LUT-GEMV kernel — the decode-path shape the tier serves.
+func BenchmarkINT4LUTGEMV(b *testing.B) {
+	const n = 128
+	w := tensor.New(n, n)
+	for i := range w.Data {
+		w.Data[i] = float32(i%5) - 2
+	}
+	q, err := quant.QuantizeINT4(w, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(1, n)
+	for j := range x.Data {
+		x.Data[j] = float32(j%7) - 3
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(n*4 + q.Bytes() + n*4))
+	for i := 0; i < b.N; i++ {
+		c, _, err := quant.LinearINT4LUT(x, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = c.Data
 	}
 }
 

@@ -43,6 +43,16 @@
 // arrivals. Both keep tokens bit-identical. Chunked bench
 // (-chunked-bench) serves the same short/long-prompt mix monolithic and
 // chunked and prints short-request TTFT percentiles as JSON.
+//
+// -quant selects a compressed weight tier for the live modes: "sparse"
+// prunes to block-sparsity -quant-sparsity and skips zero tile blocks
+// (tokens bit-identical to dense compute over the pruned weights),
+// "int4lut" serves 4-bit group-quantized weights through the LUT-GEMV
+// kernel (documented tolerance vs the dequantized reference), "int8"
+// the existing AMX INT8 path. /metrics gains the lia_quant_* gauges.
+// Quant bench (-quant-bench) decodes the same stream under dense,
+// sparse, and int4lut and prints per-tier decode speed, footprint, and
+// accuracy as JSON (the BENCH_quant.json baseline).
 package main
 
 import (
@@ -70,7 +80,9 @@ import (
 	"github.com/lia-sim/lia/internal/llm"
 	"github.com/lia-sim/lia/internal/model"
 	"github.com/lia-sim/lia/internal/offload"
+	"github.com/lia-sim/lia/internal/quant"
 	"github.com/lia-sim/lia/internal/serve"
+	"github.com/lia-sim/lia/internal/tensor"
 	"github.com/lia-sim/lia/internal/trace"
 	"github.com/lia-sim/lia/internal/units"
 )
@@ -118,6 +130,14 @@ func main() {
 		// Chunked-prefill bench flag (uses -live-model, -prefill-chunk, -seed).
 		chunkedBench = flag.Bool("chunked-bench", false, "serve a mixed short/long-prompt workload with chunked prefill off and on and print JSON")
 
+		// Compressed-weight tier flags (live modes).
+		quantTier     = flag.String("quant", "", "compressed weight tier: dense, sparse, int4lut, or int8 (live)")
+		quantSparsity = flag.Float64("quant-sparsity", 0, "target zero tile-block fraction for -quant sparse; 0 = default 0.5")
+		quantGroup    = flag.Int("quant-group", 0, "INT4 group length for -quant int4lut; 0 = default")
+
+		// Quant bench flag (uses -live-model, -live-policy, -bench-tokens, -seed).
+		quantBench = flag.Bool("quant-bench", false, "decode the same stream under dense, sparse, and int4lut tiers and print JSON")
+
 		// Live bench flags.
 		benchClients = flag.Int("bench-clients", 8, "concurrent closed-loop clients (live-bench)")
 		benchSecs    = flag.Float64("bench-seconds", 3, "measurement window, seconds (live-bench)")
@@ -150,8 +170,15 @@ func main() {
 		return
 	}
 
+	if *quantBench {
+		if err := runQuantBench(*liveModel, *livePolicy, *benchTokens, *quantSparsity, *quantGroup, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *live || *liveBench {
-		g, host, desc, err := buildGateway(*liveModel, *livePolicy, *offloadTo, *maxBatch, *queueDepth, *kvTokens, *prefixOn, *prefillChunk, *specGamma, *specDraft, *seed)
+		g, host, desc, err := buildGateway(*liveModel, *livePolicy, *offloadTo, *maxBatch, *queueDepth, *kvTokens, *prefixOn, *prefillChunk, *specGamma, *specDraft, *quantTier, *quantSparsity, *quantGroup, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -181,6 +208,20 @@ func liveModelConfig(modelName string) (model.Config, error) {
 		return llm.TinyLlamaConfig(), nil
 	default:
 		return model.Config{}, fmt.Errorf("unknown live model %q (want tiny or tiny-llama)", modelName)
+	}
+}
+
+// parsePolicy resolves the offloading-policy flag.
+func parsePolicy(policyName string) (core.Policy, error) {
+	switch strings.ToLower(policyName) {
+	case "gpu":
+		return core.Policy{}, nil // zero value: everything on GPU
+	case "cpu":
+		return core.FullCPU, nil
+	case "partial":
+		return core.PartialCPU, nil
+	default:
+		return core.Policy{}, fmt.Errorf("unknown policy %q (want gpu, cpu, or partial)", policyName)
 	}
 }
 
@@ -219,21 +260,14 @@ func buildOffloadHost(cfg model.Config, mode string, pol core.Policy) (*offload.
 // functional model, an executor with the chosen offloading policy
 // (optionally hosted by the tiered-memory runtime), and the gateway in
 // front of them.
-func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDepth, kvTokens int, prefixCache bool, prefillChunk, specGamma, specDraftLayers int, seed int64) (*gateway.Gateway, *offload.Host, string, error) {
+func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDepth, kvTokens int, prefixCache bool, prefillChunk, specGamma, specDraftLayers int, quantTier string, quantSparsity float64, quantGroup int, seed int64) (*gateway.Gateway, *offload.Host, string, error) {
 	cfg, err := liveModelConfig(modelName)
 	if err != nil {
 		return nil, nil, "", err
 	}
-	var pol core.Policy
-	switch strings.ToLower(policyName) {
-	case "gpu":
-		// zero value: everything on GPU
-	case "cpu":
-		pol = core.FullCPU
-	case "partial":
-		pol = core.PartialCPU
-	default:
-		return nil, nil, "", fmt.Errorf("unknown policy %q (want gpu, cpu, or partial)", policyName)
+	pol, err := parsePolicy(policyName)
+	if err != nil {
+		return nil, nil, "", err
 	}
 	m, err := llm.NewRandom(cfg, seed)
 	if err != nil {
@@ -261,6 +295,9 @@ func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDept
 		PrefillChunk:    prefillChunk,
 		SpecGamma:       specGamma,
 		SpecDraftLayers: specDraftLayers,
+		Quant:           quantTier,
+		QuantSparsity:   quantSparsity,
+		QuantGroup:      quantGroup,
 	})
 	if err != nil {
 		if host != nil {
@@ -280,6 +317,9 @@ func buildGateway(modelName, policyName, offloadMode string, maxBatch, queueDept
 	}
 	if specGamma > 0 {
 		desc += fmt.Sprintf(", spec γ=%d (%d-layer draft)", specGamma, specDraftLayers)
+	}
+	if tier := g.Snapshot().QuantTier; tier != "dense" {
+		desc += fmt.Sprintf(", quant %s", tier)
 	}
 	if host != nil {
 		desc += fmt.Sprintf(", offload %s (%s)", strings.ToLower(offloadMode), host.Plan())
@@ -532,6 +572,110 @@ func runOffloadBench(modelName string, tokens int, seed int64) error {
 
 func secMs(s units.Seconds) float64 { return float64(s) * 1e3 }
 
+// quantBenchRow is one weight tier's measurement in BENCH_quant.json.
+// Accuracy is reported against the dense tier on the same random
+// weights: prefill-logit max-abs error plus the fraction of greedy
+// tokens that agree with the dense stream. Sparse serves pruned weights
+// (a different model by construction) and int4lut a quantized one, so
+// neither is expected to agree perfectly — the rows quantify the
+// accuracy-vs-footprint-vs-speed trade the tier buys.
+type quantBenchRow struct {
+	Tier             string  `json:"tier"`
+	WeightBytes      int64   `json:"weight_bytes"`
+	WallDecodeUs     float64 `json:"wall_us_per_token"`
+	TokensPerSec     float64 `json:"tokens_per_sec"`
+	AMXCycles        uint64  `json:"amx_cycles"`
+	PrefillMaxAbsErr float64 `json:"prefill_max_abs_err"`
+	TokenAgreement   float64 `json:"token_agreement"`
+	BlockSparsity    float64 `json:"block_sparsity,omitempty"`
+}
+
+// quantBenchReport is the BENCH_quant.json payload: the same prompt
+// decoded greedily under the dense, sparse, and int4lut weight tiers.
+type quantBenchReport struct {
+	Model    string          `json:"model"`
+	Policy   string          `json:"policy"`
+	Tokens   int             `json:"tokens"`
+	Sparsity float64         `json:"sparsity"`
+	Group    int             `json:"group"`
+	Tiers    []quantBenchRow `json:"tiers"`
+}
+
+// runQuantBench decodes the same stream under the three weight tiers
+// and prints per-tier decode speed, serving footprint, and accuracy
+// against the dense baseline as JSON.
+func runQuantBench(modelName, policyName string, tokens int, sparsity float64, group int, seed int64) error {
+	cfg, err := liveModelConfig(modelName)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	if tokens < 2 {
+		return fmt.Errorf("quant bench needs at least 2 tokens, got %d", tokens)
+	}
+	if sparsity <= 0 {
+		sparsity = 0.5
+	}
+	if group <= 0 {
+		group = quant.DefaultGroupINT4
+	}
+	prompt := []int{5, 17, 42, 9, 63}
+	rep := quantBenchReport{Model: cfg.Name, Policy: strings.ToLower(policyName), Tokens: tokens, Sparsity: sparsity, Group: group}
+
+	var denseLogits tensor.Matrix
+	var denseTokens []int
+	for _, tier := range []string{"dense", "sparse", "int4lut"} {
+		m, err := llm.NewRandom(cfg, seed)
+		if err != nil {
+			return err
+		}
+		e := llm.NewExecutor(m, pol)
+		switch tier {
+		case "sparse":
+			e.EnableSparse(sparsity)
+		case "int4lut":
+			e.EnableINT4LUT(group)
+		}
+		logits, cache, err := e.Prefill(prompt)
+		if err != nil {
+			return err
+		}
+		e.RetireCache(cache)
+		e.Stats = llm.Stats{}
+		start := time.Now()
+		out, err := e.Generate(prompt, tokens)
+		wall := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if tier == "dense" {
+			denseLogits, denseTokens = logits, out
+		}
+		agree := 0
+		for i := range out {
+			if out[i] == denseTokens[i] {
+				agree++
+			}
+		}
+		rep.Tiers = append(rep.Tiers, quantBenchRow{
+			Tier:             e.QuantTier(),
+			WeightBytes:      e.WeightFootprint(),
+			WallDecodeUs:     float64(wall.Microseconds()) / float64(tokens),
+			TokensPerSec:     float64(tokens) / wall.Seconds(),
+			AMXCycles:        e.Stats.AMXCycles,
+			PrefillMaxAbsErr: quant.MaxAbsError(logits, denseLogits),
+			TokenAgreement:   float64(agree) / float64(tokens),
+			BlockSparsity:    e.SparseSkipFraction(),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
 // prefixBenchMode is one cache configuration's measurement in
 // BENCH_prefix.json. Cold is the first replay of the trace (nothing
 // cached yet), warm the second replay of the same requests; with the
@@ -645,7 +789,7 @@ func runPrefixBench(modelName string, seed int64) error {
 			return err
 		}
 		reqs := gen.Batch(nRequests)
-		g, _, _, err := buildGateway(modelName, "partial", "none", maxBatch, 64, kvTokens, cacheOn, 0, 0, 0, seed)
+		g, _, _, err := buildGateway(modelName, "partial", "none", maxBatch, 64, kvTokens, cacheOn, 0, 0, 0, "", 0, 0, seed)
 		if err != nil {
 			return err
 		}
@@ -826,7 +970,7 @@ func runChunkedBench(modelName string, chunk int, seed int64) error {
 
 	var first [][]int
 	for _, mode := range []int{0, chunk} {
-		g, _, _, err := buildGateway(modelName, "partial", "none", maxBatch, 64, 0, false, mode, 0, 0, seed)
+		g, _, _, err := buildGateway(modelName, "partial", "none", maxBatch, 64, 0, false, mode, 0, 0, "", 0, 0, seed)
 		if err != nil {
 			return err
 		}

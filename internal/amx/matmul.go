@@ -161,6 +161,9 @@ type Prepacked struct {
 	// never reassembles an operand from bytes. Nil only on byte-path-only
 	// operands built by prepackBF16Bytes (the oracle used in tests).
 	dec []float32
+	// zero is the sparse tier's zero-block bitmap (sparse.go), nil on
+	// dense operands. Both drivers skip a marked block's TileLoads + TDP.
+	zero *zeroBitmap
 }
 
 // PrepackBF16 packs a row-major float32 matrix (k × n) for reuse as the
@@ -300,7 +303,7 @@ func matmulBF16DriverBytes(c, a []float32, m int, w *Prepacked) (uint64, error) 
 		start := caller.u.Cycles()
 		err := caller.ensure(matmulConfig)
 		if err == nil {
-			err = runRowBlock(caller.u, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, caller.cTile[:blockM*blockN*4], c, m, w.N)
+			err = runRowBlock(caller.u, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, caller.cTile[:blockM*blockN*4], c, m, w.N, w.zero)
 		}
 		if err != nil {
 			return 0, err
@@ -309,7 +312,7 @@ func matmulBF16DriverBytes(c, a []float32, m int, w *Prepacked) (uint64, error) 
 	}
 
 	cycles, err := runTiled(matmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
-		return runRowBlock(pu.u, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, pu.cTile[:blockM*blockN*4], c, m, w.N)
+		return runRowBlock(pu.u, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, pu.cTile[:blockM*blockN*4], c, m, w.N, w.zero)
 	})
 	if err != nil {
 		return 0, err
@@ -341,7 +344,7 @@ func matmulBF16DriverDecoded(c, a []float32, m int, w *Prepacked) (uint64, error
 		start := caller.u.Cycles()
 		err := caller.ensure(matmulConfig)
 		if err == nil {
-			err = runRowBlockDecoded(caller, 0, colBlocks, kBlocks, w.padK, w.padN, decA, w.dec, c, m, w.N)
+			err = runRowBlockDecoded(caller, 0, colBlocks, kBlocks, w.padK, w.padN, decA, w.dec, c, m, w.N, w.zero)
 		}
 		if err != nil {
 			return 0, err
@@ -350,7 +353,7 @@ func matmulBF16DriverDecoded(c, a []float32, m int, w *Prepacked) (uint64, error
 	}
 
 	cycles, err := runTiled(matmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
-		return runRowBlockDecoded(pu, rb, colBlocks, kBlocks, w.padK, w.padN, decA, w.dec, c, m, w.N)
+		return runRowBlockDecoded(pu, rb, colBlocks, kBlocks, w.padK, w.padN, decA, w.dec, c, m, w.N, w.zero)
 	})
 	if err != nil {
 		return 0, err
@@ -358,8 +361,10 @@ func matmulBF16DriverDecoded(c, a []float32, m int, w *Prepacked) (uint64, error
 	return cycles, nil
 }
 
-// runRowBlock computes one 16-row stripe of the output.
-func runRowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packedB, cTile []byte, c []float32, m, n int) error {
+// runRowBlock computes one 16-row stripe of the output. A non-nil zero
+// bitmap (sparse operand) elides a marked block's TileLoads and TDP —
+// the same skips the decoded path takes, so the two stay bit-identical.
+func runRowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packedB, cTile []byte, c []float32, m, n int, zero *zeroBitmap) error {
 	aStride := padK * 2 // bytes per packed A row
 	bStride := padN * 4 // bytes per packed VNNI B row (pairs)
 	for cb := 0; cb < colBlocks; cb++ {
@@ -367,6 +372,9 @@ func runRowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packe
 			return err
 		}
 		for kb := 0; kb < kBlocks; kb++ {
+			if zero.skipBlock(cb, kb, kBlocks) {
+				continue
+			}
 			aOff := rb*blockM*aStride + kb*blockK*2
 			if err := u.TileLoad(tmmA, packedA[aOff:], aStride); err != nil {
 				return err
@@ -410,7 +418,7 @@ func runRowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packe
 // slices and the accumulator stays float32 end to end (a byte image of
 // the accumulator would round-trip losslessly anyway, so results are
 // bit-identical).
-func runRowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, decA, decB []float32, c []float32, m, n int) error {
+func runRowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, decA, decB []float32, c []float32, m, n int, zero *zeroBitmap) error {
 	u := pu.u
 	cDec := pu.cDecF[:blockM*blockN]
 	// Rows of this stripe that carry real data; the rest of the tile is
@@ -431,6 +439,9 @@ func runRowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, 
 		}
 		clear(cDec)
 		for kb := 0; kb < kBlocks; kb++ {
+			if zero.skipBlock(cb, kb, kBlocks) {
+				continue
+			}
 			aOff := rb*blockM*padK + kb*blockK
 			if err := u.TileLoadCheck(tmmA, aBytes-2*aOff, aStrideB); err != nil {
 				return err

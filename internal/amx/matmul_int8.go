@@ -123,6 +123,9 @@ type PrepackedINT8 struct {
 	// prepack time for the decoded fast path. Nil only on operands built
 	// by prepackINT8Bytes (the byte-path oracle used in tests).
 	dec []int8
+	// zero is the sparse tier's zero-block bitmap (sparse.go), nil on
+	// dense operands. Both drivers skip a marked block's TileLoads + TDP.
+	zero *zeroBitmap
 }
 
 // PrepackINT8 packs a row-major int8 matrix (k × n) for reuse as the
@@ -218,9 +221,9 @@ func matmulINT8Driver(a []uint8, m int, w *PrepackedINT8) ([]int32, uint64, erro
 		err := caller.ensure(int8MatmulConfig)
 		if err == nil {
 			if w.dec != nil {
-				err = runInt8RowBlockDecoded(caller, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.dec, c, m, w.N)
+				err = runInt8RowBlockDecoded(caller, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.dec, c, m, w.N, w.zero)
 			} else {
-				err = runInt8RowBlock(caller.u, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, caller.cTile[:blockMi8*blockNi8*4], c, m, w.N)
+				err = runInt8RowBlock(caller.u, 0, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, caller.cTile[:blockMi8*blockNi8*4], c, m, w.N, w.zero)
 			}
 		}
 		if err != nil {
@@ -231,9 +234,9 @@ func matmulINT8Driver(a []uint8, m int, w *PrepackedINT8) ([]int32, uint64, erro
 
 	cycles, err := runTiled(int8MatmulConfig, rowBlocks, func(pu *pooledUnit, rb int) error {
 		if w.dec != nil {
-			return runInt8RowBlockDecoded(pu, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.dec, c, m, w.N)
+			return runInt8RowBlockDecoded(pu, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.dec, c, m, w.N, w.zero)
 		}
-		return runInt8RowBlock(pu.u, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, pu.cTile[:blockMi8*blockNi8*4], c, m, w.N)
+		return runInt8RowBlock(pu.u, rb, colBlocks, kBlocks, w.padK, w.padN, packedA, w.vnni, pu.cTile[:blockMi8*blockNi8*4], c, m, w.N, w.zero)
 	})
 	if err != nil {
 		return nil, 0, err
@@ -241,8 +244,10 @@ func matmulINT8Driver(a []uint8, m int, w *PrepackedINT8) ([]int32, uint64, erro
 	return c, cycles, nil
 }
 
-// runInt8RowBlock computes one 16-row stripe of the INT8 output.
-func runInt8RowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packedB, cTile []byte, c []int32, m, n int) error {
+// runInt8RowBlock computes one 16-row stripe of the INT8 output. A
+// non-nil zero bitmap elides a marked block's TileLoads and TDP; the
+// integer skip is exact (a zero block adds +0 to every lane).
+func runInt8RowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, packedB, cTile []byte, c []int32, m, n int, zero *zeroBitmap) error {
 	aStride := padK     // bytes per packed A row (u8)
 	bStride := padN * 4 // bytes per packed VNNI B row (quads)
 	for cb := 0; cb < colBlocks; cb++ {
@@ -250,6 +255,9 @@ func runInt8RowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, p
 			return err
 		}
 		for kb := 0; kb < kBlocks; kb++ {
+			if zero.skipBlock(cb, kb, kBlocks) {
+				continue
+			}
 			aOff := rb*blockMi8*aStride + kb*blockKi8
 			if err := u.TileLoad(tmmA, packedA[aOff:], aStride); err != nil {
 				return err
@@ -289,7 +297,7 @@ func runInt8RowBlock(u *Unit, rb, colBlocks, kBlocks, padK, padN int, packedA, p
 // runRowBlockDecoded: identical faults and cycle accounting via the
 // *Check variants, flat-slice MAC loop, int32 accumulator kept decoded
 // (its byte image round-trips losslessly, so results are bit-identical).
-func runInt8RowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, packedA []byte, decB []int8, c []int32, m, n int) error {
+func runInt8RowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN int, packedA []byte, decB []int8, c []int32, m, n int, zero *zeroBitmap) error {
 	u := pu.u
 	cDec := pu.cDecI[:blockMi8*blockNi8]
 	// Rows of this stripe carrying real data; the padding rows' MAC work
@@ -298,7 +306,7 @@ func runInt8RowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN i
 	if valid > blockMi8 {
 		valid = blockMi8
 	}
-	aStride := padK     // bytes per packed A row (u8)
+	aStride := padK      // bytes per packed A row (u8)
 	bStrideB := padN * 4 // byte stride of the VNNI image the byte path would load
 	bBytes := len(decB)
 	for cb := 0; cb < colBlocks; cb++ {
@@ -307,6 +315,9 @@ func runInt8RowBlockDecoded(pu *pooledUnit, rb, colBlocks, kBlocks, padK, padN i
 		}
 		clear(cDec)
 		for kb := 0; kb < kBlocks; kb++ {
+			if zero.skipBlock(cb, kb, kBlocks) {
+				continue
+			}
 			aOff := rb*blockMi8*aStride + kb*blockKi8
 			if err := u.TileLoadCheck(tmmA, len(packedA)-aOff, aStride); err != nil {
 				return err

@@ -86,6 +86,18 @@ type Config struct {
 	SpecGamma int
 	// SpecDraftLayers is the draft model's depth (default 1).
 	SpecDraftLayers int
+	// Quant selects the executor's weight tier: "" or "dense" (BF16),
+	// "sparse" (block-sparse AMX — zero tile blocks skip their loads and
+	// TDP), "int4lut" (INT4 group quantization through the LUT-GEMV
+	// kernel), or "int8" (W8A8 TDPBUSD). The gateway applies the tier to
+	// the executor before serving; lia_quant_* gauges report the resulting
+	// footprint.
+	Quant string
+	// QuantSparsity is the sparse tier's zero-block fraction (default 0.5).
+	QuantSparsity float64
+	// QuantGroup is the int4lut tier's group length (default
+	// quant.DefaultGroupINT4).
+	QuantGroup int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpecGamma > 0 && c.SpecDraftLayers == 0 {
 		c.SpecDraftLayers = 1
+	}
+	if c.Quant == "sparse" && c.QuantSparsity == 0 {
+		c.QuantSparsity = 0.5
 	}
 	return c
 }
@@ -134,6 +149,17 @@ func (c Config) Validate() error {
 		if c.Offload != nil {
 			return fmt.Errorf("gateway: speculative decoding does not compose with tiered-memory offload")
 		}
+	}
+	switch c.Quant {
+	case "", "dense", "sparse", "int4lut", "int8":
+	default:
+		return fmt.Errorf("gateway: unknown quant tier %q (want dense, sparse, int4lut or int8)", c.Quant)
+	}
+	if c.QuantSparsity < 0 || c.QuantSparsity >= 1 {
+		return fmt.Errorf("gateway: QuantSparsity must be in [0,1), got %g", c.QuantSparsity)
+	}
+	if c.QuantGroup < 0 {
+		return fmt.Errorf("gateway: QuantGroup must be ≥0, got %d", c.QuantGroup)
 	}
 	return nil
 }
@@ -194,6 +220,17 @@ func New(exec *llm.Executor, cfg Config) (*Gateway, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	// Apply the weight tier before anything reads the executor (the
+	// speculative-decode check below sees the final tier, and the batcher
+	// never observes a tier change mid-serve).
+	switch cfg.Quant {
+	case "sparse":
+		exec.EnableSparse(cfg.QuantSparsity)
+	case "int4lut":
+		exec.EnableINT4LUT(cfg.QuantGroup)
+	case "int8":
+		exec.EnableINT8()
 	}
 	var pool *kvpage.Manager
 	if cfg.KVBudget > 0 {
@@ -386,14 +423,21 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 }
 
 // Snapshot returns the current counters and latency summaries.
-func (g *Gateway) Snapshot() Snapshot { return g.m.snapshot() }
+func (g *Gateway) Snapshot() Snapshot {
+	s := g.m.snapshot()
+	// Tier identity and footprint are immutable after New, so reading the
+	// executor here is race-free.
+	s.QuantTier = g.exec.QuantTier()
+	s.WeightFootprintBytes = uint64(g.exec.WeightFootprint())
+	return s
+}
 
 // Prometheus renders the metrics in Prometheus text format. With an
 // offload host configured, the tiered-memory counters
 // (lia_offload_*) follow the gateway's own; with the prefix cache on,
 // the lia_prefix_* counters follow too.
 func (g *Gateway) Prometheus() string {
-	out := g.m.prometheus()
+	out := g.m.prometheus() + quantProm(g.exec)
 	if g.cfg.Offload != nil {
 		out += g.cfg.Offload.Prometheus()
 	}

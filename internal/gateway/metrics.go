@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"github.com/lia-sim/lia/internal/llm"
 )
 
 // histBuckets are the latency histogram's upper bounds: powers of two
@@ -126,6 +128,10 @@ type Snapshot struct {
 	PrefillChunks                                 uint64
 	SpecRounds, SpecDrafted                       uint64
 	SpecAccepted, SpecEmitted                     uint64
+	// QuantTier and WeightFootprintBytes describe the executor's active
+	// weight tier (immutable after New).
+	QuantTier            string
+	WeightFootprintBytes uint64
 	QueueWaitMean, QueueWaitP99                   time.Duration
 	TTFTMean, TTFTP50, TTFTP99                    time.Duration
 	PerTokenMean                                  time.Duration
@@ -180,5 +186,23 @@ func (m *metrics) prometheus() string {
 	hist("lia_gateway_queue_wait_seconds", "Enqueue to first admission.", m.queueWait)
 	hist("lia_gateway_ttft_seconds", "Enqueue to first token available.", m.ttft)
 	hist("lia_gateway_per_token_seconds", "Mean decode-iteration time per served token.", m.perToken)
+	return b.String()
+}
+
+// quantProm renders the weight-tier gauges. Everything here is immutable
+// after gateway construction (the tier is applied before the batcher
+// starts), so concurrent scrapes are race-free.
+func quantProm(exec *llm.Executor) string {
+	var b strings.Builder
+	gauge := func(name, help string, labels string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s%s %g\n", name, help, name, name, labels, v)
+	}
+	gauge("lia_quant_tier", "Active weight tier (1 for the tier named by the label).",
+		fmt.Sprintf("{tier=%q}", exec.QuantTier()), 1)
+	gauge("lia_quant_weight_bytes", "Serving footprint of the decoder layers' parameter matrices under the active tier.",
+		"", float64(exec.WeightFootprint()))
+	if f := exec.SparseSkipFraction(); f > 0 {
+		gauge("lia_quant_block_sparsity", "Zero tile-block fraction the sparse tier skips.", "", f)
+	}
 	return b.String()
 }

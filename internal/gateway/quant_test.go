@@ -1,0 +1,108 @@
+package gateway
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/llm"
+)
+
+// Serving under a compressed weight tier: the gateway applies the tier
+// at construction, tokens match a solo executor with the same tier, and
+// the lia_quant_* gauges report it.
+func TestGatewayServesCompressedTiers(t *testing.T) {
+	prompt := []int{3, 14, 15}
+	for _, tc := range []struct {
+		cfg  Config
+		tier string
+	}{
+		{Config{Quant: "sparse", QuantSparsity: 0.5}, "sparse"},
+		{Config{Quant: "int4lut"}, "int4lut"},
+	} {
+		g, err := New(testExecutor(t), Config{MaxBatch: 2, Quant: tc.cfg.Quant, QuantSparsity: tc.cfg.QuantSparsity, QuantGroup: tc.cfg.QuantGroup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: a solo executor with the same tier enabled.
+		ref := testExecutor(t)
+		switch tc.tier {
+		case "sparse":
+			ref.EnableSparse(0.5)
+		case "int4lut":
+			ref.EnableINT4LUT(0)
+		}
+		want, err := ref.Generate(prompt, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := g.Submit(ctx, prompt, 6)
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.tier, err)
+		}
+		for i := range want {
+			if res.Tokens[i] != want[i] {
+				t.Fatalf("%s: served tokens %v, want %v", tc.tier, res.Tokens, want)
+			}
+		}
+
+		snap := g.Snapshot()
+		if snap.QuantTier != tc.tier {
+			t.Errorf("snapshot tier %q, want %q", snap.QuantTier, tc.tier)
+		}
+		if snap.WeightFootprintBytes == 0 {
+			t.Error("zero weight footprint reported")
+		}
+		prom := g.Prometheus()
+		if !strings.Contains(prom, `lia_quant_tier{tier="`+tc.tier+`"} 1`) {
+			t.Errorf("%s: lia_quant_tier gauge missing:\n%s", tc.tier, prom)
+		}
+		if !strings.Contains(prom, "lia_quant_weight_bytes") {
+			t.Error("lia_quant_weight_bytes gauge missing")
+		}
+		if tc.tier == "sparse" && !strings.Contains(prom, "lia_quant_block_sparsity") {
+			t.Error("lia_quant_block_sparsity gauge missing for sparse tier")
+		}
+		shutdown(t, g)
+	}
+}
+
+// The compressed tiers shrink the footprint the gateway reports, in the
+// documented order: int4lut < sparse(0.5) < dense.
+func TestGatewayQuantFootprintOrdering(t *testing.T) {
+	footprint := func(q string) uint64 {
+		g, err := New(testExecutor(t), Config{Quant: q, MaxBatch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer shutdown(t, g)
+		return g.Snapshot().WeightFootprintBytes
+	}
+	dense := footprint("dense")
+	sparse := footprint("sparse")
+	int4 := footprint("int4lut")
+	if !(int4 < sparse && sparse < dense) {
+		t.Errorf("footprints not ordered: int4 %d, sparse %d, dense %d", int4, sparse, dense)
+	}
+}
+
+func TestGatewayRejectsBadQuantConfig(t *testing.T) {
+	m, err := llm.NewRandom(llm.TinyConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := llm.NewExecutor(m, core.PartialCPU)
+	if _, err := New(exec, Config{Quant: "fp8"}); err == nil {
+		t.Error("unknown tier accepted")
+	}
+	if _, err := New(exec, Config{Quant: "sparse", QuantSparsity: 1.5}); err == nil {
+		t.Error("sparsity ≥ 1 accepted")
+	}
+	if _, err := New(exec, Config{Quant: "int4lut", QuantGroup: -2}); err == nil {
+		t.Error("negative group accepted")
+	}
+}

@@ -1,0 +1,233 @@
+// Compressed weight tiers: the sparse AMX and INT4 LUT-GEMV serving
+// modes. Both follow EnableINT8's shape — quantize/prune every parameter
+// sublayer eagerly, then route linear() through the compressed kernel —
+// but unlike INT8 (whose per-pass activation scales couple stacked rows)
+// both tiers compute every output row from its own input row, so they
+// stay on the fused batch-decode path with no fallback.
+package llm
+
+import (
+	"fmt"
+
+	"github.com/lia-sim/lia/internal/amx"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/quant"
+	"github.com/lia-sim/lia/internal/tensor"
+)
+
+// sparseWeight is one block-pruned parameter matrix in both routed
+// forms: the sparse-bitmap VNNI image the CPU route runs (zero tile
+// blocks skip their TileLoads and TDP) and the bf16-rounded pruned copy
+// the dense (GPU) route multiplies. Both are built once at enable time
+// and immutable afterwards, so forks share them.
+type sparseWeight struct {
+	pre   *amx.Prepacked
+	gpu   tensor.Matrix
+	k, n  int
+	stats quant.SparseStats
+}
+
+// sparseLayer holds one decoder layer's four pruned parameter matrices.
+type sparseLayer struct {
+	qkv, out, fc1, fc2 sparseWeight
+}
+
+// int4Layer caches one decoder layer's INT4 group-quantized matrices.
+type int4Layer struct {
+	wQKV, wOut, wFC1, wFC2 quant.WeightsINT4
+}
+
+// EnableSparse prunes every parameter-sublayer weight matrix to the
+// requested block-sparsity at the AMX tile granularity (lowest-magnitude
+// blocks first) and prepacks the sparse-bitmap images; subsequent passes
+// skip the zeroed blocks on the CPU route and multiply the same pruned
+// weights densely on the GPU route, so tokens are policy-invariant
+// exactly like the dense tier. Enabling replaces any other compressed
+// tier. Attention scoring (the KV cache) stays dense BF16.
+func (e *Executor) EnableSparse(sparsity float64) {
+	e.int8 = nil
+	e.int4 = nil
+	e.sparse = make([]sparseLayer, len(e.Model.Layers))
+	for i, w := range e.Model.Layers {
+		e.sparse[i] = sparseLayer{
+			qkv: pruneWeight(w.WQKV, sparsity),
+			out: pruneWeight(w.WOut, sparsity),
+			fc1: pruneWeight(w.WFC1, sparsity),
+			fc2: pruneWeight(w.WFC2, sparsity),
+		}
+	}
+}
+
+// pruneWeight builds one sparseWeight from a dense matrix.
+func pruneWeight(w tensor.Matrix, sparsity float64) sparseWeight {
+	pruned, stats := quant.PruneBlocks(w, sparsity)
+	pre, err := amx.PrepackBF16Sparse(pruned.Data, pruned.Rows, pruned.Cols)
+	if err != nil {
+		panic(fmt.Sprintf("llm: sparse prepack: %v", err))
+	}
+	gpu := pruned.Clone()
+	amx.RoundSlice(gpu.Data)
+	return sparseWeight{pre: pre, gpu: gpu, k: pruned.Rows, n: pruned.Cols, stats: stats}
+}
+
+// EnableINT4LUT quantizes every parameter-sublayer weight matrix to the
+// INT4 group format (group ≤ 0 selects quant.DefaultGroupINT4) and runs
+// those sublayers through the LUT-GEMV kernel regardless of policy —
+// like INT8, the compressed kernel replaces both routes. Enabling
+// replaces any other compressed tier.
+func (e *Executor) EnableINT4LUT(group int) {
+	e.int8 = nil
+	e.sparse = nil
+	e.int4 = make([]int4Layer, len(e.Model.Layers))
+	for i, w := range e.Model.Layers {
+		e.int4[i] = int4Layer{
+			wQKV: mustQuantizeINT4(w.WQKV, group),
+			wOut: mustQuantizeINT4(w.WOut, group),
+			wFC1: mustQuantizeINT4(w.WFC1, group),
+			wFC2: mustQuantizeINT4(w.WFC2, group),
+		}
+	}
+}
+
+func mustQuantizeINT4(w tensor.Matrix, group int) quant.WeightsINT4 {
+	q, err := quant.QuantizeINT4(w, group)
+	if err != nil {
+		panic(fmt.Sprintf("llm: int4 quantize: %v", err))
+	}
+	return q
+}
+
+// Sparse reports whether the block-sparse tier is on.
+func (e *Executor) Sparse() bool { return e.sparse != nil }
+
+// INT4 reports whether the INT4 LUT tier is on.
+func (e *Executor) INT4() bool { return e.int4 != nil }
+
+// QuantTier names the active weight tier for metrics and bench labels.
+func (e *Executor) QuantTier() string {
+	switch {
+	case e.int8 != nil:
+		return "int8"
+	case e.int4 != nil:
+		return "int4lut"
+	case e.sparse != nil:
+		return "sparse"
+	}
+	return "dense"
+}
+
+// linearSparse is linear()'s sparse-tier body: policy-routed like the
+// dense path, but the CPU route runs the sparse-bitmap image (skipping
+// zero blocks) and the GPU route multiplies the pruned rounded copy.
+func (e *Executor) linearSparse(li int, s model.Sublayer, x tensor.Matrix) tensor.Matrix {
+	sl := &e.sparse[li]
+	var sw *sparseWeight
+	switch s {
+	case model.QKVMapping:
+		sw = &sl.qkv
+	case model.OutProjection:
+		sw = &sl.out
+	case model.FC1:
+		sw = &sl.fc1
+	case model.FC2:
+		sw = &sl.fc2
+	default:
+		panic(fmt.Sprintf("llm: %s is not a parameter sublayer", s))
+	}
+	if x.Cols != sw.k {
+		panic(fmt.Sprintf("llm: %s matmul shape mismatch %dx%d · %dx%d", s, x.Rows, x.Cols, sw.k, sw.n))
+	}
+	if e.Policy.OnCPU(s) {
+		out, cycles, err := amx.MatmulBF16Packed(x.Data, x.Rows, sw.pre)
+		if err != nil {
+			panic(fmt.Sprintf("llm: sparse AMX matmul: %v", err))
+		}
+		nz, total := sw.pre.BlockStats()
+		e.Stats.CPUMatmuls++
+		e.Stats.SparseMatmuls++
+		e.Stats.SparseBlocksSkipped += uint64(total - nz)
+		e.Stats.AMXCycles += cycles
+		return tensor.FromSlice(x.Rows, sw.n, out)
+	}
+	e.Stats.GPUMatmuls++
+	amx.RoundSlice(x.Data)
+	return tensor.MatMul(x, sw.gpu)
+}
+
+// linearINT4 is linear()'s INT4-LUT body.
+func (e *Executor) linearINT4(li int, s model.Sublayer, x tensor.Matrix) tensor.Matrix {
+	q := &e.int4[li]
+	var qw *quant.WeightsINT4
+	switch s {
+	case model.QKVMapping:
+		qw = &q.wQKV
+	case model.OutProjection:
+		qw = &q.wOut
+	case model.FC1:
+		qw = &q.wFC1
+	case model.FC2:
+		qw = &q.wFC2
+	default:
+		panic(fmt.Sprintf("llm: %s is not a parameter sublayer", s))
+	}
+	out, cycles, err := quant.LinearINT4LUT(x, *qw)
+	if err != nil {
+		panic(fmt.Sprintf("llm: int4 linear: %v", err))
+	}
+	e.Stats.Int4Matmuls++
+	e.Stats.AMXCycles += cycles
+	return out
+}
+
+// WeightFootprint returns the serving footprint in bytes of the active
+// weight tier across every decoder layer's parameter matrices — the
+// number the gateway's lia_quant_weight_bytes gauge and the bench rows
+// report. Dense and sparse price the BF16 image a deployment ships (2
+// bytes per element; sparse prices the compressed nonzero-block payload
+// plus bitmap), INT8/INT4 their packed formats with side tables. The
+// embedding is excluded: it stays dense in every tier.
+func (e *Executor) WeightFootprint() int64 {
+	var total int64
+	for li := range e.Model.Layers {
+		switch {
+		case e.int8 != nil:
+			q := &e.int8[li]
+			total += int64(q.wQKV.Footprint() + q.wOut.Footprint() + q.wFC1.Footprint() + q.wFC2.Footprint())
+		case e.int4 != nil:
+			q := &e.int4[li]
+			total += int64(q.wQKV.Footprint() + q.wOut.Footprint() + q.wFC1.Footprint() + q.wFC2.Footprint())
+		case e.sparse != nil:
+			sl := &e.sparse[li]
+			for _, sw := range []*sparseWeight{&sl.qkv, &sl.out, &sl.fc1, &sl.fc2} {
+				total += int64(quant.SparseFootprint(sw.k, sw.n, sw.stats))
+			}
+		default:
+			w := &e.Model.Layers[li]
+			for _, m := range []tensor.Matrix{w.WQKV, w.WOut, w.WFC1, w.WFC2} {
+				total += int64(2 * m.Rows * m.Cols)
+			}
+		}
+	}
+	return total
+}
+
+// SparseSkipFraction reports the aggregate zero-block fraction across
+// the sparse tier's weights (0 when the tier is off) — the measured
+// sparsity the analytic model's (1 − s) scaling is calibrated against.
+func (e *Executor) SparseSkipFraction() float64 {
+	if e.sparse == nil {
+		return 0
+	}
+	var zero, total int
+	for li := range e.sparse {
+		sl := &e.sparse[li]
+		for _, sw := range []*sparseWeight{&sl.qkv, &sl.out, &sl.fc1, &sl.fc2} {
+			zero += sw.stats.ZeroBlocks
+			total += sw.stats.TotalBlocks
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zero) / float64(total)
+}

@@ -162,16 +162,21 @@ func (e *Executor) decodeAttnRow(li int, qkvRow []float32, cache *KVCache, ctxRo
 	if cap(e.khT) < dh*seen {
 		e.khT = make([]float32, dh*cache.capRows)
 	}
-	if cap(e.qhBuf) < dh {
-		e.qhBuf = make([]float32, dh)
+	if cap(e.qhBuf) < groups*dh {
+		e.qhBuf = make([]float32, groups*dh)
 	}
 	if cap(e.vhBuf) < seen*dh {
 		e.vhBuf = make([]float32, cache.capRows*dh)
 	}
-	for h := 0; h < nh; h++ {
-		kvHead := h / groups
-		qh := tensor.FromSlice(1, dh, e.qhBuf[:dh])
-		copy(qh.Row(0), q.Row(0)[h*dh:(h+1)*dh])
+	// Same KV-head fusion as forwardLayer: the group's query rows stack
+	// into one operand, one Q·Kᵀ and one probs·V per KV head (no causal
+	// mask — a decode row attends to everything).
+	for kvHead := 0; kvHead < cfg.KVHeads; kvHead++ {
+		qh := tensor.FromSlice(groups, dh, e.qhBuf[:groups*dh])
+		for g := 0; g < groups; g++ {
+			h := kvHead*groups + g
+			copy(qh.Row(g), q.Row(0)[h*dh:(h+1)*dh])
+		}
 		vh := tensor.FromSlice(seen, dh, e.vhBuf[:seen*dh])
 		for r := 0; r < seen; r++ {
 			copy(vh.Row(r), fullV.Row(r)[kvHead*dh:(kvHead+1)*dh])
@@ -184,7 +189,10 @@ func (e *Executor) decodeAttnRow(li int, qkvRow []float32, cache *KVCache, ctxRo
 		scores := tensor.Scale(e.matmul(model.QKT, qh, khT), invSqrt)
 		tensor.SoftmaxRows(scores)
 		ctxH := e.matmul(model.SV, scores, vh)
-		copy(ctxRow[h*dh:(h+1)*dh], ctxH.Row(0))
+		for g := 0; g < groups; g++ {
+			h := kvHead*groups + g
+			copy(ctxRow[h*dh:(h+1)*dh], ctxH.Row(g))
+		}
 	}
 }
 

@@ -180,6 +180,13 @@ type Stats struct {
 	CPUMatmuls, GPUMatmuls int
 	// Int8Matmuls counts quantized (TDPBUSD) dispatches.
 	Int8Matmuls int
+	// SparseMatmuls counts dispatches through a sparse-bitmap AMX image,
+	// and SparseBlocksSkipped the zero tile blocks those dispatches elided
+	// (per weight pass, independent of the activation row count).
+	SparseMatmuls       int
+	SparseBlocksSkipped uint64
+	// Int4Matmuls counts INT4 LUT-GEMV dispatches.
+	Int4Matmuls int
 	// AMXCycles accumulates emulated tile-pipeline cycles.
 	AMXCycles uint64
 }
@@ -190,6 +197,9 @@ func (s *Stats) add(o Stats) {
 	s.CPUMatmuls += o.CPUMatmuls
 	s.GPUMatmuls += o.GPUMatmuls
 	s.Int8Matmuls += o.Int8Matmuls
+	s.SparseMatmuls += o.SparseMatmuls
+	s.SparseBlocksSkipped += o.SparseBlocksSkipped
+	s.Int4Matmuls += o.Int4Matmuls
 	s.AMXCycles += o.AMXCycles
 }
 
@@ -257,8 +267,12 @@ type Executor struct {
 	// pass holds the active pass's hooks; a fork runs one pass at a time
 	// on one goroutine, so no synchronization is needed.
 	pass PassHooks
-	// int8 holds pre-quantized parameter weights when INT8 mode is on.
-	int8 []quantizedLayer
+	// int8 holds pre-quantized parameter weights when INT8 mode is on;
+	// sparse and int4 hold the block-sparse and INT4-LUT tiers (at most
+	// one of the three is non-nil — Enable* clears the others).
+	int8   []quantizedLayer
+	sparse []sparseLayer
+	int4   []int4Layer
 	// shared holds the packed-weight caches and RoPE tables, common to
 	// every fork of this executor.
 	shared *sharedState
@@ -287,7 +301,7 @@ func (e *Executor) sharedState() *sharedState {
 // and quantized weights, with private Stats and scratch — the unit of
 // parallelism for GenerateBatch.
 func (e *Executor) fork() *Executor {
-	return &Executor{Model: e.Model, Policy: e.Policy, Mem: e.Mem, int8: e.int8, shared: e.sharedState()}
+	return &Executor{Model: e.Model, Policy: e.Policy, Mem: e.Mem, int8: e.int8, sparse: e.sparse, int4: e.int4, shared: e.sharedState()}
 }
 
 // WeightPacks reports how many static-weight layout conversions (VNNI
@@ -303,6 +317,8 @@ func (e *Executor) WeightPacks() int64 { return e.sharedState().packs.Load() }
 // BF16, matching the §6 observation that it is the precision- and
 // bandwidth-sensitive path.
 func (e *Executor) EnableINT8() {
+	e.sparse = nil
+	e.int4 = nil
 	e.int8 = make([]quantizedLayer, len(e.Model.Layers))
 	for i, w := range e.Model.Layers {
 		e.int8[i] = quantizedLayer{
@@ -365,6 +381,12 @@ func (e *Executor) linear(li int, s model.Sublayer, x tensor.Matrix) tensor.Matr
 			e.Stats.AMXCycles += cycles
 			return out
 		}
+	}
+	if e.int4 != nil {
+		return e.linearINT4(li, s, x)
+	}
+	if e.sparse != nil {
+		return e.linearSparse(li, s, x)
 	}
 	w, cached := e.weightFor(li, s)
 	if x.Cols != w.Rows {
@@ -466,28 +488,35 @@ func (e *Executor) forwardLayer(li int, x tensor.Matrix, cache *KVCache, mask bo
 		e.pass.KVRead(li, seen)
 	}
 
-	// Sublayers 2+3 per head: scores = Q·Kᵀ/√dh, probs = softmax, ctx =
-	// probs·V.
+	// Sublayers 2+3, fused per KV head: the `groups` query heads sharing
+	// one KV head stack vertically into a single (groups·rows × dh)
+	// operand, so Q·Kᵀ and probs·V each dispatch once per KV head instead
+	// of once per query head (2·KVHeads attention GEMMs per layer). Every
+	// kernel on this path computes each output row from its own input row
+	// — the AMX tile blocks zero-pad, the dense route rounds elementwise
+	// and dots row-by-row — so the stacked results are bit-identical to
+	// the per-head dispatches they replace.
 	ctx := tensor.New(x.Rows, d)
 	invSqrt := float32(1 / math.Sqrt(float64(dh)))
 	if cap(e.khT) < dh*seen {
 		e.khT = make([]float32, dh*cache.capRows)
 	}
-	if cap(e.qhBuf) < x.Rows*dh {
-		e.qhBuf = make([]float32, x.Rows*dh)
+	if cap(e.qhBuf) < groups*x.Rows*dh {
+		e.qhBuf = make([]float32, groups*x.Rows*dh)
 	}
 	if cap(e.vhBuf) < seen*dh {
 		e.vhBuf = make([]float32, cache.capRows*dh)
 	}
-	for h := 0; h < nh; h++ {
-		kvHead := h / groups // grouped-query attention shares KV heads
-		// Stage the head's query and value slices into scratch (the same
-		// copy SliceCols made, without the per-head allocation; copies are
-		// required regardless because the dense route rounds operands in
-		// place and q/fullV must stay pristine).
-		qh := tensor.FromSlice(x.Rows, dh, e.qhBuf[:x.Rows*dh])
-		for r := 0; r < x.Rows; r++ {
-			copy(qh.Row(r), q.Row(r)[h*dh:(h+1)*dh])
+	for kvHead := 0; kvHead < cfg.KVHeads; kvHead++ {
+		// Stage the group's query slices into scratch, stacked by head
+		// (copies are required regardless because the dense route rounds
+		// operands in place and q/fullV must stay pristine).
+		qh := tensor.FromSlice(groups*x.Rows, dh, e.qhBuf[:groups*x.Rows*dh])
+		for g := 0; g < groups; g++ {
+			h := kvHead*groups + g
+			for r := 0; r < x.Rows; r++ {
+				copy(qh.Row(g*x.Rows+r), q.Row(r)[h*dh:(h+1)*dh])
+			}
 		}
 		vh := tensor.FromSlice(seen, dh, e.vhBuf[:seen*dh])
 		for r := 0; r < seen; r++ {
@@ -496,7 +525,7 @@ func (e *Executor) forwardLayer(li int, x tensor.Matrix, cache *KVCache, mask bo
 
 		// Q·Kᵀ through the policy-routed kernel. The transpose is staged
 		// from the cache's incrementally-updated mirror (scratch-backed,
-		// rebuilt per head because the dense route rounds it in place).
+		// rebuilt per KV head because the dense route rounds it in place).
 		khT := tensor.FromSlice(dh, seen, e.khT[:dh*seen])
 		kt := cache.kT[li]
 		for i := 0; i < dh; i++ {
@@ -504,12 +533,21 @@ func (e *Executor) forwardLayer(li int, x tensor.Matrix, cache *KVCache, mask bo
 		}
 		scores := tensor.Scale(e.matmul(model.QKT, qh, khT), invSqrt)
 		if mask {
-			tensor.CausalMask(scores, past)
+			// Row g·rows+r of the stacked scores is query position past+r
+			// of head g, so the causal mask applies per sub-block — the
+			// stacked row index must not leak into the diagonal offset.
+			for g := 0; g < groups; g++ {
+				sub := tensor.FromSlice(x.Rows, seen, scores.Data[g*x.Rows*seen:(g+1)*x.Rows*seen])
+				tensor.CausalMask(sub, past)
+			}
 		}
 		tensor.SoftmaxRows(scores)
 		ctxH := e.matmul(model.SV, scores, vh)
-		for r := 0; r < ctx.Rows; r++ {
-			copy(ctx.Row(r)[h*dh:(h+1)*dh], ctxH.Row(r))
+		for g := 0; g < groups; g++ {
+			h := kvHead*groups + g
+			for r := 0; r < ctx.Rows; r++ {
+				copy(ctx.Row(r)[h*dh:(h+1)*dh], ctxH.Row(g*x.Rows+r))
+			}
 		}
 	}
 

@@ -163,10 +163,11 @@ func TestRoutingCounters(t *testing.T) {
 	if partial.Stats.CPUMatmuls == 0 || partial.Stats.GPUMatmuls == 0 {
 		t.Errorf("partial policy should use both devices: %+v", partial.Stats)
 	}
-	// Attention scoring runs per head per layer on the CPU: 2 sublayers ×
-	// heads × layers kernels.
+	// Attention scoring runs fused per KV head per layer on the CPU: 2
+	// sublayers × KV heads × layers kernels (the query heads of a group
+	// stack into one dispatch).
 	cfg := m.Cfg
-	want := 2 * cfg.Heads * cfg.Layers
+	want := 2 * cfg.KVHeads * cfg.Layers
 	if partial.Stats.CPUMatmuls != want {
 		t.Errorf("partial CPU matmuls = %d, want %d", partial.Stats.CPUMatmuls, want)
 	}
@@ -246,8 +247,9 @@ func TestINT8ModeRoutesThroughTDPBUSD(t *testing.T) {
 	if e.Stats.Int8Matmuls != wantInt8 {
 		t.Errorf("int8 matmuls = %d, want %d", e.Stats.Int8Matmuls, wantInt8)
 	}
-	// Attention still runs on the (GPU) dense path.
-	wantGPU := 2 * cfg.Heads * cfg.Layers
+	// Attention still runs on the (GPU) dense path, one fused dispatch
+	// pair per KV head.
+	wantGPU := 2 * cfg.KVHeads * cfg.Layers
 	if e.Stats.GPUMatmuls != wantGPU {
 		t.Errorf("dense matmuls = %d, want %d", e.Stats.GPUMatmuls, wantGPU)
 	}

@@ -1,0 +1,63 @@
+package memplan
+
+import (
+	"testing"
+
+	"github.com/lia-sim/lia/internal/cxl"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+)
+
+// The compressed-weight tiers reach the planners through
+// model.Config.Quant: smaller per-layer parameter bytes pin more layers
+// under the same HBM budget, shrink the host-resident parameter pool,
+// and admit larger batches within the same DDR.
+
+func TestCompressedVariantsPinMoreLayers(t *testing.T) {
+	dense := PlanLIAGPU(hw.A100, model.OPT66B, 1, 2016)
+	sparse := PlanLIAGPU(hw.A100, model.OPT66B.SparseVariant(0.5), 1, 2016)
+	int4 := PlanLIAGPU(hw.A100, model.OPT66B.Int4LUTVariant(0), 1, 2016)
+
+	if sparse.PinnedLayers <= dense.PinnedLayers {
+		t.Errorf("sparse pins %d layers, dense %d — half-size layers must pin more", sparse.PinnedLayers, dense.PinnedLayers)
+	}
+	if int4.PinnedLayers <= sparse.PinnedLayers {
+		t.Errorf("int4 pins %d layers, sparse %d — quarter-size layers must pin more still", int4.PinnedLayers, sparse.PinnedLayers)
+	}
+	for _, p := range []GPUPlan{sparse, int4} {
+		if p.Used > hw.A100.MemCapacity {
+			t.Errorf("compressed plan overcommits GPU memory: %v", p.Used)
+		}
+	}
+}
+
+func TestCompressedVariantsShrinkHostPlan(t *testing.T) {
+	pl := cxl.DDROnlyPlacement()
+	dense, err := PlanHost(hw.SPRA100, model.OPT66B, 4, 2048, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int4, err := PlanHost(hw.SPRA100, model.OPT66B.Int4LUTVariant(0), 4, 2048, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int4.DDRUsed >= dense.DDRUsed {
+		t.Errorf("int4 host plan %v not below dense %v", int4.DDRUsed, dense.DDRUsed)
+	}
+}
+
+func TestCompressedVariantsAdmitBiggerBatches(t *testing.T) {
+	pl := cxl.DDROnlyPlacement()
+	const limit = 4096
+	dense, err := MaxBatch(hw.SPRA100, model.OPT175B, 2048, limit, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int4, err := MaxBatch(hw.SPRA100, model.OPT175B.Int4LUTVariant(0), 2048, limit, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int4 <= dense {
+		t.Errorf("int4 max batch %d not above dense %d — freed DDR must become KV budget", int4, dense)
+	}
+}

@@ -88,6 +88,96 @@ func Sublayers() [NumSublayers]Sublayer {
 	return [NumSublayers]Sublayer{QKVMapping, QKT, SV, OutProjection, FC1, FC2}
 }
 
+// QuantPolicy names a weight-compression compute tier. The empty string
+// is dense BF16 (the paper's baseline). Policies change how parameter
+// bytes and parameter-sublayer FLOPs are priced; activations and the KV
+// cache stay BF16 under every policy (§6: attention is the precision-
+// and bandwidth-sensitive path).
+type QuantPolicy string
+
+// The weight-compression tiers the stack serves.
+const (
+	// QuantDense is uncompressed BF16 weights.
+	QuantDense QuantPolicy = ""
+	// QuantSparse is SparAMX-style block sparsity: whole AMX tile blocks
+	// of the weight are zero and the kernel skips them, so parameter
+	// bytes and parameter-sublayer FLOPs both scale by the nonzero-block
+	// fraction (cycles ∝ nonzero blocks — the calibrated kernel model).
+	QuantSparse QuantPolicy = "sparse"
+	// QuantINT4LUT is SAIL-style INT4 group quantization served through
+	// the lookup-table GEMV kernel: 0.5 bytes per weight plus one 2-byte
+	// bf16 scale per (group, column). FLOPs are priced unchanged — the
+	// LUT path does one lookup+add per weight element, the same lane
+	// count as a MAC.
+	QuantINT4LUT QuantPolicy = "int4lut"
+)
+
+// QuantSpec parameterizes a weight-compression tier on a Config.
+type QuantSpec struct {
+	// Policy selects the tier (QuantDense when empty).
+	Policy QuantPolicy
+	// BlockSparsity is the zero tile-block fraction in [0, 1) for
+	// QuantSparse.
+	BlockSparsity float64
+	// Group is the quantization group length along K for QuantINT4LUT
+	// (0 selects 128, matching quant.DefaultGroupINT4).
+	Group int
+}
+
+// defaultInt4Group mirrors quant.DefaultGroupINT4 (model cannot import
+// quant — it sits below it).
+const defaultInt4Group = 128
+
+// paramByteScale returns the multiplier compressed parameter bytes carry
+// relative to the dense BF16 footprint (1 for dense; the zero-block
+// bitmap's bit-per-block is below the accessors' byte resolution and is
+// priced at zero).
+func (q QuantSpec) paramByteScale(bytesPerParam int) float64 {
+	switch q.Policy {
+	case QuantSparse:
+		return 1 - q.BlockSparsity
+	case QuantINT4LUT:
+		group := q.Group
+		if group <= 0 {
+			group = defaultInt4Group
+		}
+		// 0.5 nibble bytes per weight plus 2 scale bytes amortized over a
+		// group of weights, against bytesPerParam dense bytes.
+		return (0.5 + 2/float64(group)) / float64(bytesPerParam)
+	default:
+		return 1
+	}
+}
+
+// paramFLOPScale returns the multiplier compressed parameter-sublayer
+// FLOPs carry: the sparse kernel skips zero blocks outright (cycles ∝
+// nonzero blocks, pinned against the emulated kernel by the amx tests),
+// every other tier executes the full MAC (or lookup+add) grid.
+func (q QuantSpec) paramFLOPScale() float64 {
+	if q.Policy == QuantSparse {
+		return 1 - q.BlockSparsity
+	}
+	return 1
+}
+
+// Validate reports malformed quantization specs.
+func (q QuantSpec) Validate() error {
+	switch q.Policy {
+	case QuantDense:
+	case QuantSparse:
+		if q.BlockSparsity < 0 || q.BlockSparsity >= 1 {
+			return fmt.Errorf("model: block sparsity must be in [0, 1), got %g", q.BlockSparsity)
+		}
+	case QuantINT4LUT:
+		if q.Group < 0 {
+			return fmt.Errorf("model: int4 group must be ≥ 0, got %d", q.Group)
+		}
+	default:
+		return fmt.Errorf("model: unknown quant policy %q", q.Policy)
+	}
+	return nil
+}
+
 // Config describes one decoder-only transformer architecture.
 type Config struct {
 	// Name identifies the model, e.g. "OPT-175B".
@@ -120,6 +210,12 @@ type Config struct {
 	// positions (the Llama family). It changes the functional engine's
 	// attention math, not the Table 1 formulas.
 	RoPE bool
+	// Quant selects the weight-compression compute tier the deployment
+	// serves (dense BF16 when zero). It scales parameter-operand bytes
+	// (DataY of the four parameter sublayers, LayerParamBytes, ParamBytes)
+	// and — for the sparse tier — parameter-sublayer FLOPs; activations
+	// and the KV cache stay BF16.
+	Quant QuantSpec
 }
 
 // Validate reports structural errors in the configuration.
@@ -137,6 +233,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("model %s: DFF/BytesPerParam/Experts must be positive", c.Name)
 	case c.RoPE && c.HeadDim()%2 != 0:
 		return fmt.Errorf("model %s: RoPE requires an even head dimension, got %d", c.Name, c.HeadDim())
+	}
+	if err := c.Quant.Validate(); err != nil {
+		return fmt.Errorf("model %s: %w", c.Name, err)
 	}
 	return nil
 }
@@ -192,6 +291,29 @@ func (c Config) Int8Variant() Config {
 	return out
 }
 
+// SparseVariant returns the model under the block-sparse compute tier at
+// the given zero tile-block fraction: parameter bytes and parameter-
+// sublayer FLOPs both scale by the nonzero fraction (the kernel skips
+// zero blocks' TileLoads and TDP — cycles ∝ nonzero blocks), while
+// activations and KV cache stay BF16. The smaller layer footprint is
+// what memplan turns into more pinned layers and bigger KV budgets.
+func (c Config) SparseVariant(blockSparsity float64) Config {
+	out := c
+	out.Name = fmt.Sprintf("%s-sparse%.0f", c.Name, 100*blockSparsity)
+	out.Quant = QuantSpec{Policy: QuantSparse, BlockSparsity: blockSparsity}
+	return out
+}
+
+// Int4LUTVariant returns the model under the INT4 LUT-GEMV compute tier
+// with the given quantization group length (0 = 128): parameter bytes
+// shrink to 0.5 + 2/group per weight while FLOPs are priced unchanged.
+func (c Config) Int4LUTVariant(group int) Config {
+	out := c
+	out.Name = c.Name + "-int4lut"
+	out.Quant = QuantSpec{Policy: QuantINT4LUT, Group: group}
+	return out
+}
+
 // Catalog lists every built-in model.
 func Catalog() []Config {
 	return []Config{OPT6B7, OPT13B, OPT30B, OPT66B, OPT175B, Llama270B, Chinchilla70B, Bloom176B, MoE16x, Falcon40B, Mistral7B}
@@ -238,26 +360,37 @@ func (c Config) DataX(stage Stage, s Sublayer, b, l int) units.Bytes {
 	}
 }
 
+// scaleParamBytes applies the quant tier's compression to a dense
+// parameter-operand byte count.
+func (c Config) scaleParamBytes(b units.Bytes) units.Bytes {
+	scale := c.Quant.paramByteScale(c.elem())
+	if scale == 1 {
+		return b
+	}
+	return units.Bytes(float64(b) * scale)
+}
+
 // DataY returns D_Y, the byte size of a sublayer's second operand
 // (parameters, or KV cache for the attention-scoring sublayers), per
 // Table 1. l is the *total* context length (input tokens so far) — during
-// decode the KV cache spans it.
+// decode the KV cache spans it. Parameter operands shrink under the
+// Quant tier; the KV-cache operands of QKT/SV never do.
 func (c Config) DataY(stage Stage, s Sublayer, b, l int) units.Bytes {
 	e := c.elem()
 	d := c.DModel
 	switch s {
 	case QKVMapping:
 		// d×d query projection plus two d×kv projections.
-		return units.Bytes(e * (d*d + 2*d*c.KVDim()))
+		return c.scaleParamBytes(units.Bytes(e * (d*d + 2*d*c.KVDim())))
 	case QKT, SV:
 		// K (or V): one of the two KV-cache halves, unique per batch item.
 		return units.Bytes(e * b * l * c.KVDim())
 	case OutProjection:
-		return units.Bytes(e * d * d)
+		return c.scaleParamBytes(units.Bytes(e * d * d))
 	case FC1:
-		return units.Bytes(e * d * c.ffnFC1Width() * c.Experts)
+		return c.scaleParamBytes(units.Bytes(e * d * c.ffnFC1Width() * c.Experts))
 	case FC2:
-		return units.Bytes(e * c.DFF * d * c.Experts)
+		return c.scaleParamBytes(units.Bytes(e * c.DFF * d * c.Experts))
 	default:
 		return 0
 	}
@@ -272,19 +405,28 @@ func (c Config) Compute(stage Stage, s Sublayer, b, l int) units.FLOPs {
 		rows = b
 	}
 	d := c.DModel
+	// The sparse tier skips zero blocks' work outright, so parameter-
+	// sublayer FLOPs scale with the nonzero fraction (attention scoring
+	// against the BF16 KV cache is never compressed).
+	scale := func(f units.FLOPs) units.FLOPs {
+		if s := c.Quant.paramFLOPScale(); s != 1 {
+			return units.FLOPs(float64(f) * s)
+		}
+		return f
+	}
 	switch s {
 	case QKVMapping:
-		return units.FLOPs(2 * rows * d * (d + 2*c.KVDim()))
+		return scale(units.FLOPs(2 * rows * d * (d + 2*c.KVDim())))
 	case QKT, SV:
 		// Prefill: 2·B·L²·d; decode: 2·B·L·d (per Table 1). Attention
 		// scoring always spans the full context per query row.
 		return units.FLOPs(2 * rows * l * d)
 	case OutProjection:
-		return units.FLOPs(2 * rows * d * d)
+		return scale(units.FLOPs(2 * rows * d * d))
 	case FC1:
-		return units.FLOPs(2 * rows * d * c.ffnFC1Width())
+		return scale(units.FLOPs(2 * rows * d * c.ffnFC1Width()))
 	case FC2:
-		return units.FLOPs(2 * rows * c.DFF * d)
+		return scale(units.FLOPs(2 * rows * c.DFF * d))
 	default:
 		return 0
 	}
@@ -312,7 +454,9 @@ func (c Config) KVBytesPerLayer(b, l int) units.Bytes {
 
 // LayerParamBytes returns one decoder layer's parameter footprint
 // (24·d_m² bytes for dense OPT models — e.g. ~1.2 GB for OPT-30B, the
-// Optimization-1 granularity).
+// Optimization-1 granularity). Compressed tiers (Quant) shrink it, which
+// is exactly what lets PlanLIAGPU pin more layers and PlanHost budget
+// more KV; the embedding table (ParamBytes) stays dense under every tier.
 func (c Config) LayerParamBytes() units.Bytes {
 	var sum units.Bytes
 	for _, s := range Sublayers() {

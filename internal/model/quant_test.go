@@ -1,0 +1,103 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// The quant spec must scale exactly the parameter side of the Table 1
+// accounting: DataY of the four parameter sublayers, LayerParamBytes,
+// ParamBytes minus the dense embedding — and, for the sparse tier,
+// parameter-sublayer FLOPs — while leaving activations, the KV cache and
+// attention-scoring untouched.
+
+func TestSparseVariantScalesParamsOnly(t *testing.T) {
+	dense := OPT30B
+	sparse := dense.SparseVariant(0.5)
+	if err := sparse.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, l := 4, 512
+	for _, s := range []Sublayer{QKVMapping, OutProjection, FC1, FC2} {
+		if got, want := sparse.DataY(Decode, s, b, l), dense.DataY(Decode, s, b, l)/2; got != want {
+			t.Errorf("%s DataY = %v, want half of dense (%v)", s, got, want)
+		}
+		if got, want := sparse.Compute(Decode, s, b, l), dense.Compute(Decode, s, b, l)/2; got != want {
+			t.Errorf("%s Compute = %v, want half of dense (%v)", s, got, want)
+		}
+	}
+	for _, s := range []Sublayer{QKT, SV} {
+		if sparse.DataY(Decode, s, b, l) != dense.DataY(Decode, s, b, l) {
+			t.Errorf("%s KV operand must not be compressed", s)
+		}
+		if sparse.Compute(Decode, s, b, l) != dense.Compute(Decode, s, b, l) {
+			t.Errorf("%s attention FLOPs must not be compressed", s)
+		}
+	}
+	if sparse.KVBytes(b, l) != dense.KVBytes(b, l) {
+		t.Error("KV cache must stay BF16 under sparsity")
+	}
+	if sparse.ActivationBytes(b, l, Prefill) != dense.ActivationBytes(b, l, Prefill) {
+		t.Error("activations must stay BF16 under sparsity")
+	}
+	if got, want := sparse.LayerParamBytes(), dense.LayerParamBytes()/2; got != want {
+		t.Errorf("LayerParamBytes = %v, want %v", got, want)
+	}
+	// ParamBytes keeps the dense embedding: the saving is layers only.
+	embed := dense.ParamBytes() - dense.LayerParamBytes()*units.Bytes(dense.Layers)
+	if got, want := sparse.ParamBytes(), sparse.LayerParamBytes()*units.Bytes(sparse.Layers)+embed; got != want {
+		t.Errorf("ParamBytes = %v, want %v", got, want)
+	}
+}
+
+func TestInt4LUTVariantFootprint(t *testing.T) {
+	dense := OPT30B
+	int4 := dense.Int4LUTVariant(128)
+	if err := int4.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 0.5 + 2/128 bytes per weight over 2 dense bytes ≈ 0.2578: strictly
+	// under half of the INT8 variant's 1 byte per weight.
+	wantScale := (0.5 + 2.0/128) / 2
+	got := float64(int4.LayerParamBytes()) / float64(dense.LayerParamBytes())
+	if math.Abs(got-wantScale) > 1e-9 {
+		t.Errorf("int4lut layer scale = %g, want %g", got, wantScale)
+	}
+	// The analytic INT8 tier prices a bare 1 byte per weight (its
+	// per-column side tables exist only in the functional format), so the
+	// int4 nibble payload alone is exactly half of it and the bf16 group
+	// scales push the total 2/group over. The strict ≤-half-of-INT8 bound
+	// is asserted against the real storage formats — where INT8 carries
+	// its side tables — in internal/quant/int4_test.go.
+	int8 := dense.Int8Variant()
+	if limit := float64(int8.LayerParamBytes()) * (0.5 + 2.0/128); float64(int4.LayerParamBytes()) > limit {
+		t.Errorf("int4lut layer footprint %v above %v·(0.5+2/group)",
+			int4.LayerParamBytes(), int8.LayerParamBytes())
+	}
+	// FLOPs are priced unchanged: one lookup+add per weight element.
+	if int4.Compute(Decode, FC1, 1, 1) != dense.Compute(Decode, FC1, 1, 1) {
+		t.Error("int4lut must not change FLOP pricing")
+	}
+}
+
+func TestQuantSpecValidate(t *testing.T) {
+	for _, bad := range []QuantSpec{
+		{Policy: QuantSparse, BlockSparsity: -0.1},
+		{Policy: QuantSparse, BlockSparsity: 1},
+		{Policy: QuantINT4LUT, Group: -1},
+		{Policy: "turbo"},
+	} {
+		c := OPT6B7
+		c.Quant = bad
+		if err := c.Validate(); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+	c := OPT6B7
+	c.Quant = QuantSpec{Policy: QuantINT4LUT} // Group 0 = default 128
+	if err := c.Validate(); err != nil {
+		t.Errorf("default-group int4lut rejected: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+package offload
+
+import (
+	"testing"
+
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+)
+
+// The offload runtime's traffic accounting reads the model config's
+// parameter-byte accessors, so a compressed variant shrinks per-layer
+// streaming bytes — and with it every transfer the manager prices.
+func TestCompressedVariantsShrinkStreamedBytes(t *testing.T) {
+	dense := model.OPT30B
+	sys := hw30B(t)
+
+	mk := func(m model.Config) *Plan {
+		t.Helper()
+		plan, err := NewPlan(Config{System: sys, Model: m, Batch: 1, Context: 2016})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	dp := mk(dense)
+	sp := mk(dense.SparseVariant(0.5))
+	ip := mk(dense.Int4LUTVariant(0))
+
+	if sp.LayerBytes() != dp.LayerBytes()/2 {
+		t.Errorf("sparse layer bytes %v, want half of dense %v", sp.LayerBytes(), dp.LayerBytes())
+	}
+	if ip.LayerBytes() >= sp.LayerBytes() {
+		t.Errorf("int4 layer bytes %v not below sparse %v", ip.LayerBytes(), sp.LayerBytes())
+	}
+	for _, s := range []model.Sublayer{model.QKVMapping, model.FC1} {
+		if sp.SublayerBytes(s) != dp.SublayerBytes(s)/2 {
+			t.Errorf("%s: sparse sublayer bytes %v, want half of %v", s, sp.SublayerBytes(s), dp.SublayerBytes(s))
+		}
+	}
+	// Freed host memory flows to the KV budget: the compressed plans can
+	// host at least as much KV as the dense one.
+	if ip.KVBudget() < dp.KVBudget() {
+		t.Errorf("int4 KV budget %v below dense %v", ip.KVBudget(), dp.KVBudget())
+	}
+}
+
+// hw30B builds a host big enough for every OPT-30B variant so the plans
+// differ only through the quant spec.
+func hw30B(t *testing.T) hw.System {
+	t.Helper()
+	return TinySystem(model.OPT30B, 1, 2016, 4, 0)
+}

@@ -99,8 +99,20 @@ func (w Weights) Dequantize() tensor.Matrix {
 	return out
 }
 
-// Bytes returns the quantized storage footprint (values + scales).
-func (w Weights) Bytes() int { return len(w.Q) + 4*len(w.ColScales) }
+// Bytes returns the quantized storage footprint: the int8 values plus
+// every per-column side table the format ships — the float32 scales AND
+// the int32 column sums (the zero-point correction cannot be applied
+// without them, so a serving deployment stores them alongside the
+// weights; earlier revisions omitted them and under-counted by 4 bytes
+// per output column).
+func (w Weights) Bytes() int { return len(w.Q) + 4*len(w.ColScales) + 4*len(w.ColSums) }
+
+// Footprint is the serving-footprint accessor the planning layers
+// (memplan scaled plans, offload traffic accounting, gateway metrics)
+// read: the bytes a deployment must hold resident for this weight —
+// identical to Bytes(). The dense BF16 image it replaces costs 2·K·N, so
+// the INT8 scale factor is (K·N + 8·N) / (2·K·N) ≈ ½ for K ≫ 8.
+func (w Weights) Footprint() int { return w.Bytes() }
 
 // Activations is an asymmetric per-tensor uint8 quantization of an
 // activation matrix: x ≈ scale · (q − zero).

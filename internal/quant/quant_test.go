@@ -50,8 +50,14 @@ func TestQuantizeWeightsZeroColumn(t *testing.T) {
 
 func TestWeightsBytes(t *testing.T) {
 	qw := QuantizeWeights(randomMatrix(8, 4, 1, 2))
-	if qw.Bytes() != 8*4+4*4 {
+	// K·N int8 values + 4 bytes of float32 scale + 4 bytes of int32
+	// column sum per output column — the sums are part of the shipped
+	// format (the zero-point correction needs them at serve time).
+	if qw.Bytes() != 8*4+4*4+4*4 {
 		t.Errorf("Bytes = %d", qw.Bytes())
+	}
+	if qw.Footprint() != qw.Bytes() {
+		t.Errorf("Footprint = %d, want Bytes %d", qw.Footprint(), qw.Bytes())
 	}
 }
 
