@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload bench-prefix bench-smoke bench-chunked bench-quant fuzz-smoke
+.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload bench-prefix bench-smoke bench-chunked bench-quant bench-scenario scenario-smoke fuzz-smoke
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the runner pool and shared caches are
@@ -73,6 +73,21 @@ bench-chunked:
 bench-quant:
 	$(GO) run ./cmd/lia-serve -quant-bench -live-policy cpu -bench-tokens 64 -seed 1 > BENCH_quant.json
 	@cat BENCH_quant.json
+
+# bench-scenario runs the standing scenario-lab matrix (workload
+# scenarios × chaos fault plans, N seeded trials per cell with live
+# invariant legs) and records the byte-reproducible artifact into
+# BENCH_scenario.json; the SLO verdict table prints on stderr.
+bench-scenario:
+	$(GO) run ./cmd/lia-serve -scenario -seed 1 > BENCH_scenario.json
+	@cat BENCH_scenario.json
+
+# scenario-smoke is the CI-sized cut of the lab: the 2-scenario ×
+# 2-fault smoke matrix (2 trials per cell, one live leg each) plus the
+# byte-determinism contract, under the race detector.
+scenario-smoke:
+	$(GO) test -race -run 'TestRunSmokeMatrix|TestExperimentBytesDeterministic|TestCancelStormLiveGateway' \
+		-count=1 ./internal/scenario
 
 # fuzz-smoke gives each native fuzz target a short budget — enough to
 # exercise the mutator without turning CI into a fuzz farm.

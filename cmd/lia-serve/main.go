@@ -53,6 +53,15 @@
 // Quant bench (-quant-bench) decodes the same stream under dense,
 // sparse, and int4lut and prints per-tier decode speed, footprint, and
 // accuracy as JSON (the BENCH_quant.json baseline).
+//
+// Scenario lab (-scenario) runs the statistical experiment harness: the
+// standing matrix of workload scenarios × chaos fault plans
+// (internal/scenario), N seeded trials per cell, each trial a
+// deterministic virtual-clock replay plus a live chaos leg over the
+// real gateway asserting the standing invariants. Prints the
+// byte-reproducible JSON artifact on stdout (the BENCH_scenario.json
+// baseline) and the SLO verdict table on stderr; -scenario-trials and
+// -scenario-live rescale the matrix.
 package main
 
 import (
@@ -138,12 +147,25 @@ func main() {
 		// Quant bench flag (uses -live-model, -live-policy, -bench-tokens, -seed).
 		quantBench = flag.Bool("quant-bench", false, "decode the same stream under dense, sparse, and int4lut tiers and print JSON")
 
+		// Scenario lab flags (uses -seed; artifact JSON on stdout, verdict
+		// table on stderr).
+		scenarioLab    = flag.Bool("scenario", false, "run the scenario-lab experiment matrix and print the deterministic JSON artifact")
+		scenarioTrials = flag.Int("scenario-trials", 0, "trials per matrix cell; 0 = experiment default (scenario)")
+		scenarioLive   = flag.Int("scenario-live", -1, "live chaos legs per cell; -1 = experiment default, 0 = all trials (scenario)")
+
 		// Live bench flags.
 		benchClients = flag.Int("bench-clients", 8, "concurrent closed-loop clients (live-bench)")
 		benchSecs    = flag.Float64("bench-seconds", 3, "measurement window, seconds (live-bench)")
 		benchTokens  = flag.Int("bench-tokens", 16, "tokens generated per request (live-bench)")
 	)
 	flag.Parse()
+
+	if *scenarioLab {
+		if err := runScenarioLab(*scenarioTrials, *scenarioLive, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *offloadBench {
 		if err := runOffloadBench(*liveModel, *benchTokens, *seed); err != nil {

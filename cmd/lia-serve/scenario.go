@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/lia-sim/lia/internal/scenario"
+)
+
+// runScenarioLab executes the standing scenario-lab experiment — the
+// Default() matrix of workload scenarios × fault plans — and writes the
+// deterministic JSON artifact to stdout (the BENCH_scenario.json
+// baseline) with the human-readable SLO verdict table on stderr.
+// trials/live override the experiment's trial counts when positive;
+// the artifact is byte-for-byte reproducible from (declaration, seed).
+func runScenarioLab(trials, live int, seed int64) error {
+	e := scenario.Default()
+	if trials > 0 {
+		e.Trials = trials
+	}
+	if live >= 0 {
+		e.LiveTrials = live
+	}
+	if seed != 0 {
+		e.Seed = seed
+	}
+	res, err := scenario.Run(e)
+	if err != nil {
+		return err
+	}
+	b, err := res.JSON()
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(b); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scenario lab %q: %d cells × %d trials (seed %d)\n\n%s",
+		res.Name, len(res.Cells), res.TrialsPerCell, res.Seed, res.Markdown())
+	return nil
+}

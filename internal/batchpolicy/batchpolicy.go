@@ -62,11 +62,14 @@ type EventKind uint8
 
 // Scheduling decisions, in the order the policy can make them for one
 // request: admitted (possibly again after preemption), preempted,
-// completed.
+// completed — or removed mid-flight (the gateway's cancellation path and
+// the scenario harness's cancel storms observe removals through the same
+// event stream as every other decision).
 const (
 	EventAdmit EventKind = iota
 	EventPreempt
 	EventComplete
+	EventRemove
 )
 
 // String implements fmt.Stringer.
@@ -78,6 +81,8 @@ func (k EventKind) String() string {
 		return "preempt"
 	case EventComplete:
 		return "complete"
+	case EventRemove:
+		return "remove"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -406,11 +411,15 @@ func (s *Scheduler) TryExtend(id int) bool {
 }
 
 // Remove drops a running sequence by pool id without requeueing it (the
-// gateway's cancellation path), releasing its blocks.
+// gateway's cancellation path), releasing its blocks. A successful
+// removal is a scheduling decision like any other: observers see it as
+// an EventRemove, which is how cancel storms show up in the event
+// stream the differential and scenario harnesses compare.
 func (s *Scheduler) Remove(id int) error {
 	for i, seq := range s.running {
 		if seq.ID == id {
 			s.running = append(s.running[:i], s.running[i+1:]...)
+			s.event(EventRemove, seq.Item.Ref, seq.ID)
 			if s.kv != nil {
 				return s.kv.Release(id)
 			}
@@ -422,12 +431,15 @@ func (s *Scheduler) Remove(id int) error {
 
 // DropRequeued removes requeued items for which drop returns true (the
 // gateway's cancellation path for preempted work) and returns them.
+// Dropped items emit EventRemove with Seq -1: they held no pool id at
+// the time of the decision (preemption already released it).
 func (s *Scheduler) DropRequeued(drop func(Item) bool) []Item {
 	var dropped []Item
 	kept := s.requeued[:0]
 	for _, it := range s.requeued {
 		if drop(it) {
 			dropped = append(dropped, it)
+			s.event(EventRemove, it.Ref, -1)
 		} else {
 			kept = append(kept, it)
 		}

@@ -280,10 +280,16 @@ func New(exec *llm.Executor, cfg Config) (*Gateway, error) {
 	if pool != nil {
 		g.poolTotalBlocks = pool.TotalBlocks()
 		g.blockTokens = pool.BlockTokens()
-		sched.OnEvent = func(e batchpolicy.Event) {
-			if e.Kind == batchpolicy.EventPreempt {
-				g.m.preempted.Add(1)
-			}
+	}
+	// The scheduler's event stream is the batcher's only view of
+	// preemptions and mid-flight removals (cancel/deadline reaping); both
+	// feed counters the scenario harness reads.
+	sched.OnEvent = func(e batchpolicy.Event) {
+		switch e.Kind {
+		case batchpolicy.EventPreempt:
+			g.m.preempted.Add(1)
+		case batchpolicy.EventRemove:
+			g.m.reaped.Add(1)
 		}
 	}
 	if err := sched.SetChunk(cfg.PrefillChunk); err != nil {

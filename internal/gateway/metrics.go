@@ -103,6 +103,7 @@ type metrics struct {
 	rejected  atomic.Uint64 // rejected: invalid shape or impossible fit
 	canceled  atomic.Uint64 // abandoned: deadline or client cancel
 	preempted atomic.Uint64 // evictions under KV pressure (recomputed later)
+	reaped    atomic.Uint64 // sequences removed mid-flight (cancel/deadline reaping)
 	tokens    atomic.Uint64 // generated tokens, including recomputation
 
 	prefillChunks atomic.Uint64 // prompt chunks computed (chunked prefill)
@@ -125,6 +126,11 @@ func newMetrics() *metrics {
 type Snapshot struct {
 	Received, Completed, Shed, Rejected, Canceled uint64
 	Preempted, Tokens                             uint64
+	// Reaped counts sequences the batcher removed mid-flight when their
+	// context was canceled or their deadline passed — the cancel-storm
+	// signal the scenario harness asserts on (every reap also counts as a
+	// Canceled outcome once the client is answered).
+	Reaped uint64
 	PrefillChunks                                 uint64
 	SpecRounds, SpecDrafted                       uint64
 	SpecAccepted, SpecEmitted                     uint64
@@ -145,6 +151,7 @@ func (m *metrics) snapshot() Snapshot {
 		Rejected:      m.rejected.Load(),
 		Canceled:      m.canceled.Load(),
 		Preempted:     m.preempted.Load(),
+		Reaped:        m.reaped.Load(),
 		Tokens:        m.tokens.Load(),
 		PrefillChunks: m.prefillChunks.Load(),
 		SpecRounds:    m.specRounds.Load(),
@@ -173,6 +180,7 @@ func (m *metrics) prometheus() string {
 	counter("lia_gateway_requests_rejected_total", "Requests rejected as invalid or impossible to place.", m.rejected.Load())
 	counter("lia_gateway_requests_canceled_total", "Requests abandoned by deadline or client cancel.", m.canceled.Load())
 	counter("lia_gateway_preemptions_total", "Sequences evicted under KV pressure.", m.preempted.Load())
+	counter("lia_gateway_reaped_total", "Sequences removed mid-flight by cancel/deadline reaping.", m.reaped.Load())
 	counter("lia_gateway_generated_tokens_total", "Generated tokens, including recomputation after preemption.", m.tokens.Load())
 	counter("lia_prefill_chunks_total", "Prompt chunks computed under chunked prefill.", m.prefillChunks.Load())
 	counter("lia_spec_rounds_total", "Speculative draft-and-verify rounds.", m.specRounds.Load())

@@ -1,0 +1,242 @@
+package gateway
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/batchpolicy"
+	"github.com/lia-sim/lia/internal/llm"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// accounting asserts the replay's outcome identity: every request is
+// resolved exactly once and the summary counts match the per-request
+// records — the invariant every scenario trial re-checks.
+func accounting(t *testing.T, res ReplayResult, n int) {
+	t.Helper()
+	if got := res.Completed + res.Shed + res.Canceled; got != n {
+		t.Fatalf("outcome accounting: completed %d + shed %d + canceled %d = %d, want %d",
+			res.Completed, res.Shed, res.Canceled, got, n)
+	}
+	var c, s, x int
+	for i, r := range res.Requests {
+		switch r.Outcome {
+		case ReplayCompleted:
+			c++
+		case ReplayShed:
+			s++
+		case ReplayCanceled:
+			x++
+		default:
+			t.Fatalf("request %d left unresolved: %+v", i, r)
+		}
+		if r.Finish == 0 && r.Outcome != ReplayShed {
+			// A shed at virtual time 0 legitimately finishes at 0.
+			if r.Arrival > 0 {
+				t.Fatalf("request %d has no finish time: %+v", i, r)
+			}
+		}
+	}
+	if c != res.Completed || s != res.Shed || x != res.Canceled {
+		t.Fatalf("summary counts (%d/%d/%d) disagree with records (%d/%d/%d)",
+			res.Completed, res.Shed, res.Canceled, c, s, x)
+	}
+}
+
+// TestReplayShedAtQueueDepth: a burst that exceeds the queue depth is
+// shed deterministically — the first QueueDepth waiters are kept FIFO,
+// the overflow is rejected at arrival, exactly like the live gateway's
+// full submit channel answering 429.
+func TestReplayShedAtQueueDepth(t *testing.T) {
+	// Two queue slots; six simultaneous arrivals all land before the
+	// batcher runs a round (exactly like a burst filling the live submit
+	// channel): the first two are kept, the last four are shed.
+	reqs := make([]ReplayRequest, 6)
+	for i := range reqs {
+		reqs[i] = ReplayRequest{PromptLen: 4, OutputLen: 3}
+	}
+	res, err := Replay(ReplayConfig{
+		MaxBatch:   1,
+		Model:      llm.TinyConfig(),
+		Costs:      diffCosts(),
+		QueueDepth: 2,
+	}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounting(t, res, len(reqs))
+	if res.Completed != 2 || res.Shed != 4 || res.Canceled != 0 {
+		t.Fatalf("completed/shed/canceled = %d/%d/%d, want 2/4/0", res.Completed, res.Shed, res.Canceled)
+	}
+	// FIFO: the kept requests are exactly the first two.
+	for i, r := range res.Requests {
+		want := ReplayCompleted
+		if i >= 2 {
+			want = ReplayShed
+		}
+		if r.Outcome != want {
+			t.Fatalf("request %d outcome %q, want %q", i, r.Outcome, want)
+		}
+	}
+	if res.Requests[0].FirstToken == 0 || res.Requests[0].Finish <= res.Requests[0].FirstToken {
+		t.Fatalf("completed request timeline broken: %+v", res.Requests[0])
+	}
+}
+
+// TestReplayCancelWhileWaiting: a request whose client walks away before
+// it is ever admitted leaves the queue with no scheduler events and no
+// tokens.
+func TestReplayCancelWhileWaiting(t *testing.T) {
+	reqs := []ReplayRequest{
+		{PromptLen: 4, OutputLen: 50, Arrival: 0},
+		// Arrives immediately but cancels long before the head-of-line
+		// request's 50 decode steps finish (batch of one ⇒ it starves).
+		{PromptLen: 4, OutputLen: 5, Arrival: 0.001, CancelAt: 0.010},
+	}
+	res, err := Replay(ReplayConfig{
+		MaxBatch: 1,
+		Model:    llm.TinyConfig(),
+		Costs:    diffCosts(),
+	}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounting(t, res, len(reqs))
+	if res.Canceled != 1 || res.Completed != 1 {
+		t.Fatalf("completed/canceled = %d/%d, want 1/1", res.Completed, res.Canceled)
+	}
+	r := res.Requests[1]
+	if r.Outcome != ReplayCanceled || r.Admitted != 0 || r.FirstToken != 0 || r.Emitted != 0 {
+		t.Fatalf("waiting cancel should leave no admission trace: %+v", r)
+	}
+	for _, e := range res.Events {
+		if e.Ref == 1 {
+			t.Fatalf("never-admitted request leaked a scheduler event: %+v", e)
+		}
+	}
+}
+
+// TestReplayDeadlineReapsRunning: a deadline that expires mid-decode
+// removes the running sequence (EventRemove — the live reaper's
+// signature), records the partial token count, and frees the batch slot
+// for the next request.
+func TestReplayDeadlineReapsRunning(t *testing.T) {
+	reqs := []ReplayRequest{
+		// Prefill costs 1*4ms = 4ms; each decode step ~(1+ctx)ms. The
+		// deadline lands well before the 100 steps finish.
+		{PromptLen: 4, OutputLen: 100, Arrival: 0, Deadline: 0.050},
+		{PromptLen: 4, OutputLen: 2, Arrival: 0.5},
+	}
+	res, err := Replay(ReplayConfig{
+		MaxBatch: 1,
+		Model:    llm.TinyConfig(),
+		Costs:    diffCosts(),
+	}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounting(t, res, len(reqs))
+	if res.Canceled != 1 || res.Completed != 1 {
+		t.Fatalf("completed/canceled = %d/%d, want 1/1", res.Completed, res.Canceled)
+	}
+	r := res.Requests[0]
+	if r.Outcome != ReplayCanceled || r.FirstToken == 0 {
+		t.Fatalf("reaped request should have been admitted and prefilled: %+v", r)
+	}
+	if r.Emitted <= 0 || r.Emitted >= 100 {
+		t.Fatalf("reaped mid-decode should report partial output, got %d tokens", r.Emitted)
+	}
+	if r.Finish < 0.050 {
+		t.Fatalf("reap happened before the deadline: finish %v", r.Finish)
+	}
+	var removes int
+	for _, e := range res.Events {
+		if e.Kind == batchpolicy.EventRemove && e.Ref == 0 {
+			removes++
+		}
+	}
+	if removes != 1 {
+		t.Fatalf("running reap must emit exactly one EventRemove, got %d", removes)
+	}
+	if res.Requests[1].Outcome != ReplayCompleted {
+		t.Fatalf("slot freed by the reap should serve the next request: %+v", res.Requests[1])
+	}
+}
+
+// TestReplayCancelStormDeterministic: a chaotic mix — queue saturation,
+// waiting cancels, running deadlines, a tight KV pool forcing
+// preemptions — must resolve every request, and two runs of the same
+// configuration must produce deeply equal results (the byte-for-byte
+// reproducibility the scenario harness publishes).
+func TestReplayCancelStormDeterministic(t *testing.T) {
+	modelCfg := llm.TinyConfig()
+	reqs := diffRequests(7, 60)
+	for i := range reqs {
+		switch i % 4 {
+		case 1:
+			reqs[i].CancelAt = reqs[i].Arrival + 0.015
+		case 2:
+			reqs[i].Deadline = reqs[i].Arrival + 0.120
+		}
+	}
+	run := func() ReplayResult {
+		res, err := Replay(ReplayConfig{
+			MaxBatch:      4,
+			Model:         modelCfg,
+			KVBudget:      modelCfg.KVBytes(1, 64),
+			KVBlockTokens: 4,
+			Costs:         diffCosts(),
+			QueueDepth:    6,
+		}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	accounting(t, a, len(reqs))
+	if a.Canceled == 0 {
+		t.Fatal("storm designed to cancel saw no cancellations — chaos coverage lost")
+	}
+	b := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay is not deterministic:\nrun1: %+v counts %d/%d/%d\nrun2: %+v counts %d/%d/%d",
+			a.Makespan, a.Completed, a.Shed, a.Canceled, b.Makespan, b.Completed, b.Shed, b.Canceled)
+	}
+}
+
+// TestReplayZeroFieldsKeepHistoricalShape: with the new fields zero the
+// result must look exactly like the pre-chaos replay — every request
+// completed, no sheds or cancels, and per-request records consistent
+// with the summary (the differential test separately pins the event
+// stream bit-identical to the simulator).
+func TestReplayZeroFieldsKeepHistoricalShape(t *testing.T) {
+	reqs := diffRequests(3, 40)
+	res, err := Replay(ReplayConfig{
+		MaxBatch:      4,
+		Model:         llm.TinyConfig(),
+		KVBudget:      llm.TinyConfig().KVBytes(1, 64),
+		KVBlockTokens: 4,
+		Costs:         diffCosts(),
+	}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounting(t, res, len(reqs))
+	if res.Completed != len(reqs) || res.Shed != 0 || res.Canceled != 0 {
+		t.Fatalf("zero-field replay must complete everything: %d/%d/%d", res.Completed, res.Shed, res.Canceled)
+	}
+	var prev units.Seconds
+	for i, r := range res.Requests {
+		if r.Admitted < r.Arrival || r.FirstToken <= r.Admitted || r.Finish < r.FirstToken {
+			t.Fatalf("request %d timeline out of order: %+v", i, r)
+		}
+		if r.Emitted != reqs[i].OutputLen {
+			t.Fatalf("request %d emitted %d tokens, want %d", i, r.Emitted, reqs[i].OutputLen)
+		}
+		if r.Arrival < prev {
+			t.Fatalf("records must keep request order")
+		}
+		prev = r.Arrival
+	}
+}

@@ -25,13 +25,41 @@ type XferEngine struct {
 	pool cxl.Pool
 
 	linkFree units.Seconds // virtual time at which the GPU link frees
+	fault    LinkFault     // nil = healthy link
 
 	transfers     uint64
 	linkBusy      units.Seconds // cumulative GPU-link occupancy
 	linkBytes     units.Bytes
+	linkFaults    uint64
+	linkRetries   uint64
 	hostCopies    uint64
 	hostCopyTime  units.Seconds
 	hostCopyBytes units.Bytes
+}
+
+// LinkFault injects transient host-link degradation into the virtual
+// clock: before each GPU-link transfer the engine asks the hook for a
+// bandwidth scale (1 = nominal, 0.25 = a link running at a quarter of
+// its speed) and a transient error. A non-nil error models a CXL
+// expander fault: the attempt occupies the link for its full (scaled)
+// duration, is wasted, and the transfer is retried once — so faults
+// surface as latency-tail inflation plus LinkFaults/LinkRetries counts,
+// never as data corruption (the runtime is observational; tokens are
+// untouched).
+//
+// transfer is the 1-based ordinal of the attempt's transfer, so "every
+// k-th transfer faults" plans are a modulo; from and b describe the
+// source tier and size. The hook runs under the engine's lock and must
+// not call back into it. A scale ≤ 0 is treated as 1 (identity); a nil
+// hook — or one that always returns (1, nil) — leaves every virtual
+// timestamp exactly as the healthy analytic model prices it.
+type LinkFault func(transfer uint64, from Tier, b units.Bytes) (bwScale float64, err error)
+
+// SetLinkFault installs (or, with nil, removes) the link-fault hook.
+func (x *XferEngine) SetLinkFault(f LinkFault) {
+	x.mu.Lock()
+	x.fault = f
+	x.mu.Unlock()
 }
 
 // NewXferEngine builds a transfer engine over the system's host link and
@@ -41,28 +69,60 @@ func NewXferEngine(link hw.LinkSpec, pool cxl.Pool) *XferEngine {
 }
 
 // xferCost returns the duration of a b-byte host→GPU transfer sourced
-// from the given tier, independent of link contention.
-func (x *XferEngine) xferCost(from Tier, b units.Bytes) units.Seconds {
+// from the given tier, independent of link contention. bwScale < 1
+// degrades the effective bandwidth (link setup and load-to-use latency
+// are latency, not bandwidth, so they do not scale); 1 is the healthy
+// analytic cost.
+func (x *XferEngine) xferCost(from Tier, b units.Bytes, bwScale float64) units.Seconds {
 	switch from {
 	case CXL:
 		bw := x.pool.GPUTransferBW(x.link, b)
-		return units.TransferTime(b, bw, x.link.Setup+x.pool.ExtraLatency())
+		return units.TransferTime(b, scaleBW(bw, bwScale), x.link.Setup+x.pool.ExtraLatency())
 	default: // DDR (and HBM staging, which is free of host-link cost)
 		bw := x.link.BW
 		if x.pool.DDRBW > 0 && x.pool.DDRBW < bw {
 			bw = x.pool.DDRBW
 		}
-		return units.TransferTime(b, bw, x.link.Setup)
+		return units.TransferTime(b, scaleBW(bw, bwScale), x.link.Setup)
 	}
+}
+
+func scaleBW(bw units.BytesPerSecond, s float64) units.BytesPerSecond {
+	if s <= 0 || s == 1 {
+		return bw
+	}
+	return units.BytesPerSecond(float64(bw) * s)
+}
+
+// TransferCost returns the healthy (fault-free, contention-free) cost of
+// a b-byte host→GPU transfer from the given tier — the analytic number
+// the virtual clock must reproduce when the fault hook is identity. The
+// scenario harness prices fault-plan cost models through this.
+func (x *XferEngine) TransferCost(from Tier, b units.Bytes) units.Seconds {
+	return x.xferCost(from, b, 1)
 }
 
 // HostToGPU schedules a b-byte upload from the given host tier onto the
 // GPU link, requested at virtual time `at`. It returns the transfer's
 // start and finish times; the link is occupied for the whole interval.
+// With a LinkFault hook installed, the attempt runs at the hook's
+// bandwidth scale, and a hook error wastes one full scaled attempt on
+// the link before the (successful) retry — both attempts occupy the
+// link serially, exactly like a real transient expander fault.
 func (x *XferEngine) HostToGPU(from Tier, b units.Bytes, at units.Seconds) (start, finish units.Seconds) {
-	cost := x.xferCost(from, b)
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	scale, faultErr := 1.0, error(nil)
+	if x.fault != nil {
+		scale, faultErr = x.fault(x.transfers+1, from, b)
+	}
+	cost := x.xferCost(from, b, scale)
+	if faultErr != nil {
+		// One wasted attempt plus the retry; count both sides.
+		cost *= 2
+		x.linkFaults++
+		x.linkRetries++
+	}
 	start = at
 	if x.linkFree > start {
 		start = x.linkFree
@@ -111,6 +171,8 @@ type XferStats struct {
 	Transfers     uint64
 	LinkBusy      units.Seconds
 	LinkBytes     units.Bytes
+	LinkFaults    uint64 // transient faults the LinkFault hook injected
+	LinkRetries   uint64 // retried attempts (one per fault)
 	HostCopies    uint64
 	HostCopyTime  units.Seconds
 	HostCopyBytes units.Bytes
@@ -122,6 +184,7 @@ func (x *XferEngine) Stats() XferStats {
 	defer x.mu.Unlock()
 	return XferStats{
 		Transfers: x.transfers, LinkBusy: x.linkBusy, LinkBytes: x.linkBytes,
+		LinkFaults: x.linkFaults, LinkRetries: x.linkRetries,
 		HostCopies: x.hostCopies, HostCopyTime: x.hostCopyTime, HostCopyBytes: x.hostCopyBytes,
 	}
 }

@@ -125,7 +125,7 @@ func NewHost(plan *Plan, policy core.Policy) (*Host, error) {
 		}
 	}
 	for _, s := range paramSublayers {
-		h.layerStreamCost += h.xfer.xferCost(plan.ParamTier, plan.SublayerBytes(s))
+		h.layerStreamCost += h.xfer.xferCost(plan.ParamTier, plan.SublayerBytes(s), 1)
 	}
 	if plan.StreamedLayers() > 0 {
 		for i := range h.staging {
@@ -253,6 +253,18 @@ func (h *Host) computeDur(stage model.Stage, rows, past int, pinned bool) units.
 // differential test pins this against the analytic engine's per-layer
 // D_Y load within tolerance.
 func (h *Host) LayerStreamTime() units.Seconds { return h.layerStreamCost }
+
+// InjectLinkFault installs a transient link-fault hook on the host's
+// transfer engine (nil removes it). Faults degrade and occasionally
+// double the virtual time of prefetch transfers — the scheduled
+// (notional) per-layer stream slots in PassTiming keep pricing the
+// healthy link, so Snapshot().Xfer shows exactly how far the faulted
+// link fell behind the plan. Tokens are never affected.
+func (h *Host) InjectLinkFault(f LinkFault) { h.xfer.SetLinkFault(f) }
+
+// XferStats exposes the host's cumulative link accounting (including
+// injected faults and retries) without the full snapshot.
+func (h *Host) XferStats() XferStats { return h.xfer.Stats() }
 
 // SimulatePass prices one forward pass on the virtual clock without
 // running the engine: the same double-buffered schedule the hooks build,

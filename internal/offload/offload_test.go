@@ -90,8 +90,8 @@ func TestXferEngineCXLSlowerThanDDR(t *testing.T) {
 	pool := cxl.FromSystem(hw.SPRA100.WithCXL(1, hw.SamsungCXL128))
 	x := NewXferEngine(hw.PCIe4x16, pool)
 	b := 256 * units.MiB
-	ddr := x.xferCost(DDR, b)
-	cx := x.xferCost(CXL, b)
+	ddr := x.xferCost(DDR, b, 1)
+	cx := x.xferCost(CXL, b, 1)
 	if cx <= ddr {
 		t.Fatalf("CXL transfer %v should exceed DDR transfer %v", cx, ddr)
 	}

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+)
+
+// Schema identifies the artifact layout; bump on breaking changes.
+const Schema = "lia-scenario/v1"
+
+// CellMetrics is a cell's aggregated statistics. Fields are summarized
+// in declaration order from one sequential rng, so the artifact is a
+// pure function of the experiment seed — adding a metric means adding
+// it at the end or accepting new CI draws everywhere.
+type CellMetrics struct {
+	// Attainment is the fraction of each trial's requests that completed
+	// within the scenario SLO (sheds and cancels count against it).
+	Attainment MetricSummary `json:"slo_attainment"`
+	// ShedRate / CancelRate / PreemptRate are per-request rates.
+	ShedRate    MetricSummary `json:"shed_rate"`
+	CancelRate  MetricSummary `json:"cancel_rate"`
+	PreemptRate MetricSummary `json:"preemption_rate"`
+	// RefetchRate is link faults per link transfer (offloaded cells; the
+	// retry traffic the expander-loss plans inject).
+	RefetchRate MetricSummary `json:"refetch_rate"`
+	TTFTP99     MetricSummary `json:"ttft_p99_s"`
+	LatencyP99  MetricSummary `json:"latency_p99_s"`
+	Makespan    MetricSummary `json:"makespan_s"`
+}
+
+// InvariantSummary conjoins the live legs' standing invariants.
+type InvariantSummary struct {
+	// LiveTrials is how many of the cell's trials ran the live chaos leg.
+	LiveTrials int `json:"live_trials"`
+	// The verdicts are conjunctions over those legs (vacuously true when
+	// none ran).
+	LeakFree        bool `json:"leak_free"`
+	AccountingExact bool `json:"accounting_exact"`
+	BitIdentical    bool `json:"bit_identical"`
+}
+
+// OK reports whether every standing invariant held.
+func (s InvariantSummary) OK() bool { return s.LeakFree && s.AccountingExact && s.BitIdentical }
+
+// CellResult is one matrix cell's aggregate plus its raw trials.
+type CellResult struct {
+	Scenario   string           `json:"scenario"`
+	Fault      string           `json:"fault"`
+	Trials     int              `json:"trials"`
+	Metrics    CellMetrics      `json:"metrics"`
+	Invariants InvariantSummary `json:"invariants"`
+	Verdict    string           `json:"verdict"`
+	Raw        []TrialResult    `json:"trial_results"`
+}
+
+// ExperimentResult is the emitted artifact.
+type ExperimentResult struct {
+	Schema        string       `json:"schema"`
+	Name          string       `json:"name"`
+	Seed          int64        `json:"seed"`
+	TrialsPerCell int          `json:"trials_per_cell"`
+	Cells         []CellResult `json:"cells"`
+}
+
+// Verdict grades a cell's mean SLO attainment, gated on its invariants:
+// chaos may degrade the SLO, but an invariant violation always fails.
+func Verdict(attainment float64, invariantsOK bool) string {
+	switch {
+	case !invariantsOK:
+		return "FAIL"
+	case attainment >= 0.9:
+		return "MET"
+	case attainment >= 0.5:
+		return "DEGRADED"
+	default:
+		return "MISSED"
+	}
+}
+
+// deriveSeed hashes experiment/scenario/fault/trial coordinates into a
+// trial seed (FNV-1a, masked positive so it is stable across
+// architectures when printed).
+func deriveSeed(parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Run executes the experiment matrix cell by cell, trial by trial —
+// sequentially, in declaration order, so the artifact bytes are a pure
+// function of the declaration and the seed.
+func Run(e Experiment) (*ExperimentResult, error) {
+	e = e.withDefaults()
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	liveN := e.LiveTrials
+	if liveN == 0 || liveN > e.Trials {
+		liveN = e.Trials
+	}
+	out := &ExperimentResult{Schema: Schema, Name: e.Name, Seed: e.Seed, TrialsPerCell: e.Trials}
+	for _, cell := range e.Cells() {
+		cr := CellResult{Scenario: cell.Scenario.Name, Fault: cell.Fault.Name, Trials: e.Trials}
+		cr.Invariants = InvariantSummary{LeakFree: true, AccountingExact: true, BitIdentical: true}
+		for i := 0; i < e.Trials; i++ {
+			seed := deriveSeed(fmt.Sprint(e.Seed), e.Name, cell.Scenario.Name, cell.Fault.Name, fmt.Sprint(i))
+			tr, err := RunTrial(cell, seed, i < liveN)
+			if err != nil {
+				return nil, err
+			}
+			if tr.Live != nil {
+				cr.Invariants.LiveTrials++
+				cr.Invariants.LeakFree = cr.Invariants.LeakFree && tr.Live.LeakFree
+				cr.Invariants.AccountingExact = cr.Invariants.AccountingExact && tr.Live.AccountingExact
+				cr.Invariants.BitIdentical = cr.Invariants.BitIdentical && tr.Live.BitIdentical
+			}
+			cr.Raw = append(cr.Raw, tr)
+		}
+		rng := rand.New(rand.NewSource(deriveSeed(fmt.Sprint(e.Seed), e.Name, cell.Scenario.Name, cell.Fault.Name, "bootstrap")))
+		sample := func(f func(TrialResult) float64) []float64 {
+			s := make([]float64, len(cr.Raw))
+			for i, tr := range cr.Raw {
+				s[i] = f(tr)
+			}
+			return s
+		}
+		rate := func(num func(TrialResult) int) func(TrialResult) float64 {
+			return func(tr TrialResult) float64 { return float64(num(tr)) / float64(tr.Requests) }
+		}
+		cr.Metrics = CellMetrics{
+			Attainment:  Summarize(sample(rate(func(t TrialResult) int { return t.Attained })), rng),
+			ShedRate:    Summarize(sample(rate(func(t TrialResult) int { return t.Shed })), rng),
+			CancelRate:  Summarize(sample(rate(func(t TrialResult) int { return t.Canceled })), rng),
+			PreemptRate: Summarize(sample(rate(func(t TrialResult) int { return t.Preempted })), rng),
+			RefetchRate: Summarize(sample(func(t TrialResult) float64 {
+				if t.LinkTransfers == 0 {
+					return 0
+				}
+				return float64(t.LinkFaults) / float64(t.LinkTransfers)
+			}), rng),
+			TTFTP99:    Summarize(sample(func(t TrialResult) float64 { return t.TTFTP99 }), rng),
+			LatencyP99: Summarize(sample(func(t TrialResult) float64 { return t.LatencyP99 }), rng),
+			Makespan:   Summarize(sample(func(t TrialResult) float64 { return t.Makespan }), rng),
+		}
+		cr.Verdict = Verdict(cr.Metrics.Attainment.Mean, cr.Invariants.OK())
+		out.Cells = append(out.Cells, cr)
+	}
+	return out, nil
+}
+
+// JSON renders the artifact deterministically (struct field order,
+// indented, trailing newline): identical declaration + seed ⇒ identical
+// bytes.
+func (r *ExperimentResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Markdown renders the SLO verdict table EXPERIMENTS.md embeds.
+func (r *ExperimentResult) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| scenario | fault | SLO attainment (mean [95%% CI]) | shed | cancel | preempt | refetch | TTFT p99 | latency p99 | invariants | verdict |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, c := range r.Cells {
+		inv := "ok"
+		if !c.Invariants.OK() {
+			inv = "VIOLATED"
+		} else if c.Invariants.LiveTrials == 0 {
+			inv = "n/a"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.3f [%.3f, %.3f] | %.3f | %.3f | %.3f | %.3f | %.3fs | %.3fs | %s | %s |\n",
+			c.Scenario, c.Fault,
+			c.Metrics.Attainment.Mean, c.Metrics.Attainment.CI95Lo, c.Metrics.Attainment.CI95Hi,
+			c.Metrics.ShedRate.Mean, c.Metrics.CancelRate.Mean, c.Metrics.PreemptRate.Mean,
+			c.Metrics.RefetchRate.Mean, c.Metrics.TTFTP99.Mean, c.Metrics.LatencyP99.Mean,
+			inv, c.Verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+func smokeExperiment() Experiment {
+	return Experiment{
+		Name: "smoke",
+		Scenarios: []ScenarioConfig{
+			{
+				Name:     "bursty-tight",
+				Arrival:  trace.ArrivalSpec{Process: trace.Bursty, Rate: 120, BurstMean: 6, BurstGap: 0.0005},
+				Workload: HeavyTailed,
+				Requests: 16,
+				KVTokens: 128,
+				SLO:      1.0,
+			},
+			{
+				Name:     "prefix-cxl",
+				Arrival:  trace.ArrivalSpec{Process: trace.Poisson, Rate: 80},
+				Workload: HotPrefix,
+				Requests: 16,
+				KVTokens: 192,
+				SLO:      1.2,
+				Mode:     Mode{PrefixCache: true, Offload: "cxl"},
+			},
+		},
+		Faults: []FaultPlan{
+			{Name: "baseline"},
+			{
+				Name:          "storm",
+				LinkBWScale:   0.25,
+				LinkFailEvery: 4,
+				KVScale:       0.5,
+				QueueDepth:    4,
+				CancelEvery:   3,
+				CancelAfter:   0.01,
+				DeadlineEvery: 4,
+				Deadline:      0.3,
+			},
+		},
+		Trials:     2,
+		Seed:       1,
+		LiveTrials: 1,
+	}
+}
+
+func TestDefaultExperimentValidates(t *testing.T) {
+	e := Default().withDefaults()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Cells()) < 6 {
+		t.Fatalf("default matrix has %d cells, want ≥ 3 scenarios × 2 faults", len(e.Cells()))
+	}
+	if e.Trials < 5 {
+		t.Fatalf("default trials %d, want ≥5 for the published CIs", e.Trials)
+	}
+}
+
+func TestValidationRejectsBadDeclarations(t *testing.T) {
+	base := smokeExperiment()
+	for name, breakIt := range map[string]func(*Experiment){
+		"no-scenarios":    func(e *Experiment) { e.Scenarios = nil },
+		"no-faults":       func(e *Experiment) { e.Faults = nil },
+		"dup-scenario":    func(e *Experiment) { e.Scenarios = append(e.Scenarios, e.Scenarios[0]) },
+		"dup-fault":       func(e *Experiment) { e.Faults = append(e.Faults, e.Faults[0]) },
+		"unnamed-fault":   func(e *Experiment) { e.Faults[0].Name = "" },
+		"bad-arrival":     func(e *Experiment) { e.Scenarios[0].Arrival.Rate = 0 },
+		"bad-workload":    func(e *Experiment) { e.Scenarios[0].Workload = "nope" },
+		"bad-offload":     func(e *Experiment) { e.Scenarios[0].Mode.Offload = "nvme" },
+		"spec-on-offload": func(e *Experiment) { e.Scenarios[1].Mode.SpecGamma = 2 },
+		"bad-bw-scale":    func(e *Experiment) { e.Faults[1].LinkBWScale = 1.5 },
+		"bad-kv-scale":    func(e *Experiment) { e.Faults[1].KVScale = 2 },
+		"cancel-no-after": func(e *Experiment) { e.Faults[1].CancelAfter = 0 },
+		"negative-trials": func(e *Experiment) { e.Trials = -1 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			e := smokeExperiment()
+			breakIt(&e)
+			e = e.withDefaults()
+			if err := e.Validate(); err == nil {
+				t.Fatalf("%s: broken declaration validated", name)
+			}
+		})
+	}
+	if err := base.withDefaults().Validate(); err != nil {
+		t.Fatalf("pristine smoke experiment must validate: %v", err)
+	}
+}
+
+func TestCellsExpandScenarioMajor(t *testing.T) {
+	cells := smokeExperiment().Cells()
+	want := []struct{ s, f string }{
+		{"bursty-tight", "baseline"},
+		{"bursty-tight", "storm"},
+		{"prefix-cxl", "baseline"},
+		{"prefix-cxl", "storm"},
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("%d cells, want %d", len(cells), len(want))
+	}
+	for i, w := range want {
+		if cells[i].Scenario.Name != w.s || cells[i].Fault.Name != w.f {
+			t.Fatalf("cell %d = %s/%s, want %s/%s", i, cells[i].Scenario.Name, cells[i].Fault.Name, w.s, w.f)
+		}
+	}
+}
+
+// TestRunSmokeMatrix is the CI smoke: the 2×2×2 matrix end to end —
+// virtual statistics, one live chaos leg per cell, invariants, verdict
+// table. Run under -race this also shakes the live leg's concurrency.
+func TestRunSmokeMatrix(t *testing.T) {
+	res, err := Run(smokeExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != Schema {
+		t.Fatalf("schema %q, want %q", res.Schema, Schema)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Trials != 2 || len(c.Raw) != 2 {
+			t.Fatalf("cell %s/%s ran %d trials (%d raw), want 2", c.Scenario, c.Fault, c.Trials, len(c.Raw))
+		}
+		if c.Invariants.LiveTrials != 1 {
+			t.Fatalf("cell %s/%s ran %d live legs, want 1", c.Scenario, c.Fault, c.Invariants.LiveTrials)
+		}
+		if !c.Invariants.OK() {
+			t.Fatalf("cell %s/%s violated standing invariants: %+v", c.Scenario, c.Fault, c.Invariants)
+		}
+		if c.Verdict == "" || c.Verdict == "FAIL" {
+			t.Fatalf("cell %s/%s verdict %q", c.Scenario, c.Fault, c.Verdict)
+		}
+		for _, tr := range c.Raw {
+			if tr.Completed+tr.Shed+tr.Canceled != tr.Requests {
+				t.Fatalf("cell %s/%s trial accounting: %+v", c.Scenario, c.Fault, tr)
+			}
+			if tr.Makespan <= 0 {
+				t.Fatalf("cell %s/%s zero makespan", c.Scenario, c.Fault)
+			}
+		}
+		if c.Fault == "storm" && c.Metrics.CancelRate.Mean == 0 {
+			t.Fatalf("cell %s/storm canceled nothing — chaos not injected", c.Scenario)
+		}
+		if c.Scenario == "prefix-cxl" && c.Fault == "storm" && c.Metrics.RefetchRate.Mean == 0 {
+			t.Fatal("offloaded storm cell recorded no link refetches")
+		}
+	}
+	// The verdict table renders one row per cell.
+	md := res.Markdown()
+	if got := strings.Count(md, "\n"); got != len(res.Cells)+2 {
+		t.Fatalf("markdown has %d lines, want header+separator+%d rows:\n%s", got, len(res.Cells), md)
+	}
+	for _, c := range res.Cells {
+		if !strings.Contains(md, c.Scenario) || !strings.Contains(md, c.Verdict) {
+			t.Fatalf("markdown missing cell %s/%s:\n%s", c.Scenario, c.Fault, md)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	s := []float64{9, 1, 7, 3, 5} // sorted: 1 3 5 7 9
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 5}, {0.8, 7}, {0.99, 9}, {1, 9},
+	} {
+		if got := Percentile(s, tc.p); got != tc.want {
+			t.Errorf("P%g = %g, want %g", tc.p*100, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %g, want 0", got)
+	}
+	// The input must not be mutated (callers reuse trial slices).
+	if !reflect.DeepEqual(s, []float64{9, 1, 7, 3, 5}) {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSummarizeBootstrap(t *testing.T) {
+	samples := []float64{0.8, 0.9, 0.85, 0.95, 0.7, 0.9, 0.88, 0.92, 0.81, 0.87}
+	sum := func(seed int64) MetricSummary {
+		return Summarize(samples, rand.New(rand.NewSource(seed)))
+	}
+	a, b := sum(7), sum(7)
+	if a != b {
+		t.Fatalf("same rng seed produced different summaries: %+v vs %+v", a, b)
+	}
+	if c := sum(8); c == a {
+		t.Fatal("different rng seeds should move the bootstrap CI")
+	}
+	var mean float64
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(len(samples))
+	if a.Mean != mean {
+		t.Fatalf("mean %g, want %g", a.Mean, mean)
+	}
+	if a.CI95Lo > mean || a.CI95Hi < mean {
+		t.Fatalf("bootstrap CI [%g, %g] does not bracket the mean %g", a.CI95Lo, a.CI95Hi, mean)
+	}
+	if a.CI95Lo >= a.CI95Hi {
+		t.Fatalf("degenerate CI [%g, %g] on dispersed samples", a.CI95Lo, a.CI95Hi)
+	}
+	if a.P50 < 0.85 || a.P50 > 0.9 || a.P99 != 0.95 {
+		t.Fatalf("percentiles p50=%g p99=%g", a.P50, a.P99)
+	}
+
+	one := Summarize([]float64{0.5}, rand.New(rand.NewSource(1)))
+	if one.Mean != 0.5 || one.CI95Lo != 0.5 || one.CI95Hi != 0.5 {
+		t.Fatalf("single-sample summary %+v", one)
+	}
+	if z := Summarize(nil, rand.New(rand.NewSource(1))); z != (MetricSummary{}) {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+func TestVerdictGrades(t *testing.T) {
+	for _, tc := range []struct {
+		att  float64
+		ok   bool
+		want string
+	}{
+		{0.95, true, "MET"},
+		{0.7, true, "DEGRADED"},
+		{0.2, true, "MISSED"},
+		{0.95, false, "FAIL"},
+	} {
+		if got := Verdict(tc.att, tc.ok); got != tc.want {
+			t.Errorf("Verdict(%g, %v) = %q, want %q", tc.att, tc.ok, got, tc.want)
+		}
+	}
+}

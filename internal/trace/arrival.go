@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// ArrivalProcess selects how request arrival times are spaced. All
+// three processes share one long-run mean rate; they differ in how the
+// load clusters — the axis the scenario lab's cells sweep, because
+// batching, shedding, and KV pressure react to clustering, not to the
+// average.
+type ArrivalProcess int
+
+// Arrival processes.
+const (
+	// Poisson is the memoryless baseline: i.i.d. exponential gaps.
+	Poisson ArrivalProcess = iota
+	// Bursty clusters arrivals: burst epochs are Poisson, each epoch
+	// releases a geometric-sized batch of near-simultaneous requests —
+	// the "thundering herd" that saturates the submit queue.
+	Bursty
+	// Diurnal modulates the Poisson rate sinusoidally over a period, the
+	// day/night load swing scaled down to an experiment's timescale.
+	Diurnal
+)
+
+// String implements fmt.Stringer.
+func (p ArrivalProcess) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	case Diurnal:
+		return "diurnal"
+	}
+	return fmt.Sprintf("ArrivalProcess(%d)", int(p))
+}
+
+// ArrivalSpec shapes an arrival schedule.
+type ArrivalSpec struct {
+	Process ArrivalProcess
+	// Rate is the long-run mean arrival rate in requests per second
+	// (> 0) for every process.
+	Rate float64
+	// BurstMean (Bursty only) is the mean burst size (≥ 1, geometric).
+	// Burst epochs arrive at Rate/BurstMean so the long-run rate stays
+	// Rate.
+	BurstMean float64
+	// BurstGap (Bursty only) spaces requests within one burst (≥ 0;
+	// 0 = simultaneous arrivals, the hardest case for the queue).
+	BurstGap units.Seconds
+	// Period (Diurnal only) is the modulation cycle in seconds (> 0).
+	Period units.Seconds
+	// Depth (Diurnal only) is the modulation depth in [0, 1):
+	// rate(t) = Rate·(1 + Depth·sin(2πt/Period)).
+	Depth float64
+}
+
+// Validate reports spec errors.
+func (s ArrivalSpec) Validate() error {
+	if s.Rate <= 0 || math.IsInf(s.Rate, 0) || math.IsNaN(s.Rate) {
+		return fmt.Errorf("trace: arrival rate must be positive and finite, got %g", s.Rate)
+	}
+	switch s.Process {
+	case Poisson:
+	case Bursty:
+		if s.BurstMean < 1 {
+			return fmt.Errorf("trace: burst mean must be ≥1, got %g", s.BurstMean)
+		}
+		if s.BurstGap < 0 {
+			return fmt.Errorf("trace: burst gap must be ≥0, got %v", s.BurstGap)
+		}
+	case Diurnal:
+		if s.Period <= 0 {
+			return fmt.Errorf("trace: diurnal period must be positive, got %v", s.Period)
+		}
+		if s.Depth < 0 || s.Depth >= 1 {
+			return fmt.Errorf("trace: diurnal depth %g outside [0, 1)", s.Depth)
+		}
+	default:
+		return fmt.Errorf("trace: unknown arrival process %d", int(s.Process))
+	}
+	return nil
+}
+
+// ArrivalGen produces a deterministic non-decreasing schedule of
+// absolute arrival times. Like Generator it is NOT safe for concurrent
+// use — give each goroutine its own instance (same (spec, seed) ⇒ same
+// schedule makes that cheap).
+type ArrivalGen struct {
+	rng  *rand.Rand
+	spec ArrivalSpec
+
+	clock units.Seconds
+	// Bursty state: requests of the current burst still to release.
+	pending int
+	// Diurnal state: the thinning clock (candidate-event time at the
+	// peak rate; accepted candidates become arrivals).
+	thin units.Seconds
+}
+
+// NewArrivalGen builds a schedule generator; the same (spec, seed) pair
+// always yields the same schedule.
+func NewArrivalGen(spec ArrivalSpec, seed int64) (*ArrivalGen, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &ArrivalGen{rng: rand.New(rand.NewSource(seed)), spec: spec}, nil
+}
+
+// Next returns the next absolute arrival time.
+func (g *ArrivalGen) Next() units.Seconds {
+	switch g.spec.Process {
+	case Bursty:
+		if g.pending > 0 {
+			g.pending--
+			g.clock += g.spec.BurstGap
+			return g.clock
+		}
+		// Next burst epoch: exponential gap at the epoch rate, then a
+		// geometric burst size (closed-form inverse CDF, E = BurstMean).
+		epochRate := g.spec.Rate / g.spec.BurstMean
+		g.clock += units.Seconds(g.rng.ExpFloat64() / epochRate)
+		p := 1 / g.spec.BurstMean
+		u := g.rng.Float64()
+		size := 1
+		if p < 1 {
+			size = 1 + int(math.Log(1-u)/math.Log(1-p))
+		}
+		g.pending = size - 1 // this call releases the burst's first request
+		return g.clock
+	case Diurnal:
+		// Lewis–Shedler thinning at the peak rate: candidates arrive at
+		// Rate·(1+Depth); each is kept with probability rate(t)/peak.
+		peak := g.spec.Rate * (1 + g.spec.Depth)
+		for {
+			g.thin += units.Seconds(g.rng.ExpFloat64() / peak)
+			rate := g.spec.Rate * (1 + g.spec.Depth*math.Sin(2*math.Pi*float64(g.thin/g.spec.Period)))
+			if g.rng.Float64()*peak <= rate {
+				g.clock = g.thin
+				return g.clock
+			}
+		}
+	default: // Poisson
+		g.clock += units.Seconds(g.rng.ExpFloat64() / g.spec.Rate)
+		return g.clock
+	}
+}
+
+// Schedule draws n arrival times (non-decreasing).
+func (g *ArrivalGen) Schedule(n int) []units.Seconds {
+	out := make([]units.Seconds, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// Satellite statistical property suite: every generator the scenario
+// lab feeds from must match its analytic distribution within tolerance
+// over 10k fixed-seed draws. Tolerances are ≥5 standard errors of the
+// estimator, so a correct sampler cannot flake while a systematic bias
+// (an off-by-one in the inverse CDF, a truncated tail, a mis-normalized
+// CDF) lands far outside the band.
+
+// TestGeometricSamplingMoments: output lengths are geometric with
+// E = mean and Var = (1−p)/p², p = 1/mean — per family, per seed.
+func TestGeometricSamplingMoments(t *testing.T) {
+	const n = 10000
+	for _, tc := range []struct {
+		name string
+		kind Kind
+		seed int64
+	}{
+		{"code-seed1", Code, 1},
+		{"code-seed42", Code, 42},
+		{"conversation-seed1", Conversation, 1},
+		{"conversation-seed42", Conversation, 42},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := NewGenerator(tc.kind, 32, 512, tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum, sq float64
+			for _, r := range g.Batch(n) {
+				x := float64(r.OutputLen)
+				sum += x
+				sq += x * x
+			}
+			mean := sum / n
+			variance := sq/n - mean*mean
+
+			m := float64(tc.kind.MeanOutput())
+			p := 1 / m
+			wantVar := (1 - p) / (p * p)
+			// Std error of the mean is m·√(1−p)/√n ≈ 1% of m; ±5% ≥ 5σ.
+			if math.Abs(mean-m) > 0.05*m {
+				t.Errorf("sample mean %.2f, want %.2f ±5%%", mean, m)
+			}
+			// The variance estimator's relative std error is ~2.8%
+			// (geometric excess kurtosis ≈ 6); ±15% ≥ 5σ.
+			if math.Abs(variance-wantVar) > 0.15*wantVar {
+				t.Errorf("sample variance %.1f, want %.1f ±15%%", variance, wantVar)
+			}
+		})
+	}
+}
+
+// TestHotPrefixHitRate: the empirical share of each hot prefix must
+// match its power-law weight (i+1)^−s / Σ — the hit-rate contract the
+// prefix-cache scenarios assume when they predict reuse.
+func TestHotPrefixHitRate(t *testing.T) {
+	const n = 10000
+	for _, tc := range []struct {
+		name string
+		skew float64
+		seed int64
+	}{
+		{"uniform", 0, 7},
+		{"mild-skew", 0.8, 7},
+		{"serving-skew", 1.2, 7},
+		{"serving-skew-reseeded", 1.2, 99},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := PrefixSpec{
+				Prefixes: 6, PrefixTokens: 12, Skew: tc.skew,
+				Vocab: 512, MinSuffix: 2, MaxSuffix: 6,
+			}
+			g, err := NewPrefixGenerator(spec, tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Count by matching the materialized prefix population.
+			counts := make([]int, spec.Prefixes)
+			for _, r := range g.Batch(n) {
+				for i, p := range g.Prefixes() {
+					if reflect.DeepEqual(r.Prompt[:spec.PrefixTokens], p) {
+						counts[i]++
+						break
+					}
+				}
+			}
+			var total float64
+			weights := make([]float64, spec.Prefixes)
+			for i := range weights {
+				weights[i] = math.Pow(float64(i+1), -tc.skew)
+				total += weights[i]
+			}
+			var seen int
+			for i, c := range counts {
+				seen += c
+				want := weights[i] / total
+				got := float64(c) / n
+				// Binomial std error ≤ 0.5/√n = 0.005; ±0.025 = 5σ.
+				if math.Abs(got-want) > 0.025 {
+					t.Errorf("prefix %d hit rate %.3f, want %.3f ±0.025", i, got, want)
+				}
+			}
+			if seen != n {
+				t.Fatalf("only %d of %d prompts matched a known prefix", seen, n)
+			}
+		})
+	}
+}
+
+// TestLowEntropyDraftAcceptanceBias: a draft that always predicts
+// "repeat the predecessor" — the degenerate cheapest draft — must be
+// right with probability r + (1−r)/H on a LowEntropy stream (repeat
+// chosen, or a fresh hot draw landing on the same token). This is the
+// acceptance bias the speculative-decoding scenarios lean on: higher
+// RepeatProb must yield measurably higher acceptance.
+func TestLowEntropyDraftAcceptanceBias(t *testing.T) {
+	const want = 10000 // adjacent-token transitions to observe
+	measure := func(repeat float64, seed int64) float64 {
+		spec := LowEntropySpec{
+			Vocab: 64, HotTokens: 4, RepeatProb: repeat,
+			MinLen: 16, MaxLen: 48,
+		}
+		g, err := NewLowEntropyGenerator(spec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits, seen := 0, 0
+		for seen < want {
+			p := g.Next().Prompt
+			for i := 1; i < len(p); i++ {
+				if p[i] == p[i-1] {
+					hits++
+				}
+				seen++
+			}
+		}
+		return float64(hits) / float64(seen)
+	}
+	prev := -1.0
+	for _, tc := range []struct {
+		name   string
+		repeat float64
+		seed   int64
+	}{
+		{"no-repeat", 0, 5},
+		{"half", 0.5, 5},
+		{"draft-friendly", 0.8, 5},
+		{"draft-friendly-reseeded", 0.8, 77},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := measure(tc.repeat, tc.seed)
+			const hot = 4
+			analytic := tc.repeat + (1-tc.repeat)/hot
+			// Bernoulli std error ≤ 0.5/√10000 = 0.005; ±0.025 = 5σ.
+			if math.Abs(got-analytic) > 0.025 {
+				t.Errorf("repeat-draft acceptance %.3f, want %.3f ±0.025", got, analytic)
+			}
+			if tc.seed == 5 {
+				if got <= prev {
+					t.Errorf("acceptance %.3f did not rise with RepeatProb (prev %.3f)", got, prev)
+				}
+				prev = got
+			}
+		})
+	}
+}
+
+// TestArrivalProcessStatistics: each arrival process must hold the
+// long-run mean rate while showing its signature clustering — unit
+// squared-CV for Poisson, heavy clustering for bursts, phase-dependent
+// intensity for diurnal.
+func TestArrivalProcessStatistics(t *testing.T) {
+	const n = 10000
+	gaps := func(sched []units.Seconds) (mean, cv2 float64) {
+		var sum, sq float64
+		prev := units.Seconds(0)
+		for _, a := range sched {
+			d := float64(a - prev)
+			prev = a
+			sum += d
+			sq += d * d
+		}
+		mean = sum / float64(len(sched))
+		cv2 = (sq/float64(len(sched)) - mean*mean) / (mean * mean)
+		return
+	}
+
+	t.Run("poisson", func(t *testing.T) {
+		g, err := NewArrivalGen(ArrivalSpec{Process: Poisson, Rate: 50}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, cv2 := gaps(g.Schedule(n))
+		if math.Abs(mean-0.02) > 0.05*0.02 {
+			t.Errorf("mean gap %.5fs, want 0.02 ±5%%", mean)
+		}
+		// Exponential gaps: CV² = 1.
+		if cv2 < 0.85 || cv2 > 1.15 {
+			t.Errorf("poisson CV² %.3f, want ≈1", cv2)
+		}
+	})
+
+	t.Run("bursty", func(t *testing.T) {
+		spec := ArrivalSpec{Process: Bursty, Rate: 50, BurstMean: 8, BurstGap: 0.0001}
+		g, err := NewArrivalGen(spec, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := g.Schedule(n)
+		mean, cv2 := gaps(sched)
+		// Long-run rate is preserved: epochs at Rate/BurstMean carrying
+		// BurstMean requests each. ±10% (burst sizes add variance).
+		if math.Abs(mean-0.02) > 0.10*0.02 {
+			t.Errorf("bursty mean gap %.5fs, want 0.02 ±10%%", mean)
+		}
+		// Clustering: most gaps are the tiny intra-burst spacing, a few
+		// are long epoch gaps — squared CV far above Poisson's 1.
+		if cv2 < 2 {
+			t.Errorf("bursty CV² %.3f, want ≥2 (clustered)", cv2)
+		}
+	})
+
+	t.Run("diurnal", func(t *testing.T) {
+		spec := ArrivalSpec{Process: Diurnal, Rate: 200, Period: 1, Depth: 0.8}
+		g, err := NewArrivalGen(spec, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := g.Schedule(n) // ~50 full periods at 200/s
+		mean, _ := gaps(sched)
+		if math.Abs(mean-0.005) > 0.10*0.005 {
+			t.Errorf("diurnal mean gap %.6fs, want 0.005 ±10%%", mean)
+		}
+		// Phase split: the positive-sine half carries (1+2D/π)/(1−2D/π)
+		// ≈ 3.1× the arrivals of the negative half at D=0.8.
+		var peak, trough int
+		for _, a := range sched {
+			if math.Sin(2*math.Pi*float64(a/spec.Period)) > 0 {
+				peak++
+			} else {
+				trough++
+			}
+		}
+		if ratio := float64(peak) / float64(trough); ratio < 2 {
+			t.Errorf("peak/trough arrival ratio %.2f, want ≥2 at depth 0.8", ratio)
+		}
+	})
+
+	t.Run("deterministic", func(t *testing.T) {
+		for _, spec := range []ArrivalSpec{
+			{Process: Poisson, Rate: 50},
+			{Process: Bursty, Rate: 50, BurstMean: 8, BurstGap: 0.0001},
+			{Process: Diurnal, Rate: 200, Period: 1, Depth: 0.8},
+		} {
+			a, err := NewArrivalGen(spec, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := NewArrivalGen(spec, 11)
+			if !reflect.DeepEqual(a.Schedule(500), b.Schedule(500)) {
+				t.Errorf("%s: same seed produced different schedules", spec.Process)
+			}
+			c, _ := NewArrivalGen(spec, 12)
+			if reflect.DeepEqual(a.Schedule(500), c.Schedule(500)) {
+				t.Errorf("%s: different seeds produced identical schedules", spec.Process)
+			}
+		}
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		for _, bad := range []ArrivalSpec{
+			{Process: Poisson, Rate: 0},
+			{Process: Poisson, Rate: math.Inf(1)},
+			{Process: Bursty, Rate: 10, BurstMean: 0.5},
+			{Process: Bursty, Rate: 10, BurstMean: 4, BurstGap: -1},
+			{Process: Diurnal, Rate: 10, Period: 0, Depth: 0.5},
+			{Process: Diurnal, Rate: 10, Period: 1, Depth: 1},
+			{Process: ArrivalProcess(42), Rate: 10},
+		} {
+			if _, err := NewArrivalGen(bad, 1); err == nil {
+				t.Errorf("spec %+v should be rejected", bad)
+			}
+		}
+	})
+}
