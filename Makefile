@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload bench-prefix bench-smoke bench-chunked bench-quant bench-scenario scenario-smoke fuzz-smoke
+.PHONY: check vet build test race bench bench-functional bench-gateway bench-offload bench-prefix bench-smoke bench-chunked bench-quant bench-scenario bench-fleet scenario-smoke fleet-smoke fuzz-smoke
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the runner pool and shared caches are
@@ -82,6 +82,21 @@ bench-scenario:
 	$(GO) run ./cmd/lia-serve -scenario -seed 1 > BENCH_scenario.json
 	@cat BENCH_scenario.json
 
+# bench-fleet replays one saturating code/chat blend burst through
+# virtual multi-replica fleets across the scale-study matrix (placement
+# policy × replica count 1/2/4/8 × homogeneous-vs-mixed device rotation)
+# and records throughput plus TTFT percentiles into BENCH_fleet.json.
+bench-fleet:
+	$(GO) run ./cmd/lia-serve -fleet-bench -seed 1 > BENCH_fleet.json
+	@cat BENCH_fleet.json
+
+# fleet-smoke is the CI-sized cut of the fleet: the live 2-replica
+# lifecycle/failover suite, the 1-replica router-vs-bare-gateway
+# differential, and the fleet scenario legs, under the race detector.
+fleet-smoke:
+	$(GO) test -race -run 'TestRouter|TestFleetReplay' -count=1 ./internal/router
+	$(GO) test -race -run 'TestFleetScenario' -count=1 ./internal/scenario
+
 # scenario-smoke is the CI-sized cut of the lab: the 2-scenario ×
 # 2-fault smoke matrix (2 trials per cell, one live leg each) plus the
 # byte-determinism contract, under the race detector.
@@ -97,3 +112,4 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzPlanHost -fuzztime=10s -run=^$$ ./internal/memplan
 	$(GO) test -fuzz=FuzzPrefixTree -fuzztime=10s -run=^$$ ./internal/kvprefix
 	$(GO) test -fuzz=FuzzSparsePrepack -fuzztime=10s -run=^$$ ./internal/amx
+	$(GO) test -fuzz=FuzzRouterPlacement -fuzztime=10s -run=^$$ ./internal/router

@@ -310,6 +310,49 @@ func BenchmarkAMXMatmulINT8Packed(b *testing.B) {
 	}
 }
 
+// BenchmarkAMXMatmulSparseINT8 is the TDPBUSD mirror of
+// BenchmarkAMXMatmulSparse: the same 128³ GEMM with the int8 weight
+// operand zeroed to 50% tile-block sparsity and prepacked with the
+// zero-block bitmap, so half the TileLoad+TDPBUSD pairs never enter the
+// pipeline. The ratio against BenchmarkAMXMatmulINT8Packed is the
+// sparse-int8 tier's skip win at this sparsity.
+func BenchmarkAMXMatmulSparseINT8(b *testing.B) {
+	const n = 128
+	a := make([]uint8, n*n)
+	bb := make([]int8, n*n)
+	for i := range a {
+		a[i] = uint8(i)
+		bb[i] = int8(i % 127)
+	}
+	// Zero alternating weight blocks at the INT8 skip granularity.
+	bk, bn := amx.BlockShapeINT8()
+	for bi := 0; bi < n/bk; bi++ {
+		for bj := 0; bj < n/bn; bj++ {
+			if (bi+bj)%2 != 0 {
+				continue
+			}
+			for r := bi * bk; r < (bi+1)*bk; r++ {
+				for c := bj * bn; c < (bj+1)*bn; c++ {
+					bb[r*n+c] = 0
+				}
+			}
+		}
+	}
+	pre, err := amx.PrepackINT8Sparse(bb, n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(2*n*n + n*n*4))
+	for i := 0; i < b.N; i++ {
+		c, _, err := amx.MatmulINT8Packed(a, n, pre)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = c
+	}
+}
+
 // BenchmarkTDPBF16PS measures one full-size TDPBF16PS tile op
 // (16×16 C += 16×32 A · 32×16 B) through the byte-accurate oracle and the
 // decoded fast path. The two sub-benchmarks run identical instruction

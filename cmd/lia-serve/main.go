@@ -62,6 +62,14 @@
 // byte-reproducible JSON artifact on stdout (the BENCH_scenario.json
 // baseline) and the SLO verdict table on stderr; -scenario-trials and
 // -scenario-live rescale the matrix.
+//
+// Fleet bench (-fleet-bench) replays one saturating code/chat blend
+// burst through virtual multi-replica fleets (internal/router) across
+// the scale-study matrix — placement policy (p2c vs round-robin) ×
+// replica count (1/2/4/8) × fleet mix (homogeneous A100 vs a
+// heterogeneous A100/H100/CPU-only-AMX/DGX-TP4 rotation) — and prints
+// per-cell throughput plus TTFT percentiles as JSON (the
+// BENCH_fleet.json baseline).
 package main
 
 import (
@@ -153,6 +161,9 @@ func main() {
 		scenarioTrials = flag.Int("scenario-trials", 0, "trials per matrix cell; 0 = experiment default (scenario)")
 		scenarioLive   = flag.Int("scenario-live", -1, "live chaos legs per cell; -1 = experiment default, 0 = all trials (scenario)")
 
+		// Fleet bench flag (uses -live-model, -seed).
+		fleetBench = flag.Bool("fleet-bench", false, "replay a saturating blend burst across the fleet matrix (policy x replicas x mix) and print JSON")
+
 		// Live bench flags.
 		benchClients = flag.Int("bench-clients", 8, "concurrent closed-loop clients (live-bench)")
 		benchSecs    = flag.Float64("bench-seconds", 3, "measurement window, seconds (live-bench)")
@@ -162,6 +173,13 @@ func main() {
 
 	if *scenarioLab {
 		if err := runScenarioLab(*scenarioTrials, *scenarioLive, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *fleetBench {
+		if err := runFleetBench(*liveModel, *seed); err != nil {
 			fatal(err)
 		}
 		return

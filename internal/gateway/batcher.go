@@ -431,6 +431,17 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 		}
 	}
 
+	// publishLoad refreshes the health gauges the router's probes read;
+	// the pool and scheduler are confined here, so each round exports a
+	// consistent view through atomics.
+	publishLoad := func() {
+		if p := sched.Pool(); p != nil {
+			g.kvFree.Store(int64(p.FreeBlocks()))
+		}
+		g.running.Store(int64(sched.RunningLen()))
+	}
+	defer publishLoad()
+
 	for {
 		select {
 		case <-g.kill:
@@ -440,6 +451,7 @@ func (g *Gateway) run(sched *batchpolicy.Scheduler) {
 		}
 		gather()
 		reapCanceled()
+		publishLoad()
 
 		if !sched.Busy() && len(backlog) == 0 {
 			// Idle. Exit if draining, otherwise block for the next

@@ -19,9 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/lia-sim/lia/internal/batchpolicy"
+	"github.com/lia-sim/lia/internal/hw"
 	"github.com/lia-sim/lia/internal/kvpage"
 	"github.com/lia-sim/lia/internal/kvprefix"
 	"github.com/lia-sim/lia/internal/llm"
@@ -89,15 +91,28 @@ type Config struct {
 	// Quant selects the executor's weight tier: "" or "dense" (BF16),
 	// "sparse" (block-sparse AMX — zero tile blocks skip their loads and
 	// TDP), "int4lut" (INT4 group quantization through the LUT-GEMV
-	// kernel), or "int8" (W8A8 TDPBUSD). The gateway applies the tier to
-	// the executor before serving; lia_quant_* gauges report the resulting
-	// footprint.
+	// kernel), "int8" (W8A8 TDPBUSD), or "sparse-int8" (block-pruned W8A8
+	// whose prepacked image skips zero blocks). The gateway applies the
+	// tier to the executor before serving; lia_quant_* gauges report the
+	// resulting footprint.
 	Quant string
-	// QuantSparsity is the sparse tier's zero-block fraction (default 0.5).
+	// QuantSparsity is the sparse tiers' zero-block fraction (default 0.5).
 	QuantSparsity float64
 	// QuantGroup is the int4lut tier's group length (default
 	// quant.DefaultGroupINT4).
 	QuantGroup int
+	// TPWays, when ≥2, shards the executor tensor-parallel across that
+	// many virtual GPUs over an NVLink3 fabric (llm.EnableTP): one
+	// replica serving as a multi-GPU node. Tokens stay bit-identical;
+	// the executor's TPStats ledger prices the virtual all-reduces.
+	// Requires the dense BF16 tier. 0 (off) by default.
+	TPWays int
+	// OnEvent, when set, observes every scheduler event the batcher
+	// sees (admissions, preemptions, evictions, removals) after the
+	// gateway's own counters update. The router's differential tests
+	// use it to compare event streams. Called on the batcher goroutine —
+	// keep it fast and do not call back into the gateway.
+	OnEvent func(batchpolicy.Event)
 }
 
 func (c Config) withDefaults() Config {
@@ -116,7 +131,7 @@ func (c Config) withDefaults() Config {
 	if c.SpecGamma > 0 && c.SpecDraftLayers == 0 {
 		c.SpecDraftLayers = 1
 	}
-	if c.Quant == "sparse" && c.QuantSparsity == 0 {
+	if (c.Quant == "sparse" || c.Quant == "sparse-int8") && c.QuantSparsity == 0 {
 		c.QuantSparsity = 0.5
 	}
 	return c
@@ -151,15 +166,25 @@ func (c Config) Validate() error {
 		}
 	}
 	switch c.Quant {
-	case "", "dense", "sparse", "int4lut", "int8":
+	case "", "dense", "sparse", "int4lut", "int8", "sparse-int8":
 	default:
-		return fmt.Errorf("gateway: unknown quant tier %q (want dense, sparse, int4lut or int8)", c.Quant)
+		return fmt.Errorf("gateway: unknown quant tier %q (want dense, sparse, int4lut, int8 or sparse-int8)", c.Quant)
 	}
 	if c.QuantSparsity < 0 || c.QuantSparsity >= 1 {
 		return fmt.Errorf("gateway: QuantSparsity must be in [0,1), got %g", c.QuantSparsity)
 	}
 	if c.QuantGroup < 0 {
 		return fmt.Errorf("gateway: QuantGroup must be ≥0, got %d", c.QuantGroup)
+	}
+	if c.TPWays < 0 || c.TPWays == 1 {
+		return fmt.Errorf("gateway: TPWays must be 0 (off) or ≥2, got %d", c.TPWays)
+	}
+	if c.TPWays >= 2 {
+		switch c.Quant {
+		case "", "dense":
+		default:
+			return fmt.Errorf("gateway: tensor parallelism requires the dense tier, got %q", c.Quant)
+		}
 	}
 	return nil
 }
@@ -208,6 +233,11 @@ type Gateway struct {
 	poolTotalBlocks int // for the can-ever-fit admission check (0 = unconstrained)
 	blockTokens     int
 
+	// Load gauges the batcher publishes each round for the router's
+	// health probes (the pool itself is batcher-confined).
+	kvFree  atomic.Int64
+	running atomic.Int64
+
 	tree   *kvprefix.Tree  // prefix cache (nil when disabled)
 	prefix *prefixAdmitter // pooled admission through the tree (nil when pool-less or disabled)
 
@@ -231,6 +261,13 @@ func New(exec *llm.Executor, cfg Config) (*Gateway, error) {
 		exec.EnableINT4LUT(cfg.QuantGroup)
 	case "int8":
 		exec.EnableINT8()
+	case "sparse-int8":
+		exec.EnableSparseINT8(cfg.QuantSparsity)
+	}
+	if cfg.TPWays >= 2 {
+		if err := exec.EnableTP(cfg.TPWays, hw.NVLink3); err != nil {
+			return nil, err
+		}
 	}
 	var pool *kvpage.Manager
 	if cfg.KVBudget > 0 {
@@ -280,6 +317,7 @@ func New(exec *llm.Executor, cfg Config) (*Gateway, error) {
 	if pool != nil {
 		g.poolTotalBlocks = pool.TotalBlocks()
 		g.blockTokens = pool.BlockTokens()
+		g.kvFree.Store(int64(pool.FreeBlocks()))
 	}
 	// The scheduler's event stream is the batcher's only view of
 	// preemptions and mid-flight removals (cancel/deadline reaping); both
@@ -290,6 +328,9 @@ func New(exec *llm.Executor, cfg Config) (*Gateway, error) {
 			g.m.preempted.Add(1)
 		case batchpolicy.EventRemove:
 			g.m.reaped.Add(1)
+		}
+		if cfg.OnEvent != nil {
+			cfg.OnEvent(e)
 		}
 	}
 	if err := sched.SetChunk(cfg.PrefillChunk); err != nil {
@@ -460,5 +501,35 @@ func (g *Gateway) Draining() bool {
 		return true
 	default:
 		return false
+	}
+}
+
+// Health is the load signal a router's placement scorer reads: queue
+// occupancy, in-flight batch size, and KV-pool headroom. The KV gauges
+// are published by the batcher once per round (the pool itself is
+// confined to the batcher goroutine), so they trail the true pool state
+// by at most one scheduling round.
+type Health struct {
+	// QueueLen and QueueCap are the admission queue's occupancy and bound.
+	QueueLen, QueueCap int
+	// Running is the in-flight batch size as of the last round.
+	Running int
+	// KVFreeBlocks and KVTotalBlocks are the paged pool's headroom and
+	// capacity (both 0 when serving without a KV budget).
+	KVFreeBlocks, KVTotalBlocks int
+	// Draining reports whether Shutdown has begun.
+	Draining bool
+}
+
+// Health returns the gateway's current load signal. Safe to call from
+// any goroutine.
+func (g *Gateway) Health() Health {
+	return Health{
+		QueueLen:      len(g.submit),
+		QueueCap:      g.cfg.QueueDepth,
+		Running:       int(g.running.Load()),
+		KVFreeBlocks:  int(g.kvFree.Load()),
+		KVTotalBlocks: g.poolTotalBlocks,
+		Draining:      g.Draining(),
 	}
 }

@@ -47,6 +47,8 @@ type int4Layer struct {
 func (e *Executor) EnableSparse(sparsity float64) {
 	e.int8 = nil
 	e.int4 = nil
+	e.tp = nil
+	e.sparseInt8 = false
 	e.sparse = make([]sparseLayer, len(e.Model.Layers))
 	for i, w := range e.Model.Layers {
 		e.sparse[i] = sparseLayer{
@@ -78,6 +80,8 @@ func pruneWeight(w tensor.Matrix, sparsity float64) sparseWeight {
 func (e *Executor) EnableINT4LUT(group int) {
 	e.int8 = nil
 	e.sparse = nil
+	e.tp = nil
+	e.sparseInt8 = false
 	e.int4 = make([]int4Layer, len(e.Model.Layers))
 	for i, w := range e.Model.Layers {
 		e.int4[i] = int4Layer{
@@ -97,6 +101,32 @@ func mustQuantizeINT4(w tensor.Matrix, group int) quant.WeightsINT4 {
 	return q
 }
 
+// EnableSparseINT8 combines block pruning with INT8 quantization: every
+// parameter matrix is pruned to the requested block-sparsity at the INT8
+// tile granularity, quantized per output column, and prepacked through
+// amx.PrepackINT8Sparse, whose zero-block bitmap skips the pruned
+// blocks' TileLoads and TDPBUSD issues. The skip is exact — a zero
+// integer block contributes +0 to every accumulator — so tokens are
+// bit-identical to dense INT8 compute over the same pruned weights.
+// Enabling replaces any other compressed tier.
+func (e *Executor) EnableSparseINT8(sparsity float64) {
+	e.sparse = nil
+	e.int4 = nil
+	e.tp = nil
+	e.sparseInt8 = true
+	e.int8 = make([]quantizedLayer, len(e.Model.Layers))
+	for i, w := range e.Model.Layers {
+		qkv, _ := quant.QuantizeWeightsSparse(w.WQKV, sparsity)
+		out, _ := quant.QuantizeWeightsSparse(w.WOut, sparsity)
+		fc1, _ := quant.QuantizeWeightsSparse(w.WFC1, sparsity)
+		fc2, _ := quant.QuantizeWeightsSparse(w.WFC2, sparsity)
+		e.int8[i] = quantizedLayer{wQKV: qkv, wOut: out, wFC1: fc1, wFC2: fc2}
+	}
+}
+
+// SparseINT8 reports whether the block-pruned INT8 tier is on.
+func (e *Executor) SparseINT8() bool { return e.int8 != nil && e.sparseInt8 }
+
 // Sparse reports whether the block-sparse tier is on.
 func (e *Executor) Sparse() bool { return e.sparse != nil }
 
@@ -106,6 +136,8 @@ func (e *Executor) INT4() bool { return e.int4 != nil }
 // QuantTier names the active weight tier for metrics and bench labels.
 func (e *Executor) QuantTier() string {
 	switch {
+	case e.int8 != nil && e.sparseInt8:
+		return "sparse-int8"
 	case e.int8 != nil:
 		return "int8"
 	case e.int4 != nil:
@@ -190,6 +222,11 @@ func (e *Executor) WeightFootprint() int64 {
 	var total int64
 	for li := range e.Model.Layers {
 		switch {
+		case e.int8 != nil && e.sparseInt8:
+			q := &e.int8[li]
+			for _, w := range []*quant.Weights{&q.wQKV, &q.wOut, &q.wFC1, &q.wFC2} {
+				total += int64(w.FootprintSparse())
+			}
 		case e.int8 != nil:
 			q := &e.int8[li]
 			total += int64(q.wQKV.Footprint() + q.wOut.Footprint() + q.wFC1.Footprint() + q.wFC2.Footprint())
@@ -212,18 +249,29 @@ func (e *Executor) WeightFootprint() int64 {
 }
 
 // SparseSkipFraction reports the aggregate zero-block fraction across
-// the sparse tier's weights (0 when the tier is off) — the measured
-// sparsity the analytic model's (1 − s) scaling is calibrated against.
+// the sparse tier's weights (0 when neither sparse tier is on) — the
+// measured sparsity the analytic model's (1 − s) scaling is calibrated
+// against. Covers both the BF16 block-sparse tier and the block-pruned
+// INT8 tier.
 func (e *Executor) SparseSkipFraction() float64 {
-	if e.sparse == nil {
-		return 0
-	}
 	var zero, total int
-	for li := range e.sparse {
-		sl := &e.sparse[li]
-		for _, sw := range []*sparseWeight{&sl.qkv, &sl.out, &sl.fc1, &sl.fc2} {
-			zero += sw.stats.ZeroBlocks
-			total += sw.stats.TotalBlocks
+	switch {
+	case e.sparse != nil:
+		for li := range e.sparse {
+			sl := &e.sparse[li]
+			for _, sw := range []*sparseWeight{&sl.qkv, &sl.out, &sl.fc1, &sl.fc2} {
+				zero += sw.stats.ZeroBlocks
+				total += sw.stats.TotalBlocks
+			}
+		}
+	case e.int8 != nil && e.sparseInt8:
+		for li := range e.int8 {
+			q := &e.int8[li]
+			for _, w := range []*quant.Weights{&q.wQKV, &q.wOut, &q.wFC1, &q.wFC2} {
+				nz, tot := w.BlockStats()
+				zero += tot - nz
+				total += tot
+			}
 		}
 	}
 	if total == 0 {

@@ -270,9 +270,15 @@ type Executor struct {
 	// int8 holds pre-quantized parameter weights when INT8 mode is on;
 	// sparse and int4 hold the block-sparse and INT4-LUT tiers (at most
 	// one of the three is non-nil — Enable* clears the others).
-	int8   []quantizedLayer
-	sparse []sparseLayer
-	int4   []int4Layer
+	// sparseInt8 marks the int8 tier as the block-pruned variant whose
+	// prepacked image carries a zero-block bitmap (EnableSparseINT8).
+	int8       []quantizedLayer
+	sparseInt8 bool
+	sparse     []sparseLayer
+	int4       []int4Layer
+	// tp holds the tensor-parallel sharding when EnableTP is on
+	// (mutually exclusive with the compressed tiers).
+	tp *tpState
 	// shared holds the packed-weight caches and RoPE tables, common to
 	// every fork of this executor.
 	shared *sharedState
@@ -301,7 +307,7 @@ func (e *Executor) sharedState() *sharedState {
 // and quantized weights, with private Stats and scratch — the unit of
 // parallelism for GenerateBatch.
 func (e *Executor) fork() *Executor {
-	return &Executor{Model: e.Model, Policy: e.Policy, Mem: e.Mem, int8: e.int8, sparse: e.sparse, int4: e.int4, shared: e.sharedState()}
+	return &Executor{Model: e.Model, Policy: e.Policy, Mem: e.Mem, int8: e.int8, sparseInt8: e.sparseInt8, sparse: e.sparse, int4: e.int4, tp: e.tp, shared: e.sharedState()}
 }
 
 // WeightPacks reports how many static-weight layout conversions (VNNI
@@ -319,6 +325,8 @@ func (e *Executor) WeightPacks() int64 { return e.sharedState().packs.Load() }
 func (e *Executor) EnableINT8() {
 	e.sparse = nil
 	e.int4 = nil
+	e.tp = nil
+	e.sparseInt8 = false
 	e.int8 = make([]quantizedLayer, len(e.Model.Layers))
 	for i, w := range e.Model.Layers {
 		e.int8[i] = quantizedLayer{
@@ -359,6 +367,9 @@ func (e *Executor) linear(li int, s model.Sublayer, x tensor.Matrix) tensor.Matr
 	if e.pass != nil {
 		e.pass.WeightAccess(li, s)
 	}
+	if e.tp != nil {
+		return e.linearTP(li, s, x)
+	}
 	if e.int8 != nil {
 		q := &e.int8[li]
 		var qw *quant.Weights
@@ -379,6 +390,11 @@ func (e *Executor) linear(li int, s model.Sublayer, x tensor.Matrix) tensor.Matr
 			}
 			e.Stats.Int8Matmuls++
 			e.Stats.AMXCycles += cycles
+			if e.sparseInt8 {
+				nz, total := qw.BlockStats()
+				e.Stats.SparseMatmuls++
+				e.Stats.SparseBlocksSkipped += uint64(total - nz)
+			}
 			return out
 		}
 	}

@@ -1,0 +1,298 @@
+// Tensor-parallel executor mode: one functional model sharded across K
+// simulated GPUs, the §7.8/§8 multi-GPU extension made real. Every
+// parameter sublayer is column-parallel — each virtual rank owns whole
+// attention heads of the QKV projection and contiguous column slices of
+// the out-projection and FFN matrices — and the rank outputs are
+// reassembled by an all-gather, which is pure concatenation. Because
+// every output element keeps exactly the unsharded kernel's reduction
+// over the full inner dimension (no cross-rank partial sums are ever
+// added together), tokens are bit-identical to the unsharded executor on
+// every offloading policy, on the fused batch-decode path, and under
+// speculative decoding.
+//
+// The communication a real sharding would pay is priced, not performed:
+// each decoder layer charges the analytic DGX model's two ring
+// all-reduces on the hidden states (core.TPAllReduceTime, the same
+// calibrated formula engine's MultiGPU baseline integrates) into a
+// virtual comm clock the TPStats expose. Pricing is observational only —
+// it never touches the computed values.
+package llm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/lia-sim/lia/internal/amx"
+	"github.com/lia-sim/lia/internal/core"
+	"github.com/lia-sim/lia/internal/hw"
+	"github.com/lia-sim/lia/internal/model"
+	"github.com/lia-sim/lia/internal/tensor"
+	"github.com/lia-sim/lia/internal/units"
+)
+
+// colSpan maps one contiguous column range of a rank's shard back to its
+// position in the full (unsharded) output matrix.
+type colSpan struct {
+	dst   int // first column in the full output
+	width int
+}
+
+// tpShard is one rank's slice of a parameter matrix: the materialized
+// column slice, where its columns land in the full output, and the
+// per-route packed forms (built lazily, shared by forks — same
+// lifecycle as the dense tier's packedWeight).
+type tpShard struct {
+	w     tensor.Matrix
+	spans []colSpan
+	cache packedWeight
+}
+
+// tpSublayer is one parameter sublayer split across the ranks.
+type tpSublayer struct {
+	shards []tpShard
+	fullN  int
+}
+
+// tpLayer holds one decoder layer's four sharded parameter sublayers.
+type tpLayer struct {
+	qkv, out, fc1, fc2 tpSublayer
+}
+
+// tpState is the executor-family-wide tensor-parallel state: the sharded
+// weights plus the virtual communication clock. Forks share it; the
+// comm counters are atomic.
+type tpState struct {
+	ways   int
+	peer   hw.LinkSpec
+	layers []tpLayer
+
+	allReduces atomic.Int64
+	commPs     atomic.Int64 // virtual comm time in picoseconds (integer, so accumulation is exact and race-free)
+}
+
+// TPStats reports the tensor-parallel mode's virtual communication
+// ledger.
+type TPStats struct {
+	// Ways is the shard count (0 when TP is off).
+	Ways int
+	// AllReduces counts the priced ring all-reduces (two per decoder
+	// layer per forward pass, after the out-projection and FC2 — the
+	// analytic MultiGPU baseline's schedule).
+	AllReduces int64
+	// Comm is the accumulated virtual all-reduce time.
+	Comm units.Seconds
+}
+
+// EnableTP shards every parameter sublayer column-parallel across `ways`
+// virtual GPUs linked by `peer` (the all-reduce fabric the virtual comm
+// clock prices). The query heads, KV heads, FFN hidden width, and model
+// width must all divide evenly by `ways`. TP requires the dense BF16
+// tier without a memory host; enabling a compressed tier afterwards
+// turns TP back off.
+func (e *Executor) EnableTP(ways int, peer hw.LinkSpec) error {
+	cfg := e.Model.Cfg
+	if ways < 2 {
+		return fmt.Errorf("llm: tensor parallelism needs ≥2 ways, got %d", ways)
+	}
+	if e.int8 != nil || e.sparse != nil || e.int4 != nil {
+		return fmt.Errorf("llm: tensor parallelism requires the dense BF16 tier (got %s)", e.QuantTier())
+	}
+	if e.Mem != nil {
+		return fmt.Errorf("llm: tensor parallelism does not compose with a memory host")
+	}
+	if cfg.Heads%ways != 0 || cfg.KVHeads%ways != 0 {
+		return fmt.Errorf("llm: %d query / %d KV heads not divisible by %d ways", cfg.Heads, cfg.KVHeads, ways)
+	}
+	if cfg.DFF%ways != 0 || cfg.DModel%ways != 0 {
+		return fmt.Errorf("llm: DFF %d / DModel %d not divisible by %d ways", cfg.DFF, cfg.DModel, ways)
+	}
+	tp := &tpState{ways: ways, peer: peer, layers: make([]tpLayer, len(e.Model.Layers))}
+	for li, w := range e.Model.Layers {
+		tp.layers[li] = tpLayer{
+			qkv: shardQKV(w.WQKV, cfg, ways),
+			out: shardCols(w.WOut, ways),
+			fc1: shardFC1(w.WFC1, cfg, ways),
+			fc2: shardCols(w.WFC2, ways),
+		}
+	}
+	e.tp = tp
+	return nil
+}
+
+// TP reports whether tensor-parallel mode is on.
+func (e *Executor) TP() bool { return e.tp != nil }
+
+// TPWays returns the shard count (0 when TP is off).
+func (e *Executor) TPWays() int {
+	if e.tp == nil {
+		return 0
+	}
+	return e.tp.ways
+}
+
+// TPStats returns the virtual communication ledger, aggregated across
+// every fork of the executor family.
+func (e *Executor) TPStats() TPStats {
+	if e.tp == nil {
+		return TPStats{}
+	}
+	return TPStats{
+		Ways:       e.tp.ways,
+		AllReduces: e.tp.allReduces.Load(),
+		Comm:       units.Seconds(float64(e.tp.commPs.Load()) * 1e-12),
+	}
+}
+
+// materializeShard copies the listed column spans of w into one matrix,
+// in span order.
+func materializeShard(w tensor.Matrix, spans []colSpan) tpShard {
+	width := 0
+	for _, sp := range spans {
+		width += sp.width
+	}
+	m := tensor.New(w.Rows, width)
+	for r := 0; r < w.Rows; r++ {
+		src := w.Row(r)
+		dst := m.Row(r)
+		off := 0
+		for _, sp := range spans {
+			copy(dst[off:off+sp.width], src[sp.dst:sp.dst+sp.width])
+			off += sp.width
+		}
+	}
+	return tpShard{w: m, spans: spans}
+}
+
+// shardCols splits a matrix into `ways` contiguous column slices — the
+// out-projection and FC2 sharding (column-parallel over the model
+// width).
+func shardCols(w tensor.Matrix, ways int) tpSublayer {
+	per := w.Cols / ways
+	sub := tpSublayer{fullN: w.Cols, shards: make([]tpShard, ways)}
+	for s := 0; s < ways; s++ {
+		width := per
+		if s == ways-1 {
+			width = w.Cols - s*per // absorb any remainder (none when ways divides)
+		}
+		sub.shards[s] = materializeShard(w, []colSpan{{dst: s * per, width: width}})
+	}
+	return sub
+}
+
+// shardQKV splits the fused QKV projection by attention heads: rank s
+// owns query heads [s·H/w, (s+1)·H/w) and the matching KV heads, so its
+// shard is up to three column ranges of the fused matrix (Q, K, V
+// segments).
+func shardQKV(w tensor.Matrix, cfg model.Config, ways int) tpSublayer {
+	d := cfg.DModel
+	dh := cfg.HeadDim()
+	kvDim := cfg.KVDim()
+	qPer := cfg.Heads / ways * dh
+	kvPer := cfg.KVHeads / ways * dh
+	sub := tpSublayer{fullN: w.Cols, shards: make([]tpShard, ways)}
+	for s := 0; s < ways; s++ {
+		spans := []colSpan{
+			{dst: s * qPer, width: qPer},             // query heads
+			{dst: d + s*kvPer, width: kvPer},         // key heads
+			{dst: d + kvDim + s*kvPer, width: kvPer}, // value heads
+		}
+		sub.shards[s] = materializeShard(w, spans)
+	}
+	return sub
+}
+
+// shardFC1 splits FC1 over the FFN hidden width. Gated models pair each
+// rank's gate columns with its up columns so the elementwise SwiGLU
+// stays rank-local in a real deployment; here the gather reassembles the
+// full h1 before the activation, which computes the identical values.
+func shardFC1(w tensor.Matrix, cfg model.Config, ways int) tpSublayer {
+	per := cfg.DFF / ways
+	sub := tpSublayer{fullN: w.Cols, shards: make([]tpShard, ways)}
+	for s := 0; s < ways; s++ {
+		spans := []colSpan{{dst: s * per, width: per}}
+		if cfg.GatedFFN {
+			spans = append(spans, colSpan{dst: cfg.DFF + s*per, width: per})
+		}
+		sub.shards[s] = materializeShard(w, spans)
+	}
+	return sub
+}
+
+// linearTP is linear()'s tensor-parallel body: each rank's shard runs
+// through the same policy-routed kernel the unsharded path uses, and the
+// rank outputs are gathered (concatenated) back into the full output
+// matrix. After the two residual-producing projections the virtual comm
+// clock charges the analytic ring all-reduce on the hidden states.
+func (e *Executor) linearTP(li int, s model.Sublayer, x tensor.Matrix) tensor.Matrix {
+	tp := e.tp
+	l := &tp.layers[li]
+	var sub *tpSublayer
+	switch s {
+	case model.QKVMapping:
+		sub = &l.qkv
+	case model.OutProjection:
+		sub = &l.out
+	case model.FC1:
+		sub = &l.fc1
+	case model.FC2:
+		sub = &l.fc2
+	default:
+		panic(fmt.Sprintf("llm: %s is not a parameter sublayer", s))
+	}
+	out := tensor.New(x.Rows, sub.fullN)
+	for si := range sub.shards {
+		sh := &sub.shards[si]
+		part := e.runTPShard(s, sh, x)
+		off := 0
+		for _, sp := range sh.spans {
+			for r := 0; r < part.Rows; r++ {
+				copy(out.Row(r)[sp.dst:sp.dst+sp.width], part.Row(r)[off:off+sp.width])
+			}
+			off += sp.width
+		}
+	}
+	if s == model.OutProjection || s == model.FC2 {
+		bytes := units.Bytes(x.Rows * e.Model.Cfg.DModel * e.Model.Cfg.BytesPerParam)
+		t := core.TPAllReduceTime(tp.ways, tp.peer, bytes)
+		tp.allReduces.Add(1)
+		tp.commPs.Add(int64(float64(t) * 1e12))
+	}
+	return out
+}
+
+// runTPShard dispatches one rank's shard through the policy-routed
+// kernel — the exact dense-tier body of linear(), against the shard's
+// own packed cache. The dense route's in-place bfloat16 rounding of x is
+// idempotent, so repeating it per rank leaves later ranks' inputs
+// identical to the unsharded call's.
+func (e *Executor) runTPShard(s model.Sublayer, sh *tpShard, x tensor.Matrix) tensor.Matrix {
+	if x.Cols != sh.w.Rows {
+		panic(fmt.Sprintf("llm: %s TP shard shape mismatch %dx%d · %dx%d", s, x.Rows, x.Cols, sh.w.Rows, sh.w.Cols))
+	}
+	if e.Policy.OnCPU(s) {
+		sh.cache.cpuOnce.Do(func() {
+			pre, err := amx.PrepackBF16(sh.w.Data, sh.w.Rows, sh.w.Cols)
+			if err != nil {
+				panic(fmt.Sprintf("llm: TP prepack %s: %v", s, err))
+			}
+			sh.cache.cpu = pre
+			e.sharedState().packs.Add(1)
+		})
+		out, cycles, err := amx.MatmulBF16Packed(x.Data, x.Rows, sh.cache.cpu)
+		if err != nil {
+			panic(fmt.Sprintf("llm: TP AMX matmul: %v", err))
+		}
+		e.Stats.CPUMatmuls++
+		e.Stats.AMXCycles += cycles
+		return tensor.FromSlice(x.Rows, sh.w.Cols, out)
+	}
+	sh.cache.gpuOnce.Do(func() {
+		g := sh.w.Clone()
+		amx.RoundSlice(g.Data)
+		sh.cache.gpu = g
+		e.sharedState().packs.Add(1)
+	})
+	e.Stats.GPUMatmuls++
+	amx.RoundSlice(x.Data)
+	return tensor.MatMul(x, sh.cache.gpu)
+}

@@ -88,6 +88,48 @@ func QuantizeWeights(w tensor.Matrix) Weights {
 	return out
 }
 
+// QuantizeWeightsSparse prunes w to the requested block-sparsity at the
+// INT8 tile granularity, quantizes the pruned matrix per output column,
+// and prepacks it through amx.PrepackINT8Sparse so the TDPBUSD drivers
+// skip the zeroed blocks. A pruned element quantizes to code 0 exactly
+// (round(0/s) = 0), so the sparse image's skipped blocks contribute the
+// same +0 the dense kernel would compute — results are bit-identical to
+// QuantizeWeights over the pruned matrix.
+func QuantizeWeightsSparse(w tensor.Matrix, sparsity float64) (Weights, SparseStats) {
+	pruned, stats := PruneBlocksINT8(w, sparsity)
+	out := QuantizeWeights(pruned)
+	pre, err := amx.PrepackINT8Sparse(out.Q, out.K, out.N)
+	if err != nil {
+		panic(fmt.Sprintf("quant: sparse prepack: %v", err))
+	}
+	out.pre = pre
+	return out, stats
+}
+
+// BlockStats reports the prepacked image's (nonzero, total) tile-block
+// counts — (0, 0) for hand-built Weights with no prepacked form. For
+// dense-prepacked weights every block counts as nonzero.
+func (w Weights) BlockStats() (nz, total int) {
+	if w.pre == nil {
+		return 0, 0
+	}
+	return w.pre.BlockStats()
+}
+
+// FootprintSparse models the bytes a block-sparse INT8 encoding ships:
+// the nonzero blocks' int8 payload, one bitmap bit per block, and the
+// full per-column side tables (scales + column sums — both are needed
+// for dequantization regardless of sparsity).
+func (w Weights) FootprintSparse() int {
+	nz, total := w.BlockStats()
+	side := 4*len(w.ColScales) + 4*len(w.ColSums)
+	if total == 0 {
+		return len(w.Q) + side
+	}
+	payload := len(w.Q) * nz / total
+	return payload + (total+7)/8 + side
+}
+
 // Dequantize reconstructs the float32 weights.
 func (w Weights) Dequantize() tensor.Matrix {
 	out := tensor.New(w.K, w.N)

@@ -36,13 +36,27 @@ func (s SparseStats) Sparsity() float64 {
 // clamped to [0, 1]; the block shape is the BF16 tile granularity the
 // sparse kernel skips at.
 func PruneBlocks(w tensor.Matrix, sparsity float64) (tensor.Matrix, SparseStats) {
+	bk, bn := amx.BlockShapeBF16()
+	return pruneBlocksAt(w, sparsity, bk, bn)
+}
+
+// PruneBlocksINT8 prunes at the INT8 tile granularity — the block shape
+// the TDPBUSD zero-block bitmap skips at — so that quantizing the pruned
+// matrix and prepacking it sparse skips exactly the pruned blocks.
+func PruneBlocksINT8(w tensor.Matrix, sparsity float64) (tensor.Matrix, SparseStats) {
+	bk, bn := amx.BlockShapeINT8()
+	return pruneBlocksAt(w, sparsity, bk, bn)
+}
+
+// pruneBlocksAt is the shared magnitude-pruning body, parameterized by
+// the kernel's skippable block shape.
+func pruneBlocksAt(w tensor.Matrix, sparsity float64, bk, bn int) (tensor.Matrix, SparseStats) {
 	if sparsity < 0 {
 		sparsity = 0
 	}
 	if sparsity > 1 {
 		sparsity = 1
 	}
-	bk, bn := amx.BlockShapeBF16()
 	kBlocks := (w.Rows + bk - 1) / bk
 	nBlocks := (w.Cols + bn - 1) / bn
 	total := kBlocks * nBlocks

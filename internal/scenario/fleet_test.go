@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/lia-sim/lia/internal/trace"
+)
+
+// fleetCell is the fleet-failover test fixture: a 3-replica fleet
+// serving the mixed code/chat blend under a replica kill + respawn.
+func fleetCell() Cell {
+	return Cell{
+		Scenario: ScenarioConfig{
+			Name:     "fleet-mixed",
+			Arrival:  trace.ArrivalSpec{Process: trace.Bursty, Rate: 120, BurstMean: 6, BurstGap: 0.0005},
+			Workload: Mixed,
+			Requests: 60,
+			MaxBatch: 4,
+			// Generous queue: the fleet test measures failover accounting,
+			// not shed behaviour.
+			QueueDepth: 30,
+			KVTokens:   256,
+			Replicas:   3,
+			SLO:        1.5,
+		},
+		Fault: FaultPlan{
+			Name:             "replica-kill",
+			ReplicaKillAt:    0.05,
+			ReplicaRespawnAt: 0.2,
+		},
+	}
+}
+
+// TestFleetScenarioFailoverAccounting runs the fleet trial's virtual
+// leg through a replica kill + respawn: the kill must orphan real work
+// (failovers observed), the outcome accounting must close exactly, and
+// the whole trial must be byte-deterministic from its seed.
+func TestFleetScenarioFailoverAccounting(t *testing.T) {
+	cell := fleetCell()
+	if err := cell.Scenario.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.Fault.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTrial(cell, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Completed + res.Shed + res.Canceled; got != res.Requests {
+		t.Errorf("accounting identity broken: %d+%d+%d = %d, want %d",
+			res.Completed, res.Shed, res.Canceled, got, res.Requests)
+	}
+	if res.Failovers == 0 {
+		t.Error("replica kill at mid-trace produced no failovers")
+	}
+	if res.Completed == 0 {
+		t.Error("nothing completed across the failover")
+	}
+	if res.TTFTP50 <= 0 || res.Makespan <= 0 {
+		t.Errorf("fleet trial statistics implausible: ttft p50 %v, makespan %v", res.TTFTP50, res.Makespan)
+	}
+
+	again, err := RunTrial(cell, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Errorf("fleet trial not deterministic:\n first %+v\nsecond %+v", res, again)
+	}
+
+	// A different seed draws a different stream (the trial is seeded,
+	// not constant).
+	other, err := RunTrial(cell, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(res, other) {
+		t.Error("trials with different seeds produced identical results")
+	}
+}
+
+// TestFleetScenarioLiveLeg drives the live router fleet through the
+// mid-traffic kill and respawn: the standing invariants — leak-free
+// shutdown, exact client/router accounting, bit-identical tokens across
+// whichever replica served — must all hold.
+func TestFleetScenarioLiveLeg(t *testing.T) {
+	res, err := RunTrial(fleetCell(), 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live == nil {
+		t.Fatal("live leg did not run")
+	}
+	if !res.Live.LeakFree {
+		t.Error("fleet live leg leaked goroutines")
+	}
+	if !res.Live.AccountingExact {
+		t.Errorf("fleet live accounting inexact: %d completed + %d canceled + %d shed of %d",
+			res.Live.Completed, res.Live.Canceled, res.Live.Shed, res.Live.Requests)
+	}
+	if !res.Live.BitIdentical {
+		t.Error("a completed stream diverged from the solo reference")
+	}
+	if res.Live.Completed == 0 {
+		t.Error("no live request completed across the kill")
+	}
+}
+
+// TestFleetScenarioValidation pins the fleet-specific declaration
+// rules.
+func TestFleetScenarioValidation(t *testing.T) {
+	s := fleetCell().Scenario
+	s.Mode = Mode{Quant: "int8"}
+	if err := s.Validate(); err == nil {
+		t.Error("fleet scenario with a non-zero Mode should fail validation")
+	}
+	f := FaultPlan{Name: "bad", ReplicaRespawnAt: 1}
+	if err := f.Validate(); err == nil {
+		t.Error("respawn without a kill should fail validation")
+	}
+	f = FaultPlan{Name: "bad2", ReplicaKillAt: 0.5, ReplicaRespawnAt: 0.25}
+	if err := f.Validate(); err == nil {
+		t.Error("respawn before the kill should fail validation")
+	}
+	if (FaultPlan{Name: "kill", ReplicaKillAt: 0.5}).healthy() {
+		t.Error("a replica-kill plan is not healthy")
+	}
+}

@@ -42,6 +42,10 @@ const (
 	// HotPrefix draws prompts sharing a power-law population of hot
 	// prefixes (trace.PrefixGenerator): the prefix-cache workload.
 	HotPrefix WorkloadKind = "hot-prefix"
+	// Mixed interleaves the code and conversation trace families into
+	// one stream (trace.BlendGenerator, 50/50): the mixed front-door
+	// traffic the fleet scale study routes.
+	Mixed WorkloadKind = "mixed-blend"
 )
 
 // Mode is the serving configuration under test — any combination the
@@ -79,6 +83,13 @@ type ScenarioConfig struct {
 	QueueDepth int `json:"queue_depth"`
 	// KVTokens bounds the paged KV pool (0 = unconstrained).
 	KVTokens int `json:"kv_tokens,omitempty"`
+	// Replicas, when ≥2, serves the scenario through the fleet router
+	// instead of a single gateway: the virtual leg replays the stream
+	// through router.FleetReplay over that many homogeneous replicas
+	// (each with the scenario's MaxBatch/QueueDepth/KVTokens envelope),
+	// and the live leg drives a real router.Router fleet. Fleet
+	// scenarios price the plain dense mode — Mode must be zero.
+	Replicas int `json:"replicas,omitempty"`
 	// SLO is the per-request completion target on the virtual clock
 	// (arrival → finish; default 1.5s). Shed and canceled requests count
 	// against attainment.
@@ -111,7 +122,7 @@ func (s ScenarioConfig) Validate() error {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	switch s.Workload {
-	case HeavyTailed, LowEntropy, HotPrefix:
+	case HeavyTailed, LowEntropy, HotPrefix, Mixed:
 	default:
 		return fmt.Errorf("scenario %q: unknown workload %q", s.Name, s.Workload)
 	}
@@ -134,6 +145,12 @@ func (s ScenarioConfig) Validate() error {
 	}
 	if s.Mode.SpecGamma > 0 && s.offloaded() {
 		return fmt.Errorf("scenario %q: speculative decoding requires the non-offloaded path", s.Name)
+	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("scenario %q: Replicas must be ≥0, got %d", s.Name, s.Replicas)
+	}
+	if s.Replicas >= 2 && s.Mode != (Mode{}) {
+		return fmt.Errorf("scenario %q: fleet scenarios price the plain dense mode; clear Mode", s.Name)
 	}
 	return nil
 }
@@ -169,6 +186,14 @@ type FaultPlan struct {
 	// Deadline seconds after its arrival (0 = never).
 	DeadlineEvery int           `json:"deadline_every,omitempty"`
 	Deadline      units.Seconds `json:"deadline_s,omitempty"`
+	// ReplicaKillAt, when positive, kills one replica of a fleet
+	// scenario at that virtual time: its waiting and running work fails
+	// over through the router's placement, and the outcome accounting
+	// must still close exactly. ReplicaRespawnAt, when positive,
+	// respawns it later. Ignored by single-gateway scenarios (Replicas
+	// < 2) — there is no router to route the failover through.
+	ReplicaKillAt    units.Seconds `json:"replica_kill_at_s,omitempty"`
+	ReplicaRespawnAt units.Seconds `json:"replica_respawn_at_s,omitempty"`
 }
 
 // Validate reports fault-plan errors.
@@ -191,6 +216,15 @@ func (f FaultPlan) Validate() error {
 	if f.DeadlineEvery > 0 && f.Deadline <= 0 {
 		return fmt.Errorf("fault plan %q: DeadlineEvery needs a positive Deadline", f.Name)
 	}
+	if f.ReplicaKillAt < 0 || f.ReplicaRespawnAt < 0 {
+		return fmt.Errorf("fault plan %q: replica fault times must be ≥0", f.Name)
+	}
+	if f.ReplicaRespawnAt > 0 && f.ReplicaRespawnAt <= f.ReplicaKillAt {
+		return fmt.Errorf("fault plan %q: ReplicaRespawnAt must follow ReplicaKillAt", f.Name)
+	}
+	if f.ReplicaRespawnAt > 0 && f.ReplicaKillAt == 0 {
+		return fmt.Errorf("fault plan %q: ReplicaRespawnAt needs a ReplicaKillAt", f.Name)
+	}
 	return nil
 }
 
@@ -198,7 +232,7 @@ func (f FaultPlan) Validate() error {
 func (f FaultPlan) healthy() bool {
 	return (f.LinkBWScale == 0 || f.LinkBWScale == 1) && f.LinkFailEvery == 0 &&
 		(f.KVScale == 0 || f.KVScale == 1) && f.QueueDepth == 0 &&
-		f.CancelEvery == 0 && f.DeadlineEvery == 0
+		f.CancelEvery == 0 && f.DeadlineEvery == 0 && f.ReplicaKillAt == 0
 }
 
 // Experiment is the declarative top level: scenarios × faults × trials.

@@ -109,6 +109,24 @@ func buildStream(cell Cell, seed int64) ([]streamReq, error) {
 			r := g.Next()
 			reqs[i].PromptLen, reqs[i].OutputLen, reqs[i].Prompt = r.InputLen, r.OutputLen, r.Prompt
 		}
+	case Mixed:
+		g, err := trace.NewBlendGenerator(0.5, 4, 24, seed+1)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + 2))
+		for i := range reqs {
+			r := g.Next()
+			out := r.OutputLen
+			if out > 64 { // keep the conversation tail inside the tiny model's window
+				out = 64
+			}
+			prompt := make([]int, r.InputLen)
+			for j := range prompt {
+				prompt[j] = rng.Intn(vocab)
+			}
+			reqs[i].PromptLen, reqs[i].OutputLen, reqs[i].Prompt = r.InputLen, out, prompt
+		}
 	case HotPrefix:
 		g, err := trace.NewPrefixGenerator(trace.PrefixSpec{
 			Prefixes: 4, PrefixTokens: 8, Skew: 1.2, Vocab: vocab,
@@ -230,7 +248,10 @@ type TrialResult struct {
 	Shed      int     `json:"shed"`
 	Canceled  int     `json:"canceled"`
 	Preempted int     `json:"preempted"`
-	Attained  int     `json:"attained"` // completed within the scenario SLO
+	// Failovers counts requests re-placed off a killed replica (fleet
+	// scenarios only).
+	Failovers int `json:"failovers,omitempty"`
+	Attained  int `json:"attained"` // completed within the scenario SLO
 
 	TTFTP50    float64 `json:"ttft_p50_s"`    // over requests that produced a first token
 	TTFTP99    float64 `json:"ttft_p99_s"`
@@ -279,6 +300,11 @@ func RunTrial(cell Cell, seed int64, live bool) (TrialResult, error) {
 	stream, err := buildStream(cell, seed)
 	if err != nil {
 		return TrialResult{}, err
+	}
+	if cell.Scenario.Replicas >= 2 {
+		// Fleet scenarios route the stream (and the fault plan's replica
+		// kill) through the router instead of a single gateway.
+		return runFleetTrial(cell, stream, seed, live)
 	}
 	costs, xfer, err := virtualCosts(cell)
 	if err != nil {

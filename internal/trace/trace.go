@@ -46,6 +46,9 @@ type Request struct {
 	InputLen int
 	// OutputLen is the number of tokens to generate.
 	OutputLen int
+	// Kind is the trace family the request was drawn from (meaningful
+	// for blended streams, where families interleave).
+	Kind Kind
 }
 
 // Generator produces deterministic synthetic requests: the same seed
@@ -93,7 +96,7 @@ func (g *Generator) Next() Request {
 	p := 1 / float64(g.kind.MeanOutput())
 	u := g.rng.Float64()
 	out := 1 + int(math.Log(1-u)/math.Log(1-p))
-	return Request{ID: g.produced, InputLen: in, OutputLen: out}
+	return Request{ID: g.produced, InputLen: in, OutputLen: out, Kind: g.kind}
 }
 
 // Batch draws n requests.
